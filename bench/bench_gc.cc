@@ -1,0 +1,89 @@
+// Reproduces the paper's §5.4 garbage-collection claim: "the garbage
+// collector was constantly invoked and considerable amounts of memory
+// were recovered ... it can categorically be said that its effect on
+// overall performance is negligible", enabling continuous operation in a
+// bounded process (~2 MB of stacks in the paper's configuration).
+//
+// Workload: repeated naive-reverse and list-building derivations that
+// allocate far more cells than the configured GC threshold. We compare a
+// small-threshold configuration (GC constantly invoked, as in the paper)
+// against a huge-threshold one (GC never runs) and report time, GC runs
+// and cells recovered.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "educe/engine.h"
+
+namespace educe {
+namespace {
+
+using bench::Check;
+using bench::CheckResult;
+using bench::Ms;
+using bench::Num;
+using bench::Table;
+
+constexpr const char* kProgram = R"(
+  make(0, []) :- !.
+  make(N, [N|T]) :- M is N - 1, make(M, T).
+  nrev([], []).
+  nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+  churn(0) :- !.
+  churn(K) :- make(120, L), nrev(L, R), R = [1|_], K1 is K - 1, churn(K1).
+)";
+
+int Main() {
+  Table table("GC overhead (paper §5.4): constant collection vs none");
+  table.Header({"configuration", "ms total", "gc runs", "cells recovered",
+                "final heap cells"});
+
+  struct Config {
+    const char* name;
+    size_t threshold;
+    bool enable;
+  };
+  const Config configs[] = {
+      {"GC, 64K-cell threshold (constant invocation)", 64u << 10, true},
+      {"GC, 1M-cell threshold (occasional)", 1u << 20, true},
+      {"GC disabled (unbounded heap)", 1u << 20, false},
+  };
+
+  constexpr int kIterations = 400;  // ~400 * ~16K cells of garbage
+  double with_gc = 0, without_gc = 0;
+  for (const Config& config : configs) {
+    EngineOptions options;
+    options.machine.gc_threshold_cells = config.threshold;
+    options.machine.enable_gc = config.enable;
+    options.machine.max_heap_cells = 1u << 28;
+    Engine engine(options);
+    Check(engine.Consult(kProgram), "program");
+
+    engine.ResetStats();
+    base::Stopwatch watch;
+    auto ok = CheckResult(
+        engine.Succeeds("churn(" + std::to_string(kIterations) + ")"),
+        "churn");
+    if (!ok) std::abort();
+    const double seconds = watch.ElapsedSeconds();
+    const EngineStats stats = engine.Stats();
+    table.Row({config.name, Ms(seconds), Num(stats.machine.gc_runs),
+               Num(stats.machine.cells_collected),
+               Num(engine.machine()->heap_size())});
+    if (config.threshold == (64u << 10) && config.enable) with_gc = seconds;
+    if (!config.enable) without_gc = seconds;
+  }
+  table.Print();
+  std::printf(
+      "\nShape: constant collection changes total time by %+.0f%% versus "
+      "never collecting (negative = faster, from heap locality), while "
+      "keeping the heap bounded — the paper's point that omitting a "
+      "collector buys nothing worth the lost functionality.\n",
+      100.0 * (with_gc - without_gc) / without_gc);
+  return 0;
+}
+
+}  // namespace
+}  // namespace educe
+
+int main() { return educe::Main(); }

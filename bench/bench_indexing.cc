@@ -1,0 +1,145 @@
+// Ablations B and C (DESIGN.md §5).
+//
+// B — choice-point elimination on EDB access (paper §3.2.1): Educe*'s
+//     deterministic retrieval collects all matching clauses at once and
+//     skips the choice point when at most one matches. The paper cites
+//     Touati & Despain: choice-point references are ~52% of WAM data
+//     references, so avoiding them matters.
+//
+// C — first-argument type+value indexing (paper §3.2.2): switch_on_term /
+//     switch_on_constant dispatch vs a plain try/retry/trust chain over a
+//     1000-clause predicate.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "educe/engine.h"
+
+namespace educe {
+namespace {
+
+using bench::Check;
+using bench::CheckResult;
+using bench::Ms;
+using bench::Num;
+using bench::Table;
+
+void AblationB() {
+  Table table("Ablation B: choice-point elimination on EDB fact access");
+  table.Header({"deterministic retrieval", "lookups", "ms total",
+                "choice points", "trail entries"});
+
+  for (bool elimination : {true, false}) {
+    EngineOptions options;
+    options.choice_point_elimination = elimination;
+    Engine engine(options);
+    std::string facts;
+    for (int i = 0; i < 2000; ++i) {
+      facts += "kv(k" + std::to_string(i) + ", " + std::to_string(i) + ").\n";
+    }
+    Check(engine.StoreFactsExternal(facts), "facts");
+
+    // Drive the lookups from inside Prolog so per-query parse/compile
+    // overhead does not mask the choice-point cost.
+    Check(engine.Consult(R"(
+      loop(0).
+      loop(N) :- kv(k137, V), V =:= 137, N1 is N - 1, loop(N1).
+    )"), "driver");
+    constexpr int kLookups = 20000;
+    engine.ResetStats();
+    base::Stopwatch watch;
+    auto ok = CheckResult(
+        engine.Succeeds("loop(" + std::to_string(kLookups) + ")"), "loop");
+    if (!ok) std::abort();
+    const double seconds = watch.ElapsedSeconds();
+    const EngineStats stats = engine.Stats();
+    table.Row({elimination ? "on (Educe*)" : "off", Num(kLookups),
+               Ms(seconds), Num(stats.machine.choice_points),
+               Num(stats.machine.trail_entries)});
+  }
+  table.Print();
+}
+
+void AblationC() {
+  Table table("Ablation C: first-argument indexing (1000-clause predicate, "
+              "in-memory)");
+  table.Header({"indexing", "lookups", "ms total", "choice points",
+                "instructions"});
+
+  std::ostringstream program;
+  for (int i = 0; i < 1000; ++i) {
+    program << "big(key" << i << ", " << i << ").\n";
+  }
+
+  for (bool indexing : {true, false}) {
+    EngineOptions options;
+    options.first_arg_indexing = indexing;
+    Engine engine(options);
+    Check(engine.Consult(program.str()), "program");
+
+    constexpr int kLookups = 2000;
+    engine.ResetStats();
+    base::Stopwatch watch;
+    for (int i = 0; i < kLookups; ++i) {
+      const std::string goal =
+          "big(key" + std::to_string(i * 13 % 1000) + ", V)";
+      if (CheckResult(engine.CountSolutions(goal), goal.c_str()) != 1) {
+        std::abort();
+      }
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const EngineStats stats = engine.Stats();
+    table.Row({indexing ? "type+value switch" : "try/retry chain",
+               Num(kLookups), Ms(seconds), Num(stats.machine.choice_points),
+               Num(stats.machine.instructions)});
+  }
+  table.Print();
+
+  // Type dispatch: one predicate whose clauses differ only in first-arg
+  // *type* — the indexing form the paper calls "of no value to a
+  // relational DBMS [but] very effective in an inferential engine".
+  Table types("Ablation C2: indexing on argument type (paper §3.2.2)");
+  types.Header({"indexing", "ms total", "choice points"});
+  const char* type_program = R"(
+    kind(X, number) :- number(X).
+    kind(foo, foo_atom).
+    kind(bar, bar_atom).
+    kind([_|_], list_cell).
+    kind(f(_), f_struct).
+    kind(g(_), g_struct).
+  )";
+  for (bool indexing : {true, false}) {
+    EngineOptions options;
+    options.first_arg_indexing = indexing;
+    Engine engine(options);
+    Check(engine.Consult(type_program), "types");
+    engine.ResetStats();
+    base::Stopwatch watch;
+    for (int i = 0; i < 3000; ++i) {
+      const char* goal = i % 3 == 0   ? "kind(42, K)"
+                         : i % 3 == 1 ? "kind(foo, K)"
+                                      : "kind(f(1), K)";
+      CheckResult(engine.CountSolutions(goal), goal);
+    }
+    const EngineStats stats = engine.Stats();
+    types.Row({indexing ? "on" : "off", Ms(watch.ElapsedSeconds()),
+               Num(stats.machine.choice_points)});
+  }
+  types.Print();
+}
+
+int Main() {
+  AblationB();
+  AblationC();
+  std::printf(
+      "\nShape: deterministic retrieval removes every choice point on "
+      "bound-key access; the type+value switch removes them for unique "
+      "keys and cuts dispatch from O(clauses) to O(1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace educe
+
+int main() { return educe::Main(); }

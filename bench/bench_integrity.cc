@@ -1,0 +1,105 @@
+// Reproduces paper Table 3 — "Integrity Constraints Checking, Preprocess"
+// (§5.3): the constraint-specialisation phase of the Bry/Dahmen
+// integrity-checking task for five updates of increasing complexity.
+// Preprocess "isolates the more conventional use of a Prolog compiler" —
+// pure meta-level term manipulation with no fact access.
+//
+// Columns, as in the paper:
+//   GC — "A Good Prolog Compiler": our WAM with everything in main memory.
+//   E* — Educe*: rules, constraints and the preprocess program stored in
+//        the EDB as compiled relative code, loaded on demand.
+// Machine configurations:
+//   client — small buffer pool, slow simulated disc (a diskless Sun 3/60
+//            against an NFS server);
+//   server — large pool, fast disc (the Sun 3/280S).
+//
+// Expected shape: E* within a small factor of GC (the paper's point that
+// compiled EDB code makes external rule storage nearly free), both
+// growing with update generality.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "educe/engine.h"
+#include "workloads/integrity.h"
+
+namespace educe {
+namespace {
+
+using bench::Check;
+using bench::CheckResult;
+using bench::Ms;
+using bench::Num;
+using bench::Table;
+
+struct MachineConfig {
+  const char* name;
+  uint32_t buffer_frames;
+  uint64_t io_latency_ns;
+};
+
+double RunPreprocess(Engine* engine, const workloads::IntegrityWorkload& ic,
+                     int update, int repetitions) {
+  const std::string goal = "spec_count(" + ic.updates()[update] + ", N)";
+  base::Stopwatch watch;
+  for (int r = 0; r < repetitions; ++r) {
+    auto first = engine->First(goal);
+    Check(first.status(), goal.c_str());
+  }
+  return watch.ElapsedSeconds() / repetitions;
+}
+
+int Main() {
+  const workloads::IntegrityWorkload ic;
+  constexpr int kReps = 5;
+
+  const MachineConfig machines[] = {
+      {"Sun client", 64, 200000},   // 0.2 ms/page over the "network"
+      {"Sun server", 1024, 20000},  // local disc
+  };
+
+  Table table("Table 3: Integrity-constraint preprocess (ms per update)");
+  table.Header({"machine", "update", "GC (in-memory)", "E* (EDB compiled)",
+                "E*/GC", "specialisations"});
+
+  for (const MachineConfig& machine : machines) {
+    // GC column: everything in main memory.
+    EngineOptions gc_options;
+    gc_options.buffer_frames = machine.buffer_frames;
+    gc_options.io_latency_ns = machine.io_latency_ns;
+    Engine gc(gc_options);
+    Check(ic.Setup(&gc, /*constraints_external=*/false), "GC setup");
+
+    // E* column: rules + constraints + preprocess program in the EDB as
+    // compiled code.
+    EngineOptions estar_options = gc_options;
+    estar_options.rule_storage = RuleStorage::kCompiled;
+    Engine estar(estar_options);
+    Check(ic.Setup(&estar, /*constraints_external=*/true), "E* setup");
+
+    for (int update = 0; update < 5; ++update) {
+      Check(gc.InvalidateBuffers(), "invalidate");
+      Check(estar.InvalidateBuffers(), "invalidate");
+      const double gc_time = RunPreprocess(&gc, ic, update, kReps);
+      const double estar_time = RunPreprocess(&estar, ic, update, kReps);
+      auto count = CheckResult(
+          estar.First("spec_count(" + ic.updates()[update] + ", N)"),
+          "spec count");
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.2f", estar_time / gc_time);
+      table.Row({machine.name, std::to_string(update + 1), Ms(gc_time),
+                 Ms(estar_time), ratio, count["N"]});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape (paper §5.3): preprocess cost rises with update generality; "
+      "E* stays within a small factor of the in-memory compiler because "
+      "the EDB ships compiled code once and the loader caches it.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace educe
+
+int main() { return educe::Main(); }

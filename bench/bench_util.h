@@ -1,0 +1,85 @@
+#ifndef EDUCE_BENCH_BENCH_UTIL_H_
+#define EDUCE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
+
+namespace educe::bench {
+
+/// Aborts the benchmark on error — benches run on fixed, known-good
+/// inputs, so any failure is a bug worth a loud exit.
+inline void Check(const base::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckResult(base::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Fixed-width text table, printed in the style of the paper's tables.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void Header(std::vector<std::string> cells) { header_ = std::move(cells); }
+  void Row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size());
+    for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    size_t total = header_.size() - 1 + 2 * header_.size();
+    for (size_t w : widths) total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(double seconds, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, seconds * 1e3);
+  return buf;
+}
+
+inline std::string Num(uint64_t v) { return std::to_string(v); }
+
+inline std::string Ratio(double a, double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", b > 0 ? a / b : 0.0);
+  return buf;
+}
+
+}  // namespace educe::bench
+
+#endif  // EDUCE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,122 @@
+// A deductive-database session: bulk facts in the external store,
+// recursive rules compiled into the EDB, aggregation via findall — the
+// "Deductive Database Systems and Knowledge Base Management Systems"
+// usage the paper's conclusion targets.
+//
+// Domain: a software dependency graph. We load module dependency facts,
+// then answer transitive-closure and impact-analysis queries.
+//
+//   $ ./examples/deductive_db
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/rng.h"
+#include "educe/engine.h"
+
+namespace {
+
+void Fatal(const educe::base::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// A layered dependency graph: higher-layer modules depend on a few
+// modules of the layer below, plus some utility modules everyone uses.
+std::string MakeDependencies(int layers, int per_layer) {
+  educe::base::Rng rng(99);
+  std::string out;
+  auto module = [&](int layer, int i) {
+    return "m" + std::to_string(layer) + "_" + std::to_string(i);
+  };
+  for (int layer = 1; layer < layers; ++layer) {
+    for (int i = 0; i < per_layer; ++i) {
+      const int fanout = 2 + static_cast<int>(rng.Below(3));
+      for (int d = 0; d < fanout; ++d) {
+        out += "depends(" + module(layer, i) + ", " +
+               module(layer - 1, static_cast<int>(rng.Below(per_layer))) +
+               ").\n";
+      }
+    }
+    for (int i = 0; i < per_layer; ++i) {
+      out += "layer_of(" + module(layer, i) + ", " + std::to_string(layer) +
+             ").\n";
+    }
+  }
+  for (int i = 0; i < per_layer; ++i) {
+    out += "loc(" + module(0, i) + ", " +
+           std::to_string(200 + rng.Below(3000)) + ").\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  educe::EngineOptions options;
+  options.rule_storage = educe::RuleStorage::kCompiled;
+  educe::Engine engine(options);
+
+  std::printf("Loading dependency facts into the EDB...\n");
+  Fatal(engine.StoreFactsExternal(MakeDependencies(6, 30)), "facts");
+
+  // The rule base is stored in the EDB as compiled code and loaded on
+  // first use by the dynamic loader.
+  Fatal(engine.StoreRulesExternal(R"(
+    needs(A, B) :- depends(A, B).
+    needs(A, B) :- depends(A, C), needs(C, B).
+    leaf(M) :- loc(M, _).
+    impact(Changed, Affected) :- needs(Affected, Changed).
+    heavy(M, N) :- layer_of(M, 5), findall(D, depends(M, D), Ds), length(Ds, N), N >= 4.
+  )"),
+        "rules");
+
+  // 1. Transitive closure: what does m5_0 ultimately need?
+  auto needs = engine.CountSolutions("needs(m5_0, X)");
+  Fatal(needs.status(), "needs");
+  std::printf("m5_0 transitively needs %llu module-paths\n",
+              static_cast<unsigned long long>(*needs));
+
+  auto distinct = engine.First(
+      "findall(X, needs(m5_0, X), L), length(L, N)");
+  Fatal(distinct.status(), "distinct");
+  std::printf("  (findall collected N = %s)\n", (*distinct)["N"].c_str());
+
+  // 2. Impact analysis: if a base module changes, which top-layer modules
+  // must be rebuilt?
+  auto impact = engine.CountSolutions("impact(m0_3, A)");
+  Fatal(impact.status(), "impact");
+  std::printf("changing m0_3 impacts %llu dependency paths\n",
+              static_cast<unsigned long long>(*impact));
+
+  // 3. Negation: base modules nobody depends on.
+  auto unused = engine.CountSolutions("loc(M, _), \\+ depends(_, M)");
+  Fatal(unused.status(), "unused");
+  std::printf("%llu base modules have no direct dependents\n",
+              static_cast<unsigned long long>(*unused));
+
+  // 4. Aggregation over the EDB through a stored rule.
+  auto heavy = engine.Query("heavy(M, N)");
+  Fatal(heavy.status(), "heavy");
+  std::printf("modules with fan-out >= 4:\n");
+  while (true) {
+    auto more = (*heavy)->Next();
+    Fatal(more.status(), "solve");
+    if (!*more) break;
+    std::printf("  %s (fan-out %s)\n", (*heavy)->Binding("M").c_str(),
+                (*heavy)->Binding("N").c_str());
+  }
+
+  const educe::EngineStats stats = engine.Stats();
+  std::printf(
+      "\n[%llu EDB fact retrievals, %llu deterministic (no choice point); "
+      "rule cache hits: %llu]\n",
+      static_cast<unsigned long long>(stats.resolver.fact_calls),
+      static_cast<unsigned long long>(
+          stats.resolver.fact_calls_deterministic),
+      static_cast<unsigned long long>(stats.loader.cache_hits));
+  return 0;
+}

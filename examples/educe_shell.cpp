@@ -1,0 +1,144 @@
+// An interactive Educe* toplevel — the "session" the paper's kernel
+// serves. Reads line-oriented input (works piped or interactive):
+//
+//   p(1).                      clauses consult into main memory
+//   ?- p(X).                   queries print every solution
+//   :facts  edge(a,b). ...     store ground facts in the EDB
+//   :rules  r(X) :- edge(X,_). store rules in the EDB (compiled mode)
+//   :stats                     engine counters
+//   :halt                      exit
+//
+//   $ printf 'p(1).\np(2).\n?- p(X).\n:halt\n' | ./examples/educe_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "educe/engine.h"
+
+namespace {
+
+void Report(const educe::base::Status& status) {
+  if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+}
+
+void RunQuery(educe::Engine* engine, const std::string& goal) {
+  auto query = engine->Query(goal);
+  if (!query.ok()) {
+    Report(query.status());
+    return;
+  }
+  int solutions = 0;
+  while (solutions < 20) {
+    auto more = (*query)->Next();
+    if (!more.ok()) {
+      Report(more.status());
+      return;
+    }
+    if (!*more) break;
+    ++solutions;
+    const auto bindings = (*query)->All();
+    if (bindings.empty()) {
+      std::printf("true\n");
+      break;  // ground query: one confirmation suffices
+    }
+    std::string line;
+    for (const auto& [name, value] : bindings) {
+      if (!line.empty()) line += ", ";
+      line += name + " = " + value;
+    }
+    std::printf("%s ;\n", line.c_str());
+  }
+  if (solutions == 0) std::printf("false\n");
+  else if (solutions == 20) std::printf("... (stopped after 20 solutions)\n");
+}
+
+void PrintStats(educe::Engine* engine) {
+  const educe::EngineStats s = engine->Stats();
+  std::printf(
+      "machine: %llu instructions, %llu calls, %llu choice points, %llu "
+      "gc runs (%llu cells)\n"
+      "edb:     %llu facts stored, %llu rules stored, %llu fact rows "
+      "fetched, %llu clauses decoded\n"
+      "disc:    %llu pages read, %llu written; buffer %llu hits / %llu "
+      "misses\n",
+      static_cast<unsigned long long>(s.machine.instructions),
+      static_cast<unsigned long long>(s.machine.calls),
+      static_cast<unsigned long long>(s.machine.choice_points),
+      static_cast<unsigned long long>(s.machine.gc_runs),
+      static_cast<unsigned long long>(s.machine.cells_collected),
+      static_cast<unsigned long long>(s.clause_store.facts_stored),
+      static_cast<unsigned long long>(s.clause_store.rules_stored),
+      static_cast<unsigned long long>(s.clause_store.fact_rows_fetched),
+      static_cast<unsigned long long>(s.loader.clauses_decoded),
+      static_cast<unsigned long long>(s.paged_file.pages_read),
+      static_cast<unsigned long long>(s.paged_file.pages_written),
+      static_cast<unsigned long long>(s.buffer_pool.hits),
+      static_cast<unsigned long long>(s.buffer_pool.misses));
+}
+
+std::string Trim(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+int main() {
+  educe::Engine engine;
+  std::printf("Educe* shell — clauses consult; '?- Goal.' queries; "
+              ":facts/:rules store to the EDB; :load file; :stats; :halt\n");
+
+  std::string line;
+  std::string pending;  // clause text may span lines until a '.'
+  while (true) {
+    std::printf(pending.empty() ? "educe> " : "     > ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+
+    if (pending.empty() && trimmed[0] == ':') {
+      std::istringstream words(trimmed);
+      std::string command;
+      words >> command;
+      std::string rest;
+      std::getline(words, rest);
+      if (command == ":halt" || command == ":quit") break;
+      if (command == ":load") {
+        Report(engine.ConsultFile(Trim(rest)));
+        continue;
+      }
+      if (command == ":stats") {
+        PrintStats(&engine);
+      } else if (command == ":facts") {
+        Report(engine.StoreFactsExternal(rest));
+      } else if (command == ":rules") {
+        Report(engine.StoreRulesExternal(rest));
+      } else {
+        std::printf("unknown command %s\n", command.c_str());
+      }
+      continue;
+    }
+
+    pending += line + "\n";
+    // A '.' at end of line terminates the clause/query.
+    if (trimmed.back() != '.') continue;
+    std::string input = pending;
+    pending.clear();
+
+    const std::string t = Trim(input);
+    if (t.rfind("?-", 0) == 0) {
+      std::string goal = Trim(t.substr(2));
+      if (!goal.empty() && goal.back() == '.') goal.pop_back();
+      RunQuery(&engine, goal);
+    } else {
+      Report(engine.Consult(input));
+    }
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

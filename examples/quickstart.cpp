@@ -1,0 +1,65 @@
+// Quickstart: the Educe* engine in a dozen lines — consult rules into
+// main memory, store facts in the external database, query with
+// backtracking.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "educe/engine.h"
+
+int main() {
+  educe::Engine engine;
+
+  // Facts live in the external relational store (a BANG multi-attribute
+  // file); ground queries retrieve them by key without choice points.
+  auto status = engine.StoreFactsExternal(R"(
+    parent(tom, bob).   parent(tom, liz).
+    parent(bob, ann).   parent(bob, pat).
+    parent(pat, jim).
+  )");
+  if (!status.ok()) {
+    std::fprintf(stderr, "store: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Rules are compiled to WAM code.
+  status = engine.Consult(R"(
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    siblings(A, B) :- parent(P, A), parent(P, B), A \== B.
+  )");
+  if (!status.ok()) {
+    std::fprintf(stderr, "consult: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Enumerate solutions.
+  std::printf("ancestors of jim:\n");
+  auto query = engine.Query("ancestor(A, jim)");
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  while (true) {
+    auto more = (*query)->Next();
+    if (!more.ok()) {
+      std::fprintf(stderr, "solve: %s\n", more.status().ToString().c_str());
+      return 1;
+    }
+    if (!*more) break;
+    std::printf("  A = %s\n", (*query)->Binding("A").c_str());
+  }
+
+  // One-shot helpers.
+  auto first = engine.First("siblings(ann, S)");
+  if (first.ok()) {
+    std::printf("a sibling of ann: %s\n", (*first)["S"].c_str());
+  }
+  auto count = engine.CountSolutions("ancestor(tom, X)");
+  if (count.ok()) {
+    std::printf("tom has %llu descendants\n",
+                static_cast<unsigned long long>(*count));
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef EDUCE_BASE_HASH_H_
+#define EDUCE_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace educe::base {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across platforms and
+/// runs — required because hash values are *persisted* in the external
+/// dictionary (paper §4: "the hash value is computed by applying the hash
+/// function of the internal dictionary ... to the atom concerned").
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Hash of a functor: name plus arity (atoms have arity 0). This is the
+/// key-to-address transform for both the internal and external dictionary.
+inline uint64_t HashFunctor(std::string_view name, uint32_t arity) {
+  uint64_t h = Fnv1a64(name);
+  // Mix the arity with a splitmix64-style finalizer step.
+  h ^= static_cast<uint64_t>(arity) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+/// Finalizer usable for integer keys (splitmix64).
+inline uint64_t MixInt64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace educe::base
+
+#endif  // EDUCE_BASE_HASH_H_

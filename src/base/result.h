@@ -1,0 +1,73 @@
+#ifndef EDUCE_BASE_RESULT_H_
+#define EDUCE_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace educe::base {
+
+/// Result<T> carries either a value of type T or an error Status.
+/// Mirrors arrow::Result: construct from T or from a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(value_).ok());
+  }
+  /// Constructs a success result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when this is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define EDUCE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define EDUCE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define EDUCE_ASSIGN_OR_RETURN_NAME(a, b) EDUCE_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define EDUCE_ASSIGN_OR_RETURN(lhs, expr) \
+  EDUCE_ASSIGN_OR_RETURN_IMPL(            \
+      EDUCE_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace educe::base
+
+#endif  // EDUCE_BASE_RESULT_H_

@@ -1,0 +1,32 @@
+#include "base/status.h"
+
+namespace educe::base {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kSyntaxError: return "SyntaxError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kInstantiationError: return "InstantiationError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace educe::base

@@ -1,0 +1,131 @@
+#ifndef EDUCE_BASE_STATUS_H_
+#define EDUCE_BASE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace educe::base {
+
+/// Error categories used across the library. Follows the Arrow/RocksDB
+/// convention: a lightweight, exception-free status object returned from
+/// any operation that can fail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  // caller supplied something malformed
+  kNotFound = 2,         // key / relation / predicate missing
+  kAlreadyExists = 3,    // duplicate definition
+  kOutOfRange = 4,       // index / address out of bounds
+  kCorruption = 5,       // stored bytes failed validation
+  kResourceExhausted = 6,// stack/heap/dictionary overflow
+  kIOError = 7,          // paged-file layer failure
+  kSyntaxError = 8,      // Prolog reader failure
+  kTypeError = 9,        // ill-typed term where a specific type was required
+  kInstantiationError = 10,  // unbound variable where a bound term is needed
+  kUnsupported = 11,     // feature intentionally not implemented
+  kInternal = 12,        // invariant violation (a bug)
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status holds either success (`kOk`, no allocation) or an error code
+/// plus message. Cheap to move, cheap to test, never throws.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status InstantiationError(std::string msg) {
+    return Status(StatusCode::kInstantiationError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsSyntaxError() const { return code() == StatusCode::kSyntaxError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates an error Status from the evaluated expression.
+#define EDUCE_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::educe::base::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace educe::base
+
+#endif  // EDUCE_BASE_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef EDUCE_BASE_STOPWATCH_H_
+#define EDUCE_BASE_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace educe::base {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace educe::base
+
+#endif  // EDUCE_BASE_STOPWATCH_H_

@@ -1,0 +1,170 @@
+#include "dict/dictionary.h"
+
+#include <bit>
+#include <cassert>
+
+#include "base/hash.h"
+
+namespace educe::dict {
+
+Dictionary::Dictionary(const Options& options) : options_(options) {
+  assert(options_.segment_capacity >= 8);
+  assert(std::has_single_bit(options_.segment_capacity));
+  slot_bits_ = static_cast<uint32_t>(std::countr_zero(options_.segment_capacity));
+  slot_mask_ = options_.segment_capacity - 1;
+  AllocateSegment();
+}
+
+void Dictionary::AllocateSegment() {
+  Segment seg;
+  seg.slots.resize(options_.segment_capacity);
+  segments_.push_back(std::move(seg));
+  hot_segment_ = static_cast<uint32_t>(segments_.size() - 1);
+  ++stats_.segments_allocated;
+}
+
+std::optional<uint32_t> Dictionary::FindInSegment(const Segment& seg,
+                                                  std::string_view name,
+                                                  uint32_t arity,
+                                                  uint64_t hash) const {
+  uint32_t idx = static_cast<uint32_t>(hash) & slot_mask_;
+  for (uint32_t step = 0; step < options_.segment_capacity; ++step) {
+    const Slot& slot = seg.slots[idx];
+    ++stats_.probes;
+    if (slot.state == SlotState::kEmpty) return std::nullopt;
+    if (slot.state == SlotState::kLive && slot.hash == hash &&
+        slot.arity == arity && slot.name == name) {
+      return idx;
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  return std::nullopt;
+}
+
+std::optional<SymbolId> Dictionary::Lookup(std::string_view name,
+                                           uint32_t arity) const {
+  ++stats_.lookups;
+  const uint64_t hash = base::HashFunctor(name, arity);
+  for (uint32_t s = 0; s < segments_.size(); ++s) {
+    if (auto idx = FindInSegment(segments_[s], name, arity, hash)) {
+      return PackId(s, *idx, slot_bits_);
+    }
+  }
+  return std::nullopt;
+}
+
+uint32_t Dictionary::PickHotSegment() {
+  // Fast path: the current hot segment is still under the mark.
+  const auto under_mark = [this](const Segment& seg) {
+    return static_cast<double>(seg.live) <
+           options_.high_water * options_.segment_capacity;
+  };
+  if (under_mark(segments_[hot_segment_])) return hot_segment_;
+
+  // Re-designate: the lowest-occupancy segment still under the mark.
+  uint32_t best = kInvalidSymbol;
+  uint32_t best_live = UINT32_MAX;
+  for (uint32_t s = 0; s < segments_.size(); ++s) {
+    if (under_mark(segments_[s]) && segments_[s].live < best_live) {
+      best = s;
+      best_live = segments_[s].live;
+    }
+  }
+  if (best != kInvalidSymbol) {
+    hot_segment_ = best;
+    return best;
+  }
+  AllocateSegment();
+  return hot_segment_;
+}
+
+base::Result<SymbolId> Dictionary::Intern(std::string_view name,
+                                          uint32_t arity) {
+  const uint64_t hash = base::HashFunctor(name, arity);
+  // Existing entry anywhere wins: ids must be unique per (name, arity).
+  for (uint32_t s = 0; s < segments_.size(); ++s) {
+    if (auto idx = FindInSegment(segments_[s], name, arity, hash)) {
+      return PackId(s, *idx, slot_bits_);
+    }
+  }
+
+  if (segments_.size() >= (1u << (32 - slot_bits_))) {
+    return base::Status::ResourceExhausted("dictionary id space exhausted");
+  }
+
+  const uint32_t seg_idx = PickHotSegment();
+  Segment& seg = segments_[seg_idx];
+  uint32_t idx = static_cast<uint32_t>(hash) & slot_mask_;
+  for (uint32_t step = 0; step < options_.segment_capacity; ++step) {
+    Slot& slot = seg.slots[idx];
+    ++stats_.probes;
+    if (slot.state != SlotState::kLive) {
+      if (slot.state == SlotState::kTombstone) {
+        ++stats_.slot_reuses;
+        --seg.tombstones;
+      }
+      slot.state = SlotState::kLive;
+      slot.name.assign(name);
+      slot.arity = arity;
+      slot.hash = hash;
+      ++seg.live;
+      ++live_count_;
+      ++stats_.inserts;
+      return PackId(seg_idx, idx, slot_bits_);
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  return base::Status::Internal("hot segment unexpectedly full");
+}
+
+bool Dictionary::IsLive(SymbolId id) const {
+  const uint32_t seg = id >> slot_bits_;
+  const uint32_t slot = id & slot_mask_;
+  return seg < segments_.size() &&
+         segments_[seg].slots[slot].state == SlotState::kLive;
+}
+
+std::string_view Dictionary::NameOf(SymbolId id) const {
+  assert(IsLive(id));
+  return segments_[id >> slot_bits_].slots[id & slot_mask_].name;
+}
+
+uint32_t Dictionary::ArityOf(SymbolId id) const {
+  assert(IsLive(id));
+  return segments_[id >> slot_bits_].slots[id & slot_mask_].arity;
+}
+
+uint64_t Dictionary::HashOf(SymbolId id) const {
+  assert(IsLive(id));
+  return segments_[id >> slot_bits_].slots[id & slot_mask_].hash;
+}
+
+base::Status Dictionary::Remove(SymbolId id) {
+  const uint32_t seg_idx = id >> slot_bits_;
+  const uint32_t slot_idx = id & slot_mask_;
+  if (seg_idx >= segments_.size()) {
+    return base::Status::OutOfRange("no such dictionary segment");
+  }
+  Segment& seg = segments_[seg_idx];
+  Slot& slot = seg.slots[slot_idx];
+  if (slot.state != SlotState::kLive) {
+    return base::Status::NotFound("symbol is not live");
+  }
+  // Tombstone, do not relocate anything (paper point 4); the slot becomes
+  // reusable by a later insertion (paper point 3).
+  slot.state = SlotState::kTombstone;
+  slot.name.clear();
+  slot.name.shrink_to_fit();
+  --seg.live;
+  ++seg.tombstones;
+  --live_count_;
+  ++stats_.removes;
+  return base::Status::OK();
+}
+
+double Dictionary::SegmentOccupancy(size_t i) const {
+  assert(i < segments_.size());
+  return static_cast<double>(segments_[i].live) / options_.segment_capacity;
+}
+
+}  // namespace educe::dict

@@ -1,0 +1,496 @@
+#include "edb/clause_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/hash.h"
+#include "wam/machine.h"
+
+namespace educe::edb {
+
+namespace {
+
+// Salts keep int/float keys out of the (FNV) atom-hash space by
+// construction; residual collisions are filtered by real unification.
+constexpr uint64_t kIntSalt = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kFloatSalt = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t kListKey = 0x165667b19e3779f9ull;
+constexpr uint64_t kVarRuleKey = 0x27d4eb2f165667c5ull;
+
+uint64_t AvoidWildcard(uint64_t key) {
+  return key == storage::kBangWildcard ? 0 : key;
+}
+
+}  // namespace
+
+uint64_t KeyOfGroundArg(const term::Ast& arg, const dict::Dictionary& dict) {
+  switch (arg.kind) {
+    case term::Ast::Kind::kAtom:
+      return AvoidWildcard(
+          ExternalDictionary::HashOf(dict.NameOf(arg.functor), 0));
+    case term::Ast::Kind::kInt:
+      return AvoidWildcard(
+          base::MixInt64(static_cast<uint64_t>(arg.int_value)) ^ kIntSalt);
+    case term::Ast::Kind::kFloat:
+      return AvoidWildcard(
+          base::MixInt64(term::Cell::FloatBits(arg.float_value)) ^ kFloatSalt);
+    case term::Ast::Kind::kStruct: {
+      if (dict.NameOf(arg.functor) == "." && arg.args.size() == 2) {
+        return kListKey;
+      }
+      return AvoidWildcard(ExternalDictionary::HashOf(
+          dict.NameOf(arg.functor),
+          static_cast<uint32_t>(arg.args.size())));
+    }
+    case term::Ast::Kind::kVar:
+      return kVarRuleKey;  // only rule heads may be non-ground
+  }
+  return 0;
+}
+
+uint64_t KeyOfSummary(const ArgSummary& s) {
+  switch (s.kind) {
+    case ArgSummary::Kind::kAny:
+      return storage::kBangWildcard;
+    case ArgSummary::Kind::kAtom:
+    case ArgSummary::Kind::kStruct:
+      return AvoidWildcard(s.value);
+    case ArgSummary::Kind::kInt:
+      return AvoidWildcard(base::MixInt64(s.value) ^ kIntSalt);
+    case ArgSummary::Kind::kFloat:
+      return AvoidWildcard(base::MixInt64(s.value) ^ kFloatSalt);
+    case ArgSummary::Kind::kList:
+      return kListKey;
+  }
+  return 0;
+}
+
+ArgSummary SummaryOfCell(wam::Machine* machine, term::Cell cell) {
+  const dict::Dictionary& dict = *machine->dictionary();
+  const term::Cell d = machine->Deref(cell);
+  ArgSummary s;
+  switch (d.tag()) {
+    case term::Tag::kRef:
+      s.kind = ArgSummary::Kind::kAny;
+      break;
+    case term::Tag::kCon:
+      s.kind = ArgSummary::Kind::kAtom;
+      s.value = ExternalDictionary::HashOf(dict.NameOf(d.symbol()), 0);
+      break;
+    case term::Tag::kInt:
+      s.kind = ArgSummary::Kind::kInt;
+      s.value = static_cast<uint64_t>(d.int_value());
+      break;
+    case term::Tag::kFlt:
+      s.kind = ArgSummary::Kind::kFloat;
+      s.value = d.float_bits();
+      break;
+    case term::Tag::kLis:
+      s.kind = ArgSummary::Kind::kList;
+      break;
+    case term::Tag::kStr: {
+      const dict::SymbolId f = machine->HeapAt(d.addr()).symbol();
+      s.kind = ArgSummary::Kind::kStruct;
+      s.value = ExternalDictionary::HashOf(dict.NameOf(f), dict.ArityOf(f));
+      break;
+    }
+    default:
+      break;
+  }
+  return s;
+}
+
+CallPattern PatternFromCall(wam::Machine* machine, uint32_t arity) {
+  CallPattern pattern(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    pattern[i] = SummaryOfCell(machine, machine->X(i));
+  }
+  return pattern;
+}
+
+ClauseStore::ClauseStore(storage::BufferPool* pool,
+                         ExternalDictionary* external, CodeCodec* codec,
+                         dict::Dictionary* dictionary)
+    : pool_(pool), external_(external), codec_(codec),
+      dictionary_(dictionary) {
+  auto clauses = storage::BangFile::Create(pool_, 2);
+  // Creation of a 2-attribute file on a fresh pool cannot fail.
+  clauses_relation_ =
+      std::make_unique<storage::BangFile>(std::move(clauses).value());
+}
+
+base::Result<ProcedureInfo*> ClauseStore::Declare(
+    std::string_view name, uint32_t arity, ProcedureMode mode,
+    std::vector<uint32_t> key_attrs) {
+  auto key = std::make_pair(std::string(name), arity);
+  if (procedures_.count(key)) {
+    return base::Status::AlreadyExists("external procedure " +
+                                       std::string(name) + "/" +
+                                       std::to_string(arity));
+  }
+  ProcedureInfo info;
+  info.name = std::string(name);
+  info.arity = arity;
+  info.mode = mode;
+  EDUCE_ASSIGN_OR_RETURN(info.functor_hash, external_->Ensure(name, arity));
+
+  if (mode == ProcedureMode::kFacts) {
+    if (key_attrs.empty()) {
+      for (uint32_t i = 0; i < std::min(arity, 4u); ++i) {
+        key_attrs.push_back(i);
+      }
+    }
+    for (uint32_t attr : key_attrs) {
+      if (attr >= arity) {
+        return base::Status::InvalidArgument("key attribute out of range");
+      }
+    }
+    info.key_attrs = std::move(key_attrs);
+  }
+
+  // The per-procedure relation. Facts: one key per key attribute (arity 0
+  // gets one dummy key). Rules: keys = [first-arg index key, clause_id].
+  const uint32_t num_attrs =
+      mode == ProcedureMode::kFacts
+          ? std::max<uint32_t>(
+                static_cast<uint32_t>(info.key_attrs.size()), 1u)
+          : 2u;
+  if (num_attrs > 16) {
+    return base::Status::Unsupported(
+        "fact relations support at most 16 key attributes");
+  }
+  EDUCE_ASSIGN_OR_RETURN(storage::BangFile relation,
+                         storage::BangFile::Create(pool_, num_attrs));
+  info.relation = std::make_unique<storage::BangFile>(std::move(relation));
+
+  auto [it, inserted] = procedures_.emplace(std::move(key), std::move(info));
+  return &it->second;
+}
+
+ProcedureInfo* ClauseStore::Find(dict::SymbolId functor) {
+  auto cached = by_functor_.find(functor);
+  if (cached != by_functor_.end()) return cached->second;
+  if (!dictionary_->IsLive(functor)) return nullptr;
+  ProcedureInfo* info = Find(dictionary_->NameOf(functor),
+                             dictionary_->ArityOf(functor));
+  if (info != nullptr) by_functor_[functor] = info;
+  return info;
+}
+
+ProcedureInfo* ClauseStore::Find(std::string_view name, uint32_t arity) {
+  auto it = procedures_.find(std::make_pair(std::string(name), arity));
+  return it == procedures_.end() ? nullptr : &it->second;
+}
+
+base::Status ClauseStore::StoreFact(ProcedureInfo* proc,
+                                    const term::Ast& fact) {
+  if (proc->mode != ProcedureMode::kFacts) {
+    return base::Status::InvalidArgument(proc->name + " is not a relation");
+  }
+  if (fact.arity() != proc->arity) {
+    return base::Status::InvalidArgument("fact arity mismatch for " +
+                                         proc->name);
+  }
+  // Every argument must be ground; only key attributes enter the key.
+  for (const auto& arg : fact.args) {
+    if (arg->kind == term::Ast::Kind::kVar) {
+      return base::Status::InvalidArgument(
+          "facts stored in a relation must be ground");
+    }
+  }
+  std::vector<uint64_t> keys;
+  if (proc->key_attrs.empty()) {
+    keys.push_back(0);
+  } else {
+    for (uint32_t attr : proc->key_attrs) {
+      keys.push_back(KeyOfGroundArg(*fact.args[attr], *dictionary_));
+    }
+  }
+  EDUCE_ASSIGN_OR_RETURN(std::string payload, codec_->EncodeGroundTerm(fact));
+  EDUCE_RETURN_IF_ERROR(proc->relation->Insert(keys, payload));
+  ++proc->version;
+  ++stats_.facts_stored;
+  return base::Status::OK();
+}
+
+namespace {
+/// Relative-code row header inside the per-procedure relation: just a
+/// boolean "code" attribute (paper §4: "the code attribute is a boolean
+/// value indicating whether compiled code is associated with the clause").
+std::string RowFlag(bool has_code) {
+  return std::string(1, has_code ? '\1' : '\0');
+}
+}  // namespace
+
+base::Status ClauseStore::StoreRuleCompiled(ProcedureInfo* proc,
+                                            const wam::ClauseCode& code) {
+  if (proc->mode != ProcedureMode::kCompiledRules) {
+    return base::Status::InvalidArgument(proc->name +
+                                         " does not store compiled rules");
+  }
+  const uint32_t clause_id = proc->next_clause_id++;
+  // Row key: first-argument type+value key (paper §3.2.2) + clause id.
+  uint64_t arg_key = kVarRuleKey;
+  switch (code.key.type) {
+    case wam::IndexKey::Type::kVar:
+      arg_key = kVarRuleKey;
+      break;
+    case wam::IndexKey::Type::kAtom: {
+      ArgSummary s{ArgSummary::Kind::kAtom,
+                   ExternalDictionary::HashOf(
+                       dictionary_->NameOf(
+                           static_cast<dict::SymbolId>(code.key.value)),
+                       0)};
+      arg_key = KeyOfSummary(s);
+      break;
+    }
+    case wam::IndexKey::Type::kInt:
+      arg_key = KeyOfSummary(ArgSummary{ArgSummary::Kind::kInt, code.key.value});
+      break;
+    case wam::IndexKey::Type::kFloat:
+      arg_key =
+          KeyOfSummary(ArgSummary{ArgSummary::Kind::kFloat, code.key.value});
+      break;
+    case wam::IndexKey::Type::kList:
+      arg_key = kListKey;
+      break;
+    case wam::IndexKey::Type::kStruct: {
+      const auto f = static_cast<dict::SymbolId>(code.key.value);
+      arg_key = KeyOfSummary(
+          ArgSummary{ArgSummary::Kind::kStruct,
+                     ExternalDictionary::HashOf(dictionary_->NameOf(f),
+                                                dictionary_->ArityOf(f))});
+      break;
+    }
+  }
+  EDUCE_RETURN_IF_ERROR(
+      proc->relation->Insert({arg_key, clause_id}, RowFlag(true)));
+  EDUCE_ASSIGN_OR_RETURN(std::string bytes, codec_->EncodeClause(code));
+  EDUCE_RETURN_IF_ERROR(
+      clauses_relation_->Insert({proc->functor_hash, clause_id}, bytes));
+  ++proc->version;
+  ++stats_.rules_stored;
+  return base::Status::OK();
+}
+
+base::Status ClauseStore::StoreRuleSource(ProcedureInfo* proc,
+                                          std::string_view text) {
+  if (proc->mode != ProcedureMode::kSourceRules) {
+    return base::Status::InvalidArgument(proc->name +
+                                         " does not store source rules");
+  }
+  const uint32_t clause_id = proc->next_clause_id++;
+  // Source mode has no usable index key (paper: "poor selectivity ...
+  // the interpreter retrieves all the clauses for the procedure").
+  EDUCE_RETURN_IF_ERROR(
+      proc->relation->Insert({kVarRuleKey, clause_id}, RowFlag(false)));
+  EDUCE_RETURN_IF_ERROR(clauses_relation_->Insert(
+      {proc->functor_hash, clause_id}, std::string(text)));
+  ++proc->version;
+  ++stats_.rules_stored;
+  return base::Status::OK();
+}
+
+base::Result<bool> ClauseStore::PreUnify(std::string_view relative_code,
+                                         const CallPattern& pattern) {
+  // Stored-code layout (CodeCodec::EncodeClause): u32 num_perm, u8 env,
+  // u8 key_type, u64 key, u32 count, then count * (u8 op, u8 a, u16 b,
+  // u64 operand). We walk head get-instructions only.
+  constexpr size_t kHeader = 4 + 1 + 1 + 8 + 4;
+  constexpr size_t kInstr = 1 + 1 + 2 + 8;
+  if (relative_code.size() < kHeader) {
+    return base::Status::Corruption("short stored code");
+  }
+  uint32_t count;
+  std::memcpy(&count, relative_code.data() + kHeader - 4, 4);
+  if (relative_code.size() < kHeader + count * kInstr) {
+    return base::Status::Corruption("short stored code");
+  }
+
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* p = relative_code.data() + kHeader + i * kInstr;
+    const auto op = static_cast<wam::Opcode>(static_cast<uint8_t>(p[0]));
+    const uint8_t a = static_cast<uint8_t>(p[1]);
+    uint64_t operand;
+    std::memcpy(&operand, p + 4, 8);
+
+    if (a >= pattern.size() &&
+        (op == wam::Opcode::kGetConstant || op == wam::Opcode::kGetInteger ||
+         op == wam::Opcode::kGetFloat || op == wam::Opcode::kGetStructure ||
+         op == wam::Opcode::kGetList)) {
+      // get_* against a flattening temp register (nested structure):
+      // beyond the top level; pre-unification stops refining here
+      // (paper §4: "executing only the code corresponding to the highest
+      // levels of nesting").
+      continue;
+    }
+
+    switch (op) {
+      case wam::Opcode::kAllocate:
+      case wam::Opcode::kGetLevel:
+      case wam::Opcode::kGetVariableX:
+      case wam::Opcode::kGetVariableY:
+      case wam::Opcode::kGetValueX:
+      case wam::Opcode::kGetValueY:
+      case wam::Opcode::kUnifyVariableX:
+      case wam::Opcode::kUnifyVariableY:
+      case wam::Opcode::kUnifyValueX:
+      case wam::Opcode::kUnifyValueY:
+      case wam::Opcode::kUnifyConstant:
+      case wam::Opcode::kUnifyInteger:
+      case wam::Opcode::kUnifyFloat:
+      case wam::Opcode::kUnifyVoid:
+        continue;  // no top-level information
+      case wam::Opcode::kGetConstant: {
+        const ArgSummary& s = pattern[a];
+        if (s.kind == ArgSummary::Kind::kAny) continue;
+        if (s.kind != ArgSummary::Kind::kAtom || s.value != operand) {
+          return false;
+        }
+        continue;
+      }
+      case wam::Opcode::kGetInteger: {
+        const ArgSummary& s = pattern[a];
+        if (s.kind == ArgSummary::Kind::kAny) continue;
+        if (s.kind != ArgSummary::Kind::kInt || s.value != operand) {
+          return false;
+        }
+        continue;
+      }
+      case wam::Opcode::kGetFloat: {
+        const ArgSummary& s = pattern[a];
+        if (s.kind == ArgSummary::Kind::kAny) continue;
+        if (s.kind != ArgSummary::Kind::kFloat || s.value != operand) {
+          return false;
+        }
+        continue;
+      }
+      case wam::Opcode::kGetStructure: {
+        const ArgSummary& s = pattern[a];
+        if (s.kind == ArgSummary::Kind::kAny) continue;
+        if (s.kind != ArgSummary::Kind::kStruct || s.value != operand) {
+          return false;
+        }
+        continue;
+      }
+      case wam::Opcode::kGetList: {
+        const ArgSummary& s = pattern[a];
+        if (s.kind == ArgSummary::Kind::kAny ||
+            s.kind == ArgSummary::Kind::kList) {
+          continue;
+        }
+        return false;
+      }
+      default:
+        // First body instruction: the head section is over.
+        return true;
+    }
+  }
+  return true;
+}
+
+base::Result<std::vector<std::string>> ClauseStore::FetchRules(
+    ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
+  if (proc->mode == ProcedureMode::kFacts) {
+    return base::Status::InvalidArgument(proc->name + " is a fact relation");
+  }
+
+  // Step 1: candidate clause ids from the per-procedure relation. With a
+  // bound first argument the relation's key prunes to {matching key} ∪
+  // {variable-headed clauses}.
+  std::vector<uint32_t> clause_ids;
+  auto collect = [&](uint64_t arg_key) -> base::Status {
+    auto cursor =
+        proc->relation->OpenScan({arg_key, storage::kBangWildcard});
+    storage::BangFile::Record record;
+    while (cursor.Next(&record)) {
+      ++stats_.rule_rows_scanned;
+      clause_ids.push_back(static_cast<uint32_t>(record.keys[1]));
+    }
+    return cursor.status();
+  };
+
+  const bool first_arg_bound =
+      pattern != nullptr && !pattern->empty() &&
+      (*pattern)[0].kind != ArgSummary::Kind::kAny &&
+      proc->mode == ProcedureMode::kCompiledRules;
+  if (first_arg_bound) {
+    const uint64_t key = KeyOfSummary((*pattern)[0]);
+    EDUCE_RETURN_IF_ERROR(collect(key));
+    if (key != kVarRuleKey) {
+      EDUCE_RETURN_IF_ERROR(collect(kVarRuleKey));
+    }
+  } else {
+    auto cursor = proc->relation->OpenScan(
+        {storage::kBangWildcard, storage::kBangWildcard});
+    storage::BangFile::Record record;
+    while (cursor.Next(&record)) {
+      ++stats_.rule_rows_scanned;
+      clause_ids.push_back(static_cast<uint32_t>(record.keys[1]));
+    }
+    EDUCE_RETURN_IF_ERROR(cursor.status());
+  }
+  // Clause order is source order (clause ids are assigned sequentially).
+  std::sort(clause_ids.begin(), clause_ids.end());
+
+  // Step 2: ship each candidate's payload from the clauses relation,
+  // running the pre-unification unit on the relative code first.
+  std::vector<std::string> out;
+  for (uint32_t clause_id : clause_ids) {
+    auto cursor =
+        clauses_relation_->OpenScan({proc->functor_hash, clause_id});
+    storage::BangFile::Record record;
+    if (!cursor.Next(&record)) {
+      EDUCE_RETURN_IF_ERROR(cursor.status());
+      return base::Status::Corruption("clause row without code row");
+    }
+    if (preunify && pattern != nullptr &&
+        proc->mode == ProcedureMode::kCompiledRules) {
+      EDUCE_ASSIGN_OR_RETURN(bool may_match,
+                             PreUnify(record.payload, *pattern));
+      if (!may_match) {
+        ++stats_.preunify_filtered;
+        continue;
+      }
+    }
+    ++stats_.rule_codes_fetched;
+    out.push_back(std::move(record.payload));
+  }
+  return out;
+}
+
+base::Result<ClauseStore::FactCursor> ClauseStore::OpenFactScan(
+    ProcedureInfo* proc, const CallPattern& pattern) {
+  if (proc->mode != ProcedureMode::kFacts) {
+    return base::Status::InvalidArgument(proc->name + " is not a relation");
+  }
+  std::vector<uint64_t> keys;
+  if (proc->key_attrs.empty()) {
+    keys.push_back(storage::kBangWildcard);
+  } else {
+    for (uint32_t attr : proc->key_attrs) {
+      keys.push_back(KeyOfSummary(pattern[attr]));
+    }
+  }
+  return FactCursor(this, proc->relation->OpenScan(keys));
+}
+
+base::Result<term::AstPtr> ClauseStore::FactCursor::Next() {
+  storage::BangFile::Record record;
+  if (!cursor_.Next(&record)) {
+    status_ = cursor_.status();
+    return term::AstPtr(nullptr);
+  }
+  last_rid_ = record.rid;
+  ++store_->stats_.fact_rows_fetched;
+  return store_->codec_->DecodeTerm(record.payload);
+}
+
+base::Status ClauseStore::DeleteFact(ProcedureInfo* proc,
+                                     storage::RecordId rid) {
+  EDUCE_RETURN_IF_ERROR(proc->relation->Delete(rid));
+  ++proc->version;
+  return base::Status::OK();
+}
+
+}  // namespace educe::edb

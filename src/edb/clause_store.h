@@ -1,0 +1,190 @@
+#ifndef EDUCE_EDB_CLAUSE_STORE_H_
+#define EDUCE_EDB_CLAUSE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "dict/dictionary.h"
+#include "edb/code_codec.h"
+#include "edb/external_dictionary.h"
+#include "storage/bang_file.h"
+#include "storage/buffer_pool.h"
+#include "term/ast.h"
+#include "term/cell.h"
+#include "wam/code.h"
+
+namespace educe::wam {
+class Machine;
+}  // namespace educe::wam
+
+namespace educe::edb {
+
+/// How a procedure's clauses live in the EDB.
+enum class ProcedureMode : uint8_t {
+  kFacts = 0,          // ground tuples, conventional relation (code = false)
+  kCompiledRules = 1,  // relative WAM code (Educe*)
+  kSourceRules = 2,    // clause source text (the Educe baseline)
+};
+
+/// Summary of one call argument, used by fact retrieval patterns and by
+/// the pre-unification unit. Values are *external* hashes / immediate
+/// bits, never internal ids — pre-unification runs on relative addresses
+/// (paper §4).
+struct ArgSummary {
+  enum class Kind : uint8_t { kAny, kAtom, kInt, kFloat, kList, kStruct };
+  Kind kind = Kind::kAny;
+  uint64_t value = 0;  // external hash (atom/struct functor) or bits
+};
+using CallPattern = std::vector<ArgSummary>;
+
+/// BANG key of a ground argument (storage side) — must agree with
+/// ArgSummary keys computed from call arguments (query side).
+uint64_t KeyOfGroundArg(const term::Ast& arg, const dict::Dictionary& dict);
+/// BANG key of a bound call argument summary.
+uint64_t KeyOfSummary(const ArgSummary& s);
+
+/// Builds the call pattern for the first `arity` argument registers.
+CallPattern PatternFromCall(wam::Machine* machine, uint32_t arity);
+
+/// Summary of one (dereferenced) cell.
+ArgSummary SummaryOfCell(wam::Machine* machine, term::Cell cell);
+
+/// One external procedure's catalog entry (paper §4 structure 1: the
+/// procedures table, marking procedures as external).
+struct ProcedureInfo {
+  std::string name;
+  uint32_t arity = 0;
+  ProcedureMode mode = ProcedureMode::kFacts;
+  uint64_t functor_hash = 0;  // external-dictionary hash of name/arity
+  /// The per-procedure relation (paper §4 structure 3): one row per
+  /// clause/fact. Facts: keys = one per *key attribute* (below), payload =
+  /// encoded tuple. Rules: keys = [first-arg index key, clause_id],
+  /// payload = code flag.
+  std::unique_ptr<storage::BangFile> relation;
+  /// Facts only: which argument positions form the BANG key. Interleaved
+  /// address bits are shared among key attributes, so fewer attributes
+  /// means more directory bits (= better partial-match selectivity) per
+  /// attribute — the same trade a DBA makes choosing index columns.
+  std::vector<uint32_t> key_attrs;
+  uint32_t next_clause_id = 0;
+  /// Bumped on every update; loader caches check it.
+  uint64_t version = 0;
+};
+
+/// Counters for the rule-storage and pre-unification benches.
+struct ClauseStoreStats {
+  uint64_t facts_stored = 0;
+  uint64_t rules_stored = 0;
+  uint64_t fact_rows_fetched = 0;
+  uint64_t rule_rows_scanned = 0;     // candidate rows examined
+  uint64_t rule_codes_fetched = 0;    // clause codes actually shipped
+  uint64_t preunify_filtered = 0;     // clauses dropped by pre-unification
+};
+
+/// Management of compiled code and facts in the EDB (paper §3.1, §4):
+/// the procedures table, per-procedure relations, and the global clauses
+/// relation keyed (procedure, clause_id) holding relative code or source
+/// text. Owns no buffers; everything lives in the supplied pool's file.
+class ClauseStore {
+ public:
+  ClauseStore(storage::BufferPool* pool, ExternalDictionary* external,
+              CodeCodec* codec, dict::Dictionary* dictionary);
+
+  /// Declares an external procedure. AlreadyExists if declared before.
+  /// For kFacts, `key_attrs` selects the argument positions clustered by
+  /// the BANG file (empty = the first min(arity, 4) positions).
+  base::Result<ProcedureInfo*> Declare(std::string_view name, uint32_t arity,
+                                       ProcedureMode mode,
+                                       std::vector<uint32_t> key_attrs = {});
+
+  /// Catalog lookup; nullptr if `functor` is not external.
+  ProcedureInfo* Find(dict::SymbolId functor);
+  ProcedureInfo* Find(std::string_view name, uint32_t arity);
+
+  /// Stores a ground fact (an atom/struct whose args are all ground).
+  /// The procedure must be kFacts.
+  base::Status StoreFact(ProcedureInfo* proc, const term::Ast& fact);
+
+  /// Stores a compiled clause (kCompiledRules): the clause row goes into
+  /// the procedure relation, the relative code into the clauses relation.
+  base::Status StoreRuleCompiled(ProcedureInfo* proc,
+                                 const wam::ClauseCode& code);
+
+  /// Stores a clause as source text (kSourceRules, the Educe baseline).
+  base::Status StoreRuleSource(ProcedureInfo* proc, std::string_view text);
+
+  /// Fetches rule clause payloads (relative code or source text) in
+  /// clause_id order. With `pattern` (compiled mode), the EDB-side filter
+  /// runs: first-argument key filtering via the relation's BANG keys plus
+  /// the pre-unification unit over the relative code (paper §4). Pass
+  /// nullptr to fetch everything (the loader's full-procedure path and
+  /// the source baseline's "retrieve all clauses" policy).
+  base::Result<std::vector<std::string>> FetchRules(
+      ProcedureInfo* proc, const CallPattern* pattern, bool preunify);
+
+  /// Streams facts matching `pattern` (bound args become BANG keys).
+  class FactCursor {
+   public:
+    /// Next matching fact as an AST; nullptr at end (check status()).
+    base::Result<term::AstPtr> Next();
+    const base::Status& status() const { return status_; }
+    /// Storage id of the fact last returned by Next() (for deletion).
+    storage::RecordId last_rid() const { return last_rid_; }
+
+   private:
+    friend class ClauseStore;
+    FactCursor(ClauseStore* store, storage::BangFile::Cursor cursor)
+        : store_(store), cursor_(std::move(cursor)) {}
+    ClauseStore* store_;
+    storage::BangFile::Cursor cursor_;
+    storage::RecordId last_rid_;
+    base::Status status_;
+  };
+
+  /// Deletes the fact at `rid` from `proc`'s relation (rid from a
+  /// FactCursor that has not been interleaved with inserts).
+  base::Status DeleteFact(ProcedureInfo* proc, storage::RecordId rid);
+  base::Result<FactCursor> OpenFactScan(ProcedureInfo* proc,
+                                        const CallPattern& pattern);
+
+  /// The pre-unification unit: executes the head section of stored
+  /// *relative* code against the call pattern — necessary but not
+  /// sufficient for unifiability (paper §4). Exposed for tests and the
+  /// ablation bench.
+  static base::Result<bool> PreUnify(std::string_view relative_code,
+                                     const CallPattern& pattern);
+
+  const ClauseStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClauseStoreStats{}; }
+
+  ExternalDictionary* external_dictionary() { return external_; }
+  CodeCodec* codec() { return codec_; }
+
+  /// Drops the SymbolId -> procedure cache (required before dictionary
+  /// garbage collection: cached ids may be swept).
+  void InvalidateFunctorCache() { by_functor_.clear(); }
+
+ private:
+  storage::BufferPool* pool_;
+  ExternalDictionary* external_;
+  CodeCodec* codec_;
+  dict::Dictionary* dictionary_;
+
+  /// Paper §4 structure 4: the clauses relation —
+  /// keys [procedure_hash, clause_id], payload = relative code / source.
+  std::unique_ptr<storage::BangFile> clauses_relation_;
+
+  std::map<std::pair<std::string, uint32_t>, ProcedureInfo> procedures_;
+  std::map<dict::SymbolId, ProcedureInfo*> by_functor_;
+  ClauseStoreStats stats_;
+};
+
+}  // namespace educe::edb
+
+#endif  // EDUCE_EDB_CLAUSE_STORE_H_

@@ -1,0 +1,81 @@
+#include "edb/external_dictionary.h"
+
+#include <cstring>
+
+#include "base/hash.h"
+
+namespace educe::edb {
+
+base::Result<ExternalDictionary> ExternalDictionary::Create(
+    storage::BufferPool* pool) {
+  EDUCE_ASSIGN_OR_RETURN(storage::BangFile file,
+                         storage::BangFile::Create(pool, 1));
+  return ExternalDictionary(std::move(file));
+}
+
+uint64_t ExternalDictionary::HashOf(std::string_view name, uint32_t arity) {
+  uint64_t hash = base::HashFunctor(name, arity);
+  // kBangWildcard is reserved by the storage layer; remap the (absurdly
+  // unlikely) colliding hash.
+  if (hash == storage::kBangWildcard) hash = 0;
+  return hash;
+}
+
+base::Result<uint64_t> ExternalDictionary::Ensure(std::string_view name,
+                                                  uint32_t arity) {
+  const uint64_t hash = HashOf(name, arity);
+  auto it = cache_.find(hash);
+  if (it != cache_.end()) {
+    if (it->second.first != name || it->second.second != arity) {
+      return base::Status::Corruption(
+          "external dictionary hash collision between '" + it->second.first +
+          "' and '" + std::string(name) + "'");
+    }
+    return hash;
+  }
+  // Check the stored table before inserting (another session could have
+  // stored it; within one session the cache normally answers).
+  auto cursor = file_.OpenScan({hash});
+  storage::BangFile::Record record;
+  while (cursor.Next(&record)) {
+    uint32_t stored_arity;
+    std::memcpy(&stored_arity, record.payload.data(), sizeof(stored_arity));
+    std::string stored_name = record.payload.substr(sizeof(stored_arity));
+    if (stored_name == name && stored_arity == arity) {
+      cache_[hash] = {std::move(stored_name), stored_arity};
+      return hash;
+    }
+    return base::Status::Corruption("external dictionary hash collision");
+  }
+  EDUCE_RETURN_IF_ERROR(cursor.status());
+
+  std::string payload(sizeof(arity), '\0');
+  std::memcpy(payload.data(), &arity, sizeof(arity));
+  payload.append(name);
+  EDUCE_RETURN_IF_ERROR(file_.Insert({hash}, payload));
+  cache_[hash] = {std::string(name), arity};
+  ++entries_;
+  return hash;
+}
+
+base::Result<std::pair<std::string, uint32_t>> ExternalDictionary::Resolve(
+    uint64_t hash) {
+  auto it = cache_.find(hash);
+  if (it != cache_.end()) return it->second;
+
+  auto cursor = file_.OpenScan({hash});
+  storage::BangFile::Record record;
+  if (cursor.Next(&record)) {
+    uint32_t arity;
+    std::memcpy(&arity, record.payload.data(), sizeof(arity));
+    std::pair<std::string, uint32_t> entry{
+        record.payload.substr(sizeof(arity)), arity};
+    cache_[hash] = entry;
+    return entry;
+  }
+  EDUCE_RETURN_IF_ERROR(cursor.status());
+  return base::Status::NotFound("no external dictionary entry for hash " +
+                                std::to_string(hash));
+}
+
+}  // namespace educe::edb

@@ -1,0 +1,53 @@
+#ifndef EDUCE_EDB_EXTERNAL_DICTIONARY_H_
+#define EDUCE_EDB_EXTERNAL_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "storage/bang_file.h"
+#include "storage/buffer_pool.h"
+
+namespace educe::edb {
+
+/// The External Dictionary (paper §4 structure 2): a BANG-managed table
+/// of (name, arity, hash) for every atom/functor referenced by code or
+/// facts in the EDB. The hash — "computed by applying the hash function
+/// of the internal dictionary, without clash resolution" — is the
+/// *associative address* embedded in stored relative code; it is stable
+/// across sessions and across internal-dictionary garbage collection,
+/// which is exactly why compiled code in the EDB stays valid (paper §3.1).
+class ExternalDictionary {
+ public:
+  static base::Result<ExternalDictionary> Create(storage::BufferPool* pool);
+
+  /// Ensures an entry for (name, arity) exists; returns its persisted
+  /// hash (the relative address used by stored code).
+  base::Result<uint64_t> Ensure(std::string_view name, uint32_t arity);
+
+  /// The hash (name, arity) would have, without storing anything.
+  static uint64_t HashOf(std::string_view name, uint32_t arity);
+
+  /// Resolves a persisted hash back to (name, arity) — the loader's
+  /// associative-address resolution step. NotFound if never stored.
+  base::Result<std::pair<std::string, uint32_t>> Resolve(uint64_t hash);
+
+  uint64_t entry_count() const { return entries_; }
+
+ private:
+  explicit ExternalDictionary(storage::BangFile file)
+      : file_(std::move(file)) {}
+
+  storage::BangFile file_;  // 1 key attr: the hash; payload: arity + name
+  // Write-through cache; misses fall back to the stored table.
+  std::unordered_map<uint64_t, std::pair<std::string, uint32_t>> cache_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace educe::edb
+
+#endif  // EDUCE_EDB_EXTERNAL_DICTIONARY_H_

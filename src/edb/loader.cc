@@ -1,0 +1,65 @@
+#include "edb/loader.h"
+
+#include "base/stopwatch.h"
+#include "wam/program.h"
+
+namespace educe::edb {
+
+base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::DecodeAndLink(
+    const std::vector<std::string>& payloads, dict::SymbolId functor,
+    uint32_t arity) {
+  base::Stopwatch resolve_watch;
+  std::vector<std::shared_ptr<const wam::ClauseCode>> clauses;
+  clauses.reserve(payloads.size());
+  for (const std::string& bytes : payloads) {
+    EDUCE_ASSIGN_OR_RETURN(wam::ClauseCode code, codec_->DecodeClause(bytes));
+    clauses.push_back(std::make_shared<const wam::ClauseCode>(std::move(code)));
+    ++stats_.clauses_decoded;
+  }
+  stats_.resolve_ns += static_cast<uint64_t>(resolve_watch.ElapsedSeconds() * 1e9);
+
+  base::Stopwatch link_watch;
+  auto linked =
+      wam::LinkProcedure(functor, arity, clauses, options_.indexing);
+  stats_.link_ns += static_cast<uint64_t>(link_watch.ElapsedSeconds() * 1e9);
+  return linked;
+}
+
+base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
+    ProcedureInfo* proc, dict::SymbolId functor) {
+  if (options_.cache) {
+    auto it = cache_.find(proc);
+    if (it != cache_.end() && it->second.version == proc->version) {
+      ++stats_.cache_hits;
+      return it->second.code;
+    }
+  }
+  ++stats_.loads;
+  EDUCE_ASSIGN_OR_RETURN(
+      std::vector<std::string> payloads,
+      store_->FetchRules(proc, /*pattern=*/nullptr, /*preunify=*/false));
+  EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
+                         DecodeAndLink(payloads, functor, proc->arity));
+  if (options_.cache) {
+    cache_[proc] = CacheEntry{proc->version, linked};
+  }
+  return linked;
+}
+
+base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::LoadForCall(
+    ProcedureInfo* proc, dict::SymbolId functor, const CallPattern& pattern) {
+  ++stats_.call_loads;
+  EDUCE_ASSIGN_OR_RETURN(
+      std::vector<std::string> payloads,
+      store_->FetchRules(proc, &pattern, options_.preunify));
+  return DecodeAndLink(payloads, functor, proc->arity);
+}
+
+void Loader::CollectReferencedSymbols(std::set<dict::SymbolId>* out) const {
+  for (const auto& [proc, entry] : cache_) {
+    out->insert(entry.code->functor);
+    wam::CollectSymbols(entry.code->code, out);
+  }
+}
+
+}  // namespace educe::edb

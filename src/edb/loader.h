@@ -1,0 +1,83 @@
+#ifndef EDUCE_EDB_LOADER_H_
+#define EDUCE_EDB_LOADER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "base/result.h"
+#include "edb/clause_store.h"
+#include "edb/code_codec.h"
+#include "wam/code.h"
+
+namespace educe::edb {
+
+/// Counters for the loader: resolve vs link time backs the paper's §3.1
+/// claim that address resolution is far cheaper than compilation.
+struct LoaderStats {
+  uint64_t loads = 0;            // full-procedure loads performed
+  uint64_t cache_hits = 0;
+  uint64_t call_loads = 0;       // per-call (pattern-filtered) loads
+  uint64_t clauses_decoded = 0;
+  uint64_t resolve_ns = 0;       // decode (address resolution) time
+  uint64_t link_ns = 0;          // control/indexing insertion time
+};
+
+/// The dynamic loader (paper §3.1 component 2): fetches relative code
+/// from the EDB, resolves its associative addresses into internal
+/// dictionary ids, and splices in the control and first-argument-indexing
+/// instructions that make it runnable — then caches the result until the
+/// stored procedure changes.
+class Loader {
+ public:
+  struct Options {
+    /// Keep loaded procedures in the code cache (invalidated by version).
+    bool cache = true;
+    /// Ask the EDB to run the pre-unification filter on per-call loads.
+    bool preunify = true;
+    /// First-argument indexing in the linked code.
+    bool indexing = true;
+  };
+
+  Loader(ClauseStore* store, CodeCodec* codec) : store_(store), codec_(codec) {}
+
+  Options& options() { return options_; }
+
+  /// Loads the whole procedure (all clauses), linking with indexing; the
+  /// normal Educe* path. `functor` is the internal id the linked code is
+  /// labelled with.
+  base::Result<std::shared_ptr<const wam::LinkedCode>> Load(
+      ProcedureInfo* proc, dict::SymbolId functor);
+
+  /// Loads only the clauses surviving the EDB-side filter for `pattern`.
+  /// Never cached (the result is pattern-specific). Used when the cache
+  /// is disabled and by the pre-unification ablation.
+  base::Result<std::shared_ptr<const wam::LinkedCode>> LoadForCall(
+      ProcedureInfo* proc, dict::SymbolId functor, const CallPattern& pattern);
+
+  const LoaderStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LoaderStats{}; }
+
+  /// Dictionary-GC roots: symbols referenced by cached linked code.
+  void CollectReferencedSymbols(std::set<dict::SymbolId>* out) const;
+
+ private:
+  base::Result<std::shared_ptr<const wam::LinkedCode>> DecodeAndLink(
+      const std::vector<std::string>& payloads, dict::SymbolId functor,
+      uint32_t arity);
+
+  ClauseStore* store_;
+  CodeCodec* codec_;
+  Options options_;
+
+  struct CacheEntry {
+    uint64_t version;
+    std::shared_ptr<const wam::LinkedCode> code;
+  };
+  std::map<const ProcedureInfo*, CacheEntry> cache_;
+  LoaderStats stats_;
+};
+
+}  // namespace educe::edb
+
+#endif  // EDUCE_EDB_LOADER_H_

@@ -1,0 +1,74 @@
+#ifndef EDUCE_EDB_RESOLVER_H_
+#define EDUCE_EDB_RESOLVER_H_
+
+#include <memory>
+
+#include "edb/clause_store.h"
+#include "edb/loader.h"
+#include "wam/machine.h"
+#include "wam/program.h"
+
+namespace educe::edb {
+
+/// Counters for the rule-storage and choice-point benches.
+struct ResolverStats {
+  uint64_t fact_calls = 0;
+  uint64_t fact_calls_deterministic = 0;  // resolved without a choice point
+  uint64_t rule_loads = 0;
+  uint64_t source_parses = 0;   // clauses parsed from source text
+  uint64_t source_asserts = 0;  // transient main-memory assertions
+  uint64_t source_erases = 0;
+};
+
+/// Connects the WAM to the EDB: the trap that fires "when no predicate is
+/// found in main memory to evaluate a given query" (paper §3.2.1).
+/// Dispatches on the external procedure's storage mode:
+///   kFacts          -> BANG partial-match retrieval; all matching tuples
+///                      are collected at once and, when at most one can
+///                      match, no choice point is created (§3.2.1).
+///   kCompiledRules  -> dynamic loader (cached linked code) — Educe*.
+///   kSourceRules    -> fetch source text, parse, assert under a transient
+///                      name, execute, erase — the Educe baseline whose
+///                      cost the paper's design eliminates (§2, §3.1).
+class EdbResolver : public wam::ExternalResolver {
+ public:
+  struct Options {
+    /// Deterministic retrieval: skip the choice point when <= 1 fact
+    /// matches (Ablation B turns this off).
+    bool choice_point_elimination = true;
+    /// Use the loader's full-procedure cache; off = per-call loads with
+    /// the pre-unification filter.
+    bool loader_cache = true;
+  };
+
+  EdbResolver(ClauseStore* store, Loader* loader, wam::Program* program)
+      : store_(store), loader_(loader), program_(program) {}
+
+  Options& options() { return options_; }
+
+  base::Result<Resolution> Resolve(dict::SymbolId functor, uint32_t arity,
+                                   wam::Machine* machine) override;
+
+  const ResolverStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ResolverStats{}; }
+
+ private:
+  base::Result<Resolution> ResolveFacts(ProcedureInfo* proc, uint32_t arity,
+                                        wam::Machine* machine);
+  base::Result<Resolution> ResolveCompiled(ProcedureInfo* proc,
+                                           dict::SymbolId functor,
+                                           uint32_t arity,
+                                           wam::Machine* machine);
+  base::Result<Resolution> ResolveSource(ProcedureInfo* proc,
+                                         uint32_t arity);
+
+  ClauseStore* store_;
+  Loader* loader_;
+  wam::Program* program_;
+  Options options_;
+  ResolverStats stats_;
+};
+
+}  // namespace educe::edb
+
+#endif  // EDUCE_EDB_RESOLVER_H_

@@ -1,0 +1,423 @@
+#include "educe/engine.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "reader/writer.h"
+#include "wam/builtins.h"
+#include "wam/compiler.h"
+
+namespace educe {
+
+namespace {
+
+storage::PagedFile::Options FileOptions(const EngineOptions& options) {
+  storage::PagedFile::Options out;
+  out.page_size = options.page_size;
+  out.simulated_latency_ns = options.io_latency_ns;
+  return out;
+}
+
+edb::ExternalDictionary MakeExternalDictionary(storage::BufferPool* pool) {
+  // Creation on a fresh pool cannot fail (one page allocation).
+  return std::move(edb::ExternalDictionary::Create(pool)).value();
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      program_(&dictionary_),
+      file_(FileOptions(options)),
+      pool_(&file_, options.buffer_frames),
+      external_dictionary_(MakeExternalDictionary(&pool_)),
+      codec_(&dictionary_, &external_dictionary_, program_.builtins()),
+      clause_store_(&pool_, &external_dictionary_, &codec_, &dictionary_),
+      loader_(&clause_store_, &codec_),
+      resolver_(&clause_store_, &loader_, &program_) {
+  base::Status st = wam::InstallStandardLibrary(&program_);
+  (void)st;  // cannot fail on a fresh program; surfaced via first query
+  RegisterEdbBuiltins();
+  machine_ = std::make_unique<wam::Machine>(&program_, options_.machine);
+  machine_->set_resolver(&resolver_);
+  SyncOptions();
+}
+
+void Engine::RegisterEdbBuiltins() {
+  using term::Cell;
+  using term::Tag;
+  using wam::BuiltinResult;
+  using wam::Machine;
+
+  auto err = [](Machine* m, base::Status status) {
+    m->SetBuiltinError(std::move(status));
+    return BuiltinResult::kError;
+  };
+
+  // Resolves the relation a fact cell belongs to; nullptr if undeclared.
+  auto find_proc = [this](Machine* m, Cell d) -> edb::ProcedureInfo* {
+    dict::SymbolId functor;
+    if (d.tag() == Tag::kCon) {
+      functor = d.symbol();
+    } else if (d.tag() == Tag::kStr) {
+      functor = m->HeapAt(d.addr()).symbol();
+    } else {
+      return nullptr;
+    }
+    return clause_store_.Find(functor);
+  };
+
+  // edb_assert(Fact): store a ground fact in its EDB relation, declaring
+  // the relation on first use — assertion straight into external storage.
+  (void)program_.builtins()->Register(
+      "edb_assert", 1, [this, err](Machine* m, uint32_t) {
+        const Cell d = m->Deref(m->X(0));
+        if (d.tag() == Tag::kRef) {
+          return err(m, base::Status::InstantiationError("edb_assert/1"));
+        }
+        std::map<uint64_t, uint32_t> vars;
+        term::AstPtr fact = m->ExportCell(d, &vars);
+        if (!fact->IsCallable()) {
+          return err(m, base::Status::TypeError("edb_assert/1 needs a fact"));
+        }
+        const std::string_view name = dictionary_.NameOf(fact->functor);
+        edb::ProcedureInfo* proc = clause_store_.Find(name, fact->arity());
+        if (proc == nullptr) {
+          auto declared = clause_store_.Declare(name, fact->arity(),
+                                                edb::ProcedureMode::kFacts);
+          if (!declared.ok()) return err(m, declared.status());
+          proc = *declared;
+        }
+        base::Status st = clause_store_.StoreFact(proc, *fact);
+        if (!st.ok()) return err(m, st);
+        return BuiltinResult::kTrue;
+      });
+
+  // edb_retract(Pattern): delete the first EDB fact unifying with
+  // Pattern; bindings from the match are kept.
+  (void)program_.builtins()->Register(
+      "edb_retract", 1, [this, err, find_proc](Machine* m, uint32_t) {
+        const Cell d = m->Deref(m->X(0));
+        edb::ProcedureInfo* proc = find_proc(m, d);
+        if (proc == nullptr || proc->mode != edb::ProcedureMode::kFacts) {
+          return BuiltinResult::kFalse;
+        }
+        edb::CallPattern pattern(proc->arity);
+        for (uint32_t i = 0; i < proc->arity; ++i) {
+          pattern[i] = edb::SummaryOfCell(m, m->HeapAt(d.addr() + 1 + i));
+        }
+        auto cursor = clause_store_.OpenFactScan(proc, pattern);
+        if (!cursor.ok()) return err(m, cursor.status());
+        while (true) {
+          auto fact = cursor->Next();
+          if (!fact.ok()) return err(m, fact.status());
+          if (*fact == nullptr) break;
+          const size_t mark = m->TrailMark();
+          std::vector<Cell> cells;
+          auto imported = m->ImportAst(**fact, &cells);
+          if (!imported.ok()) return err(m, imported.status());
+          if (m->Unify(m->X(0), *imported)) {
+            base::Status st = clause_store_.DeleteFact(proc,
+                                                       cursor->last_rid());
+            if (!st.ok()) return err(m, st);
+            return BuiltinResult::kTrue;
+          }
+          m->UndoTo(mark);
+        }
+        return BuiltinResult::kFalse;
+      });
+
+  // edb_scan(Name/Arity, Facts): set-at-a-time retrieval — the whole
+  // relation shipped as one list (the goal-oriented evaluation mode).
+  (void)program_.builtins()->Register(
+      "edb_scan", 2, [this, err](Machine* m, uint32_t) {
+        const Cell spec = m->Deref(m->X(0));
+        if (spec.tag() != Tag::kStr ||
+            dictionary_.NameOf(m->HeapAt(spec.addr()).symbol()) != "/") {
+          return err(m,
+                     base::Status::TypeError("edb_scan/2 expects Name/Arity"));
+        }
+        const Cell name = m->Deref(m->HeapAt(spec.addr() + 1));
+        const Cell arity = m->Deref(m->HeapAt(spec.addr() + 2));
+        if (name.tag() != Tag::kCon || arity.tag() != Tag::kInt) {
+          return err(m,
+                     base::Status::TypeError("edb_scan/2 expects Name/Arity"));
+        }
+        edb::ProcedureInfo* proc = clause_store_.Find(
+            dictionary_.NameOf(name.symbol()),
+            static_cast<uint32_t>(arity.int_value()));
+        if (proc == nullptr || proc->mode != edb::ProcedureMode::kFacts) {
+          return BuiltinResult::kFalse;
+        }
+        edb::CallPattern pattern(proc->arity);  // all wildcards
+        auto cursor = clause_store_.OpenFactScan(proc, pattern);
+        if (!cursor.ok()) return err(m, cursor.status());
+        std::vector<Cell> facts;
+        while (true) {
+          auto fact = cursor->Next();
+          if (!fact.ok()) return err(m, fact.status());
+          if (*fact == nullptr) break;
+          std::vector<Cell> cells;
+          auto imported = m->ImportAst(**fact, &cells);
+          if (!imported.ok()) return err(m, imported.status());
+          facts.push_back(*imported);
+        }
+        Cell list = Cell::Con(
+            dictionary_.Intern("[]", 0).ValueOr(0));
+        for (auto it = facts.rbegin(); it != facts.rend(); ++it) {
+          list = m->NewList(*it, list);
+        }
+        const bool ok = m->Unify(m->X(1), list);
+        return ok ? BuiltinResult::kTrue : BuiltinResult::kFalse;
+      });
+}
+
+void Engine::SyncOptions() {
+  program_.SetIndexingEnabled(options_.first_arg_indexing);
+  loader_.options().cache = options_.loader_cache;
+  loader_.options().preunify = options_.preunify;
+  loader_.options().indexing = options_.first_arg_indexing;
+  resolver_.options().choice_point_elimination =
+      options_.choice_point_elimination;
+  resolver_.options().loader_cache = options_.loader_cache;
+  file_.set_simulated_latency_ns(options_.io_latency_ns);
+}
+
+base::Status Engine::Consult(std::string_view source) {
+  EDUCE_ASSIGN_OR_RETURN(std::vector<reader::ReadTerm> clauses,
+                         reader::ParseProgram(&dictionary_, source));
+  for (const auto& clause : clauses) {
+    // Directives (`:- Goal.`) execute immediately, as in a normal consult.
+    if (clause.term->IsStruct() && clause.term->args.size() == 1 &&
+        dictionary_.NameOf(clause.term->functor) == ":-") {
+      EDUCE_RETURN_IF_ERROR(
+          machine_->StartQuery(clause.term->args[0], clause.num_vars));
+      EDUCE_ASSIGN_OR_RETURN(bool ok, machine_->NextSolution());
+      if (!ok) {
+        reader::WriteOptions wo;
+        return base::Status::InvalidArgument(
+            "directive failed: " +
+            reader::WriteTerm(dictionary_, *clause.term->args[0], wo));
+      }
+      continue;
+    }
+    EDUCE_RETURN_IF_ERROR(program_.AddClause(clause.term));
+  }
+  return base::Status::OK();
+}
+
+base::Status Engine::ConsultFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return base::Status::IOError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Consult(buffer.str());
+}
+
+base::Status Engine::DeclareRelation(std::string_view name, uint32_t arity,
+                                     std::vector<uint32_t> key_attrs) {
+  return clause_store_
+      .Declare(name, arity, edb::ProcedureMode::kFacts, std::move(key_attrs))
+      .status();
+}
+
+base::Status Engine::StoreFactsExternal(std::string_view source) {
+  EDUCE_ASSIGN_OR_RETURN(std::vector<reader::ReadTerm> facts,
+                         reader::ParseProgram(&dictionary_, source));
+  for (const auto& fact : facts) {
+    const term::Ast& t = *fact.term;
+    if (!t.IsCallable()) {
+      return base::Status::InvalidArgument("facts must be atoms or compounds");
+    }
+    const std::string_view name = dictionary_.NameOf(t.functor);
+    if (name == ":-") {
+      return base::Status::InvalidArgument(
+          "rules cannot be stored as facts; use StoreRulesExternal");
+    }
+    edb::ProcedureInfo* proc = clause_store_.Find(name, t.arity());
+    if (proc == nullptr) {
+      EDUCE_ASSIGN_OR_RETURN(
+          proc, clause_store_.Declare(name, t.arity(),
+                                      edb::ProcedureMode::kFacts));
+    }
+    EDUCE_RETURN_IF_ERROR(clause_store_.StoreFact(proc, t));
+  }
+  return base::Status::OK();
+}
+
+base::Status Engine::StoreRulesExternal(std::string_view source) {
+  EDUCE_ASSIGN_OR_RETURN(std::vector<reader::ReadTerm> clauses,
+                         reader::ParseProgram(&dictionary_, source));
+  const edb::ProcedureMode mode = options_.rule_storage == RuleStorage::kCompiled
+                                      ? edb::ProcedureMode::kCompiledRules
+                                      : edb::ProcedureMode::kSourceRules;
+  for (const auto& clause : clauses) {
+    // Identify the head functor.
+    term::AstPtr head = clause.term;
+    if (head->IsStruct() && dictionary_.NameOf(head->functor) == ":-" &&
+        head->args.size() == 2) {
+      head = head->args[0];
+    }
+    if (!head->IsCallable()) {
+      return base::Status::InvalidArgument("clause head must be callable");
+    }
+    const std::string_view name = dictionary_.NameOf(head->functor);
+    edb::ProcedureInfo* proc = clause_store_.Find(name, head->arity());
+    if (proc == nullptr) {
+      EDUCE_ASSIGN_OR_RETURN(
+          proc, clause_store_.Declare(name, head->arity(), mode));
+    } else if (proc->mode == edb::ProcedureMode::kFacts) {
+      return base::Status::InvalidArgument(std::string(name) +
+                                           " is a fact relation");
+    }
+
+    if (proc->mode == edb::ProcedureMode::kSourceRules) {
+      // Store the clause as (quoted, re-parseable) text.
+      reader::WriteOptions wo;
+      const std::string text =
+          reader::WriteTerm(dictionary_, *clause.term, wo) + " .";
+      EDUCE_RETURN_IF_ERROR(clause_store_.StoreRuleSource(proc, text));
+      continue;
+    }
+
+    // Compiled mode: compile now; the main clause's code goes to the EDB,
+    // auxiliary predicates extracted from control constructs stay in main
+    // memory (they are implementation details of this clause).
+    EDUCE_ASSIGN_OR_RETURN(std::vector<wam::CompiledClause> compiled,
+                           program_.compiler()->Compile(clause.term));
+    bool main = true;
+    for (auto& c : compiled) {
+      if (main) {
+        EDUCE_RETURN_IF_ERROR(clause_store_.StoreRuleCompiled(proc, c.code));
+        main = false;
+      } else {
+        EDUCE_RETURN_IF_ERROR(program_.AddCompiled(std::move(c)));
+      }
+    }
+  }
+  return base::Status::OK();
+}
+
+base::Result<std::unique_ptr<Solutions>> Engine::Query(std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
+                         reader::ParseTerm(&dictionary_, goal));
+  EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
+  return std::unique_ptr<Solutions>(new Solutions(this, std::move(read)));
+}
+
+base::Result<bool> Engine::Succeeds(std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Solutions> solutions, Query(goal));
+  return solutions->Next();
+}
+
+base::Result<std::map<std::string, std::string>> Engine::First(
+    std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Solutions> solutions, Query(goal));
+  EDUCE_ASSIGN_OR_RETURN(bool any, solutions->Next());
+  if (!any) return base::Status::NotFound("no solution for " +
+                                          std::string(goal));
+  return solutions->All();
+}
+
+base::Result<uint64_t> Engine::CountSolutions(std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Solutions> solutions, Query(goal));
+  uint64_t count = 0;
+  while (true) {
+    EDUCE_ASSIGN_OR_RETURN(bool more, solutions->Next());
+    if (!more) break;
+    ++count;
+  }
+  return count;
+}
+
+base::Status Engine::InvalidateBuffers() { return pool_.Invalidate(); }
+
+base::Result<uint64_t> Engine::CollectDictionary() {
+  // Roots: everything the predicate store and cached EDB code reference,
+  // plus the syntax symbols the reader/machine assume are interned.
+  std::set<dict::SymbolId> live;
+  program_.CollectReferencedSymbols(&live);
+  loader_.CollectReferencedSymbols(&live);
+  static constexpr struct {
+    const char* name;
+    uint32_t arity;
+  } kCore[] = {
+      {".", 2},   {"[]", 0}, {":-", 2},  {":-", 1}, {",", 2},  {";", 2},
+      {"->", 2},  {"!", 0},  {"true", 0}, {"fail", 0}, {"-", 2}, {"/", 2},
+      {"{}", 1},  {"=", 2},  {"^", 2},
+  };
+  for (const auto& core : kCore) {
+    if (auto id = dictionary_.Lookup(core.name, core.arity)) live.insert(*id);
+  }
+  // The machine's query scaffolding references the current query functor
+  // (erased lazily at the next StartQuery), which CollectReferencedSymbols
+  // already covers while the procedure exists.
+
+  std::vector<dict::SymbolId> dead;
+  dictionary_.ForEach([&](dict::SymbolId id) {
+    if (!live.count(id)) dead.push_back(id);
+  });
+  for (dict::SymbolId id : dead) {
+    EDUCE_RETURN_IF_ERROR(dictionary_.Remove(id));
+  }
+  // Cached SymbolId -> external-procedure mappings may name swept ids.
+  clause_store_.InvalidateFunctorCache();
+  return static_cast<uint64_t>(dead.size());
+}
+
+EngineStats Engine::Stats() {
+  EngineStats stats;
+  stats.machine = machine_->stats();
+  stats.program = program_.stats();
+  stats.paged_file = file_.stats();
+  stats.buffer_pool = pool_.stats();
+  stats.clause_store = clause_store_.stats();
+  stats.loader = loader_.stats();
+  stats.resolver = resolver_.stats();
+  stats.compiler = program_.compiler()->stats();
+  return stats;
+}
+
+void Engine::ResetStats() {
+  machine_->ResetStats();
+  program_.ResetStats();
+  file_.ResetStats();
+  pool_.ResetStats();
+  clause_store_.ResetStats();
+  loader_.ResetStats();
+  resolver_.ResetStats();
+  program_.compiler()->ResetStats();
+}
+
+base::Result<bool> Solutions::Next() { return engine_->machine_->NextSolution(); }
+
+term::AstPtr Solutions::BindingAst(std::string_view name) const {
+  for (const auto& [var_name, index] : read_.var_names) {
+    if (var_name == name) {
+      std::map<uint64_t, uint32_t> var_map;
+      return engine_->machine_->ExportVar(index, &var_map);
+    }
+  }
+  return nullptr;
+}
+
+std::string Solutions::Binding(std::string_view name) const {
+  term::AstPtr ast = BindingAst(name);
+  if (ast == nullptr) return "";
+  return reader::WriteTerm(engine_->dictionary_, *ast);
+}
+
+std::map<std::string, std::string> Solutions::All() const {
+  std::map<std::string, std::string> out;
+  std::map<uint64_t, uint32_t> var_map;
+  for (const auto& [var_name, index] : read_.var_names) {
+    out[var_name] = reader::WriteTerm(
+        engine_->dictionary_,
+        *engine_->machine_->ExportVar(index, &var_map));
+  }
+  return out;
+}
+
+}  // namespace educe

@@ -1,0 +1,204 @@
+#ifndef EDUCE_EDUCE_ENGINE_H_
+#define EDUCE_EDUCE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "dict/dictionary.h"
+#include "edb/clause_store.h"
+#include "edb/code_codec.h"
+#include "edb/external_dictionary.h"
+#include "edb/loader.h"
+#include "edb/resolver.h"
+#include "reader/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+#include "wam/machine.h"
+#include "wam/program.h"
+
+namespace educe {
+
+/// Where externally stored *rules* live (DESIGN.md; paper §2/§3.1):
+///   kCompiled — relative WAM code in the EDB (Educe*, the contribution);
+///   kSource   — clause text in the EDB, parse+assert+erase per use (the
+///               Educe baseline the paper improves on).
+enum class RuleStorage { kCompiled, kSource };
+
+struct EngineOptions {
+  /// Storage substrate.
+  uint32_t page_size = 4096;
+  uint32_t buffer_frames = 256;
+  /// Simulated per-page transfer latency (see storage::PagedFile).
+  uint64_t io_latency_ns = 0;
+
+  /// Rule storage mode for StoreRulesExternal.
+  RuleStorage rule_storage = RuleStorage::kCompiled;
+
+  /// Inference-engine knobs (ablations; DESIGN.md §5).
+  bool first_arg_indexing = true;        // Ablation C
+  bool choice_point_elimination = true;  // Ablation B
+  bool loader_cache = true;              // full-proc cache vs per-call load
+  bool preunify = true;                  // Ablation E (per-call loads)
+
+  wam::MachineOptions machine;
+};
+
+class Engine;
+
+/// One query's solutions, streamed. Obtained from Engine::Query; at most
+/// one Solutions may be active per Engine at a time (the engine owns a
+/// single machine, per the paper's one-process-per-session model).
+class Solutions {
+ public:
+  /// Advances to the next solution; false when exhausted.
+  base::Result<bool> Next();
+
+  /// Binding of a named query variable, rendered as text ("[1,2]").
+  /// Empty string if the name is unknown.
+  std::string Binding(std::string_view name) const;
+
+  /// Binding as an AST (nullptr if unknown).
+  term::AstPtr BindingAst(std::string_view name) const;
+
+  /// All named bindings of the current solution, rendered.
+  std::map<std::string, std::string> All() const;
+
+ private:
+  friend class Engine;
+  Solutions(Engine* engine, reader::ReadTerm read)
+      : engine_(engine), read_(std::move(read)) {}
+
+  Engine* engine_;
+  reader::ReadTerm read_;
+};
+
+/// Aggregated counters across all Engine subsystems.
+struct EngineStats {
+  wam::MachineStats machine;
+  wam::ProgramStats program;
+  storage::PagedFileStats paged_file;
+  storage::BufferPoolStats buffer_pool;
+  edb::ClauseStoreStats clause_store;
+  edb::LoaderStats loader;
+  edb::ResolverStats resolver;
+  wam::CompilerStats compiler;
+};
+
+/// The Educe* engine: a WAM-based Prolog system whose predicates can live
+/// in main memory or in an external relational store (facts as BANG
+/// relations, rules as compiled relative code or as source text).
+///
+/// Typical use:
+///   Engine engine(options);
+///   engine.Consult("rules for main memory ...");
+///   engine.DeclareRelation("location2", 2);
+///   engine.StoreFactsExternal("location2(a, b). ...");
+///   engine.StoreRulesExternal("reach(X,Y) :- ...");
+///   auto q = engine.Query("reach(a, X)");
+///   while (*q->Next()) { q->Binding("X"); }
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// --- main-memory predicates -------------------------------------------
+
+  /// Compiles `source` clauses into main memory. `:- Goal.` directives
+  /// execute immediately.
+  base::Status Consult(std::string_view source);
+
+  /// Consults a Prolog source file from disk.
+  base::Status ConsultFile(const std::string& path);
+
+  /// --- external database --------------------------------------------------
+
+  /// Declares an external fact relation name/arity. `key_attrs` picks the
+  /// argument positions the BANG file clusters on (empty = first four) —
+  /// the knob a DBA would turn to match the query mix.
+  base::Status DeclareRelation(std::string_view name, uint32_t arity,
+                               std::vector<uint32_t> key_attrs = {});
+
+  /// Stores ground facts into their (pre-declared or auto-declared)
+  /// relations.
+  base::Status StoreFactsExternal(std::string_view source);
+
+  /// Stores rule clauses externally per options().rule_storage. All
+  /// clauses of one predicate must be stored in one mode.
+  base::Status StoreRulesExternal(std::string_view source);
+
+  /// --- queries -------------------------------------------------------------
+
+  /// Opens a query. The returned object borrows the engine's machine.
+  base::Result<std::unique_ptr<Solutions>> Query(std::string_view goal);
+
+  /// Convenience: run `goal`, return whether it has at least one solution.
+  base::Result<bool> Succeeds(std::string_view goal);
+
+  /// Convenience: first solution's named bindings (NotFound if none).
+  base::Result<std::map<std::string, std::string>> First(
+      std::string_view goal);
+
+  /// Convenience: count all solutions.
+  base::Result<uint64_t> CountSolutions(std::string_view goal);
+
+  /// --- buffer / stats ------------------------------------------------------
+
+  /// Drops the buffer cache (models a cold first run, paper §5.1).
+  base::Status InvalidateBuffers();
+
+  /// Dictionary garbage collection (paper §3.3): removes every atom and
+  /// functor not referenced by the predicate store, the builtins, the
+  /// loader's code cache or the core syntax symbols, tombstoning their
+  /// slots for reuse. Surviving identifiers are never relocated, so all
+  /// compiled code stays valid. Must run between queries (no solutions
+  /// iterator may be live). Returns the number of entries removed.
+  base::Result<uint64_t> CollectDictionary();
+
+  EngineStats Stats();
+  void ResetStats();
+
+  EngineOptions& options() { return options_; }
+  dict::Dictionary* dictionary() { return &dictionary_; }
+  wam::Program* program() { return &program_; }
+  wam::Machine* machine() { return machine_.get(); }
+  storage::PagedFile* paged_file() { return &file_; }
+  storage::BufferPool* buffer_pool() { return &pool_; }
+  edb::ClauseStore* clause_store() { return &clause_store_; }
+  edb::Loader* loader() { return &loader_; }
+  edb::EdbResolver* resolver() { return &resolver_; }
+
+  /// Applies current ablation options to the subsystems (call after
+  /// mutating options()).
+  void SyncOptions();
+
+ private:
+  friend class Solutions;
+
+  /// Installs the EDB-aware builtins (edb_assert/1, edb_retract/1,
+  /// edb_scan/2) that let programs mix goal-oriented (set-at-a-time) and
+  /// term-oriented evaluation, per paper §4.
+  void RegisterEdbBuiltins();
+
+  EngineOptions options_;
+  dict::Dictionary dictionary_;
+  wam::Program program_;
+  storage::PagedFile file_;
+  storage::BufferPool pool_;
+  edb::ExternalDictionary external_dictionary_;
+  edb::CodeCodec codec_;
+  edb::ClauseStore clause_store_;
+  edb::Loader loader_;
+  edb::EdbResolver resolver_;
+  std::unique_ptr<wam::Machine> machine_;
+};
+
+}  // namespace educe
+
+#endif  // EDUCE_EDUCE_ENGINE_H_

@@ -1,0 +1,367 @@
+#include "reader/parser.h"
+
+#include <cassert>
+
+namespace educe::reader {
+
+namespace {
+const OpTable& DefaultOps() {
+  static const OpTable* table = new OpTable();
+  return *table;
+}
+}  // namespace
+
+OpTable::OpTable() {
+  Define(":-", OpType::kXfx, 1200);
+  Define("-->", OpType::kXfx, 1200);
+  Define(":-", OpType::kFx, 1200);
+  Define("?-", OpType::kFx, 1200);
+  Define(";", OpType::kXfy, 1100);
+  Define("->", OpType::kXfy, 1050);
+  Define(",", OpType::kXfy, 1000);
+  Define("\\+", OpType::kFy, 900);
+  Define("not", OpType::kFy, 900);
+  Define("dynamic", OpType::kFx, 1150);
+  Define("discontiguous", OpType::kFx, 1150);
+  Define("=", OpType::kXfx, 700);
+  Define("\\=", OpType::kXfx, 700);
+  Define("==", OpType::kXfx, 700);
+  Define("\\==", OpType::kXfx, 700);
+  Define("@<", OpType::kXfx, 700);
+  Define("@>", OpType::kXfx, 700);
+  Define("@=<", OpType::kXfx, 700);
+  Define("@>=", OpType::kXfx, 700);
+  Define("=..", OpType::kXfx, 700);
+  Define("is", OpType::kXfx, 700);
+  Define("=:=", OpType::kXfx, 700);
+  Define("=\\=", OpType::kXfx, 700);
+  Define("<", OpType::kXfx, 700);
+  Define(">", OpType::kXfx, 700);
+  Define("=<", OpType::kXfx, 700);
+  Define(">=", OpType::kXfx, 700);
+  Define("+", OpType::kYfx, 500);
+  Define("-", OpType::kYfx, 500);
+  Define("/\\", OpType::kYfx, 500);
+  Define("\\/", OpType::kYfx, 500);
+  Define("xor", OpType::kYfx, 500);
+  Define("*", OpType::kYfx, 400);
+  Define("/", OpType::kYfx, 400);
+  Define("//", OpType::kYfx, 400);
+  Define("mod", OpType::kYfx, 400);
+  Define("rem", OpType::kYfx, 400);
+  Define("<<", OpType::kYfx, 400);
+  Define(">>", OpType::kYfx, 400);
+  Define("**", OpType::kXfx, 200);
+  Define("^", OpType::kXfy, 200);
+  Define("-", OpType::kFy, 200);
+  Define("+", OpType::kFy, 200);
+  Define("\\", OpType::kFy, 200);
+}
+
+void OpTable::Define(std::string_view name, OpType type, int prec) {
+  Entry& entry = table_[std::string(name)];
+  if (type == OpType::kFy || type == OpType::kFx) {
+    entry.prefix = OpDef{type, prec};
+  } else {
+    entry.infix = OpDef{type, prec};
+  }
+}
+
+std::optional<OpDef> OpTable::LookupInfix(std::string_view name) const {
+  auto it = table_.find(name);
+  if (it == table_.end()) return std::nullopt;
+  return it->second.infix;
+}
+
+std::optional<OpDef> OpTable::LookupPrefix(std::string_view name) const {
+  auto it = table_.find(name);
+  if (it == table_.end()) return std::nullopt;
+  return it->second.prefix;
+}
+
+bool OpTable::IsOp(std::string_view name) const {
+  return table_.find(name) != table_.end();
+}
+
+Parser::Parser(dict::Dictionary* dictionary, std::string_view text,
+               const OpTable* ops)
+    : dictionary_(dictionary),
+      ops_(ops != nullptr ? ops : &DefaultOps()),
+      tokenizer_(text) {}
+
+base::Status Parser::Advance() {
+  EDUCE_ASSIGN_OR_RETURN(lookahead_, tokenizer_.Next());
+  lookahead_valid_ = true;
+  return base::Status::OK();
+}
+
+base::Status Parser::Error(const std::string& message) const {
+  return base::Status::SyntaxError(message + " at line " +
+                                   std::to_string(lookahead_.line));
+}
+
+base::Result<dict::SymbolId> Parser::Intern(std::string_view name,
+                                            uint32_t arity) {
+  return dictionary_->Intern(name, arity);
+}
+
+term::AstPtr Parser::GetVar(const std::string& name) {
+  if (name == "_") {
+    return term::MakeVar(next_var_++, "_");
+  }
+  auto it = var_map_.find(name);
+  if (it != var_map_.end()) {
+    return term::MakeVar(it->second, name);
+  }
+  uint32_t index = next_var_++;
+  var_map_.emplace(name, index);
+  var_names_.emplace_back(name, index);
+  return term::MakeVar(index, name);
+}
+
+base::Result<std::optional<ReadTerm>> Parser::NextTerm() {
+  var_map_.clear();
+  var_names_.clear();
+  next_var_ = 0;
+
+  if (!lookahead_valid_) EDUCE_RETURN_IF_ERROR(Advance());
+  if (lookahead_.kind == TokenKind::kEof) return std::optional<ReadTerm>{};
+
+  EDUCE_ASSIGN_OR_RETURN(Parsed parsed, ParseExpr(1200));
+  if (lookahead_.kind != TokenKind::kEnd) {
+    return Error("expected '.' after term");
+  }
+  EDUCE_RETURN_IF_ERROR(Advance());
+
+  ReadTerm out;
+  out.term = std::move(parsed.term);
+  out.num_vars = next_var_;
+  out.var_names = var_names_;
+  return std::optional<ReadTerm>(std::move(out));
+}
+
+base::Result<Parser::Parsed> Parser::ParsePrimary(int max_prec) {
+  Token tok = lookahead_;
+  switch (tok.kind) {
+    case TokenKind::kInt: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      return Parsed{term::MakeInt(tok.int_value), 0};
+    }
+    case TokenKind::kFloat: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      return Parsed{term::MakeFloat(tok.float_value), 0};
+    }
+    case TokenKind::kVar: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      return Parsed{GetVar(tok.text), 0};
+    }
+    case TokenKind::kString: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      // "abc" expands to the list of character codes.
+      EDUCE_ASSIGN_OR_RETURN(dict::SymbolId dot, Intern(".", 2));
+      EDUCE_ASSIGN_OR_RETURN(dict::SymbolId nil, Intern("[]", 0));
+      std::vector<term::AstPtr> codes;
+      codes.reserve(tok.text.size());
+      for (unsigned char c : tok.text) {
+        codes.push_back(term::MakeInt(c));
+      }
+      return Parsed{term::MakeList(dot, codes, term::MakeAtom(nil)), 0};
+    }
+    case TokenKind::kOpenParen: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      EDUCE_ASSIGN_OR_RETURN(Parsed inner, ParseExpr(1200));
+      if (lookahead_.kind != TokenKind::kCloseParen) {
+        return Error("expected ')'");
+      }
+      EDUCE_RETURN_IF_ERROR(Advance());
+      return Parsed{inner.term, 0};
+    }
+    case TokenKind::kOpenBracket: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      EDUCE_ASSIGN_OR_RETURN(term::AstPtr list, ParseListTail());
+      return Parsed{list, 0};
+    }
+    case TokenKind::kOpenBrace: {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      EDUCE_ASSIGN_OR_RETURN(Parsed inner, ParseExpr(1200));
+      if (lookahead_.kind != TokenKind::kCloseBrace) {
+        return Error("expected '}'");
+      }
+      EDUCE_RETURN_IF_ERROR(Advance());
+      EDUCE_ASSIGN_OR_RETURN(dict::SymbolId curly, Intern("{}", 1));
+      return Parsed{term::MakeStruct(curly, {inner.term}), 0};
+    }
+    case TokenKind::kAtom:
+      break;  // handled below
+    default:
+      return Error("unexpected token while reading a term");
+  }
+
+  // Atom cases: compound, prefix operator, negative literal, plain atom.
+  EDUCE_RETURN_IF_ERROR(Advance());
+
+  // f( with no layout between atom and '(' is a compound term.
+  if (lookahead_.kind == TokenKind::kOpenParen && !lookahead_.layout_before) {
+    EDUCE_RETURN_IF_ERROR(Advance());
+    std::vector<term::AstPtr> args;
+    while (true) {
+      EDUCE_ASSIGN_OR_RETURN(Parsed arg, ParseExpr(999));
+      args.push_back(arg.term);
+      if (lookahead_.kind == TokenKind::kComma) {
+        EDUCE_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      if (lookahead_.kind == TokenKind::kCloseParen) {
+        EDUCE_RETURN_IF_ERROR(Advance());
+        break;
+      }
+      return Error("expected ',' or ')' in argument list");
+    }
+    EDUCE_ASSIGN_OR_RETURN(
+        dict::SymbolId functor,
+        Intern(tok.text, static_cast<uint32_t>(args.size())));
+    return Parsed{term::MakeStruct(functor, std::move(args)), 0};
+  }
+
+  // Negative numeric literals: '-' immediately applied to a number.
+  if (tok.text == "-" && (lookahead_.kind == TokenKind::kInt ||
+                          lookahead_.kind == TokenKind::kFloat)) {
+    Token num = lookahead_;
+    EDUCE_RETURN_IF_ERROR(Advance());
+    if (num.kind == TokenKind::kInt) {
+      return Parsed{term::MakeInt(-num.int_value), 0};
+    }
+    return Parsed{term::MakeFloat(-num.float_value), 0};
+  }
+
+  // Prefix operator application.
+  if (auto prefix = ops_->LookupPrefix(tok.text);
+      prefix && prefix->prec <= max_prec) {
+    // Only if what follows can start a term.
+    bool operand_follows;
+    switch (lookahead_.kind) {
+      case TokenKind::kCloseParen:
+      case TokenKind::kCloseBracket:
+      case TokenKind::kCloseBrace:
+      case TokenKind::kComma:
+      case TokenKind::kBar:
+      case TokenKind::kEnd:
+      case TokenKind::kEof:
+        operand_follows = false;
+        break;
+      case TokenKind::kAtom:
+        // An infix-only operator (e.g. `=`) cannot start an operand, so
+        // `- =` falls through to the plain-atom reading of '-'.
+        operand_follows = !ops_->IsOp(lookahead_.text) ||
+                          ops_->LookupPrefix(lookahead_.text).has_value();
+        break;
+      default:
+        operand_follows = true;
+        break;
+    }
+    if (operand_follows) {
+      int arg_max = prefix->type == OpType::kFy ? prefix->prec
+                                                : prefix->prec - 1;
+      EDUCE_ASSIGN_OR_RETURN(Parsed operand, ParseExpr(arg_max));
+      EDUCE_ASSIGN_OR_RETURN(dict::SymbolId functor, Intern(tok.text, 1));
+      return Parsed{term::MakeStruct(functor, {operand.term}), prefix->prec};
+    }
+  }
+
+  // Plain atom.
+  EDUCE_ASSIGN_OR_RETURN(dict::SymbolId atom, Intern(tok.text, 0));
+  return Parsed{term::MakeAtom(atom), ops_->IsOp(tok.text) ? 1201 : 0};
+}
+
+base::Result<term::AstPtr> Parser::ParseListTail() {
+  // Caller consumed '['; lookahead is the first element.
+  std::vector<term::AstPtr> elements;
+  while (true) {
+    EDUCE_ASSIGN_OR_RETURN(Parsed element, ParseExpr(999));
+    elements.push_back(element.term);
+    if (lookahead_.kind == TokenKind::kComma) {
+      EDUCE_RETURN_IF_ERROR(Advance());
+      continue;
+    }
+    break;
+  }
+  term::AstPtr tail;
+  if (lookahead_.kind == TokenKind::kBar) {
+    EDUCE_RETURN_IF_ERROR(Advance());
+    EDUCE_ASSIGN_OR_RETURN(Parsed tail_term, ParseExpr(999));
+    tail = tail_term.term;
+  } else {
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId nil, Intern("[]", 0));
+    tail = term::MakeAtom(nil);
+  }
+  if (lookahead_.kind != TokenKind::kCloseBracket) {
+    return Error("expected ']' or '|' in list");
+  }
+  EDUCE_RETURN_IF_ERROR(Advance());
+  EDUCE_ASSIGN_OR_RETURN(dict::SymbolId dot, Intern(".", 2));
+  return term::MakeList(dot, elements, tail);
+}
+
+base::Result<Parser::Parsed> Parser::ParseExpr(int max_prec) {
+  EDUCE_ASSIGN_OR_RETURN(Parsed left, ParsePrimary(max_prec));
+
+  while (true) {
+    std::string op_name;
+    if (lookahead_.kind == TokenKind::kComma) {
+      op_name = ",";
+    } else if (lookahead_.kind == TokenKind::kBar) {
+      // '|' as an infix alias for ';' at priority 1100 (ISO extension) —
+      // not supported; lists handle '|' themselves.
+      break;
+    } else if (lookahead_.kind == TokenKind::kAtom) {
+      op_name = lookahead_.text;
+    } else {
+      break;
+    }
+
+    auto infix = ops_->LookupInfix(op_name);
+    if (!infix || infix->prec > max_prec) break;
+    int left_max =
+        infix->type == OpType::kYfx ? infix->prec : infix->prec - 1;
+    if (left.prec > left_max) break;
+    int right_max =
+        infix->type == OpType::kXfy ? infix->prec : infix->prec - 1;
+
+    EDUCE_RETURN_IF_ERROR(Advance());
+    EDUCE_ASSIGN_OR_RETURN(Parsed right, ParseExpr(right_max));
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId functor, Intern(op_name, 2));
+    left.term = term::MakeStruct(functor, {left.term, right.term});
+    left.prec = infix->prec;
+  }
+  return left;
+}
+
+base::Result<ReadTerm> ParseTerm(dict::Dictionary* dictionary,
+                                 std::string_view text) {
+  std::string buf(text);
+  // Accept both terminated and bare terms.
+  auto trimmed_end = buf.find_last_not_of(" \t\n\r");
+  if (trimmed_end == std::string::npos || buf[trimmed_end] != '.') {
+    buf += " .";
+  }
+  Parser parser(dictionary, buf);
+  EDUCE_ASSIGN_OR_RETURN(std::optional<ReadTerm> term, parser.NextTerm());
+  if (!term.has_value()) {
+    return base::Status::SyntaxError("empty input");
+  }
+  return std::move(*term);
+}
+
+base::Result<std::vector<ReadTerm>> ParseProgram(dict::Dictionary* dictionary,
+                                                 std::string_view text) {
+  Parser parser(dictionary, text);
+  std::vector<ReadTerm> out;
+  while (true) {
+    EDUCE_ASSIGN_OR_RETURN(std::optional<ReadTerm> term, parser.NextTerm());
+    if (!term.has_value()) break;
+    out.push_back(std::move(*term));
+  }
+  return out;
+}
+
+}  // namespace educe::reader

@@ -1,0 +1,113 @@
+#ifndef EDUCE_READER_PARSER_H_
+#define EDUCE_READER_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "dict/dictionary.h"
+#include "reader/tokenizer.h"
+#include "term/ast.h"
+
+namespace educe::reader {
+
+/// Fixity classes of Prolog operators.
+enum class OpType : uint8_t { kXfx, kXfy, kYfx, kFy, kFx };
+
+/// One operator definition: priority 1..1200 plus fixity.
+struct OpDef {
+  OpType type;
+  int prec;
+};
+
+/// The operator table; preloaded with the standard Prolog operators used
+/// by Educe* programs (:-, ',', ';', ->, \+, arithmetic, comparison, =..).
+class OpTable {
+ public:
+  OpTable();
+
+  std::optional<OpDef> LookupInfix(std::string_view name) const;
+  std::optional<OpDef> LookupPrefix(std::string_view name) const;
+  /// True if `name` has any operator definition.
+  bool IsOp(std::string_view name) const;
+
+  /// Adds or replaces a definition (op/3 support).
+  void Define(std::string_view name, OpType type, int prec);
+
+ private:
+  struct Entry {
+    std::optional<OpDef> infix;
+    std::optional<OpDef> prefix;
+  };
+  std::map<std::string, Entry, std::less<>> table_;
+};
+
+/// A term read from source: the AST plus the clause-local variable layout.
+struct ReadTerm {
+  term::AstPtr term;
+  /// Number of distinct variables (indices are 0..num_vars-1).
+  uint32_t num_vars = 0;
+  /// Named variables in order of first occurrence: (name, index). Anonymous
+  /// `_` variables get indices but are not listed.
+  std::vector<std::pair<std::string, uint32_t>> var_names;
+};
+
+/// Streaming Prolog reader: turns source text into a sequence of terms
+/// (clauses), interning all atoms/functors into `dictionary`.
+class Parser {
+ public:
+  /// `dictionary` must outlive the parser. `ops` may be nullptr to use a
+  /// shared default table.
+  Parser(dict::Dictionary* dictionary, std::string_view text,
+         const OpTable* ops = nullptr);
+
+  /// Reads the next '.'-terminated term; nullopt at end of input.
+  base::Result<std::optional<ReadTerm>> NextTerm();
+
+ private:
+  base::Status Advance();  // moves lookahead_ forward
+
+  // Pratt parser: parses a term of priority <= max_prec. On success also
+  // yields the priority of the parsed term (0 for primaries).
+  struct Parsed {
+    term::AstPtr term;
+    int prec;
+  };
+  base::Result<Parsed> ParseExpr(int max_prec);
+  base::Result<Parsed> ParsePrimary(int max_prec);
+  base::Result<term::AstPtr> ParseListTail();
+
+  base::Result<dict::SymbolId> Intern(std::string_view name, uint32_t arity);
+  term::AstPtr GetVar(const std::string& name);
+
+  base::Status Error(const std::string& message) const;
+
+  dict::Dictionary* dictionary_;
+  const OpTable* ops_;
+  Tokenizer tokenizer_;
+  Token lookahead_;
+  bool lookahead_valid_ = false;
+
+  // Per-clause variable state, reset by NextTerm().
+  std::map<std::string, uint32_t> var_map_;
+  std::vector<std::pair<std::string, uint32_t>> var_names_;
+  uint32_t next_var_ = 0;
+};
+
+/// Convenience: parses exactly one term from `text` (which must contain one
+/// '.'-terminated term or a bare term without terminator).
+base::Result<ReadTerm> ParseTerm(dict::Dictionary* dictionary,
+                                 std::string_view text);
+
+/// Convenience: parses all terms in `text`.
+base::Result<std::vector<ReadTerm>> ParseProgram(dict::Dictionary* dictionary,
+                                                 std::string_view text);
+
+}  // namespace educe::reader
+
+#endif  // EDUCE_READER_PARSER_H_

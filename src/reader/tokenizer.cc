@@ -1,0 +1,276 @@
+#include "reader/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace educe::reader {
+
+namespace {
+
+bool IsSymbolChar(char c) {
+  switch (c) {
+    case '+': case '-': case '*': case '/': case '\\':
+    case '^': case '<': case '>': case '=': case '~':
+    case ':': case '.': case '?': case '@': case '#':
+    case '&': case '$':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAlnumUnderscore(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+base::Result<bool> Tokenizer::SkipLayout() {
+  bool any = false;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+      any = true;
+    } else if (c == '%') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+      any = true;
+    } else if (c == '/' && Peek(1) == '*') {
+      size_t start_line = line_;
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (AtEnd()) {
+          return base::Status::SyntaxError(
+              "unterminated block comment starting at line " +
+              std::to_string(start_line));
+        }
+        Advance();
+      }
+      Advance();
+      Advance();
+      any = true;
+    } else {
+      break;
+    }
+  }
+  return any;
+}
+
+base::Result<char> Tokenizer::LexEscape() {
+  if (AtEnd()) return base::Status::SyntaxError("unterminated escape");
+  char c = Advance();
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case 'a': return '\a';
+    case 'b': return '\b';
+    case 'f': return '\f';
+    case 'v': return '\v';
+    case '0': return '\0';
+    case '\\': return '\\';
+    case '\'': return '\'';
+    case '"': return '"';
+    case '`': return '`';
+    case '\n': return '\n';  // escaped newline: keep simple semantics
+    default:
+      return base::Status::SyntaxError(std::string("unknown escape \\") + c +
+                                       " at line " + std::to_string(line_));
+  }
+}
+
+base::Result<Token> Tokenizer::LexQuoted(char quote, bool layout_before) {
+  Token tok;
+  tok.kind = quote == '\'' ? TokenKind::kAtom : TokenKind::kString;
+  tok.layout_before = layout_before;
+  tok.line = line_;
+  size_t start_line = line_;
+  while (true) {
+    if (AtEnd()) {
+      return base::Status::SyntaxError("unterminated quoted token at line " +
+                                       std::to_string(start_line));
+    }
+    char c = Advance();
+    if (c == quote) {
+      if (Peek() == quote) {  // doubled quote escapes itself
+        Advance();
+        tok.text.push_back(quote);
+        continue;
+      }
+      return tok;
+    }
+    if (c == '\\') {
+      EDUCE_ASSIGN_OR_RETURN(char esc, LexEscape());
+      tok.text.push_back(esc);
+      continue;
+    }
+    tok.text.push_back(c);
+  }
+}
+
+base::Result<Token> Tokenizer::LexNumber(bool layout_before) {
+  Token tok;
+  tok.layout_before = layout_before;
+  tok.line = line_;
+  size_t start = pos_;
+
+  // 0'c char code and 0x hex literals.
+  if (Peek() == '0' && Peek(1) == '\'') {
+    Advance();
+    Advance();
+    if (AtEnd()) return base::Status::SyntaxError("unterminated 0' literal");
+    char c = Advance();
+    if (c == '\\') {
+      EDUCE_ASSIGN_OR_RETURN(c, LexEscape());
+    }
+    tok.kind = TokenKind::kInt;
+    tok.int_value = static_cast<unsigned char>(c);
+    return tok;
+  }
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    Advance();
+    Advance();
+    int64_t value = 0;
+    bool any = false;
+    while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+      char c = Advance();
+      int digit = std::isdigit(static_cast<unsigned char>(c))
+                      ? c - '0'
+                      : std::tolower(c) - 'a' + 10;
+      value = value * 16 + digit;
+      any = true;
+    }
+    if (!any) return base::Status::SyntaxError("malformed hex literal");
+    tok.kind = TokenKind::kInt;
+    tok.int_value = value;
+    return tok;
+  }
+
+  while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+  bool is_float = false;
+  // A '.' is a decimal point only when followed by a digit; otherwise it is
+  // the end token or a symbolic atom.
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_float = true;
+    Advance();
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+  }
+  if ((Peek() == 'e' || Peek() == 'E') &&
+      (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+       ((Peek(1) == '+' || Peek(1) == '-') &&
+        std::isdigit(static_cast<unsigned char>(Peek(2)))))) {
+    is_float = true;
+    Advance();
+    if (Peek() == '+' || Peek() == '-') Advance();
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+  }
+
+  std::string text(text_.substr(start, pos_ - start));
+  if (is_float) {
+    tok.kind = TokenKind::kFloat;
+    tok.float_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    tok.kind = TokenKind::kInt;
+    tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+  }
+  return tok;
+}
+
+base::Result<Token> Tokenizer::Next() {
+  EDUCE_ASSIGN_OR_RETURN(bool layout, SkipLayout());
+  Token tok;
+  tok.layout_before = layout || pos_ == 0;
+  tok.line = line_;
+  if (AtEnd()) {
+    tok.kind = TokenKind::kEof;
+    return tok;
+  }
+
+  char c = Peek();
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    return LexNumber(tok.layout_before);
+  }
+
+  if (c == '\'' || c == '"') {
+    Advance();
+    return LexQuoted(c, tok.layout_before);
+  }
+
+  // Variables: uppercase or underscore start.
+  if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (IsAlnumUnderscore(Peek())) Advance();
+    tok.kind = TokenKind::kVar;
+    tok.text = std::string(text_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  // Plain atoms: lowercase start.
+  if (std::islower(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    while (IsAlnumUnderscore(Peek())) Advance();
+    tok.kind = TokenKind::kAtom;
+    tok.text = std::string(text_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  // Punctuation.
+  switch (c) {
+    case '(': Advance(); tok.kind = TokenKind::kOpenParen; return tok;
+    case ')': Advance(); tok.kind = TokenKind::kCloseParen; return tok;
+    case '[':
+      Advance();
+      // '[]' lexes as one atom token.
+      if (Peek() == ']') {
+        Advance();
+        tok.kind = TokenKind::kAtom;
+        tok.text = "[]";
+        return tok;
+      }
+      tok.kind = TokenKind::kOpenBracket;
+      return tok;
+    case ']': Advance(); tok.kind = TokenKind::kCloseBracket; return tok;
+    case '{':
+      Advance();
+      if (Peek() == '}') {
+        Advance();
+        tok.kind = TokenKind::kAtom;
+        tok.text = "{}";
+        return tok;
+      }
+      tok.kind = TokenKind::kOpenBrace;
+      return tok;
+    case '}': Advance(); tok.kind = TokenKind::kCloseBrace; return tok;
+    case ',': Advance(); tok.kind = TokenKind::kComma; return tok;
+    case '|': Advance(); tok.kind = TokenKind::kBar; return tok;
+    case '!': Advance(); tok.kind = TokenKind::kAtom; tok.text = "!"; return tok;
+    case ';': Advance(); tok.kind = TokenKind::kAtom; tok.text = ";"; return tok;
+    default:
+      break;
+  }
+
+  // Symbolic atoms, and the end token: '.' followed by layout or EOF.
+  if (IsSymbolChar(c)) {
+    if (c == '.') {
+      char after = Peek(1);
+      if (after == '\0' || std::isspace(static_cast<unsigned char>(after)) ||
+          after == '%') {
+        Advance();
+        tok.kind = TokenKind::kEnd;
+        return tok;
+      }
+    }
+    size_t start = pos_;
+    while (IsSymbolChar(Peek())) Advance();
+    tok.kind = TokenKind::kAtom;
+    tok.text = std::string(text_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  return base::Status::SyntaxError(std::string("unexpected character '") + c +
+                                   "' at line " + std::to_string(line_));
+}
+
+}  // namespace educe::reader

@@ -1,0 +1,81 @@
+#ifndef EDUCE_READER_TOKENIZER_H_
+#define EDUCE_READER_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+namespace educe::reader {
+
+/// Lexical categories of Prolog source.
+enum class TokenKind : uint8_t {
+  kAtom,        // foo, 'Quoted atom', + , ; ! []
+  kVar,         // Foo, _Bar, _
+  kInt,         // 42, 0'a, 0x2a
+  kFloat,       // 3.14, 1.0e9
+  kString,      // "abc" (expands to a code list in the parser)
+  kOpenParen,   // '(' — layout_before distinguishes f( from f (
+  kCloseParen,  // ')'
+  kOpenBracket, // '['
+  kCloseBracket,// ']'
+  kOpenBrace,   // '{'
+  kCloseBrace,  // '}'
+  kComma,       // ','
+  kBar,         // '|'
+  kEnd,         // clause-terminating '.'
+  kEof,
+};
+
+/// One lexical token.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // atom/var name or string body
+  int64_t int_value = 0;   // kInt
+  double float_value = 0;  // kFloat
+  bool layout_before = false;  // whitespace/comment preceded this token
+  size_t line = 1;         // 1-based source line for diagnostics
+};
+
+/// Streaming tokenizer over a complete source buffer. Handles `%` line
+/// comments, `/* */` block comments, quoted atoms with escapes, char-code
+/// literals (0'a), hex literals, and the end-token rule ('.' followed by
+/// layout or EOF terminates a clause).
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view text) : text_(text) {}
+
+  /// Lexes and returns the next token, or a SyntaxError status.
+  base::Result<Token> Next();
+
+  size_t line() const { return line_; }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  // Skips whitespace and comments; returns true if any layout was consumed,
+  // or an error for an unterminated block comment.
+  base::Result<bool> SkipLayout();
+
+  base::Result<Token> LexNumber(bool layout_before);
+  base::Result<Token> LexQuoted(char quote, bool layout_before);
+  // Resolves one backslash escape after the backslash has been consumed.
+  base::Result<char> LexEscape();
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+}  // namespace educe::reader
+
+#endif  // EDUCE_READER_TOKENIZER_H_

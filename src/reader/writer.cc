@@ -1,0 +1,222 @@
+#include "reader/writer.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace educe::reader {
+
+namespace {
+
+bool IsSymbolChar(char c) {
+  switch (c) {
+    case '+': case '-': case '*': case '/': case '\\':
+    case '^': case '<': case '>': case '=': case '~':
+    case ':': case '.': case '?': case '@': case '#':
+    case '&': case '$':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool NeedsQuotes(std::string_view name) {
+  if (name.empty()) return true;
+  if (name == "[]" || name == "{}" || name == "!" || name == ";") return false;
+  char first = name[0];
+  if (std::islower(static_cast<unsigned char>(first))) {
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool all_symbolic = true;
+  for (char c : name) {
+    if (!IsSymbolChar(c)) {
+      all_symbolic = false;
+      break;
+    }
+  }
+  if (all_symbolic) {
+    // A '.' alone would lex as the end token.
+    return name == ".";
+  }
+  return true;
+}
+
+class Writer {
+ public:
+  Writer(const dict::Dictionary& dictionary, const WriteOptions& options,
+         const OpTable& ops)
+      : dictionary_(dictionary), options_(options), ops_(ops) {}
+
+  void Write(const term::Ast& t, int max_prec, std::string* out) const {
+    switch (t.kind) {
+      case term::Ast::Kind::kVar:
+        WriteVar(t, out);
+        return;
+      case term::Ast::Kind::kInt:
+        out->append(std::to_string(t.int_value));
+        return;
+      case term::Ast::Kind::kFloat:
+        WriteFloat(t.float_value, out);
+        return;
+      case term::Ast::Kind::kAtom: {
+        std::string_view name = Name(t.functor);
+        // A bare operator atom inside an operand position needs parens
+        // (e.g. `X = (-)`), but keeping it simple: quote handles re-parse.
+        out->append(WriteAtomName(name, options_.quoted));
+        return;
+      }
+      case term::Ast::Kind::kStruct:
+        WriteStruct(t, max_prec, out);
+        return;
+    }
+  }
+
+ private:
+  std::string_view Name(dict::SymbolId id) const {
+    return dictionary_.IsLive(id) ? dictionary_.NameOf(id)
+                                  : std::string_view("<dead-symbol>");
+  }
+
+  void WriteVar(const term::Ast& t, std::string* out) const {
+    if (!t.var_name.empty() && t.var_name != "_") {
+      out->append(t.var_name);
+    } else {
+      out->append("_G");
+      out->append(std::to_string(t.var_index));
+    }
+  }
+
+  static void WriteFloat(double value, std::string* out) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    std::string text(buf);
+    // Ensure the text re-parses as a float, not an integer.
+    if (text.find_first_of(".eE") == std::string::npos &&
+        text.find_first_of("nN") == std::string::npos) {
+      text += ".0";
+    }
+    out->append(text);
+  }
+
+  bool IsList(const term::Ast& t) const {
+    return t.kind == term::Ast::Kind::kStruct && t.args.size() == 2 &&
+           Name(t.functor) == ".";
+  }
+  bool IsNil(const term::Ast& t) const {
+    return t.kind == term::Ast::Kind::kAtom && Name(t.functor) == "[]";
+  }
+
+  void WriteStruct(const term::Ast& t, int max_prec, std::string* out) const {
+    std::string_view name = Name(t.functor);
+
+    if (options_.list_sugar && IsList(t)) {
+      out->push_back('[');
+      const term::Ast* node = &t;
+      bool first = true;
+      while (IsList(*node)) {
+        if (!first) out->push_back(',');
+        first = false;
+        Write(*node->args[0], 999, out);
+        node = node->args[1].get();
+      }
+      if (!IsNil(*node)) {
+        out->push_back('|');
+        Write(*node, 999, out);
+      }
+      out->push_back(']');
+      return;
+    }
+
+    if (options_.use_operators && t.args.size() == 2) {
+      if (auto infix = ops_.LookupInfix(name)) {
+        bool parens = infix->prec > max_prec;
+        if (parens) out->push_back('(');
+        int left_max =
+            infix->type == OpType::kYfx ? infix->prec : infix->prec - 1;
+        int right_max =
+            infix->type == OpType::kXfy ? infix->prec : infix->prec - 1;
+        Write(*t.args[0], left_max, out);
+        if (name == ",") {
+          out->push_back(',');
+        } else {
+          bool alpha = std::isalpha(static_cast<unsigned char>(name[0]));
+          if (alpha) out->push_back(' ');
+          out->append(name);
+          if (alpha) out->push_back(' ');
+          // Symbolic operators still need separation from symbolic operands
+          // (e.g. `1- -2`); a space is always safe and cheap.
+          if (!alpha) {
+            out->insert(out->size() - name.size(), 1, ' ');
+            out->push_back(' ');
+          }
+        }
+        Write(*t.args[1], right_max, out);
+        if (parens) out->push_back(')');
+        return;
+      }
+    }
+    if (options_.use_operators && t.args.size() == 1) {
+      if (auto prefix = ops_.LookupPrefix(name)) {
+        bool parens = prefix->prec > max_prec;
+        if (parens) out->push_back('(');
+        out->append(WriteAtomName(name, options_.quoted));
+        out->push_back(' ');
+        int arg_max =
+            prefix->type == OpType::kFy ? prefix->prec : prefix->prec - 1;
+        Write(*t.args[0], arg_max, out);
+        if (parens) out->push_back(')');
+        return;
+      }
+    }
+
+    out->append(WriteAtomName(name, options_.quoted));
+    out->push_back('(');
+    for (size_t i = 0; i < t.args.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      Write(*t.args[i], 999, out);
+    }
+    out->push_back(')');
+  }
+
+  const dict::Dictionary& dictionary_;
+  const WriteOptions& options_;
+  const OpTable& ops_;
+};
+
+const OpTable& DefaultWriterOps() {
+  static const OpTable* table = new OpTable();
+  return *table;
+}
+
+}  // namespace
+
+std::string WriteAtomName(std::string_view name, bool quoted) {
+  if (!quoted || !NeedsQuotes(name)) return std::string(name);
+  std::string out;
+  out.push_back('\'');
+  for (char c : name) {
+    switch (c) {
+      case '\'': out += "\\'"; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string WriteTerm(const dict::Dictionary& dictionary, const term::Ast& t,
+                      const WriteOptions& options, const OpTable* ops) {
+  Writer writer(dictionary, options, ops ? *ops : DefaultWriterOps());
+  std::string out;
+  writer.Write(t, 1200, &out);
+  return out;
+}
+
+}  // namespace educe::reader

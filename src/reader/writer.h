@@ -1,0 +1,34 @@
+#ifndef EDUCE_READER_WRITER_H_
+#define EDUCE_READER_WRITER_H_
+
+#include <string>
+
+#include "dict/dictionary.h"
+#include "reader/parser.h"
+#include "term/ast.h"
+
+namespace educe::reader {
+
+/// Options controlling term output.
+struct WriteOptions {
+  /// Quote atoms that would not re-parse as written (writeq semantics).
+  /// Required when the text is stored and parsed back (Educe source mode).
+  bool quoted = true;
+  /// Print ./2 chains with list sugar.
+  bool list_sugar = true;
+  /// Print operators in infix/prefix notation with minimal parentheses.
+  bool use_operators = true;
+};
+
+/// Renders `t` as Prolog text. With the default options the output
+/// re-parses to a structurally identical term (given the same dictionary).
+std::string WriteTerm(const dict::Dictionary& dictionary, const term::Ast& t,
+                      const WriteOptions& options = WriteOptions{},
+                      const OpTable* ops = nullptr);
+
+/// Renders an atom name, quoting if needed under `quoted`.
+std::string WriteAtomName(std::string_view name, bool quoted);
+
+}  // namespace educe::reader
+
+#endif  // EDUCE_READER_WRITER_H_

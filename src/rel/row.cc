@@ -1,0 +1,138 @@
+#include "rel/row.h"
+
+#include <cstring>
+
+#include "base/hash.h"
+
+namespace educe::rel {
+
+uint64_t ValueKey(const Value& v) {
+  switch (TypeOf(v)) {
+    case ColumnType::kInt:
+      return base::MixInt64(static_cast<uint64_t>(std::get<int64_t>(v)));
+    case ColumnType::kFloat: {
+      double d = std::get<double>(v);
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return base::MixInt64(bits);
+    }
+    case ColumnType::kString:
+      return base::Fnv1a64(std::get<std::string>(v));
+  }
+  return 0;
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+}  // namespace
+
+std::string EncodeTuple(const Schema& schema, const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    switch (schema.column(i).type) {
+      case ColumnType::kInt:
+        AppendU64(&out, static_cast<uint64_t>(std::get<int64_t>(tuple[i])));
+        break;
+      case ColumnType::kFloat: {
+        double d = std::get<double>(tuple[i]);
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendU64(&out, bits);
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& s = std::get<std::string>(tuple[i]);
+        AppendU32(&out, static_cast<uint32_t>(s.size()));
+        out.append(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+base::Result<Tuple> DecodeTuple(const Schema& schema, std::string_view bytes) {
+  Tuple tuple;
+  tuple.reserve(schema.num_columns());
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= bytes.size(); };
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    switch (schema.column(i).type) {
+      case ColumnType::kInt: {
+        if (!need(8)) return base::Status::Corruption("short tuple (int)");
+        uint64_t v;
+        std::memcpy(&v, bytes.data() + pos, 8);
+        pos += 8;
+        tuple.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ColumnType::kFloat: {
+        if (!need(8)) return base::Status::Corruption("short tuple (float)");
+        uint64_t bits;
+        std::memcpy(&bits, bytes.data() + pos, 8);
+        pos += 8;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        tuple.emplace_back(d);
+        break;
+      }
+      case ColumnType::kString: {
+        if (!need(4)) return base::Status::Corruption("short tuple (strlen)");
+        uint32_t len;
+        std::memcpy(&len, bytes.data() + pos, 4);
+        pos += 4;
+        if (!need(len)) return base::Status::Corruption("short tuple (str)");
+        tuple.emplace_back(std::string(bytes.substr(pos, len)));
+        pos += len;
+        break;
+      }
+    }
+  }
+  if (pos != bytes.size()) {
+    return base::Status::Corruption("trailing bytes in tuple");
+  }
+  return tuple;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    switch (TypeOf(tuple[i])) {
+      case ColumnType::kInt:
+        out += std::to_string(std::get<int64_t>(tuple[i]));
+        break;
+      case ColumnType::kFloat:
+        out += std::to_string(std::get<double>(tuple[i]));
+        break;
+      case ColumnType::kString:
+        out += '"';
+        out += std::get<std::string>(tuple[i]);
+        out += '"';
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace educe::rel

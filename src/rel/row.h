@@ -1,0 +1,70 @@
+#ifndef EDUCE_REL_ROW_H_
+#define EDUCE_REL_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace educe::rel {
+
+/// Column types of the conventional relational layer. Per paper §2.2,
+/// relational engines support "only atomic types ... applied to attributes
+/// rather than individual terms": the type lives in the schema catalog,
+/// not in the stored bytes.
+enum class ColumnType : uint8_t { kInt = 0, kFloat = 1, kString = 2 };
+
+/// One attribute value.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Returns the ColumnType a Value holds.
+inline ColumnType TypeOf(const Value& v) {
+  return static_cast<ColumnType>(v.index());
+}
+
+/// A deterministic 64-bit key for index lookups on a value.
+uint64_t ValueKey(const Value& v);
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// A relation schema: ordered columns with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1.
+  int IndexOf(std::string_view name) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// One row.
+using Tuple = std::vector<Value>;
+
+/// Serializes a tuple for page storage. The encoding is schema-directed
+/// (no per-value tags beyond what the schema implies), mirroring the
+/// paper's point that relational stores need no per-term type tags.
+std::string EncodeTuple(const Schema& schema, const Tuple& tuple);
+
+/// Decodes a stored tuple; Corruption on malformed bytes.
+base::Result<Tuple> DecodeTuple(const Schema& schema, std::string_view bytes);
+
+/// Renders a tuple for debugging / harness output.
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace educe::rel
+
+#endif  // EDUCE_REL_ROW_H_

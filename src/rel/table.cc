@@ -1,0 +1,139 @@
+#include "rel/table.h"
+
+#include <cstring>
+
+namespace educe::rel {
+
+namespace {
+
+std::string EncodeRid(storage::RecordId rid) {
+  std::string out(6, '\0');
+  std::memcpy(out.data(), &rid.page, 4);
+  std::memcpy(out.data() + 4, &rid.slot, 2);
+  return out;
+}
+
+storage::RecordId DecodeRid(std::string_view bytes) {
+  storage::RecordId rid;
+  std::memcpy(&rid.page, bytes.data(), 4);
+  std::memcpy(&rid.slot, bytes.data() + 4, 2);
+  return rid;
+}
+
+}  // namespace
+
+base::Result<std::unique_ptr<Table>> Table::Create(storage::BufferPool* pool,
+                                                   std::string name,
+                                                   Schema schema) {
+  auto table = std::unique_ptr<Table>(
+      new Table(pool, std::move(name), std::move(schema)));
+  EDUCE_ASSIGN_OR_RETURN(storage::HeapFile heap,
+                         storage::HeapFile::Create(pool));
+  table->heap_ = std::make_unique<storage::HeapFile>(std::move(heap));
+  return table;
+}
+
+base::Status Table::Insert(const Tuple& tuple) {
+  if (tuple.size() != schema_.num_columns()) {
+    return base::Status::InvalidArgument("arity mismatch on insert into " +
+                                         name_);
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (TypeOf(tuple[i]) != schema_.column(i).type) {
+      return base::Status::TypeError("column " + schema_.column(i).name +
+                                     " type mismatch");
+    }
+  }
+  EDUCE_ASSIGN_OR_RETURN(storage::RecordId rid,
+                         heap_->Append(EncodeTuple(schema_, tuple)));
+  for (auto& [column, index] : indexes_) {
+    EDUCE_RETURN_IF_ERROR(
+        index->Insert({ValueKey(tuple[column])}, EncodeRid(rid)));
+  }
+  ++row_count_;
+  return base::Status::OK();
+}
+
+base::Status Table::CreateIndex(std::string_view column_name) {
+  const int column = schema_.IndexOf(column_name);
+  if (column < 0) {
+    return base::Status::NotFound("no column " + std::string(column_name) +
+                                  " in " + name_);
+  }
+  if (HasIndex(column)) {
+    return base::Status::AlreadyExists("index already exists");
+  }
+  EDUCE_ASSIGN_OR_RETURN(storage::BangFile index,
+                         storage::BangFile::Create(pool_, 1));
+  auto owned = std::make_unique<storage::BangFile>(std::move(index));
+
+  auto cursor = heap_->Scan();
+  storage::RecordId rid;
+  std::string bytes;
+  while (cursor.Next(&rid, &bytes)) {
+    EDUCE_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(schema_, bytes));
+    EDUCE_RETURN_IF_ERROR(
+        owned->Insert({ValueKey(tuple[column])}, EncodeRid(rid)));
+  }
+  EDUCE_RETURN_IF_ERROR(cursor.status());
+  indexes_.emplace(column, std::move(owned));
+  return base::Status::OK();
+}
+
+base::Result<std::vector<Tuple>> Table::IndexLookup(int column,
+                                                    const Value& value) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return base::Status::NotFound("no index on column");
+  }
+  std::vector<Tuple> out;
+  auto cursor = it->second->OpenScan({ValueKey(value)});
+  storage::BangFile::Record record;
+  while (cursor.Next(&record)) {
+    EDUCE_ASSIGN_OR_RETURN(std::string bytes,
+                           heap_->Read(DecodeRid(record.payload)));
+    EDUCE_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(schema_, bytes));
+    if (tuple[column] == value) {  // filter hash collisions
+      out.push_back(std::move(tuple));
+    }
+  }
+  EDUCE_RETURN_IF_ERROR(cursor.status());
+  return out;
+}
+
+bool Table::Cursor::Next(Tuple* out) {
+  storage::RecordId rid;
+  std::string bytes;
+  if (!inner_.Next(&rid, &bytes)) {
+    status_ = inner_.status();
+    return false;
+  }
+  auto tuple = DecodeTuple(table_->schema_, bytes);
+  if (!tuple.ok()) {
+    status_ = tuple.status();
+    return false;
+  }
+  *out = std::move(tuple).value();
+  return true;
+}
+
+base::Result<Table*> Database::CreateTable(std::string name, Schema schema) {
+  if (tables_.find(name) != tables_.end()) {
+    return base::Status::AlreadyExists("table " + name + " already exists");
+  }
+  EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                         Table::Create(pool_, name, std::move(schema)));
+  Table* raw = table.get();
+  tables_.emplace(std::move(name), std::move(table));
+  return raw;
+}
+
+base::Result<Table*> Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return base::Status::NotFound("no table " + std::string(name));
+  }
+  return it->second.get();
+}
+
+}  // namespace educe::rel

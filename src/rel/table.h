@@ -1,0 +1,94 @@
+#ifndef EDUCE_REL_TABLE_H_
+#define EDUCE_REL_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "rel/row.h"
+#include "storage/bang_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace educe::rel {
+
+/// A stored relation: a heap file of encoded tuples plus optional
+/// single-column BANG indices. This is the `code = false` special case of
+/// the paper's §4 scheme — ordinary relations processed with conventional
+/// relational operations.
+class Table {
+ public:
+  static base::Result<std::unique_ptr<Table>> Create(
+      storage::BufferPool* pool, std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Appends a row (schema-checked by the encoder).
+  base::Status Insert(const Tuple& tuple);
+
+  /// Builds a secondary index on `column_name`, indexing existing rows and
+  /// maintaining itself on later inserts.
+  base::Status CreateIndex(std::string_view column_name);
+  bool HasIndex(int column) const {
+    return indexes_.find(column) != indexes_.end();
+  }
+
+  /// All rows whose `column` equals `value`, via the index. Requires
+  /// HasIndex(column). Hash collisions are filtered by value re-check.
+  base::Result<std::vector<Tuple>> IndexLookup(int column,
+                                               const Value& value) const;
+
+  /// Full-scan cursor.
+  class Cursor {
+   public:
+    /// Advances; false at end. Check status() afterwards.
+    bool Next(Tuple* out);
+    const base::Status& status() const { return status_; }
+
+   private:
+    friend class Table;
+    Cursor(const Table* table, storage::HeapFile::Cursor inner)
+        : table_(table), inner_(std::move(inner)) {}
+    const Table* table_;
+    storage::HeapFile::Cursor inner_;
+    base::Status status_;
+  };
+
+  Cursor Scan() const { return Cursor(this, heap_->Scan()); }
+
+ private:
+  Table(storage::BufferPool* pool, std::string name, Schema schema)
+      : pool_(pool), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  storage::BufferPool* pool_;
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<storage::HeapFile> heap_;
+  // column index -> index file (key = ValueKey, payload = RecordId bytes)
+  std::map<int, std::unique_ptr<storage::BangFile>> indexes_;
+  uint64_t row_count_ = 0;
+};
+
+/// Name → Table catalog over one buffer pool.
+class Database {
+ public:
+  explicit Database(storage::BufferPool* pool) : pool_(pool) {}
+
+  base::Result<Table*> CreateTable(std::string name, Schema schema);
+  base::Result<Table*> GetTable(std::string_view name) const;
+
+  storage::BufferPool* pool() { return pool_; }
+
+ private:
+  storage::BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace educe::rel
+
+#endif  // EDUCE_REL_TABLE_H_

@@ -1,0 +1,87 @@
+#include "rel/wisconsin.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace educe::rel {
+
+namespace {
+
+/// The benchmark's string derivation: a 52-char string whose first seven
+/// characters cycle through A..Z based on the driving integer.
+std::string MakeString(int64_t value) {
+  std::string s(52, 'x');
+  for (int i = 6; i >= 0; --i) {
+    s[i] = static_cast<char>('A' + (value % 26));
+    value /= 26;
+  }
+  return s;
+}
+
+}  // namespace
+
+Schema WisconsinGenerator::MakeSchema() {
+  return Schema({
+      {"unique1", ColumnType::kInt},
+      {"unique2", ColumnType::kInt},
+      {"two", ColumnType::kInt},
+      {"four", ColumnType::kInt},
+      {"ten", ColumnType::kInt},
+      {"twenty", ColumnType::kInt},
+      {"one_percent", ColumnType::kInt},
+      {"ten_percent", ColumnType::kInt},
+      {"twenty_percent", ColumnType::kInt},
+      {"fifty_percent", ColumnType::kInt},
+      {"unique3", ColumnType::kInt},
+      {"even_one_percent", ColumnType::kInt},
+      {"odd_one_percent", ColumnType::kInt},
+      {"stringu1", ColumnType::kString},
+      {"stringu2", ColumnType::kString},
+      {"string4", ColumnType::kString},
+  });
+}
+
+base::Result<Table*> WisconsinGenerator::Build(Database* db, std::string name,
+                                               int64_t rows, uint64_t seed) {
+  EDUCE_ASSIGN_OR_RETURN(Table * table,
+                         db->CreateTable(std::move(name), MakeSchema()));
+
+  std::vector<int64_t> unique1(rows);
+  std::iota(unique1.begin(), unique1.end(), 0);
+  base::Rng rng(seed);
+  for (int64_t i = rows - 1; i > 0; --i) {
+    std::swap(unique1[i], unique1[rng.Below(static_cast<uint64_t>(i + 1))]);
+  }
+
+  static const char* kString4[] = {"AAAA", "HHHH", "OOOO", "VVVV"};
+  for (int64_t unique2 = 0; unique2 < rows; ++unique2) {
+    const int64_t u1 = unique1[unique2];
+    Tuple tuple = {
+        u1,
+        unique2,
+        u1 % 2,
+        u1 % 4,
+        u1 % 10,
+        u1 % 20,
+        u1 % 100,
+        u1 % 10,
+        u1 % 5,
+        u1 % 2,
+        u1,
+        (u1 % 100) * 2,
+        (u1 % 100) * 2 + 1,
+        MakeString(u1),
+        MakeString(unique2),
+        std::string(kString4[unique2 % 4]) + std::string(48, 'x'),
+    };
+    EDUCE_RETURN_IF_ERROR(table->Insert(tuple));
+  }
+  EDUCE_RETURN_IF_ERROR(table->CreateIndex("unique1"));
+  EDUCE_RETURN_IF_ERROR(table->CreateIndex("unique2"));
+  return table;
+}
+
+}  // namespace educe::rel

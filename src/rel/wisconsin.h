@@ -1,0 +1,48 @@
+#ifndef EDUCE_REL_WISCONSIN_H_
+#define EDUCE_REL_WISCONSIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "rel/table.h"
+
+namespace educe::rel {
+
+/// Generator for Wisconsin-benchmark relations (Bitton, DeWitt & Turbyfill
+/// 1983), used by the paper's §5.2 evaluation. The classic schema: 13
+/// integer attributes derived from `unique1`/`unique2` plus three 52-char
+/// string attributes.
+///
+/// Column order (all kInt unless noted):
+///   0 unique1      random permutation of 0..n-1
+///   1 unique2      sequential 0..n-1 (declared key)
+///   2 two          unique1 mod 2
+///   3 four         unique1 mod 4
+///   4 ten          unique1 mod 10
+///   5 twenty       unique1 mod 20
+///   6 one_percent  unique1 mod 100
+///   7 ten_percent  unique1 mod 10
+///   8 twenty_percent unique1 mod 5
+///   9 fifty_percent  unique1 mod 2
+///  10 unique3      unique1
+///  11 even_one_percent one_percent * 2
+///  12 odd_one_percent  one_percent * 2 + 1
+///  13 stringu1 (kString)  from unique1
+///  14 stringu2 (kString)  from unique2
+///  15 string4  (kString)  cyclic AAAA/HHHH/OOOO/VVVV
+class WisconsinGenerator {
+ public:
+  /// The standard schema.
+  static Schema MakeSchema();
+
+  /// Creates and populates `name` with `rows` tuples in `db`, with indexes
+  /// on unique1 and unique2 (the benchmark's standard clustered/secondary
+  /// index pair). `seed` controls the unique1 permutation.
+  static base::Result<Table*> Build(Database* db, std::string name,
+                                    int64_t rows, uint64_t seed);
+};
+
+}  // namespace educe::rel
+
+#endif  // EDUCE_REL_WISCONSIN_H_

@@ -1,0 +1,157 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace educe::storage {
+
+PageHandle::PageHandle(BufferPool* pool, uint32_t frame)
+    : pool_(pool), frame_(frame) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+PageId PageHandle::page_id() const {
+  assert(valid());
+  return pool_->frames_[frame_].page;
+}
+
+char* PageHandle::data() {
+  assert(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+const char* PageHandle::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+void PageHandle::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+BufferPool::BufferPool(PagedFile* file, uint32_t num_frames) : file_(file) {
+  assert(num_frames >= 2);
+  frames_.resize(num_frames);
+  for (auto& frame : frames_) {
+    frame.data = std::make_unique<char[]>(file_->page_size());
+  }
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  assert(frames_[frame].pin_count > 0);
+  --frames_[frame].pin_count;
+}
+
+base::Result<uint32_t> BufferPool::GrabFrame() {
+  uint32_t victim = UINT32_MAX;
+  uint64_t oldest = UINT64_MAX;
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.page == kInvalidPage) return i;  // empty frame
+    if (frame.pin_count == 0 && frame.last_used < oldest) {
+      oldest = frame.last_used;
+      victim = i;
+    }
+  }
+  if (victim == UINT32_MAX) {
+    return base::Status::ResourceExhausted("all buffer frames pinned");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
+    ++stats_.writebacks;
+    frame.dirty = false;
+  }
+  resident_.erase(frame.page);
+  frame.page = kInvalidPage;
+  ++stats_.evictions;
+  return victim;
+}
+
+base::Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    Touch(it->second);
+    return PageHandle(this, it->second);
+  }
+  ++stats_.misses;
+  EDUCE_ASSIGN_OR_RETURN(uint32_t idx, GrabFrame());
+  Frame& frame = frames_[idx];
+  EDUCE_RETURN_IF_ERROR(file_->Read(id, frame.data.get()));
+  frame.page = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  resident_[id] = idx;
+  Touch(idx);
+  return PageHandle(this, idx);
+}
+
+base::Result<PageHandle> BufferPool::New() {
+  PageId id = file_->Allocate();
+  EDUCE_ASSIGN_OR_RETURN(uint32_t idx, GrabFrame());
+  Frame& frame = frames_[idx];
+  std::memset(frame.data.get(), 0, file_->page_size());
+  frame.page = id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // must reach the file eventually
+  resident_[id] = idx;
+  Touch(idx);
+  return PageHandle(this, idx);
+}
+
+base::Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page != kInvalidPage && frame.dirty) {
+      EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
+      ++stats_.writebacks;
+      frame.dirty = false;
+    }
+  }
+  return base::Status::OK();
+}
+
+base::Status BufferPool::Invalidate() {
+  for (Frame& frame : frames_) {
+    if (frame.page == kInvalidPage) continue;
+    if (frame.pin_count > 0) {
+      return base::Status::InvalidArgument(
+          "cannot invalidate buffer pool with pinned pages");
+    }
+    if (frame.dirty) {
+      EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
+      ++stats_.writebacks;
+      frame.dirty = false;
+    }
+    resident_.erase(frame.page);
+    frame.page = kInvalidPage;
+  }
+  return base::Status::OK();
+}
+
+}  // namespace educe::storage

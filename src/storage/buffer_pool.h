@@ -1,0 +1,112 @@
+#ifndef EDUCE_STORAGE_BUFFER_POOL_H_
+#define EDUCE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "storage/page.h"
+#include "storage/paged_file.h"
+
+namespace educe::storage {
+
+/// Buffer-manager counters; together with PagedFileStats these regenerate
+/// the paper's Table 2b ("Buffer read/write", "Total I/O activity").
+struct BufferPoolStats {
+  uint64_t hits = 0;        // page found resident
+  uint64_t misses = 0;      // page had to be read from the file
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;  // dirty pages written on eviction/flush
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a PageHandle is alive the frame
+/// cannot be evicted. Call MarkDirty() after mutating data().
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, uint32_t frame);
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const;
+  char* data();
+  const char* data() const;
+  void MarkDirty();
+
+  /// Releases the pin early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_ = 0;
+};
+
+/// A fixed-frame LRU buffer manager over a PagedFile. Single-threaded by
+/// design: Educe* is a per-session kernel (paper §5: one ~2.5 MB process
+/// per user).
+class BufferPool {
+ public:
+  /// `file` must outlive the pool. `num_frames` >= 2.
+  BufferPool(PagedFile* file, uint32_t num_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins `id`, reading it from the file if not resident.
+  base::Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and pins it (zero-filled, dirty).
+  base::Result<PageHandle> New();
+
+  /// Writes back all dirty frames (pages stay resident).
+  base::Status FlushAll();
+
+  /// Drops every unpinned frame (writing back dirty ones). Models a cold
+  /// buffer cache for first-run benchmarks.
+  base::Status Invalidate();
+
+  uint32_t num_frames() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t page_size() const { return file_->page_size(); }
+  PagedFile* file() { return file_; }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page = kInvalidPage;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    uint64_t last_used = 0;
+    std::unique_ptr<char[]> data;
+  };
+
+  void Unpin(uint32_t frame);
+  void Touch(uint32_t frame) { frames_[frame].last_used = ++tick_; }
+
+  // Picks a frame to (re)use: an empty frame or the LRU unpinned frame,
+  // writing it back if dirty. Fails if everything is pinned.
+  base::Result<uint32_t> GrabFrame();
+
+  PagedFile* file_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint32_t> resident_;
+  uint64_t tick_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace educe::storage
+
+#endif  // EDUCE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,114 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "storage/slotted_page.h"
+
+namespace educe::storage {
+
+namespace {
+
+PageId GetNext(const char* data) {
+  PageId next;
+  std::memcpy(&next, data, sizeof(next));
+  return next;
+}
+
+void SetNext(char* data, PageId next) {
+  std::memcpy(data, &next, sizeof(next));
+}
+
+}  // namespace
+
+base::Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool->New());
+  SlottedPage view(page.data(), pool->page_size(), kReserved);
+  view.Format();
+  SetNext(page.data(), kInvalidPage);
+  page.MarkDirty();
+  return HeapFile(pool, page.page_id(), page.page_id());
+}
+
+base::Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  // Follow the chain to find the tail for appends.
+  PageId tail = first_page;
+  while (true) {
+    EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(tail));
+    PageId next = GetNext(page.data());
+    if (next == kInvalidPage) break;
+    tail = next;
+  }
+  return HeapFile(pool, first_page, tail);
+}
+
+base::Result<RecordId> HeapFile::Append(std::string_view bytes) {
+  {
+    EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(tail_page_));
+    SlottedPage view(page.data(), pool_->page_size(), kReserved);
+    if (auto slot = view.Insert(bytes)) {
+      page.MarkDirty();
+      return RecordId{tail_page_, *slot};
+    }
+  }
+  // Tail is full: chain a fresh page.
+  EDUCE_ASSIGN_OR_RETURN(PageHandle fresh, pool_->New());
+  SlottedPage fresh_view(fresh.data(), pool_->page_size(), kReserved);
+  fresh_view.Format();
+  SetNext(fresh.data(), kInvalidPage);
+  auto slot = fresh_view.Insert(bytes);
+  if (!slot) {
+    return base::Status::InvalidArgument(
+        "record of " + std::to_string(bytes.size()) +
+        " bytes does not fit in an empty page");
+  }
+  fresh.MarkDirty();
+  {
+    EDUCE_ASSIGN_OR_RETURN(PageHandle old_tail, pool_->Fetch(tail_page_));
+    SetNext(old_tail.data(), fresh.page_id());
+    old_tail.MarkDirty();
+  }
+  tail_page_ = fresh.page_id();
+  return RecordId{tail_page_, *slot};
+}
+
+base::Result<std::string> HeapFile::Read(RecordId rid) const {
+  EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(rid.page));
+  SlottedPage view(page.data(), pool_->page_size(), kReserved);
+  auto bytes = view.Get(rid.slot);
+  if (!bytes) return base::Status::NotFound("no record at slot");
+  return std::string(*bytes);
+}
+
+base::Status HeapFile::Delete(RecordId rid) {
+  EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(rid.page));
+  SlottedPage view(page.data(), pool_->page_size(), kReserved);
+  if (!view.Delete(rid.slot)) {
+    return base::Status::NotFound("no record at slot");
+  }
+  page.MarkDirty();
+  return base::Status::OK();
+}
+
+bool HeapFile::Cursor::Next(RecordId* rid, std::string* bytes) {
+  while (page_ != kInvalidPage) {
+    auto page = pool_->Fetch(page_);
+    if (!page.ok()) {
+      status_ = page.status();
+      return false;
+    }
+    SlottedPage view(page->data(), pool_->page_size(), kReserved);
+    while (slot_ < view.slot_count()) {
+      uint16_t current = slot_++;
+      if (auto record = view.Get(current)) {
+        *rid = RecordId{page_, current};
+        bytes->assign(record->data(), record->size());
+        return true;
+      }
+    }
+    page_ = GetNext(page->data());
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace educe::storage

@@ -1,0 +1,75 @@
+#ifndef EDUCE_STORAGE_HEAP_FILE_H_
+#define EDUCE_STORAGE_HEAP_FILE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace educe::storage {
+
+/// An unordered record file: a chain of slotted pages with append-at-tail
+/// insertion. This is the plain sequential-file view of a relation that
+/// the paper's §2.3 interaction sketch iterates over (`first_tuple` /
+/// `next` / `get_tuple`).
+class HeapFile {
+ public:
+  /// Creates a new, empty heap file in `pool`'s backing file.
+  static base::Result<HeapFile> Create(BufferPool* pool);
+
+  /// Re-attaches to an existing heap file rooted at `first_page`.
+  static base::Result<HeapFile> Open(BufferPool* pool, PageId first_page);
+
+  /// Root page id (persist it to reopen the file later).
+  PageId first_page() const { return first_page_; }
+
+  /// Appends a record. Fails if the record cannot fit in one page.
+  base::Result<RecordId> Append(std::string_view bytes);
+
+  /// Copies out the record at `rid`; NotFound if deleted or absent.
+  base::Result<std::string> Read(RecordId rid) const;
+
+  /// Deletes the record at `rid`.
+  base::Status Delete(RecordId rid);
+
+  /// Forward scan over all live records.
+  class Cursor {
+   public:
+    /// Advances to the next live record. Returns false at end-of-file.
+    /// On success fills `rid` and `bytes` (bytes are copied out).
+    bool Next(RecordId* rid, std::string* bytes);
+
+    /// OK unless the scan hit an I/O error (checked after Next()==false).
+    const base::Status& status() const { return status_; }
+
+   private:
+    friend class HeapFile;
+    Cursor(BufferPool* pool, PageId page) : pool_(pool), page_(page) {}
+
+    BufferPool* pool_;
+    PageId page_;
+    uint16_t slot_ = 0;
+    base::Status status_;
+  };
+
+  Cursor Scan() const { return Cursor(pool_, first_page_); }
+
+ private:
+  // Reserved page header: u32 next page id.
+  static constexpr uint32_t kReserved = 4;
+
+  HeapFile(BufferPool* pool, PageId first, PageId tail)
+      : pool_(pool), first_page_(first), tail_page_(tail) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId tail_page_;
+};
+
+}  // namespace educe::storage
+
+#endif  // EDUCE_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,26 @@
+#ifndef EDUCE_STORAGE_PAGE_H_
+#define EDUCE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace educe::storage {
+
+/// Identifier of a disk page within a PagedFile.
+using PageId = uint32_t;
+
+/// Sentinel meaning "no page" (end of a chain, unset pointer).
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// Identifier of a record: the page holding it plus the slot within the
+/// page's slot directory.
+struct RecordId {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPage; }
+  bool operator==(const RecordId&) const = default;
+};
+
+}  // namespace educe::storage
+
+#endif  // EDUCE_STORAGE_PAGE_H_

@@ -1,0 +1,48 @@
+#include "storage/paged_file.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace educe::storage {
+
+void PagedFile::ChargeLatency() const {
+  if (options_.simulated_latency_ns == 0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(options_.simulated_latency_ns);
+  while (std::chrono::steady_clock::now() < until) {
+    // Busy-wait: models synchronous block transfer without descheduling,
+    // keeping benchmark timings stable.
+  }
+}
+
+PageId PagedFile::Allocate() {
+  auto page = std::make_unique<char[]>(options_.page_size);
+  std::memset(page.get(), 0, options_.page_size);
+  pages_.push_back(std::move(page));
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+base::Status PagedFile::Read(PageId id, char* out) {
+  if (id >= pages_.size()) {
+    return base::Status::OutOfRange("read of unallocated page " +
+                                    std::to_string(id));
+  }
+  ChargeLatency();
+  std::memcpy(out, pages_[id].get(), options_.page_size);
+  ++stats_.pages_read;
+  return base::Status::OK();
+}
+
+base::Status PagedFile::Write(PageId id, const char* in) {
+  if (id >= pages_.size()) {
+    return base::Status::OutOfRange("write of unallocated page " +
+                                    std::to_string(id));
+  }
+  ChargeLatency();
+  std::memcpy(pages_[id].get(), in, options_.page_size);
+  ++stats_.pages_written;
+  return base::Status::OK();
+}
+
+}  // namespace educe::storage

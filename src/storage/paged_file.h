@@ -1,0 +1,77 @@
+#ifndef EDUCE_STORAGE_PAGED_FILE_H_
+#define EDUCE_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "storage/page.h"
+
+namespace educe::storage {
+
+/// Block-transfer counters of the simulated disc. The paper's analysis
+/// (§2.2) hinges on "the time needed to read a portion of a block ... is
+/// the same as to read the whole block", so all I/O here is whole pages
+/// and all accounting is in pages.
+struct PagedFileStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t pages_allocated = 0;
+};
+
+/// The "disc": a page-addressed store with whole-page transfer semantics
+/// and an optional simulated per-transfer latency.
+///
+/// Substitution note (DESIGN.md §2): the paper ran on a Sun 3/280S with a
+/// local Hitachi disc and, for the diskless experiment, NFS-backed pages.
+/// This class keeps page images in memory but charges a configurable
+/// busy-wait per transfer, letting the benches sweep "local disc" vs
+/// "diskless workstation" I/O costs while keeping runs deterministic.
+class PagedFile {
+ public:
+  struct Options {
+    uint32_t page_size = 4096;
+    /// Busy-wait charged per page read/write, in nanoseconds. 0 = free
+    /// (pure counting). ~100us models a slow network disc.
+    uint64_t simulated_latency_ns = 0;
+  };
+
+  PagedFile() : PagedFile(Options{}) {}
+  explicit PagedFile(const Options& options) : options_(options) {}
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  uint32_t page_size() const { return options_.page_size; }
+  uint32_t page_count() const { return static_cast<uint32_t>(pages_.size()); }
+
+  /// Appends a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Copies the page image into `out` (page_size bytes). Charges one
+  /// simulated transfer.
+  base::Status Read(PageId id, char* out);
+
+  /// Replaces the page image from `in` (page_size bytes). Charges one
+  /// simulated transfer.
+  base::Status Write(PageId id, const char* in);
+
+  const PagedFileStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagedFileStats{}; }
+
+  void set_simulated_latency_ns(uint64_t ns) {
+    options_.simulated_latency_ns = ns;
+  }
+
+ private:
+  void ChargeLatency() const;
+
+  Options options_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  PagedFileStats stats_;
+};
+
+}  // namespace educe::storage
+
+#endif  // EDUCE_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,111 @@
+#include "storage/slotted_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace educe::storage {
+
+uint16_t SlottedPage::ReadU16(uint32_t offset) const {
+  uint16_t value;
+  std::memcpy(&value, data_ + offset, sizeof(value));
+  return value;
+}
+
+void SlottedPage::WriteU16(uint32_t offset, uint16_t value) {
+  std::memcpy(data_ + offset, &value, sizeof(value));
+}
+
+void SlottedPage::Format() {
+  assert(page_size_ <= 0xFFFF + 1u);
+  set_slot_count(0);
+  set_free_end(static_cast<uint16_t>(page_size_ - 1));
+  // free_end stores page_size-1 rather than page_size so that 64 KiB pages
+  // fit in 16 bits; record offsets are computed as free_end+1 - len.
+}
+
+uint16_t SlottedPage::slot_count() const { return ReadU16(HeaderBase()); }
+
+uint32_t SlottedPage::FreeSpace() const {
+  const uint32_t slots_end = SlotBase() + 4u * slot_count();
+  const uint32_t data_start = free_end() + 1u;
+  const uint32_t gap = data_start > slots_end ? data_start - slots_end : 0;
+  // A new record needs 4 bytes of slot entry unless a deleted slot can be
+  // reused; report conservatively (with the entry).
+  return gap > 4 ? gap - 4 : 0;
+}
+
+std::optional<uint16_t> SlottedPage::Insert(std::string_view bytes) {
+  const uint16_t count = slot_count();
+  // Look for a reusable deleted slot first.
+  uint16_t slot = count;
+  bool reuse = false;
+  for (uint16_t i = 0; i < count; ++i) {
+    if (ReadU16(SlotBase() + 4u * i) == kDeletedSlot) {
+      slot = i;
+      reuse = true;
+      break;
+    }
+  }
+
+  const uint32_t slots_end = SlotBase() + 4u * (reuse ? count : count + 1u);
+  const uint32_t data_start = free_end() + 1u;
+  if (data_start < slots_end || data_start - slots_end < bytes.size()) {
+    return std::nullopt;
+  }
+
+  const uint32_t offset = data_start - static_cast<uint32_t>(bytes.size());
+  std::memcpy(data_ + offset, bytes.data(), bytes.size());
+  WriteU16(SlotBase() + 4u * slot, static_cast<uint16_t>(offset));
+  WriteU16(SlotBase() + 4u * slot + 2, static_cast<uint16_t>(bytes.size()));
+  if (!reuse) set_slot_count(count + 1);
+  set_free_end(static_cast<uint16_t>(offset - 1));
+  return slot;
+}
+
+std::optional<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) return std::nullopt;
+  const uint16_t offset = ReadU16(SlotBase() + 4u * slot);
+  if (offset == kDeletedSlot) return std::nullopt;
+  const uint16_t len = ReadU16(SlotBase() + 4u * slot + 2);
+  return std::string_view(data_ + offset, len);
+}
+
+bool SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) return false;
+  if (ReadU16(SlotBase() + 4u * slot) == kDeletedSlot) return false;
+  WriteU16(SlotBase() + 4u * slot, kDeletedSlot);
+  return true;
+}
+
+uint16_t SlottedPage::LiveCount() const {
+  uint16_t live = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (ReadU16(SlotBase() + 4u * i) != kDeletedSlot) ++live;
+  }
+  return live;
+}
+
+void SlottedPage::Compact() {
+  struct Live {
+    uint16_t slot;
+    std::vector<char> bytes;
+  };
+  std::vector<Live> records;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (auto bytes = Get(i)) {
+      records.push_back(Live{i, std::vector<char>(bytes->begin(), bytes->end())});
+    }
+  }
+  uint32_t write_end = page_size_;  // exclusive
+  for (const Live& record : records) {
+    write_end -= static_cast<uint32_t>(record.bytes.size());
+    std::memcpy(data_ + write_end, record.bytes.data(), record.bytes.size());
+    WriteU16(SlotBase() + 4u * record.slot, static_cast<uint16_t>(write_end));
+    WriteU16(SlotBase() + 4u * record.slot + 2,
+             static_cast<uint16_t>(record.bytes.size()));
+  }
+  set_free_end(static_cast<uint16_t>(write_end - 1));
+}
+
+}  // namespace educe::storage

@@ -1,0 +1,93 @@
+#include "term/ast.h"
+
+#include <algorithm>
+
+namespace educe::term {
+
+AstPtr MakeVar(uint32_t index, std::string name) {
+  auto node = std::make_shared<Ast>();
+  node->kind = Ast::Kind::kVar;
+  node->var_index = index;
+  node->var_name = std::move(name);
+  return node;
+}
+
+AstPtr MakeAtom(dict::SymbolId atom) {
+  auto node = std::make_shared<Ast>();
+  node->kind = Ast::Kind::kAtom;
+  node->functor = atom;
+  return node;
+}
+
+AstPtr MakeInt(int64_t value) {
+  auto node = std::make_shared<Ast>();
+  node->kind = Ast::Kind::kInt;
+  node->int_value = value;
+  return node;
+}
+
+AstPtr MakeFloat(double value) {
+  auto node = std::make_shared<Ast>();
+  node->kind = Ast::Kind::kFloat;
+  node->float_value = value;
+  return node;
+}
+
+AstPtr MakeStruct(dict::SymbolId functor, std::vector<AstPtr> args) {
+  auto node = std::make_shared<Ast>();
+  node->kind = Ast::Kind::kStruct;
+  node->functor = functor;
+  node->args = std::move(args);
+  return node;
+}
+
+AstPtr MakeList(dict::SymbolId dot, const std::vector<AstPtr>& elements,
+                AstPtr tail) {
+  AstPtr list = std::move(tail);
+  for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+    list = MakeStruct(dot, {*it, list});
+  }
+  return list;
+}
+
+bool AstEquals(const Ast& a, const Ast& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Ast::Kind::kVar:
+      return a.var_index == b.var_index;
+    case Ast::Kind::kAtom:
+      return a.functor == b.functor;
+    case Ast::Kind::kInt:
+      return a.int_value == b.int_value;
+    case Ast::Kind::kFloat:
+      return a.float_value == b.float_value;
+    case Ast::Kind::kStruct: {
+      if (a.functor != b.functor || a.args.size() != b.args.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (!AstEquals(*a.args[i], *b.args[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+void MaxVarIndex(const Ast& t, int64_t* max_index) {
+  if (t.kind == Ast::Kind::kVar) {
+    *max_index = std::max(*max_index, static_cast<int64_t>(t.var_index));
+  } else {
+    for (const auto& arg : t.args) MaxVarIndex(*arg, max_index);
+  }
+}
+}  // namespace
+
+uint32_t CountVars(const Ast& t) {
+  int64_t max_index = -1;
+  MaxVarIndex(t, &max_index);
+  return static_cast<uint32_t>(max_index + 1);
+}
+
+}  // namespace educe::term

@@ -1,0 +1,69 @@
+#ifndef EDUCE_TERM_AST_H_
+#define EDUCE_TERM_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dict/dictionary.h"
+
+namespace educe::term {
+
+struct Ast;
+/// Parsed terms are immutable shared trees: the parser builds them, the
+/// compiler walks them, nothing mutates them.
+using AstPtr = std::shared_ptr<const Ast>;
+
+/// Abstract syntax of a Prolog term as produced by the reader and consumed
+/// by the WAM compiler. Lists are ordinary structures with functor '.'/2
+/// and terminator atom '[]'.
+struct Ast {
+  enum class Kind : uint8_t { kVar, kAtom, kInt, kFloat, kStruct };
+
+  Kind kind;
+  /// kAtom / kStruct: dictionary id of the atom or functor.
+  dict::SymbolId functor = dict::kInvalidSymbol;
+  /// kInt value.
+  int64_t int_value = 0;
+  /// kFloat value.
+  double float_value = 0.0;
+  /// kVar: clause-local variable index assigned by the reader (0-based;
+  /// each distinct named variable in a clause gets one index, each `_`
+  /// gets a fresh index).
+  uint32_t var_index = 0;
+  /// kVar: source name for diagnostics and answer printing.
+  std::string var_name;
+  /// kStruct arguments (size == arity of `functor`).
+  std::vector<AstPtr> args;
+
+  bool IsAtom() const { return kind == Kind::kAtom; }
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool IsStruct() const { return kind == Kind::kStruct; }
+  bool IsCallable() const { return IsAtom() || IsStruct(); }
+  /// Arity: number of arguments (0 for atoms and non-callables).
+  uint32_t arity() const { return static_cast<uint32_t>(args.size()); }
+};
+
+/// Factory helpers.
+AstPtr MakeVar(uint32_t index, std::string name);
+AstPtr MakeAtom(dict::SymbolId atom);
+AstPtr MakeInt(int64_t value);
+AstPtr MakeFloat(double value);
+AstPtr MakeStruct(dict::SymbolId functor, std::vector<AstPtr> args);
+
+/// Builds a proper list ./2 chain ending in `tail` (pass the '[]' atom for
+/// a proper list). `dot` and the elements come from the same dictionary.
+AstPtr MakeList(dict::SymbolId dot, const std::vector<AstPtr>& elements,
+                AstPtr tail);
+
+/// Structural equality (variables compare by index).
+bool AstEquals(const Ast& a, const Ast& b);
+
+/// Number of distinct variable indices occurring in `t`, i.e. one more
+/// than the maximum index, or 0 if ground.
+uint32_t CountVars(const Ast& t);
+
+}  // namespace educe::term
+
+#endif  // EDUCE_TERM_AST_H_

@@ -1,0 +1,100 @@
+#ifndef EDUCE_TERM_CELL_H_
+#define EDUCE_TERM_CELL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "dict/dictionary.h"
+
+namespace educe::term {
+
+/// Tag of a WAM data cell (paper §2.1: "The WAM is a tagged architecture").
+///
+/// The low 3 bits of each 64-bit cell hold the tag; the remaining 61 bits
+/// hold a heap address, a dictionary SymbolId, an immediate 61-bit signed
+/// integer, or the top 61 bits of a double.
+enum class Tag : uint8_t {
+  kRef = 0,  // variable; payload = heap address (self-reference if unbound)
+  kStr = 1,  // structure; payload = heap address of the functor cell
+  kLis = 2,  // list cons; payload = heap address of [head, tail] pair
+  kCon = 3,  // atom; payload = dictionary SymbolId
+  kInt = 4,  // immediate signed integer (61 bits)
+  kFlt = 5,  // immediate float: top 61 bits of the double (3 mantissa bits
+             // dropped — ~15.4 significant decimal digits retained)
+  kFun = 6,  // functor cell inside a structure; payload = SymbolId
+};
+
+/// One WAM cell. Plain value type; the heap is a vector<Cell>.
+struct Cell {
+  uint64_t raw = 0;
+
+  static constexpr int kTagBits = 3;
+  static constexpr uint64_t kTagMask = (1ull << kTagBits) - 1;
+
+  static Cell Make(Tag tag, uint64_t payload) {
+    return Cell{(payload << kTagBits) | static_cast<uint64_t>(tag)};
+  }
+  static Cell Ref(uint64_t addr) { return Make(Tag::kRef, addr); }
+  static Cell Str(uint64_t addr) { return Make(Tag::kStr, addr); }
+  static Cell Lis(uint64_t addr) { return Make(Tag::kLis, addr); }
+  static Cell Con(dict::SymbolId atom) { return Make(Tag::kCon, atom); }
+  static Cell Fun(dict::SymbolId functor) { return Make(Tag::kFun, functor); }
+  static Cell Int(int64_t value) {
+    // Two's-complement wrap into 61 bits; int_value() sign-extends back.
+    return Make(Tag::kInt, static_cast<uint64_t>(value) & (~0ull >> kTagBits));
+  }
+
+  /// Truncates a double's low 3 mantissa bits so it fits a tagged cell.
+  /// All float construction must go through this so that stored values,
+  /// index keys and unification agree bit-exactly.
+  static uint64_t FloatBits(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits & ~kTagMask;
+  }
+  static Cell Flt(double d) { return Cell{FloatBits(d) | static_cast<uint64_t>(Tag::kFlt)}; }
+  static Cell FltFromBits(uint64_t truncated_bits) {
+    return Cell{(truncated_bits & ~kTagMask) | static_cast<uint64_t>(Tag::kFlt)};
+  }
+
+  Tag tag() const { return static_cast<Tag>(raw & kTagMask); }
+  uint64_t payload() const { return raw >> kTagBits; }
+
+  /// Sign-extended immediate integer. Requires tag() == kInt.
+  int64_t int_value() const {
+    assert(tag() == Tag::kInt);
+    return static_cast<int64_t>(raw) >> kTagBits;
+  }
+  /// Reconstructed double. Requires tag() == kFlt.
+  double float_value() const {
+    assert(tag() == Tag::kFlt);
+    const uint64_t bits = raw & ~kTagMask;
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  /// The truncated double bits (index key form). Requires tag() == kFlt.
+  uint64_t float_bits() const {
+    assert(tag() == Tag::kFlt);
+    return raw & ~kTagMask;
+  }
+  /// Dictionary id. Requires tag() is kCon or kFun.
+  dict::SymbolId symbol() const {
+    assert(tag() == Tag::kCon || tag() == Tag::kFun);
+    return static_cast<dict::SymbolId>(payload());
+  }
+  /// Heap address. Requires tag() is kRef, kStr or kLis.
+  uint64_t addr() const {
+    assert(tag() == Tag::kRef || tag() == Tag::kStr || tag() == Tag::kLis);
+    return payload();
+  }
+
+  bool operator==(const Cell& other) const { return raw == other.raw; }
+};
+
+static_assert(sizeof(Cell) == 8, "cells are one machine word");
+
+}  // namespace educe::term
+
+#endif  // EDUCE_TERM_CELL_H_

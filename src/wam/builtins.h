@@ -1,0 +1,19 @@
+#ifndef EDUCE_WAM_BUILTINS_H_
+#define EDUCE_WAM_BUILTINS_H_
+
+#include "base/status.h"
+#include "wam/program.h"
+
+namespace educe::wam {
+
+/// Registers the standard builtin predicates (unification, arithmetic,
+/// type tests, term construction/inspection, findall/3, assert/retract,
+/// I/O, between/3) and consults the bootstrap library (append/3, member/2,
+/// metacall definitions of ','/2 ';'/2 '->'/2 '\\+'/1, ...).
+///
+/// Call exactly once per Program, before adding user clauses.
+base::Status InstallStandardLibrary(Program* program);
+
+}  // namespace educe::wam
+
+#endif  // EDUCE_WAM_BUILTINS_H_

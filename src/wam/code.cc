@@ -1,0 +1,160 @@
+#include "wam/code.h"
+
+#include <cstring>
+
+#include "term/cell.h"
+
+namespace educe::wam {
+
+namespace {
+
+std::string SymbolName(const dict::Dictionary& dictionary, uint32_t id) {
+  if (!dictionary.IsLive(id)) return "#" + std::to_string(id);
+  std::string name(dictionary.NameOf(id));
+  name += "/" + std::to_string(dictionary.ArityOf(id));
+  return name;
+}
+
+double FloatOf(uint64_t truncated_bits) {
+  double d;
+  std::memcpy(&d, &truncated_bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+std::string Disassemble(const dict::Dictionary& dictionary,
+                        const std::vector<Instruction>& code,
+                        const std::vector<SwitchTable>* tables) {
+  std::string out;
+  auto line = [&](size_t i, const std::string& text) {
+    out += std::to_string(i) + ":\t" + text + "\n";
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instruction& ins = code[i];
+    const std::string a = "A" + std::to_string(ins.a);
+    const std::string xb = "X" + std::to_string(ins.b);
+    const std::string yb = "Y" + std::to_string(ins.b);
+    switch (ins.op) {
+      case Opcode::kGetVariableX: line(i, "get_variable " + xb + ", " + a); break;
+      case Opcode::kGetVariableY: line(i, "get_variable " + yb + ", " + a); break;
+      case Opcode::kGetValueX: line(i, "get_value " + xb + ", " + a); break;
+      case Opcode::kGetValueY: line(i, "get_value " + yb + ", " + a); break;
+      case Opcode::kGetConstant:
+        line(i, "get_constant " + SymbolName(dictionary, ins.c) + ", " + a);
+        break;
+      case Opcode::kGetInteger:
+        line(i, "get_integer " + std::to_string(static_cast<int64_t>(ins.imm)) +
+                    ", " + a);
+        break;
+      case Opcode::kGetFloat:
+        line(i, "get_float " + std::to_string(FloatOf(ins.imm)) + ", " + a);
+        break;
+      case Opcode::kGetStructure:
+        line(i, "get_structure " + SymbolName(dictionary, ins.c) + ", " + a);
+        break;
+      case Opcode::kGetList: line(i, "get_list " + a); break;
+      case Opcode::kUnifyVariableX: line(i, "unify_variable " + xb); break;
+      case Opcode::kUnifyVariableY: line(i, "unify_variable " + yb); break;
+      case Opcode::kUnifyValueX: line(i, "unify_value " + xb); break;
+      case Opcode::kUnifyValueY: line(i, "unify_value " + yb); break;
+      case Opcode::kUnifyConstant:
+        line(i, "unify_constant " + SymbolName(dictionary, ins.c));
+        break;
+      case Opcode::kUnifyInteger:
+        line(i, "unify_integer " + std::to_string(static_cast<int64_t>(ins.imm)));
+        break;
+      case Opcode::kUnifyFloat:
+        line(i, "unify_float " + std::to_string(FloatOf(ins.imm)));
+        break;
+      case Opcode::kUnifyVoid: line(i, "unify_void " + std::to_string(ins.b)); break;
+      case Opcode::kPutVariableX: line(i, "put_variable " + xb + ", " + a); break;
+      case Opcode::kPutVariableY: line(i, "put_variable " + yb + ", " + a); break;
+      case Opcode::kPutValueX: line(i, "put_value " + xb + ", " + a); break;
+      case Opcode::kPutValueY: line(i, "put_value " + yb + ", " + a); break;
+      case Opcode::kPutConstant:
+        line(i, "put_constant " + SymbolName(dictionary, ins.c) + ", " + a);
+        break;
+      case Opcode::kPutInteger:
+        line(i, "put_integer " + std::to_string(static_cast<int64_t>(ins.imm)) +
+                    ", " + a);
+        break;
+      case Opcode::kPutFloat:
+        line(i, "put_float " + std::to_string(FloatOf(ins.imm)) + ", " + a);
+        break;
+      case Opcode::kPutStructure:
+        line(i, "put_structure " + SymbolName(dictionary, ins.c) + ", " + a);
+        break;
+      case Opcode::kPutList: line(i, "put_list " + a); break;
+      case Opcode::kAllocate: line(i, "allocate " + std::to_string(ins.b)); break;
+      case Opcode::kDeallocate: line(i, "deallocate"); break;
+      case Opcode::kCall:
+        line(i, "call " + SymbolName(dictionary, ins.c));
+        break;
+      case Opcode::kExecute:
+        line(i, "execute " + SymbolName(dictionary, ins.c));
+        break;
+      case Opcode::kProceed: line(i, "proceed"); break;
+      case Opcode::kGetLevel: line(i, "get_level " + yb); break;
+      case Opcode::kCut: line(i, "cut " + yb); break;
+      case Opcode::kBuiltin:
+        line(i, "builtin #" + std::to_string(ins.c) + "/" +
+                    std::to_string(ins.b));
+        break;
+      case Opcode::kFail: line(i, "fail"); break;
+      case Opcode::kTryMeElse: line(i, "try_me_else " + std::to_string(ins.c)); break;
+      case Opcode::kRetryMeElse: line(i, "retry_me_else " + std::to_string(ins.c)); break;
+      case Opcode::kTrustMe: line(i, "trust_me"); break;
+      case Opcode::kTry: line(i, "try " + std::to_string(ins.c)); break;
+      case Opcode::kRetry: line(i, "retry " + std::to_string(ins.c)); break;
+      case Opcode::kTrust: line(i, "trust " + std::to_string(ins.c)); break;
+      case Opcode::kSwitchOnTerm: {
+        std::string text = "switch_on_term";
+        if (tables != nullptr) {
+          const SwitchTable& t = (*tables)[ins.c];
+          auto target = [](uint32_t v) {
+            return v == kFailTarget ? std::string("fail") : std::to_string(v);
+          };
+          text += " var=" + target(t.on_var) + " atom=" + target(t.on_atom) +
+                  " num=" + target(t.on_number) + " lis=" + target(t.on_list) +
+                  " str=" + target(t.on_struct);
+        }
+        line(i, text);
+        break;
+      }
+      case Opcode::kSwitchOnConstant:
+        line(i, "switch_on_constant t" + std::to_string(ins.c));
+        break;
+      case Opcode::kSwitchOnInteger:
+        line(i, "switch_on_integer t" + std::to_string(ins.c));
+        break;
+      case Opcode::kSwitchOnStructure:
+        line(i, "switch_on_structure t" + std::to_string(ins.c));
+        break;
+      case Opcode::kJump: line(i, "jump " + std::to_string(ins.c)); break;
+      case Opcode::kHalt: line(i, "halt"); break;
+    }
+  }
+  return out;
+}
+
+void CollectSymbols(const std::vector<Instruction>& code,
+                    std::set<dict::SymbolId>* out) {
+  for (const Instruction& ins : code) {
+    switch (ins.op) {
+      case Opcode::kGetConstant:
+      case Opcode::kGetStructure:
+      case Opcode::kUnifyConstant:
+      case Opcode::kPutConstant:
+      case Opcode::kPutStructure:
+      case Opcode::kCall:
+      case Opcode::kExecute:
+        out->insert(ins.c);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace educe::wam

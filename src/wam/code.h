@@ -1,0 +1,158 @@
+#ifndef EDUCE_WAM_CODE_H_
+#define EDUCE_WAM_CODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dict/dictionary.h"
+
+namespace educe::wam {
+
+/// WAM opcodes (paper §2.1). One instruction is generated per Prolog term
+/// plus control instructions added around clause code — the control ones
+/// (kTry*, kSwitch*) are spliced in by the linker/dynamic loader, not the
+/// clause compiler, mirroring Educe*'s split between stored clause code
+/// and loader-added control code (paper §3.1).
+enum class Opcode : uint8_t {
+  // Head (get) instructions: unify argument register a (Ai) with ...
+  kGetVariableX,   // a=Ai, b=Xn : Xn <- Ai (first occurrence)
+  kGetVariableY,   // a=Ai, b=Yn
+  kGetValueX,      // a=Ai, b=Xn : unify(Xn, Ai)
+  kGetValueY,      // a=Ai, b=Yn
+  kGetConstant,    // a=Ai, c=atom SymbolId
+  kGetInteger,     // a=Ai, imm=value
+  kGetFloat,       // a=Ai, imm=double bits
+  kGetStructure,   // a=Ai, c=functor SymbolId, b=arity
+  kGetList,        // a=Ai
+
+  // Unify instructions (run in read or write mode after get/put structure).
+  kUnifyVariableX, // b=Xn
+  kUnifyVariableY, // b=Yn
+  kUnifyValueX,    // b=Xn
+  kUnifyValueY,    // b=Yn
+  kUnifyConstant,  // c=atom
+  kUnifyInteger,   // imm=value
+  kUnifyFloat,     // imm=double bits
+  kUnifyVoid,      // b=count
+
+  // Body (put) instructions: load argument register a (Ai).
+  kPutVariableX,   // a=Ai, b=Xn : new heap var; Xn = Ai = ref
+  kPutVariableY,   // a=Ai, b=Yn
+  kPutValueX,      // a=Ai, b=Xn
+  kPutValueY,      // a=Ai, b=Yn
+  kPutConstant,    // a=Ai, c=atom
+  kPutInteger,     // a=Ai, imm=value
+  kPutFloat,       // a=Ai, imm=double bits
+  kPutStructure,   // a=Ai, c=functor, b=arity (write mode)
+  kPutList,        // a=Ai
+
+  // Control.
+  kAllocate,       // b=num permanent vars
+  kDeallocate,
+  kCall,           // c=predicate SymbolId, b=arity
+  kExecute,        // c=predicate SymbolId, b=arity (tail call)
+  kProceed,
+  kGetLevel,       // b=Yn : Yn <- B0 (cut barrier at call entry)
+  kCut,            // b=Yn : discard choice points above Yn's barrier
+  kBuiltin,        // c=builtin id, b=arity
+  kFail,           // unconditional backtrack
+
+  // Choice (inserted by the linker).
+  kTryMeElse,      // c=else target: push CP resuming at c, fall through
+  kRetryMeElse,    // c=else target: update CP resume, fall through
+  kTrustMe,        // pop CP, fall through
+  kTry,            // c=clause target: push CP resuming at next instruction
+  kRetry,          // c=clause target: update CP resume to next instruction
+  kTrust,          // c=clause target: pop CP, jump
+
+  // First-argument indexing (inserted by the linker; paper §3.2.2:
+  // "indexing on type and value is supported").
+  kSwitchOnTerm,     // c=switch table id (uses the five type targets)
+  kSwitchOnConstant, // c=table id (entries keyed by atom SymbolId)
+  kSwitchOnInteger,  // c=table id (entries keyed by immediate bits)
+  kSwitchOnStructure,// c=table id (entries keyed by functor SymbolId)
+
+  kJump,           // c=target (within the same code object)
+  kHalt,           // top-level sentinel: a solution has been derived
+};
+
+/// Jump target meaning "backtrack" in switch tables.
+inline constexpr uint32_t kFailTarget = 0xFFFFFFFFu;
+
+/// One fixed-size WAM instruction.
+struct Instruction {
+  Opcode op;
+  uint8_t a = 0;    // argument register index
+  uint16_t b = 0;   // second register / arity / count
+  uint32_t c = 0;   // symbol id / builtin id / code offset / table id
+  uint64_t imm = 0; // immediate integer value or double bits
+
+  static Instruction Make(Opcode op, uint8_t a = 0, uint16_t b = 0,
+                          uint32_t c = 0, uint64_t imm = 0) {
+    return Instruction{op, a, b, c, imm};
+  }
+};
+
+/// Dispatch table of switch instructions.
+struct SwitchTable {
+  // kSwitchOnTerm targets by dereferenced argument type.
+  uint32_t on_var = kFailTarget;
+  uint32_t on_atom = kFailTarget;
+  uint32_t on_number = kFailTarget;
+  uint32_t on_list = kFailTarget;
+  uint32_t on_struct = kFailTarget;
+  // kSwitchOnConstant/Integer/Structure value dispatch.
+  std::unordered_map<uint64_t, uint32_t> entries;
+  uint32_t default_target = kFailTarget;
+};
+
+/// The type+value index key of a clause head's first argument
+/// (paper §3.2.2: index "according to data type and value").
+struct IndexKey {
+  enum class Type : uint8_t { kVar, kAtom, kInt, kFloat, kList, kStruct };
+  Type type = Type::kVar;
+  uint64_t value = 0;  // SymbolId / int bits / double bits; unused for
+                       // kVar and kList
+};
+
+/// Compiled code of a single clause, exactly as storable in the EDB: no
+/// inter-clause control, symbol operands are dictionary ids (made relative
+/// to the external dictionary by edb::CodeTranslator when stored).
+struct ClauseCode {
+  std::vector<Instruction> code;
+  uint32_t num_permanent = 0;  // Y slots if an environment is needed
+  bool needs_environment = false;
+  IndexKey key;                // first-argument index key
+};
+
+/// Executable procedure code: clause code concatenated with the control
+/// and indexing instructions the linker added. Immutable once built;
+/// shared_ptr-held so in-flight executions survive relinking.
+struct LinkedCode {
+  std::vector<Instruction> code;
+  std::vector<SwitchTable> tables;
+  dict::SymbolId functor = dict::kInvalidSymbol;
+  uint32_t arity = 0;
+  /// Clause entry offsets, for disassembly and tests.
+  std::vector<uint32_t> clause_offsets;
+};
+
+/// Renders code for debugging and golden tests.
+std::string Disassemble(const dict::Dictionary& dictionary,
+                        const std::vector<Instruction>& code,
+                        const std::vector<SwitchTable>* tables = nullptr);
+
+/// Adds every dictionary symbol referenced by `code` to `out` (dictionary
+/// garbage collection, paper §3.3). Switch-table keys need not be walked:
+/// every key symbol also appears as an instruction operand in the clause
+/// it dispatches to.
+void CollectSymbols(const std::vector<Instruction>& code,
+                    std::set<dict::SymbolId>* out);
+
+}  // namespace educe::wam
+
+#endif  // EDUCE_WAM_CODE_H_

@@ -1,0 +1,672 @@
+#include "wam/compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "term/cell.h"
+#include "wam/program.h"
+
+namespace educe::wam {
+
+namespace {
+
+// Floats are compared (and indexed) in the machine's truncated tagged-cell
+// representation, so compiled immediates must use the same bits.
+uint64_t DoubleBits(double d) { return term::Cell::FloatBits(d); }
+
+/// Collects the variable indices occurring in `t` into `out`.
+void VarsOf(const term::Ast& t, std::set<uint32_t>* out) {
+  if (t.kind == term::Ast::Kind::kVar) {
+    out->insert(t.var_index);
+    return;
+  }
+  for (const auto& arg : t.args) VarsOf(*arg, out);
+}
+
+}  // namespace
+
+IndexKey KeyOfHeadArg(const term::Ast& head, const dict::Dictionary& dict) {
+  IndexKey key;
+  if (head.args.empty()) return key;  // arity 0: no index
+  const term::Ast& arg = *head.args[0];
+  switch (arg.kind) {
+    case term::Ast::Kind::kVar:
+      key.type = IndexKey::Type::kVar;
+      break;
+    case term::Ast::Kind::kAtom:
+      key.type = IndexKey::Type::kAtom;
+      key.value = arg.functor;
+      break;
+    case term::Ast::Kind::kInt:
+      key.type = IndexKey::Type::kInt;
+      key.value = static_cast<uint64_t>(arg.int_value);
+      break;
+    case term::Ast::Kind::kFloat:
+      key.type = IndexKey::Type::kFloat;
+      key.value = DoubleBits(arg.float_value);
+      break;
+    case term::Ast::Kind::kStruct:
+      if (arg.args.size() == 2 && dict.IsLive(arg.functor) &&
+          dict.NameOf(arg.functor) == ".") {
+        key.type = IndexKey::Type::kList;
+      } else {
+        key.type = IndexKey::Type::kStruct;
+        key.value = arg.functor;
+      }
+      break;
+  }
+  return key;
+}
+
+/// Per-clause compilation state. Translates one normalized clause (head +
+/// flat list of goals) into ClauseCode.
+class ClauseContext {
+ public:
+  ClauseContext(Compiler* compiler, dict::Dictionary* dictionary,
+                const BuiltinTable* builtins)
+      : compiler_(compiler), dictionary_(dictionary), builtins_(builtins) {}
+
+  base::Result<std::vector<CompiledClause>> CompileClause(
+      const term::AstPtr& clause);
+
+ private:
+  // A body goal after normalization: a callable term, a cut, or control
+  // handled via an auxiliary predicate call.
+  struct Goal {
+    term::AstPtr term;  // callable (atom or struct); null for cut
+    bool is_cut = false;
+  };
+
+  enum class VarHome : uint8_t { kTemp, kPerm };
+  struct VarSlot {
+    VarHome home = VarHome::kTemp;
+    uint16_t reg = 0;   // X or Y index
+    bool seen = false;  // emitted first-occurrence instruction yet
+  };
+
+  // --- normalization ---------------------------------------------------
+  base::Status NormalizeGoal(const term::AstPtr& goal,
+                             const std::set<uint32_t>& outside_vars,
+                             std::vector<Goal>* out);
+  base::Status FlattenBody(const term::AstPtr& body,
+                           std::vector<term::AstPtr>* conjuncts);
+  // Builds an auxiliary predicate for a control construct; returns the
+  // call goal replacing it. Its clauses are queued for compilation.
+  base::Result<term::AstPtr> MakeAux(
+      const std::vector<std::vector<term::AstPtr>>& clause_bodies,
+      const std::set<uint32_t>& shared_vars);
+
+  std::string_view NameOf(dict::SymbolId id) const {
+    return dictionary_->NameOf(id);
+  }
+  bool IsFunctor(const term::Ast& t, std::string_view name,
+                 size_t arity) const {
+    return t.kind == term::Ast::Kind::kStruct && t.args.size() == arity &&
+           dictionary_->IsLive(t.functor) && NameOf(t.functor) == name;
+  }
+  bool IsAtomNamed(const term::Ast& t, std::string_view name) const {
+    return t.kind == term::Ast::Kind::kAtom && dictionary_->IsLive(t.functor) &&
+           NameOf(t.functor) == name;
+  }
+  bool IsListCell(const term::Ast& t) const { return IsFunctor(t, ".", 2); }
+
+  // --- register allocation ---------------------------------------------
+  void ClassifyVariables(const term::Ast& head, const std::vector<Goal>& goals);
+  uint16_t FreshTemp() { return next_temp_++; }
+
+  // --- code generation ---------------------------------------------------
+  void Emit(Instruction instr) { code_.push_back(instr); }
+  base::Status GenHead(const term::Ast& head);
+  base::Status GenHeadArg(uint8_t ai, const term::Ast& arg);
+  // Emits get-structure/list subterm stream; nested compounds are deferred
+  // as (temp register, subterm) pairs processed breadth-first.
+  void GenUnifySubterm(const term::Ast& sub,
+                       std::vector<std::pair<uint16_t, const term::Ast*>>* defer);
+  base::Status GenGoalArgs(const term::Ast& goal);
+  // Builds a compound term bottom-up into a fresh temp register.
+  uint16_t GenBuild(const term::Ast& t);
+  void GenPutVar(uint8_t ai, const term::Ast& var);
+  void GenUnifyBuildArg(const term::Ast& sub,
+                        const std::map<const term::Ast*, uint16_t>& built);
+
+  Compiler* compiler_;
+  dict::Dictionary* dictionary_;
+  const BuiltinTable* builtins_;
+
+  std::vector<Instruction> code_;
+  std::map<uint32_t, VarSlot> vars_;
+  uint16_t next_temp_ = 0;
+  uint32_t num_perm_ = 0;
+  bool has_cut_ = false;
+  bool needs_env_ = false;
+  uint16_t cut_slot_ = 0;
+
+  // Aux clauses produced while normalizing; compiled after the main one.
+  std::vector<term::AstPtr> pending_aux_;
+};
+
+base::Status ClauseContext::FlattenBody(const term::AstPtr& body,
+                                        std::vector<term::AstPtr>* conjuncts) {
+  if (IsFunctor(*body, ",", 2)) {
+    EDUCE_RETURN_IF_ERROR(FlattenBody(body->args[0], conjuncts));
+    return FlattenBody(body->args[1], conjuncts);
+  }
+  conjuncts->push_back(body);
+  return base::Status::OK();
+}
+
+base::Result<term::AstPtr> ClauseContext::MakeAux(
+    const std::vector<std::vector<term::AstPtr>>& clause_bodies,
+    const std::set<uint32_t>& shared_vars) {
+  // Call-site arguments: the shared variables in index order.
+  std::vector<term::AstPtr> args;
+  for (uint32_t v : shared_vars) args.push_back(term::MakeVar(v, ""));
+
+  std::string name = "$aux" + std::to_string((*compiler_->aux_counter_)++);
+  EDUCE_ASSIGN_OR_RETURN(
+      dict::SymbolId functor,
+      dictionary_->Intern(name, static_cast<uint32_t>(args.size())));
+  ++compiler_->stats_.aux_predicates;
+
+  EDUCE_ASSIGN_OR_RETURN(dict::SymbolId neck, dictionary_->Intern(":-", 2));
+  EDUCE_ASSIGN_OR_RETURN(dict::SymbolId comma, dictionary_->Intern(",", 2));
+
+  term::AstPtr head = args.empty() ? term::MakeAtom(functor)
+                                   : term::MakeStruct(functor, args);
+  for (const auto& body_goals : clause_bodies) {
+    if (body_goals.empty()) {
+      pending_aux_.push_back(head);
+      continue;
+    }
+    term::AstPtr body = body_goals.back();
+    for (size_t i = body_goals.size() - 1; i-- > 0;) {
+      body = term::MakeStruct(comma, {body_goals[i], body});
+    }
+    pending_aux_.push_back(term::MakeStruct(neck, {head, body}));
+  }
+  return head;  // the replacement call goal
+}
+
+base::Status ClauseContext::NormalizeGoal(
+    const term::AstPtr& goal, const std::set<uint32_t>& outside_vars,
+    std::vector<Goal>* out) {
+  const term::Ast& g = *goal;
+
+  if (g.kind == term::Ast::Kind::kVar) {
+    // Variable goal: metacall.
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId call1, dictionary_->Intern("call", 1));
+    out->push_back(Goal{term::MakeStruct(call1, {goal}), false});
+    return base::Status::OK();
+  }
+  if (g.kind == term::Ast::Kind::kInt || g.kind == term::Ast::Kind::kFloat) {
+    return base::Status::TypeError("number is not a callable goal");
+  }
+  if (IsAtomNamed(g, "!")) {
+    has_cut_ = true;
+    out->push_back(Goal{nullptr, true});
+    return base::Status::OK();
+  }
+  if (IsAtomNamed(g, "true")) return base::Status::OK();
+
+  auto shared_with_outside = [&](std::initializer_list<const term::AstPtr*>
+                                     parts) {
+    std::set<uint32_t> inside;
+    for (const term::AstPtr* part : parts) VarsOf(**part, &inside);
+    std::set<uint32_t> shared;
+    for (uint32_t v : inside) {
+      if (outside_vars.count(v)) shared.insert(v);
+    }
+    return shared;
+  };
+
+  if (IsFunctor(g, ";", 2)) {
+    const term::AstPtr& left = g.args[0];
+    const term::AstPtr& right = g.args[1];
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId cut_atom, dictionary_->Intern("!", 0));
+    if (IsFunctor(*left, "->", 2)) {
+      // (C -> T ; E): aux :- C, !, T.  aux :- E.
+      auto shared = shared_with_outside({&left->args[0], &left->args[1], &right});
+      EDUCE_ASSIGN_OR_RETURN(
+          term::AstPtr call,
+          MakeAux({{left->args[0], term::MakeAtom(cut_atom), left->args[1]},
+                   {right}},
+                  shared));
+      out->push_back(Goal{call, false});
+      return base::Status::OK();
+    }
+    auto shared = shared_with_outside({&left, &right});
+    EDUCE_ASSIGN_OR_RETURN(term::AstPtr call,
+                           MakeAux({{left}, {right}}, shared));
+    out->push_back(Goal{call, false});
+    return base::Status::OK();
+  }
+  if (IsFunctor(g, "->", 2)) {
+    // Bare if-then: (C -> T) == (C -> T ; fail).
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId cut_atom, dictionary_->Intern("!", 0));
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId fail_atom,
+                           dictionary_->Intern("fail", 0));
+    auto shared = shared_with_outside({&g.args[0], &g.args[1]});
+    EDUCE_ASSIGN_OR_RETURN(
+        term::AstPtr call,
+        MakeAux({{g.args[0], term::MakeAtom(cut_atom), g.args[1]},
+                 {term::MakeAtom(fail_atom)}},
+                shared));
+    out->push_back(Goal{call, false});
+    return base::Status::OK();
+  }
+  if (IsFunctor(g, "\\+", 1) || IsFunctor(g, "not", 1)) {
+    // \+ G: aux :- G, !, fail.  aux.
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId cut_atom, dictionary_->Intern("!", 0));
+    EDUCE_ASSIGN_OR_RETURN(dict::SymbolId fail_atom,
+                           dictionary_->Intern("fail", 0));
+    auto shared = shared_with_outside({&g.args[0]});
+    EDUCE_ASSIGN_OR_RETURN(
+        term::AstPtr call,
+        MakeAux({{g.args[0], term::MakeAtom(cut_atom),
+                  term::MakeAtom(fail_atom)},
+                 {}},
+                shared));
+    out->push_back(Goal{call, false});
+    return base::Status::OK();
+  }
+
+  out->push_back(Goal{goal, false});
+  return base::Status::OK();
+}
+
+void ClauseContext::ClassifyVariables(const term::Ast& head,
+                                      const std::vector<Goal>& goals) {
+  // Unit 0 is the head merged with the first real goal; each later goal is
+  // its own unit. A variable occurring in more than one unit is permanent.
+  std::vector<std::set<uint32_t>> units;
+  units.emplace_back();
+  VarsOf(head, &units.back());
+  bool first_goal = true;
+  for (const Goal& goal : goals) {
+    if (goal.is_cut) continue;
+    if (first_goal) {
+      VarsOf(*goal.term, &units.back());
+      first_goal = false;
+    } else {
+      units.emplace_back();
+      VarsOf(*goal.term, &units.back());
+    }
+  }
+
+  std::map<uint32_t, int> unit_count;
+  for (const auto& unit : units) {
+    for (uint32_t v : unit) ++unit_count[v];
+  }
+
+  // Permanent slots numbered in order of first occurrence (iteration over
+  // units preserves textual order closely enough; exact order irrelevant).
+  uint32_t next_perm = 0;
+  for (const auto& unit : units) {
+    for (uint32_t v : unit) {
+      if (vars_.count(v)) continue;
+      VarSlot slot;
+      if (unit_count[v] > 1) {
+        slot.home = VarHome::kPerm;
+        slot.reg = static_cast<uint16_t>(next_perm++);
+      }
+      vars_[v] = slot;
+    }
+  }
+  num_perm_ = next_perm;
+
+  size_t real_goals = 0;
+  for (const Goal& g : goals) {
+    if (!g.is_cut) ++real_goals;
+  }
+  needs_env_ = has_cut_ || real_goals > 1 || num_perm_ > 0;
+  if (has_cut_) {
+    cut_slot_ = static_cast<uint16_t>(num_perm_);
+    ++num_perm_;
+  }
+
+  // Temporary registers start above every argument-register window.
+  uint32_t base = head.arity();
+  for (const Goal& goal : goals) {
+    if (!goal.is_cut) base = std::max(base, goal.term->arity());
+  }
+  next_temp_ = static_cast<uint16_t>(base);
+  for (auto& [v, slot] : vars_) {
+    if (slot.home == VarHome::kTemp) slot.reg = FreshTemp();
+  }
+}
+
+void ClauseContext::GenUnifySubterm(
+    const term::Ast& sub,
+    std::vector<std::pair<uint16_t, const term::Ast*>>* defer) {
+  switch (sub.kind) {
+    case term::Ast::Kind::kVar: {
+      VarSlot& slot = vars_[sub.var_index];
+      Opcode op;
+      if (!slot.seen) {
+        slot.seen = true;
+        op = slot.home == VarHome::kTemp ? Opcode::kUnifyVariableX
+                                         : Opcode::kUnifyVariableY;
+      } else {
+        op = slot.home == VarHome::kTemp ? Opcode::kUnifyValueX
+                                         : Opcode::kUnifyValueY;
+      }
+      Emit(Instruction::Make(op, 0, slot.reg));
+      return;
+    }
+    case term::Ast::Kind::kAtom:
+      Emit(Instruction::Make(Opcode::kUnifyConstant, 0, 0, sub.functor));
+      return;
+    case term::Ast::Kind::kInt:
+      Emit(Instruction::Make(Opcode::kUnifyInteger, 0, 0, 0,
+                             static_cast<uint64_t>(sub.int_value)));
+      return;
+    case term::Ast::Kind::kFloat:
+      Emit(Instruction::Make(Opcode::kUnifyFloat, 0, 0, 0,
+                             DoubleBits(sub.float_value)));
+      return;
+    case term::Ast::Kind::kStruct: {
+      const uint16_t temp = FreshTemp();
+      Emit(Instruction::Make(Opcode::kUnifyVariableX, 0, temp));
+      defer->emplace_back(temp, &sub);
+      return;
+    }
+  }
+}
+
+base::Status ClauseContext::GenHeadArg(uint8_t ai, const term::Ast& arg) {
+  switch (arg.kind) {
+    case term::Ast::Kind::kVar: {
+      VarSlot& slot = vars_[arg.var_index];
+      Opcode op;
+      if (!slot.seen) {
+        slot.seen = true;
+        op = slot.home == VarHome::kTemp ? Opcode::kGetVariableX
+                                         : Opcode::kGetVariableY;
+      } else {
+        op = slot.home == VarHome::kTemp ? Opcode::kGetValueX
+                                         : Opcode::kGetValueY;
+      }
+      Emit(Instruction::Make(op, ai, slot.reg));
+      return base::Status::OK();
+    }
+    case term::Ast::Kind::kAtom:
+      Emit(Instruction::Make(Opcode::kGetConstant, ai, 0, arg.functor));
+      return base::Status::OK();
+    case term::Ast::Kind::kInt:
+      Emit(Instruction::Make(Opcode::kGetInteger, ai, 0, 0,
+                             static_cast<uint64_t>(arg.int_value)));
+      return base::Status::OK();
+    case term::Ast::Kind::kFloat:
+      Emit(Instruction::Make(Opcode::kGetFloat, ai, 0, 0,
+                             DoubleBits(arg.float_value)));
+      return base::Status::OK();
+    case term::Ast::Kind::kStruct: {
+      // Breadth-first flattening: nested compounds bind fresh temps via
+      // kUnifyVariableX, then get their own get_structure/list block.
+      std::vector<std::pair<uint16_t, const term::Ast*>> defer;
+      if (IsListCell(arg)) {
+        Emit(Instruction::Make(Opcode::kGetList, ai));
+      } else {
+        Emit(Instruction::Make(Opcode::kGetStructure, ai,
+                               static_cast<uint16_t>(arg.args.size()),
+                               arg.functor));
+      }
+      for (const auto& sub : arg.args) GenUnifySubterm(*sub, &defer);
+      for (size_t i = 0; i < defer.size(); ++i) {
+        auto [reg, node] = defer[i];
+        if (IsListCell(*node)) {
+          Emit(Instruction::Make(Opcode::kGetList,
+                                 static_cast<uint8_t>(reg)));
+        } else {
+          Emit(Instruction::Make(Opcode::kGetStructure,
+                                 static_cast<uint8_t>(reg),
+                                 static_cast<uint16_t>(node->args.size()),
+                                 node->functor));
+        }
+        for (const auto& sub : node->args) GenUnifySubterm(*sub, &defer);
+      }
+      return base::Status::OK();
+    }
+  }
+  return base::Status::Internal("unreachable head arg kind");
+}
+
+base::Status ClauseContext::GenHead(const term::Ast& head) {
+  if (head.arity() > 200) {
+    return base::Status::ResourceExhausted("head arity exceeds register file");
+  }
+  for (uint32_t i = 0; i < head.arity(); ++i) {
+    EDUCE_RETURN_IF_ERROR(GenHeadArg(static_cast<uint8_t>(i), *head.args[i]));
+  }
+  return base::Status::OK();
+}
+
+void ClauseContext::GenPutVar(uint8_t ai, const term::Ast& var) {
+  VarSlot& slot = vars_[var.var_index];
+  Opcode op;
+  if (!slot.seen) {
+    slot.seen = true;
+    op = slot.home == VarHome::kTemp ? Opcode::kPutVariableX
+                                     : Opcode::kPutVariableY;
+  } else {
+    op = slot.home == VarHome::kTemp ? Opcode::kPutValueX
+                                     : Opcode::kPutValueY;
+  }
+  Emit(Instruction::Make(op, ai, slot.reg));
+}
+
+void ClauseContext::GenUnifyBuildArg(
+    const term::Ast& sub, const std::map<const term::Ast*, uint16_t>& built) {
+  switch (sub.kind) {
+    case term::Ast::Kind::kVar: {
+      VarSlot& slot = vars_[sub.var_index];
+      Opcode op;
+      if (!slot.seen) {
+        slot.seen = true;
+        op = slot.home == VarHome::kTemp ? Opcode::kUnifyVariableX
+                                         : Opcode::kUnifyVariableY;
+      } else {
+        op = slot.home == VarHome::kTemp ? Opcode::kUnifyValueX
+                                         : Opcode::kUnifyValueY;
+      }
+      Emit(Instruction::Make(op, 0, slot.reg));
+      return;
+    }
+    case term::Ast::Kind::kAtom:
+      Emit(Instruction::Make(Opcode::kUnifyConstant, 0, 0, sub.functor));
+      return;
+    case term::Ast::Kind::kInt:
+      Emit(Instruction::Make(Opcode::kUnifyInteger, 0, 0, 0,
+                             static_cast<uint64_t>(sub.int_value)));
+      return;
+    case term::Ast::Kind::kFloat:
+      Emit(Instruction::Make(Opcode::kUnifyFloat, 0, 0, 0,
+                             DoubleBits(sub.float_value)));
+      return;
+    case term::Ast::Kind::kStruct:
+      Emit(Instruction::Make(Opcode::kUnifyValueX, 0, built.at(&sub)));
+      return;
+  }
+}
+
+uint16_t ClauseContext::GenBuild(const term::Ast& t) {
+  assert(t.kind == term::Ast::Kind::kStruct);
+  // Post-order: build compound children first, record their registers.
+  std::map<const term::Ast*, uint16_t> built;
+  for (const auto& sub : t.args) {
+    if (sub->kind == term::Ast::Kind::kStruct) {
+      built[sub.get()] = GenBuild(*sub);
+    }
+  }
+  const uint16_t reg = FreshTemp();
+  if (IsListCell(t)) {
+    Emit(Instruction::Make(Opcode::kPutList, static_cast<uint8_t>(reg)));
+  } else {
+    Emit(Instruction::Make(Opcode::kPutStructure, static_cast<uint8_t>(reg),
+                           static_cast<uint16_t>(t.args.size()), t.functor));
+  }
+  for (const auto& sub : t.args) GenUnifyBuildArg(*sub, built);
+  return reg;
+}
+
+base::Status ClauseContext::GenGoalArgs(const term::Ast& goal) {
+  if (goal.arity() > 200) {
+    return base::Status::ResourceExhausted("goal arity exceeds register file");
+  }
+  if (next_temp_ > 230) {
+    return base::Status::ResourceExhausted("clause too complex for register file");
+  }
+  // Pass 1: build compound arguments into temps (children before parents
+  // keeps write-mode heap construction bottom-up).
+  std::map<size_t, uint16_t> compound_regs;
+  for (size_t i = 0; i < goal.args.size(); ++i) {
+    if (goal.args[i]->kind == term::Ast::Kind::kStruct) {
+      compound_regs[i] = GenBuild(*goal.args[i]);
+    }
+  }
+  // Pass 2: load argument registers.
+  for (size_t i = 0; i < goal.args.size(); ++i) {
+    const uint8_t ai = static_cast<uint8_t>(i);
+    const term::Ast& arg = *goal.args[i];
+    switch (arg.kind) {
+      case term::Ast::Kind::kVar:
+        GenPutVar(ai, arg);
+        break;
+      case term::Ast::Kind::kAtom:
+        Emit(Instruction::Make(Opcode::kPutConstant, ai, 0, arg.functor));
+        break;
+      case term::Ast::Kind::kInt:
+        Emit(Instruction::Make(Opcode::kPutInteger, ai, 0, 0,
+                               static_cast<uint64_t>(arg.int_value)));
+        break;
+      case term::Ast::Kind::kFloat:
+        Emit(Instruction::Make(Opcode::kPutFloat, ai, 0, 0,
+                               DoubleBits(arg.float_value)));
+        break;
+      case term::Ast::Kind::kStruct:
+        Emit(Instruction::Make(Opcode::kPutValueX, ai, compound_regs[i]));
+        break;
+    }
+  }
+  return base::Status::OK();
+}
+
+base::Result<std::vector<CompiledClause>> ClauseContext::CompileClause(
+    const term::AstPtr& clause) {
+  // Split H :- B.
+  term::AstPtr head = clause;
+  term::AstPtr body;
+  if (IsFunctor(*clause, ":-", 2)) {
+    head = clause->args[0];
+    body = clause->args[1];
+  }
+  if (!head->IsCallable()) {
+    return base::Status::TypeError("clause head must be an atom or compound");
+  }
+
+  // Flatten + normalize the body. Control constructs become aux calls;
+  // aux clause ASTs accumulate in pending_aux_.
+  std::vector<Goal> goals;
+  if (body != nullptr) {
+    std::vector<term::AstPtr> conjuncts;
+    EDUCE_RETURN_IF_ERROR(FlattenBody(body, &conjuncts));
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      // Variables shared with anything outside this conjunct.
+      std::set<uint32_t> outside;
+      VarsOf(*head, &outside);
+      for (size_t j = 0; j < conjuncts.size(); ++j) {
+        if (j != i) VarsOf(*conjuncts[j], &outside);
+      }
+      EDUCE_RETURN_IF_ERROR(NormalizeGoal(conjuncts[i], outside, &goals));
+    }
+  }
+
+  ClassifyVariables(*head, goals);
+
+  ClauseCode out;
+  if (needs_env_) {
+    Emit(Instruction::Make(Opcode::kAllocate, 0,
+                           static_cast<uint16_t>(num_perm_)));
+    if (has_cut_) {
+      Emit(Instruction::Make(Opcode::kGetLevel, 0, cut_slot_));
+    }
+  }
+  EDUCE_RETURN_IF_ERROR(GenHead(*head));
+
+  for (size_t i = 0; i < goals.size(); ++i) {
+    const Goal& goal = goals[i];
+    if (goal.is_cut) {
+      Emit(Instruction::Make(Opcode::kCut, 0, cut_slot_));
+      continue;
+    }
+    const term::Ast& g = *goal.term;
+    EDUCE_RETURN_IF_ERROR(GenGoalArgs(g));
+
+    std::optional<uint32_t> builtin;
+    if (dictionary_->IsLive(g.functor)) {
+      builtin = builtins_->Find(g.functor);
+    }
+    // Last-call optimization only applies to the literally last goal.
+    const bool is_last = i == goals.size() - 1;
+
+    if (builtin) {
+      Emit(Instruction::Make(Opcode::kBuiltin, 0,
+                             static_cast<uint16_t>(g.arity()), *builtin));
+      // Builtins return inline; close the clause if nothing follows.
+      if (is_last) {
+        if (needs_env_) Emit(Instruction::Make(Opcode::kDeallocate));
+        Emit(Instruction::Make(Opcode::kProceed));
+      }
+    } else if (is_last) {
+      if (needs_env_) Emit(Instruction::Make(Opcode::kDeallocate));
+      Emit(Instruction::Make(Opcode::kExecute, 0,
+                             static_cast<uint16_t>(g.arity()), g.functor));
+    } else {
+      Emit(Instruction::Make(Opcode::kCall, 0,
+                             static_cast<uint16_t>(g.arity()), g.functor));
+    }
+  }
+
+  // Fact, all-cut body, or trailing cut: close with proceed.
+  if (code_.empty() || (code_.back().op != Opcode::kProceed &&
+                        code_.back().op != Opcode::kExecute)) {
+    if (needs_env_) Emit(Instruction::Make(Opcode::kDeallocate));
+    Emit(Instruction::Make(Opcode::kProceed));
+  }
+
+  out.code = std::move(code_);
+  out.num_permanent = num_perm_;
+  out.needs_environment = needs_env_;
+  out.key = KeyOfHeadArg(*head, *dictionary_);
+
+  compiler_->stats_.clauses_compiled += 1;
+  compiler_->stats_.instructions_emitted += out.code.size();
+
+  std::vector<CompiledClause> results;
+  CompiledClause main;
+  main.functor = head->functor;
+  main.arity = head->arity();
+  main.code = std::move(out);
+  main.source = clause;
+  results.push_back(std::move(main));
+
+  // Compile queued auxiliary clauses (they may queue more).
+  for (const term::AstPtr& aux : pending_aux_) {
+    ClauseContext sub(compiler_, dictionary_, builtins_);
+    EDUCE_ASSIGN_OR_RETURN(std::vector<CompiledClause> aux_compiled,
+                           sub.CompileClause(aux));
+    for (auto& c : aux_compiled) results.push_back(std::move(c));
+  }
+  return results;
+}
+
+base::Result<std::vector<CompiledClause>> Compiler::Compile(
+    const term::AstPtr& clause) {
+  ClauseContext context(this, dictionary_, builtins_);
+  return context.CompileClause(clause);
+}
+
+}  // namespace educe::wam

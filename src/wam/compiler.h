@@ -1,0 +1,73 @@
+#ifndef EDUCE_WAM_COMPILER_H_
+#define EDUCE_WAM_COMPILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.h"
+#include "dict/dictionary.h"
+#include "term/ast.h"
+#include "wam/code.h"
+
+namespace educe::wam {
+
+class BuiltinTable;
+
+/// One compiled predicate-clause produced by the compiler: the clause the
+/// user wrote, or an auxiliary predicate extracted from a control
+/// construct in its body ((A;B), (C->T;E), \+G).
+struct CompiledClause {
+  dict::SymbolId functor = dict::kInvalidSymbol;
+  uint32_t arity = 0;
+  ClauseCode code;
+  /// The (normalized) source clause, retained for dynamic predicates
+  /// (retract/listing) and for Educe source mode.
+  term::AstPtr source;
+};
+
+/// Statistics for the compiler-split benchmark (paper §3.1: ~90% of
+/// compile time is lexing/parsing/memory, ~10% code generation).
+struct CompilerStats {
+  uint64_t clauses_compiled = 0;
+  uint64_t instructions_emitted = 0;
+  uint64_t aux_predicates = 0;
+};
+
+/// The incremental clause compiler (paper §3.1 component 1): translates
+/// one clause at a time into WAM code whose symbol operands are internal
+/// dictionary ids. It emits *no* inter-clause control — try/retry/trust
+/// and switch instructions are the linker's job (paper: the dynamic
+/// loader "adds procedural and other forms of control code").
+class Compiler {
+ public:
+  /// `dictionary` and `builtins` must outlive the compiler. `aux_counter`
+  /// provides process-unique suffixes for auxiliary predicate names.
+  Compiler(dict::Dictionary* dictionary, const BuiltinTable* builtins,
+           uint64_t* aux_counter)
+      : dictionary_(dictionary), builtins_(builtins),
+        aux_counter_(aux_counter) {}
+
+  /// Compiles `clause` — a fact `H`, a rule `H :- B`, or a directive
+  /// passed as a rule with reserved head. Returns the main clause first,
+  /// followed by any auxiliary clauses its body required.
+  base::Result<std::vector<CompiledClause>> Compile(const term::AstPtr& clause);
+
+  const CompilerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CompilerStats{}; }
+
+ private:
+  friend class ClauseContext;
+
+  dict::Dictionary* dictionary_;
+  const BuiltinTable* builtins_;
+  uint64_t* aux_counter_;
+  CompilerStats stats_;
+};
+
+/// Computes the first-argument index key of a clause head (paper §3.2.2:
+/// indexing on the type *and* value of the first argument).
+IndexKey KeyOfHeadArg(const term::Ast& head, const dict::Dictionary& dict);
+
+}  // namespace educe::wam
+
+#endif  // EDUCE_WAM_COMPILER_H_

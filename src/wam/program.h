@@ -1,0 +1,177 @@
+#ifndef EDUCE_WAM_PROGRAM_H_
+#define EDUCE_WAM_PROGRAM_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "dict/dictionary.h"
+#include "term/ast.h"
+#include "wam/code.h"
+#include "wam/compiler.h"
+
+namespace educe::wam {
+
+class Machine;
+
+/// Result of one builtin invocation.
+enum class BuiltinResult : uint8_t {
+  kTrue,      // succeeded (possibly leaving a generator choice point)
+  kFalse,     // failed: backtrack
+  kError,     // machine->TakeBuiltinError() holds the Status
+  kTailCall,  // machine->pending_call() names a predicate to call next
+};
+
+/// A builtin: arguments are in the machine's argument registers X0..Xn-1.
+using BuiltinFn = std::function<BuiltinResult(Machine*, uint32_t arity)>;
+
+/// Registry of builtin predicates, keyed by interned functor.
+class BuiltinTable {
+ public:
+  explicit BuiltinTable(dict::Dictionary* dictionary)
+      : dictionary_(dictionary) {}
+
+  /// Registers `name`/`arity`; returns the builtin id compiled into
+  /// kBuiltin instructions.
+  base::Result<uint32_t> Register(std::string_view name, uint32_t arity,
+                                  BuiltinFn fn);
+
+  /// Id for a functor, if it names a builtin.
+  std::optional<uint32_t> Find(dict::SymbolId functor) const;
+
+  const BuiltinFn& fn(uint32_t id) const { return entries_[id].fn; }
+  const std::string& name(uint32_t id) const { return entries_[id].name; }
+  uint32_t arity(uint32_t id) const { return entries_[id].arity; }
+
+  /// Every functor with a registered builtin (dictionary GC roots).
+  std::vector<dict::SymbolId> RegisteredFunctors() const {
+    std::vector<dict::SymbolId> out;
+    out.reserve(by_functor_.size());
+    for (const auto& [functor, id] : by_functor_) out.push_back(functor);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    uint32_t arity;
+    BuiltinFn fn;
+  };
+  dict::Dictionary* dictionary_;
+  std::vector<Entry> entries_;
+  std::unordered_map<dict::SymbolId, uint32_t> by_functor_;
+};
+
+/// Links clause code into an executable procedure, adding choice-point
+/// control and (optionally) first-argument type+value indexing — the
+/// main-memory half of the paper's dynamic loader (§3.1 component 2,
+/// §3.2.2). With `indexing` false a plain try/retry/trust chain over all
+/// clauses is produced (the Ablation C baseline).
+std::shared_ptr<const LinkedCode> LinkProcedure(
+    dict::SymbolId functor, uint32_t arity,
+    const std::vector<std::shared_ptr<const ClauseCode>>& clauses,
+    bool indexing);
+
+/// Counters for the linker and predicate store.
+struct ProgramStats {
+  uint64_t clauses_added = 0;
+  uint64_t links_performed = 0;
+  uint64_t asserts = 0;
+  uint64_t retracts = 0;
+};
+
+/// The in-memory predicate database: compiled clauses per functor, linked
+/// lazily into executable code. Linked code is shared_ptr-immutable so
+/// executions in flight survive assert/retract (relinking replaces the
+/// pointer, never mutates).
+class Program {
+ public:
+  explicit Program(dict::Dictionary* dictionary);
+
+  dict::Dictionary* dictionary() { return dictionary_; }
+  const dict::Dictionary& dictionary() const { return *dictionary_; }
+  BuiltinTable* builtins() { return &builtins_; }
+  const BuiltinTable& builtins() const { return builtins_; }
+  Compiler* compiler() { return &compiler_; }
+
+  /// One stored clause of a procedure.
+  struct StoredClause {
+    std::shared_ptr<const ClauseCode> code;
+    term::AstPtr source;  // normalized `H` or `':-'(H, B)`
+  };
+
+  /// One procedure.
+  struct Proc {
+    dict::SymbolId functor = dict::kInvalidSymbol;
+    uint32_t arity = 0;
+    std::vector<StoredClause> clauses;
+    std::shared_ptr<const LinkedCode> linked;  // null when dirty
+    bool is_dynamic = false;
+  };
+
+  /// Compiles and installs a clause (and any auxiliary clauses its body
+  /// needs). `front` prepends (asserta) instead of appending (assertz).
+  base::Status AddClause(const term::AstPtr& clause, bool front = false);
+
+  /// Compiles and installs every clause of `clauses`.
+  base::Status AddClauses(const std::vector<term::AstPtr>& clauses);
+
+  /// Installs an already-compiled clause (used by the EDB loader path).
+  base::Status AddCompiled(CompiledClause compiled, bool front = false);
+
+  /// Removes all clauses of `functor` (the baseline system's per-use
+  /// erase; also abolish/1).
+  base::Status EraseProcedure(dict::SymbolId functor);
+
+  /// Removes the `index`-th clause of `functor` (retract support).
+  base::Status EraseClause(dict::SymbolId functor, size_t index);
+
+  /// Marks a predicate dynamic (no-op placeholder for catalogs; clause
+  /// sources are always retained).
+  void DeclareDynamic(dict::SymbolId functor);
+
+  const Proc* Find(dict::SymbolId functor) const;
+  Proc* FindMutable(dict::SymbolId functor);
+
+  /// Executable code for `functor`, linking if dirty. NotFound if the
+  /// procedure does not exist.
+  base::Result<std::shared_ptr<const LinkedCode>> Linked(
+      dict::SymbolId functor);
+
+  /// Enables/disables first-argument indexing at link time (Ablation C).
+  /// Invalidates existing linked code.
+  void SetIndexingEnabled(bool enabled);
+  bool indexing_enabled() const { return indexing_enabled_; }
+
+  /// Interns and returns a fresh auxiliary/query functor id.
+  base::Result<dict::SymbolId> FreshFunctor(std::string_view prefix,
+                                            uint32_t arity);
+
+  /// Adds every dictionary symbol the predicate store references — clause
+  /// code operands, procedure functors, retained clause-source functors
+  /// and registered builtins — to `out` (dictionary GC roots, §3.3).
+  void CollectReferencedSymbols(std::set<dict::SymbolId>* out) const;
+
+  const ProgramStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ProgramStats{}; }
+
+ private:
+  dict::Dictionary* dictionary_;
+  BuiltinTable builtins_;
+  uint64_t aux_counter_ = 0;
+  Compiler compiler_;
+  std::unordered_map<dict::SymbolId, Proc> procs_;
+  bool indexing_enabled_ = true;
+  ProgramStats stats_;
+};
+
+}  // namespace educe::wam
+
+#endif  // EDUCE_WAM_PROGRAM_H_

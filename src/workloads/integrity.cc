@@ -1,0 +1,176 @@
+#include "workloads/integrity.h"
+
+#include "base/rng.h"
+
+namespace educe::workloads {
+
+namespace {
+
+std::string Emp(int i) { return "e" + std::to_string(i); }
+std::string Dept(int i) { return "d" + std::to_string(i % 12); }
+std::string Loc(int i) { return "loc" + std::to_string(i % 8); }
+
+}  // namespace
+
+IntegrityWorkload::IntegrityWorkload(Config config) : config_(config) {
+  base::Rng rng(config_.seed);
+
+  // --- facts ---------------------------------------------------------------
+  facts_.reserve(1u << 20);
+  // employee(Id, Name, Dept, Salary, Age, Mgr, Loc): ~4000 x 7 fields.
+  for (int i = 0; i < config_.employee_rows; ++i) {
+    facts_ += "employee(" + Emp(i) + ", name" + std::to_string(i) + ", " +
+              Dept(static_cast<int>(rng.Below(12))) + ", " +
+              std::to_string(30000 + 500 * (int)rng.Below(120)) + ", " +
+              std::to_string(21 + (int)rng.Below(44)) + ", " +
+              Emp(static_cast<int>(rng.Below(40))) + ", " +
+              Loc(static_cast<int>(rng.Below(8))) + ").\n";
+  }
+  // Fifteen small relations (1-2 fields, up to 20 tuples each).
+  for (int d = 0; d < 12; ++d) facts_ += "department(" + Dept(d) + ").\n";
+  for (int l = 0; l < 8; ++l) facts_ += "location(" + Loc(l) + ").\n";
+  for (int g = 1; g <= 5; ++g) {
+    facts_ += "grade(g" + std::to_string(g) + ", " +
+              std::to_string(30000 + g * 12000) + ").\n";
+  }
+  for (int p = 0; p < 20; ++p) {
+    facts_ += "project(p" + std::to_string(p) + ", " + Dept(p) + ").\n";
+  }
+  for (int s = 0; s < 10; ++s) facts_ += "skill(sk" + std::to_string(s) + ").\n";
+  for (int b = 0; b < 6; ++b) {
+    facts_ += "budget(" + Dept(b) + ", " + std::to_string(100000 * (b + 1)) +
+              ").\n";
+  }
+  for (int c = 0; c < 15; ++c) {
+    facts_ += "contract(ct" + std::to_string(c) + ").\n";
+  }
+  for (int h = 0; h < 18; ++h) {
+    facts_ += "holiday(h" + std::to_string(h) + ").\n";
+  }
+  for (int r = 0; r < 12; ++r) {
+    facts_ += "role(r" + std::to_string(r) + ").\n";
+  }
+  for (int t = 0; t < 9; ++t) facts_ += "team(t" + std::to_string(t) + ").\n";
+  for (int v = 0; v < 14; ++v) {
+    facts_ += "vehicle(v" + std::to_string(v) + ").\n";
+  }
+  for (int u = 0; u < 7; ++u) {
+    facts_ += "union_rep(" + Emp(u * 3) + ").\n";
+  }
+  for (int q = 0; q < 16; ++q) {
+    facts_ += "qualification(q" + std::to_string(q) + ", g" +
+              std::to_string(1 + q % 5) + ").\n";
+  }
+  for (int a = 0; a < 11; ++a) {
+    facts_ += "area(a" + std::to_string(a) + ").\n";
+  }
+  for (int m = 0; m < 13; ++m) {
+    facts_ += "machine(m" + std::to_string(m) + ", a" + std::to_string(m % 11) +
+              ").\n";
+  }
+  // One ~50 tuple relation with 2 fields.
+  for (int d = 0; d < 12; ++d) {
+    for (int l = 0; l < 4; ++l) {
+      facts_ +=
+          "dept_location(" + Dept(d) + ", " + Loc((d + l) % 8) + ").\n";
+    }
+  }
+
+  // --- seven rules -----------------------------------------------------------
+  rules_ = R"(
+emp_in(E, D) :- employee(E, _, D, _, _, _, _).
+mgr_of(E, M) :- employee(E, _, _, _, _, M, _).
+well_paid(E) :- employee(E, _, _, S, _, _, _), S > 60000.
+senior(E) :- employee(E, _, _, _, A, _, _), A >= 50.
+located(E, L) :- employee(E, _, _, _, _, _, L).
+colleagues(A, B) :- emp_in(A, D), emp_in(B, D), A \== B.
+chain(E, M2) :- mgr_of(E, M1), mgr_of(M1, M2).
+)";
+
+  // --- reified constraints ----------------------------------------------------
+  // Five base constraint schemas, each instantiated in
+  // `variants_per_constraint` variants over the departments/locations so
+  // that different updates match different subsets.
+  constraints_.reserve(1u << 18);
+  int id = 0;
+  for (int v = 0; v < config_.variants_per_constraint; ++v) {
+    const std::string dv = Dept(v);
+    const std::string lv = Loc(v);
+    // C1: every employee's department exists.
+    constraints_ += "constraint(" + std::to_string(id++) +
+                    ", [lit(employee(E, N, " + dv +
+                    ", S, A, M, L)), neg(department(" + dv + "))]).\n";
+    // C2: employees at a location require the department to be there.
+    constraints_ += "constraint(" + std::to_string(id++) +
+                    ", [lit(employee(E, N, D, S, A, M, " + lv +
+                    ")), lit(dept_location(D, " + lv +
+                    ")), neg(location(" + lv + "))]).\n";
+    // C3: salary band vs grade (two employee literals: managers earn more).
+    constraints_ += "constraint(" + std::to_string(id++) +
+                    ", [lit(employee(E, N, " + dv +
+                    ", S, A, M, L)), lit(employee(M, N2, " + dv +
+                    ", S2, A2, M2, L2)), lit(less(S2, S))]).\n";
+    // C4: seniority (ground age threshold varies per variant).
+    constraints_ += "constraint(" + std::to_string(id++) +
+                    ", [lit(employee(E, N, D, S, " +
+                    std::to_string(30 + v % 30) +
+                    ", M, L)), neg(grade(g" + std::to_string(1 + v % 5) +
+                    ", S))]).\n";
+    // C5: budget coverage with three literals.
+    constraints_ += "constraint(" + std::to_string(id++) +
+                    ", [lit(employee(E, N, " + dv +
+                    ", S, A, M, L)), lit(budget(" + dv +
+                    ", B)), lit(project(P, " + dv + "))]).\n";
+  }
+
+  // --- the preprocess (specialisation) program -------------------------------
+  // Bry-style: resolve the update against each positive body literal; the
+  // residue is the specialised constraint. Runs entirely on the rule/
+  // constraint representation — no fact access.
+  preprocess_ = R"(
+specialise(Update, spec(Id, P, Rest)) :-
+    constraint(Id, Body),
+    select(lit(P), Body, Rest),
+    copy_term(Update, U2),
+    P = U2.
+preprocess(Update, Specs) :-
+    findall(S, specialise(Update, S), Specs).
+spec_count(Update, N) :-
+    preprocess(Update, Specs),
+    length(Specs, N).
+)";
+
+  // --- the five updates, increasingly general --------------------------------
+  updates_ = {
+      // u1: fully ground insertion.
+      "employee(e17, name17, d3, 52000, 34, e4, loc2)",
+      // u2: known department, open attributes.
+      "employee(E, N, d3, S, A, M, L)",
+      // u3: known location only.
+      "employee(E, N, D, S, A, M, loc2)",
+      // u4: age bound only (matches every C4 variant with that age).
+      "employee(E, N, D, S, 34, M, L)",
+      // u5: fully general — matches every employee literal everywhere.
+      "employee(E, N, D, S, A, M, L)",
+  };
+}
+
+std::string IntegrityWorkload::PreprocessGoal(int k) const {
+  return "preprocess(" + updates_[k] + ", Specs)";
+}
+
+base::Status IntegrityWorkload::Setup(Engine* engine,
+                                      bool constraints_external) const {
+  EDUCE_RETURN_IF_ERROR(engine->StoreFactsExternal(facts_));
+  if (constraints_external) {
+    EDUCE_RETURN_IF_ERROR(engine->StoreRulesExternal(rules_));
+    EDUCE_RETURN_IF_ERROR(engine->StoreRulesExternal(constraints_));
+    EDUCE_RETURN_IF_ERROR(engine->StoreRulesExternal(preprocess_));
+    return base::Status::OK();
+  }
+  EDUCE_RETURN_IF_ERROR(engine->Consult(rules_));
+  EDUCE_RETURN_IF_ERROR(engine->Consult(constraints_));
+  return engine->Consult(preprocess_);
+}
+
+}  // namespace educe::workloads

@@ -1,0 +1,75 @@
+#ifndef EDUCE_WORKLOADS_INTEGRITY_H_
+#define EDUCE_WORKLOADS_INTEGRITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "educe/engine.h"
+
+namespace educe::workloads {
+
+/// Synthetic stand-in for the Bry/Dahmen database-integrity-checking task
+/// (paper §5.3). Shape matched to the paper's description:
+///   - one relation with ~4000 tuples of 7 fields (employee/7)
+///   - fifteen relations with up to 20 tuples of 1-2 fields
+///   - one relation with ~50 tuples of 2 fields (dept_location/2)
+///   - seven rules
+///   - five integrity constraints of very different complexity
+///
+/// The benchmark measures *preprocess*: computing a specialisation of the
+/// integrity constraints for a given update without touching the facts —
+/// "the more conventional use of a Prolog compiler" (heavy meta-level
+/// term manipulation: copy_term, unification, select/3, findall/3).
+class IntegrityWorkload {
+ public:
+  struct Config {
+    uint64_t seed = 7;
+    int employee_rows = 4000;
+    /// Constraint variants per base constraint; scales preprocess work.
+    int variants_per_constraint = 30;
+  };
+
+  IntegrityWorkload() : IntegrityWorkload(Config{}) {}
+  explicit IntegrityWorkload(Config config);
+
+  /// The base facts (employee/7 plus the small relations).
+  const std::string& facts() const { return facts_; }
+
+  /// The seven derivation rules.
+  const std::string& rules() const { return rules_; }
+
+  /// Reified constraints: constraint(Id, Body) clauses where Body is a
+  /// list of lit(P) / neg(P) literal terms.
+  const std::string& constraints() const { return constraints_; }
+
+  /// The constraint-specialisation (preprocess) program.
+  const std::string& preprocess_program() const { return preprocess_; }
+
+  /// The five updates, in increasing order of preprocess complexity
+  /// (update k's pattern matches more constraint literals).
+  const std::vector<std::string>& updates() const { return updates_; }
+
+  /// The preprocess goal for update `k` (0-based): binds S to the list of
+  /// specialised constraints.
+  std::string PreprocessGoal(int k) const;
+
+  /// Loads everything. `constraints_external`: store the rules,
+  /// constraints and preprocess program in the EDB (the E* column);
+  /// otherwise consult into main memory (the "good Prolog compiler"
+  /// column). Facts always go to the EDB (both configurations share it).
+  base::Status Setup(Engine* engine, bool constraints_external) const;
+
+ private:
+  Config config_;
+  std::string facts_;
+  std::string rules_;
+  std::string constraints_;
+  std::string preprocess_;
+  std::vector<std::string> updates_;
+};
+
+}  // namespace educe::workloads
+
+#endif  // EDUCE_WORKLOADS_INTEGRITY_H_

@@ -1,0 +1,174 @@
+#include "workloads/mvv.h"
+#include <algorithm>
+
+#include "base/rng.h"
+
+namespace educe::workloads {
+
+namespace {
+
+const char* kModes[] = {"bus", "tram", "ubahn", "sbahn"};
+
+std::string Stop(int i) { return "stop" + std::to_string(i); }
+
+}  // namespace
+
+MvvWorkload::MvvWorkload(Config config) : config_(config) {
+  base::Rng rng(config_.seed);
+  facts_.reserve(1u << 20);
+
+  // location2(Stop, Zone): one row per stop.
+  for (int i = 0; i < config_.num_stops; ++i) {
+    facts_ += "location2(" + Stop(i) + ", zone" + std::to_string(i % 16) +
+              ").\n";
+  }
+
+  // Lines: each covers `stops_per_line` stops. Consecutive lines overlap
+  // (stride < stops_per_line) so the network is connected and multi-line
+  // transfers exist — class 2 queries need "many means of transport to
+  // choose between".
+  struct Line {
+    std::string name;
+    std::string mode;
+    std::vector<int> stops;
+  };
+  std::vector<Line> lines;
+  const int stride =
+      std::max(1, config_.num_stops / std::max(1, config_.num_lines));
+  for (int l = 0; l < config_.num_lines; ++l) {
+    Line line;
+    line.mode = kModes[l % 4];
+    line.name = line.mode[0] + std::to_string(l);
+    const int start = (l * stride) % config_.num_stops;
+    const int step = 1 + static_cast<int>(rng.Below(3));
+    for (int s = 0; s < config_.stops_per_line; ++s) {
+      line.stops.push_back((start + s * step) % config_.num_stops);
+    }
+    lines.push_back(std::move(line));
+  }
+  // A few "cross" lines stitching distant regions together.
+  for (int l = 0; l < 8; ++l) {
+    Line line;
+    line.mode = "ubahn";
+    line.name = "ux" + std::to_string(l);
+    for (int s = 0; s < config_.stops_per_line; ++s) {
+      line.stops.push_back(static_cast<int>(
+          (l * 289 + s * stride * 3) % config_.num_stops));
+    }
+    lines.push_back(std::move(line));
+  }
+
+  // schedule3(Line, Trip, From, To, Dep, Arr, Mode, Platform, Days, Zone,
+  // Price): one row per trip segment, padded/truncated to the paper's
+  // cardinality.
+  int rows = 0;
+  int trip_id = 0;
+  bool done = false;
+  // Spread the trip waves over the service day (05:00..22:00 = minutes
+  // 300..1320) whatever the row budget, so queries at any start time see
+  // departures.
+  const int segments_per_wave = static_cast<int>(lines.size()) *
+                                (config_.stops_per_line - 1);
+  const int waves =
+      std::max(1, (config_.schedule3_rows + segments_per_wave - 1) /
+                      segments_per_wave);
+  const int wave_spacing = std::max(1, 1020 / waves);
+  for (int wave = 0; !done; ++wave) {            // trips per line per wave
+    for (const Line& line : lines) {
+      if (done) break;
+      const int dep0 =
+          300 + (wave * wave_spacing) % 1020 + static_cast<int>(rng.Below(9));
+      int t = dep0;
+      ++trip_id;
+      for (size_t s = 0; s + 1 < line.stops.size() && !done; ++s) {
+        const int ride = 2 + static_cast<int>(rng.Below(5));
+        facts_ += "schedule3(" + line.name + ", " + std::to_string(trip_id) +
+                  ", " + Stop(line.stops[s]) + ", " + Stop(line.stops[s + 1]) +
+                  ", " + std::to_string(t) + ", " + std::to_string(t + ride) +
+                  ", " + line.mode + ", p" + std::to_string(s % 6) +
+                  ", weekdays, zone" + std::to_string(line.stops[s] % 16) +
+                  ", " + std::to_string(150 + 10 * (s % 4)) + ").\n";
+        t += ride;
+        if (++rows >= config_.schedule3_rows) done = true;
+      }
+    }
+  }
+
+  // schedule2(Line, Stop, FirstDep, Seq, Mode).
+  rows = 0;
+  done = false;
+  for (int wave = 0; !done; ++wave) {
+    for (const Line& line : lines) {
+      if (done) break;
+      for (size_t s = 0; s < line.stops.size() && !done; ++s) {
+        facts_ += "schedule2(" + line.name + ", " + Stop(line.stops[s]) +
+                  ", " + std::to_string(300 + wave * 41 + 3 * (int)s) + ", " +
+                  std::to_string(s) + ", " + line.mode + ").\n";
+        if (++rows >= config_.schedule2_rows) done = true;
+      }
+    }
+  }
+
+  // A layered rule program in the style of a real journey planner: each
+  // leg resolves through several intermediate rules (the paper's point is
+  // precisely that *rule management* dominates when rules are fetched from
+  // the EDB per use).
+  rules_ = R"(
+connection(L, F, T, D, A) :- schedule3(L, _, F, T, D, A, _, _, _, _, _).
+plausible(D, A) :- A > D.
+valid_conn(L, F, T, D, A) :- connection(L, F, T, D, A), plausible(D, A).
+not_too_late(D, T0) :- D >= T0, Slack is D - T0, Slack =< 240.
+leg(F, T, T0, leg(L, F, T, D, A)) :-
+    valid_conn(L, F, T, D, A),
+    not_too_late(D, T0).
+arrival(leg(_, _, _, _, A), A).
+route(F, T, T0, [G], 0) :- leg(F, T, T0, G).
+route(F, T, T0, [G|Gs], N) :-
+    N > 0,
+    leg(F, M, T0, G),
+    M \= T,
+    arrival(G, A),
+    N1 is N - 1,
+    route(M, T, A, Gs, N1).
+route1(F, T, T0, R) :- route(F, T, T0, R, 0).
+route2(F, T, T0, R) :- route(F, T, T0, R, 1).
+serves(L, S) :- schedule2(L, S, _, _, _).
+in_zone(S, Z) :- location2(S, Z).
+same_zone(S1, S2) :- in_zone(S1, Z), in_zone(S2, Z).
+mode_between(F, T, Mode) :- schedule3(L, _, F, T, _, _, Mode, _, _, _, _),
+    serves(L, F).
+)";
+
+  // Class 1: adjacent stops of one line, starting at 08:00.
+  for (int q = 0; q < 10; ++q) {
+    const Line& line = lines[q * 5 % lines.size()];
+    class1_.push_back("route1(" + Stop(line.stops[0]) + ", " +
+                      Stop(line.stops[1]) + ", 480, R)");
+  }
+  // Class 2: stops two segments apart (requires enumeration across the
+  // one-change search space), various start times.
+  for (int q = 0; q < 10; ++q) {
+    const Line& line = lines[(q * 7 + 3) % lines.size()];
+    // Two segments apart: reachable with exactly one intermediate stop
+    // (a change of vehicle or a continuation), never directly.
+    const int from = line.stops[q % 4];
+    const int to = line.stops[(q % 4) + 2];
+    class2_.push_back("route2(" + Stop(from) + ", " + Stop(to) + ", " +
+                      std::to_string(420 + 30 * (q % 4)) + ", R)");
+  }
+}
+
+base::Status MvvWorkload::Setup(Engine* engine, bool rules_external) const {
+  // Key attributes chosen for the query mix: schedule3 is probed by the
+  // From/To stops (args 2 and 3), schedule2 by line and stop.
+  EDUCE_RETURN_IF_ERROR(engine->DeclareRelation("location2", 2, {0}));
+  EDUCE_RETURN_IF_ERROR(engine->DeclareRelation("schedule3", 11, {2, 3}));
+  EDUCE_RETURN_IF_ERROR(engine->DeclareRelation("schedule2", 5, {0, 1}));
+  EDUCE_RETURN_IF_ERROR(engine->StoreFactsExternal(facts_));
+  if (rules_external) {
+    return engine->StoreRulesExternal(rules_);
+  }
+  return engine->Consult(rules_);
+}
+
+}  // namespace educe::workloads

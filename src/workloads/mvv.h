@@ -1,0 +1,64 @@
+#ifndef EDUCE_WORKLOADS_MVV_H_
+#define EDUCE_WORKLOADS_MVV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "educe/engine.h"
+
+namespace educe::workloads {
+
+/// Synthetic stand-in for the Muenchner Verkehrs-Verbund knowledge base
+/// (paper §5.1). The real MVV data is not available; this generator
+/// produces a transport network with the same relation names, arities and
+/// cardinalities the paper reports:
+///   location2/2  — 2307 tuples (stop, zone)
+///   schedule3/11 — 8776 tuples (one per trip segment)
+///   schedule2/5  — 7260 tuples (line timetable summaries)
+/// plus the route-finding rules the queries exercise.
+class MvvWorkload {
+ public:
+  struct Config {
+    uint64_t seed = 42;
+    int num_stops = 2307;
+    int schedule3_rows = 8776;
+    int schedule2_rows = 7260;
+    int num_lines = 66;
+    int stops_per_line = 12;
+  };
+
+  MvvWorkload() : MvvWorkload(Config{}) {}
+  explicit MvvWorkload(Config config);
+
+  /// Facts for the three relations, as Prolog source.
+  const std::string& facts() const { return facts_; }
+
+  /// The route-finding rules (connection/5, direct/6, route1/4, route2/5).
+  const std::string& rules() const { return rules_; }
+
+  /// Class 1 queries: "travel between adjacent major nodes with minimal
+  /// choice" — direct routes between consecutive stops of one line.
+  const std::vector<std::string>& class1_queries() const { return class1_; }
+
+  /// Class 2 queries: "travel routes between major nodes, restricted to
+  /// not more than one change and with many means of transport".
+  const std::vector<std::string>& class2_queries() const { return class2_; }
+
+  /// Loads facts into the EDB and rules per `rules_external` +
+  /// engine->options().rule_storage (false = rules in main memory, the
+  /// paper's §5.1 configuration).
+  base::Status Setup(Engine* engine, bool rules_external) const;
+
+ private:
+  Config config_;
+  std::string facts_;
+  std::string rules_;
+  std::vector<std::string> class1_;
+  std::vector<std::string> class2_;
+};
+
+}  // namespace educe::workloads
+
+#endif  // EDUCE_WORKLOADS_MVV_H_

@@ -1,0 +1,246 @@
+// Unit tests for the WAM clause compiler and the linker: golden
+// disassembly of representative clauses (paper §2.1's compilation
+// examples among them), index-key extraction, aux-predicate extraction,
+// and linker control-code layout.
+
+#include "wam/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "reader/parser.h"
+#include "wam/builtins.h"
+#include "wam/program.h"
+
+namespace educe::wam {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  CompilerTest() : program_(&dict_) {
+    EXPECT_TRUE(InstallStandardLibrary(&program_).ok());
+  }
+
+  std::vector<CompiledClause> Compile(std::string_view text) {
+    auto read = reader::ParseTerm(&dict_, text);
+    EXPECT_TRUE(read.ok()) << read.status();
+    auto compiled = program_.compiler()->Compile(read->term);
+    EXPECT_TRUE(compiled.ok()) << compiled.status();
+    return compiled.ok() ? std::move(compiled).value()
+                         : std::vector<CompiledClause>{};
+  }
+
+  std::string Disasm(std::string_view text) {
+    auto compiled = Compile(text);
+    return compiled.empty() ? ""
+                            : Disassemble(dict_, compiled[0].code.code);
+  }
+
+  dict::Dictionary dict_;
+  Program program_;
+};
+
+TEST_F(CompilerTest, PaperExampleFact) {
+  // Paper §2.1: p(a, b) compiles to two get_constant instructions.
+  EXPECT_EQ(Disasm("p(a, b)"),
+            "0:\tget_constant a/0, A0\n"
+            "1:\tget_constant b/0, A1\n"
+            "2:\tproceed\n");
+}
+
+TEST_F(CompilerTest, FactWithVariables) {
+  // Shared variable: first occurrence moves, second unifies.
+  const std::string text = Disasm("q(X, X)");
+  EXPECT_EQ(text,
+            "0:\tget_variable X2, A0\n"
+            "1:\tget_value X2, A1\n"
+            "2:\tproceed\n");
+}
+
+TEST_F(CompilerTest, StructuredHead) {
+  const std::string text = Disasm("p(f(a, Y), Y)");
+  EXPECT_NE(text.find("get_structure f/2, A0"), std::string::npos);
+  EXPECT_NE(text.find("unify_constant a/0"), std::string::npos);
+  // Y occurs in two head slots: unify_variable then get_value.
+  EXPECT_NE(text.find("unify_variable"), std::string::npos);
+  EXPECT_NE(text.find("get_value"), std::string::npos);
+}
+
+TEST_F(CompilerTest, NestedStructuresFlattenBreadthFirst) {
+  const std::string text = Disasm("p(f(g(h)))");
+  // f first, then the deferred g via a temp register.
+  const size_t f_at = text.find("get_structure f/1, A0");
+  const size_t g_at = text.find("get_structure g/1");
+  const size_t h_at = text.find("unify_constant h/0");
+  EXPECT_NE(f_at, std::string::npos);
+  EXPECT_NE(g_at, std::string::npos);
+  EXPECT_NE(h_at, std::string::npos);
+  EXPECT_LT(f_at, g_at);
+  EXPECT_LT(g_at, h_at);
+}
+
+TEST_F(CompilerTest, ListsUseListInstructions) {
+  const std::string text = Disasm("p([H|T])");
+  EXPECT_NE(text.find("get_list A0"), std::string::npos);
+  EXPECT_EQ(text.find("get_structure"), std::string::npos);
+}
+
+TEST_F(CompilerTest, RuleGetsEnvironmentAndLastCall) {
+  const std::string text = Disasm("p(X) :- q(X), r(X).");
+  EXPECT_NE(text.find("allocate"), std::string::npos);
+  EXPECT_NE(text.find("call q/1"), std::string::npos);
+  EXPECT_NE(text.find("deallocate"), std::string::npos);
+  // Last call optimization: r is executed, not called.
+  EXPECT_NE(text.find("execute r/1"), std::string::npos);
+  EXPECT_EQ(text.find("call r/1"), std::string::npos);
+}
+
+TEST_F(CompilerTest, ChainRuleNeedsNoEnvironment) {
+  const std::string text = Disasm("p(X) :- q(X).");
+  EXPECT_EQ(text.find("allocate"), std::string::npos);
+  EXPECT_NE(text.find("execute q/1"), std::string::npos);
+}
+
+TEST_F(CompilerTest, FactNeedsNoEnvironment) {
+  auto compiled = Compile("p(a, b, c)");
+  ASSERT_EQ(compiled.size(), 1u);
+  EXPECT_FALSE(compiled[0].code.needs_environment);
+  EXPECT_EQ(compiled[0].code.num_permanent, 0u);
+}
+
+TEST_F(CompilerTest, CutGetsBarrierSlot) {
+  const std::string text = Disasm("p(X) :- q(X), !, r(X).");
+  EXPECT_NE(text.find("get_level"), std::string::npos);
+  EXPECT_NE(text.find("cut Y"), std::string::npos);
+}
+
+TEST_F(CompilerTest, BuiltinsCompileInline) {
+  const std::string text = Disasm("p(X, Y) :- Y is X + 1.");
+  EXPECT_NE(text.find("builtin"), std::string::npos);
+  EXPECT_EQ(text.find("call is/2"), std::string::npos);
+}
+
+TEST_F(CompilerTest, DisjunctionExtractsAuxPredicate) {
+  auto compiled = Compile("p(X) :- ( q(X) ; r(X) ).");
+  // Main clause + two aux clauses.
+  ASSERT_EQ(compiled.size(), 3u);
+  EXPECT_EQ(dict_.NameOf(compiled[0].functor), "p");
+  EXPECT_EQ(dict_.NameOf(compiled[1].functor),
+            dict_.NameOf(compiled[2].functor));
+  EXPECT_EQ(dict_.NameOf(compiled[1].functor).substr(0, 4), "$aux");
+  // The aux predicate receives the shared variable.
+  EXPECT_EQ(compiled[1].arity, 1u);
+}
+
+TEST_F(CompilerTest, IfThenElseAuxHasCut) {
+  auto compiled = Compile("p(X, R) :- ( X > 0 -> R = pos ; R = neg ).");
+  ASSERT_EQ(compiled.size(), 3u);
+  const std::string then_branch =
+      Disassemble(dict_, compiled[1].code.code);
+  EXPECT_NE(then_branch.find("cut"), std::string::npos);
+}
+
+TEST_F(CompilerTest, NegationAux) {
+  auto compiled = Compile("p(X) :- \\+ q(X).");
+  ASSERT_EQ(compiled.size(), 3u);
+  const std::string first = Disassemble(dict_, compiled[1].code.code);
+  EXPECT_NE(first.find("cut"), std::string::npos);
+  // Second aux clause: plain success.
+  EXPECT_EQ(compiled[2].code.code.back().op, Opcode::kProceed);
+}
+
+TEST_F(CompilerTest, IndexKeys) {
+  EXPECT_EQ(Compile("k(foo).")[0].code.key.type, IndexKey::Type::kAtom);
+  EXPECT_EQ(Compile("k(42).")[0].code.key.type, IndexKey::Type::kInt);
+  EXPECT_EQ(Compile("k(4.5).")[0].code.key.type, IndexKey::Type::kFloat);
+  EXPECT_EQ(Compile("k([a]).")[0].code.key.type, IndexKey::Type::kList);
+  EXPECT_EQ(Compile("k(f(1)).")[0].code.key.type, IndexKey::Type::kStruct);
+  EXPECT_EQ(Compile("k(X) :- t(X).")[0].code.key.type, IndexKey::Type::kVar);
+  EXPECT_EQ(Compile("k.")[0].code.key.type, IndexKey::Type::kVar);
+}
+
+TEST_F(CompilerTest, LinkerSingleClauseHasNoControl) {
+  ASSERT_TRUE(program_.AddClause(
+                  reader::ParseTerm(&dict_, "solo(1).")->term).ok());
+  auto functor = dict_.Lookup("solo", 1);
+  ASSERT_TRUE(functor.has_value());
+  auto linked = program_.Linked(*functor);
+  ASSERT_TRUE(linked.ok());
+  const std::string text =
+      Disassemble(dict_, (*linked)->code, &(*linked)->tables);
+  EXPECT_EQ(text.find("try"), std::string::npos);
+  EXPECT_EQ(text.find("switch"), std::string::npos);
+}
+
+TEST_F(CompilerTest, LinkerEmitsSwitchForMultiClause) {
+  for (const char* c : {"multi(a, 1).", "multi(b, 2).", "multi(c, 3)."}) {
+    ASSERT_TRUE(
+        program_.AddClause(reader::ParseTerm(&dict_, c)->term).ok());
+  }
+  auto functor = dict_.Lookup("multi", 2);
+  ASSERT_TRUE(functor.has_value());
+  auto linked = program_.Linked(*functor);
+  ASSERT_TRUE(linked.ok());
+  const std::string text =
+      Disassemble(dict_, (*linked)->code, &(*linked)->tables);
+  EXPECT_NE(text.find("switch_on_term"), std::string::npos);
+  EXPECT_NE(text.find("switch_on_constant"), std::string::npos);
+  // Three clauses, three distinct keys: each bucket is deterministic, but
+  // the var entry chains all three.
+  EXPECT_NE(text.find("try"), std::string::npos);
+  EXPECT_EQ((*linked)->clause_offsets.size(), 3u);
+}
+
+TEST_F(CompilerTest, LinkerWithoutIndexingUsesChain) {
+  program_.SetIndexingEnabled(false);
+  for (const char* c : {"chain(a).", "chain(b)."}) {
+    ASSERT_TRUE(
+        program_.AddClause(reader::ParseTerm(&dict_, c)->term).ok());
+  }
+  auto functor = dict_.Lookup("chain", 1);
+  auto linked = program_.Linked(*functor);
+  ASSERT_TRUE(linked.ok());
+  const std::string text =
+      Disassemble(dict_, (*linked)->code, &(*linked)->tables);
+  EXPECT_EQ(text.find("switch"), std::string::npos);
+  EXPECT_NE(text.find("try"), std::string::npos);
+  EXPECT_NE(text.find("trust"), std::string::npos);
+  program_.SetIndexingEnabled(true);
+}
+
+TEST_F(CompilerTest, EmptyProcedureLinksToFail) {
+  auto linked = LinkProcedure(0, 1, {}, true);
+  ASSERT_EQ(linked->code.size(), 1u);
+  EXPECT_EQ(linked->code[0].op, Opcode::kFail);
+}
+
+TEST_F(CompilerTest, CompilerStatsAdvance) {
+  program_.compiler()->ResetStats();
+  Compile("s(X) :- ( a(X) ; b(X) ).");
+  const CompilerStats& stats = program_.compiler()->stats();
+  EXPECT_EQ(stats.clauses_compiled, 3u);
+  EXPECT_EQ(stats.aux_predicates, 1u);
+  EXPECT_GT(stats.instructions_emitted, 5u);
+}
+
+TEST_F(CompilerTest, DeepNestingStaysWithinRegisterBudget) {
+  // A pathologically wide clause must produce a clean error, not UB.
+  std::string wide = "w(";
+  for (int i = 0; i < 60; ++i) {
+    if (i) wide += ", ";
+    wide += "f(g(h(a" + std::to_string(i) + ")))";
+  }
+  wide += ")";
+  auto read = reader::ParseTerm(&dict_, wide);
+  ASSERT_TRUE(read.ok());
+  auto compiled = program_.compiler()->Compile(read->term);
+  // Either compiles (within budget) or reports exhaustion — never crashes.
+  if (!compiled.ok()) {
+    EXPECT_EQ(compiled.status().code(),
+              base::StatusCode::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace educe::wam

@@ -1,0 +1,189 @@
+#include "dict/dictionary.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/hash.h"
+#include "base/rng.h"
+
+namespace educe::dict {
+namespace {
+
+TEST(DictionaryTest, InternReturnsStableIds) {
+  Dictionary dict;
+  auto foo = dict.Intern("foo", 0);
+  ASSERT_TRUE(foo.ok());
+  auto foo2 = dict.Intern("foo", 0);
+  ASSERT_TRUE(foo2.ok());
+  EXPECT_EQ(*foo, *foo2);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, ArityDistinguishesSymbols) {
+  Dictionary dict;
+  auto foo0 = dict.Intern("foo", 0);
+  auto foo2 = dict.Intern("foo", 2);
+  ASSERT_TRUE(foo0.ok());
+  ASSERT_TRUE(foo2.ok());
+  EXPECT_NE(*foo0, *foo2);
+  EXPECT_EQ(dict.ArityOf(*foo0), 0u);
+  EXPECT_EQ(dict.ArityOf(*foo2), 2u);
+}
+
+TEST(DictionaryTest, LookupFindsInterned) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Lookup("bar", 1).has_value());
+  auto bar = dict.Intern("bar", 1);
+  ASSERT_TRUE(bar.ok());
+  auto found = dict.Lookup("bar", 1);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, *bar);
+}
+
+TEST(DictionaryTest, NameAndHashRoundTrip) {
+  Dictionary dict;
+  auto id = dict.Intern("hello_world", 3);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(dict.NameOf(*id), "hello_world");
+  EXPECT_EQ(dict.HashOf(*id), base::HashFunctor("hello_world", 3));
+}
+
+TEST(DictionaryTest, RemoveMakesSlotReusableWithoutRelocation) {
+  Dictionary dict;
+  auto a = dict.Intern("a", 0);
+  auto b = dict.Intern("b", 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(dict.Remove(*a).ok());
+  EXPECT_FALSE(dict.IsLive(*a));
+  // b is untouched (paper point 4: no relocation).
+  EXPECT_TRUE(dict.IsLive(*b));
+  EXPECT_EQ(dict.NameOf(*b), "b");
+  // Removing again fails.
+  EXPECT_FALSE(dict.Remove(*a).ok());
+}
+
+TEST(DictionaryTest, RemovedSymbolCanBeReinterned) {
+  Dictionary dict;
+  auto a = dict.Intern("transient", 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(dict.Remove(*a).ok());
+  auto a2 = dict.Intern("transient", 5);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(dict.IsLive(*a2));
+  EXPECT_EQ(dict.NameOf(*a2), "transient");
+}
+
+TEST(DictionaryTest, SegmentsChainedPastHighWater) {
+  Dictionary::Options options;
+  options.segment_capacity = 64;
+  options.high_water = 0.70;
+  Dictionary dict(options);
+  // Fill well past one segment's high-water mark.
+  for (int i = 0; i < 200; ++i) {
+    auto id = dict.Intern("sym" + std::to_string(i), 0);
+    ASSERT_TRUE(id.ok());
+  }
+  EXPECT_GE(dict.segment_count(), 3u);
+  EXPECT_EQ(dict.size(), 200u);
+  // All lookups still resolve.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(dict.Lookup("sym" + std::to_string(i), 0).has_value())
+        << "sym" << i;
+  }
+}
+
+TEST(DictionaryTest, OccupancyStaysBelowOneAlways) {
+  Dictionary::Options options;
+  options.segment_capacity = 32;
+  Dictionary dict(options);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(dict.Intern("x" + std::to_string(i), 0).ok());
+  }
+  for (size_t s = 0; s < dict.segment_count(); ++s) {
+    EXPECT_LE(dict.SegmentOccupancy(s), 1.0);
+  }
+}
+
+TEST(DictionaryTest, TombstoneReuseCountsInStats) {
+  Dictionary::Options options;
+  options.segment_capacity = 32;
+  options.high_water = 0.99;  // keep everything in one segment
+  Dictionary dict(options);
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto id = dict.Intern("t" + std::to_string(i), 0);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (SymbolId id : ids) ASSERT_TRUE(dict.Remove(id).ok());
+  dict.ResetStats();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(dict.Intern("u" + std::to_string(i), 0).ok());
+  }
+  EXPECT_GT(dict.stats().slot_reuses, 0u);
+}
+
+// Property test: a random interleaving of intern/remove/lookup agrees with
+// a reference std::map model.
+class DictionaryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DictionaryPropertyTest, AgreesWithModel) {
+  base::Rng rng(GetParam());
+  Dictionary::Options options;
+  options.segment_capacity = 64;
+  Dictionary dict(options);
+
+  std::map<std::pair<std::string, uint32_t>, SymbolId> model;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string name = "n" + std::to_string(rng.Below(300));
+    const uint32_t arity = static_cast<uint32_t>(rng.Below(3));
+    const auto key = std::make_pair(name, arity);
+    switch (rng.Below(3)) {
+      case 0: {  // intern
+        auto id = dict.Intern(name, arity);
+        ASSERT_TRUE(id.ok());
+        auto it = model.find(key);
+        if (it != model.end()) {
+          EXPECT_EQ(*id, it->second) << "existing symbol must keep its id";
+        } else {
+          model[key] = *id;
+        }
+        break;
+      }
+      case 1: {  // remove
+        auto it = model.find(key);
+        if (it != model.end()) {
+          EXPECT_TRUE(dict.Remove(it->second).ok());
+          model.erase(it);
+        }
+        break;
+      }
+      default: {  // lookup
+        auto found = dict.Lookup(name, arity);
+        auto it = model.find(key);
+        EXPECT_EQ(found.has_value(), it != model.end());
+        if (found && it != model.end()) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(dict.size(), model.size());
+  // Ids in the model are unique.
+  std::set<SymbolId> ids;
+  for (const auto& [key, id] : model) {
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id";
+    EXPECT_EQ(dict.NameOf(id), key.first);
+    EXPECT_EQ(dict.ArityOf(id), key.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictionaryPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace educe::dict

@@ -1,0 +1,431 @@
+#include "educe/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "base/stopwatch.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace educe {
+namespace {
+
+std::vector<std::string> Bindings(Engine* engine, std::string_view goal,
+                                  std::string_view var, int max = 1000) {
+  auto solutions = engine->Query(goal);
+  EXPECT_TRUE(solutions.ok()) << solutions.status();
+  std::vector<std::string> out;
+  if (!solutions.ok()) return out;
+  while (static_cast<int>(out.size()) < max) {
+    auto more = (*solutions)->Next();
+    EXPECT_TRUE(more.ok()) << more.status();
+    if (!more.ok() || !*more) break;
+    out.push_back((*solutions)->Binding(var));
+  }
+  return out;
+}
+
+TEST(EngineTest, InMemoryQueries) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1). p(2). q(X) :- p(X), X > 1.").ok());
+  EXPECT_EQ(Bindings(&engine, "q(X)", "X"), (std::vector<std::string>{"2"}));
+  auto succeeds = engine.Succeeds("p(1)");
+  ASSERT_TRUE(succeeds.ok());
+  EXPECT_TRUE(*succeeds);
+}
+
+TEST(EngineTest, ExternalFactsBehaveLikeInternalOnes) {
+  Engine engine;
+  ASSERT_TRUE(engine.DeclareRelation("edge", 2).ok());
+  ASSERT_TRUE(engine
+                  .StoreFactsExternal(
+                      "edge(a, b). edge(b, c). edge(c, d). edge(b, e).")
+                  .ok());
+  ASSERT_TRUE(engine.Consult(R"(
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- edge(X, Z), reach(Z, Y).
+  )").ok());
+  EXPECT_EQ(Bindings(&engine, "edge(b, X)", "X"),
+            (std::vector<std::string>{"c", "e"}));
+  const std::vector<std::string> reached = Bindings(&engine, "reach(a, X)", "X");
+  EXPECT_EQ(std::set<std::string>(reached.begin(), reached.end()),
+            (std::set<std::string>{"b", "c", "d", "e"}));
+  auto none = engine.Succeeds("edge(d, X)");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(*none);
+}
+
+TEST(EngineTest, ExternalFactsWithStructuredValues) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .StoreFactsExternal(
+                      "item(1, box(3, 4), [a, b]). item(2, box(5, 6), []).")
+                  .ok());
+  EXPECT_EQ(Bindings(&engine, "item(1, B, L)", "B"),
+            (std::vector<std::string>{"box(3,4)"}));
+  EXPECT_EQ(Bindings(&engine, "item(N, box(5, _), _)", "N"),
+            (std::vector<std::string>{"2"}));
+}
+
+TEST(EngineTest, CompiledExternalRules) {
+  EngineOptions options;
+  options.rule_storage = RuleStorage::kCompiled;
+  Engine engine(options);
+  ASSERT_TRUE(engine.StoreFactsExternal("leg(a, b). leg(b, c).").ok());
+  ASSERT_TRUE(engine.StoreRulesExternal(R"(
+    trip(X, Y) :- leg(X, Y).
+    trip(X, Y) :- leg(X, Z), trip(Z, Y).
+  )").ok());
+  EXPECT_EQ(Bindings(&engine, "trip(a, X)", "X"),
+            (std::vector<std::string>{"b", "c"}));
+  // The rules were loaded from the EDB, not from main memory.
+  EXPECT_GT(engine.Stats().resolver.rule_loads, 0u);
+  EXPECT_GT(engine.Stats().loader.clauses_decoded, 0u);
+}
+
+TEST(EngineTest, SourceExternalRulesGiveSameAnswers) {
+  EngineOptions options;
+  options.rule_storage = RuleStorage::kSource;
+  Engine engine(options);
+  ASSERT_TRUE(engine.StoreFactsExternal("leg(a, b). leg(b, c).").ok());
+  ASSERT_TRUE(engine.StoreRulesExternal(R"(
+    trip(X, Y) :- leg(X, Y).
+    trip(X, Y) :- leg(X, Z), trip(Z, Y).
+  )").ok());
+  EXPECT_EQ(Bindings(&engine, "trip(a, X)", "X"),
+            (std::vector<std::string>{"b", "c"}));
+  // The baseline pathology: parses and asserts happened per use.
+  const EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.resolver.source_parses, 0u);
+  EXPECT_GT(stats.resolver.source_asserts, 0u);
+  EXPECT_GT(stats.resolver.source_erases, 0u);
+  EXPECT_GE(stats.resolver.source_asserts, stats.resolver.source_erases);
+}
+
+TEST(EngineTest, SourceModeReparsesPerUse) {
+  EngineOptions options;
+  options.rule_storage = RuleStorage::kSource;
+  Engine engine(options);
+  ASSERT_TRUE(engine.StoreRulesExternal("r(1). r(2). r(3).").ok());
+
+  auto c1 = engine.CountSolutions("r(X)");
+  ASSERT_TRUE(c1.ok());
+  const uint64_t parses_after_one = engine.Stats().resolver.source_parses;
+  auto c2 = engine.CountSolutions("r(X)");
+  ASSERT_TRUE(c2.ok());
+  const uint64_t parses_after_two = engine.Stats().resolver.source_parses;
+  EXPECT_EQ(*c1, 3u);
+  EXPECT_EQ(parses_after_two, 2 * parses_after_one)
+      << "every use must re-parse all clauses";
+}
+
+TEST(EngineTest, CompiledModeCachesAcrossUses) {
+  EngineOptions options;
+  options.rule_storage = RuleStorage::kCompiled;
+  Engine engine(options);
+  ASSERT_TRUE(engine.StoreRulesExternal("r(1). r(2). r(3).").ok());
+
+  ASSERT_TRUE(engine.CountSolutions("r(X)").ok());
+  const uint64_t decoded_one = engine.Stats().loader.clauses_decoded;
+  ASSERT_TRUE(engine.CountSolutions("r(X)").ok());
+  const uint64_t decoded_two = engine.Stats().loader.clauses_decoded;
+  EXPECT_EQ(decoded_one, decoded_two) << "second use must hit the code cache";
+  EXPECT_GT(engine.Stats().loader.cache_hits, 0u);
+}
+
+TEST(EngineTest, ThreeStorageModesAgree) {
+  const char* facts = R"(
+    parent(tom, bob). parent(tom, liz). parent(bob, ann).
+    parent(bob, pat). parent(pat, jim).
+  )";
+  const char* rules = R"(
+    anc(X, Y) :- parent(X, Y).
+    anc(X, Y) :- parent(X, Z), anc(Z, Y).
+  )";
+
+  auto run = [&](RuleStorage mode, bool rules_external) {
+    EngineOptions options;
+    options.rule_storage = mode;
+    Engine engine(options);
+    EXPECT_TRUE(engine.StoreFactsExternal(facts).ok());
+    if (rules_external) {
+      EXPECT_TRUE(engine.StoreRulesExternal(rules).ok());
+    } else {
+      EXPECT_TRUE(engine.Consult(rules).ok());
+    }
+    return Bindings(&engine, "anc(tom, X)", "X");
+  };
+
+  const auto in_memory = run(RuleStorage::kCompiled, false);
+  const auto compiled = run(RuleStorage::kCompiled, true);
+  const auto source = run(RuleStorage::kSource, true);
+  EXPECT_EQ(in_memory.size(), 5u);
+  EXPECT_EQ(compiled, in_memory);
+  EXPECT_EQ(source, in_memory);
+}
+
+TEST(EngineTest, ChoicePointEliminationOnBoundKeys) {
+  EngineOptions options;
+  Engine engine(options);
+  std::string facts;
+  for (int i = 0; i < 100; ++i) {
+    facts += "kv(k" + std::to_string(i) + ", " + std::to_string(i) + ").\n";
+  }
+  ASSERT_TRUE(engine.StoreFactsExternal(facts).ok());
+
+  // Bound key: deterministic retrieval, no choice point.
+  engine.ResetStats();
+  EXPECT_EQ(Bindings(&engine, "kv(k42, V)", "V"),
+            (std::vector<std::string>{"42"}));
+  EXPECT_EQ(engine.Stats().machine.choice_points, 0u);
+  EXPECT_GT(engine.Stats().resolver.fact_calls_deterministic, 0u);
+
+  // Ablation B: with elimination off, the same call pays a choice point.
+  engine.options().choice_point_elimination = false;
+  engine.SyncOptions();
+  engine.ResetStats();
+  EXPECT_EQ(Bindings(&engine, "kv(k42, V)", "V"),
+            (std::vector<std::string>{"42"}));
+  EXPECT_GT(engine.Stats().machine.choice_points, 0u);
+}
+
+TEST(EngineTest, FactScanNarrowsIo) {
+  Engine engine;
+  std::string facts;
+  for (int i = 0; i < 2000; ++i) {
+    facts += "big(" + std::to_string(i) + ", v" + std::to_string(i % 7) +
+             ").\n";
+  }
+  ASSERT_TRUE(engine.StoreFactsExternal(facts).ok());
+
+  engine.ResetStats();
+  ASSERT_TRUE(engine.CountSolutions("big(1234, V)").ok());
+  const uint64_t bound_rows = engine.Stats().clause_store.fact_rows_fetched;
+
+  engine.ResetStats();
+  auto all = engine.CountSolutions("big(N, V)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, 2000u);
+  const uint64_t open_rows = engine.Stats().clause_store.fact_rows_fetched;
+  EXPECT_EQ(bound_rows, 1u);
+  EXPECT_EQ(open_rows, 2000u);
+}
+
+TEST(EngineTest, ColdVsWarmBufferReads) {
+  EngineOptions options;
+  options.buffer_frames = 64;
+  Engine engine(options);
+  std::string facts;
+  for (int i = 0; i < 3000; ++i) {
+    facts += "t(" + std::to_string(i) + ").\n";
+  }
+  ASSERT_TRUE(engine.StoreFactsExternal(facts).ok());
+
+  ASSERT_TRUE(engine.InvalidateBuffers().ok());
+  engine.ResetStats();
+  ASSERT_TRUE(engine.CountSolutions("t(X)").ok());
+  const uint64_t cold_reads = engine.Stats().paged_file.pages_read;
+
+  engine.ResetStats();
+  ASSERT_TRUE(engine.CountSolutions("t(X)").ok());
+  const uint64_t warm_reads = engine.Stats().paged_file.pages_read;
+  EXPECT_GT(cold_reads, 0u);
+  EXPECT_LT(warm_reads, cold_reads)
+      << "second run must benefit from the buffer pool";
+}
+
+TEST(EngineTest, ExternalRulesWithControlConstructs) {
+  Engine engine;
+  ASSERT_TRUE(engine.StoreFactsExternal("score(ann, 7). score(bob, 3).").ok());
+  ASSERT_TRUE(engine.StoreRulesExternal(R"(
+    grade(P, pass) :- score(P, S), ( S >= 5 -> true ; fail ).
+    grade(P, fail_grade) :- score(P, S), S < 5.
+  )").ok());
+  EXPECT_EQ(Bindings(&engine, "grade(ann, G)", "G"),
+            (std::vector<std::string>{"pass"}));
+  EXPECT_EQ(Bindings(&engine, "grade(bob, G)", "G"),
+            (std::vector<std::string>{"fail_grade"}));
+}
+
+TEST(EngineTest, MixedInternalExternalRecursion) {
+  // Internal rules over external facts and external rules over internal
+  // helpers, in one derivation.
+  Engine engine;
+  ASSERT_TRUE(engine.StoreFactsExternal("hop(1, 2). hop(2, 3). hop(3, 4).").ok());
+  ASSERT_TRUE(engine.Consult("double_hop(X, Y) :- hop(X, Z), hop(Z, Y).").ok());
+  ASSERT_TRUE(engine.StoreRulesExternal(
+      "far(X, Y) :- double_hop(X, M), hop(M, Y).").ok());
+  EXPECT_EQ(Bindings(&engine, "far(1, Y)", "Y"),
+            (std::vector<std::string>{"4"}));
+}
+
+TEST(EngineTest, FindallOverExternalFacts) {
+  Engine engine;
+  ASSERT_TRUE(engine.StoreFactsExternal("c(1). c(2). c(3).").ok());
+  EXPECT_EQ(Bindings(&engine, "findall(X, c(X), L)", "L"),
+            (std::vector<std::string>{"[1,2,3]"}));
+}
+
+TEST(EngineTest, NegationOverExternalFacts) {
+  Engine engine;
+  ASSERT_TRUE(engine.StoreFactsExternal("seen(a). seen(b).").ok());
+  auto yes = engine.Succeeds("\\+ seen(z)");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = engine.Succeeds("\\+ seen(a)");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(EngineTest, UpdatesInvalidateLoaderCache) {
+  Engine engine;
+  ASSERT_TRUE(engine.StoreRulesExternal("val(1).").ok());
+  EXPECT_EQ(Bindings(&engine, "val(X)", "X"), (std::vector<std::string>{"1"}));
+  ASSERT_TRUE(engine.StoreRulesExternal("val(2).").ok());
+  EXPECT_EQ(Bindings(&engine, "val(X)", "X"),
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(EngineTest, SimulatedIoLatencyIsCharged) {
+  EngineOptions fast;
+  fast.buffer_frames = 8;
+  EngineOptions slow = fast;
+  slow.io_latency_ns = 200000;  // 0.2 ms per page
+
+  auto run = [](EngineOptions options) {
+    Engine engine(options);
+    std::string facts;
+    for (int i = 0; i < 800; ++i) facts += "d(" + std::to_string(i) + ").\n";
+    EXPECT_TRUE(engine.StoreFactsExternal(facts).ok());
+    EXPECT_TRUE(engine.InvalidateBuffers().ok());
+    base::Stopwatch watch;
+    EXPECT_TRUE(engine.CountSolutions("d(X)").ok());
+    return watch.ElapsedSeconds();
+  };
+  const double fast_time = run(fast);
+  const double slow_time = run(slow);
+  EXPECT_GT(slow_time, fast_time);
+}
+
+TEST(EngineTest, QueryErrorsSurface) {
+  Engine engine;
+  auto result = engine.Query("undefined_pred(1)");
+  ASSERT_TRUE(result.ok());
+  auto next = (*result)->Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), base::StatusCode::kNotFound);
+}
+
+TEST(EngineTest, SyntaxErrorsSurface) {
+  Engine engine;
+  EXPECT_FALSE(engine.Consult("p(").ok());
+  EXPECT_FALSE(engine.Query("p((").ok());
+}
+
+
+TEST(EngineTest, EdbAssertRetractScan) {
+  Engine engine;
+  // edb_assert declares the relation on first use and stores facts.
+  EXPECT_TRUE(*engine.Succeeds("edb_assert(stock(widget, 5))"));
+  EXPECT_TRUE(*engine.Succeeds("edb_assert(stock(gadget, 3))"));
+  EXPECT_TRUE(*engine.Succeeds("edb_assert(stock(gizmo, 9))"));
+  auto n = engine.CountSolutions("stock(P, Q)");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+
+  // Non-ground asserts are rejected.
+  auto bad = engine.Query("edb_assert(stock(open, Q))");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE((*bad)->Next().ok());
+
+  // edb_retract removes the first match and keeps bindings.
+  auto first = engine.First("edb_retract(stock(gadget, Q))");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)["Q"], "3");
+  n = engine.CountSolutions("stock(P, Q)");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  auto gone = engine.Succeeds("edb_retract(stock(gadget, _))");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(*gone);
+
+  // edb_scan ships the remaining relation set-at-a-time.
+  auto scan = engine.First("edb_scan(stock/2, L), length(L, N)");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)["N"], "2");
+}
+
+TEST(EngineTest, EdbUpdatesVisibleToLaterQueries) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult(
+      "restock(P) :- edb_retract(inv(P, Q)), Q2 is Q + 10, "
+      "edb_assert(inv(P, Q2)).").ok());
+  EXPECT_TRUE(*engine.Succeeds("edb_assert(inv(bolt, 1))"));
+  EXPECT_TRUE(*engine.Succeeds("restock(bolt)"));
+  auto q = engine.First("inv(bolt, Q)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)["Q"], "11");
+}
+
+
+TEST(EngineTest, DictionaryGarbageCollection) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("keep(me). keep(too).").ok());
+  const size_t baseline = engine.dictionary()->size();
+
+  // Interning transient symbols through queries grows the dictionary.
+  for (int i = 0; i < 50; ++i) {
+    auto ok = engine.Succeeds("X = transient_atom_" + std::to_string(i));
+    ASSERT_TRUE(ok.ok());
+  }
+  EXPECT_GT(engine.dictionary()->size(), baseline + 40);
+
+  auto removed = engine.CollectDictionary();
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_GE(*removed, 50u);
+
+  // Everything still works after the sweep: compiled code was protected.
+  auto n = engine.CountSolutions("keep(X)");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  auto again = engine.Succeeds("append([1], [2], [1, 2])");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again);
+}
+
+TEST(EngineTest, StoredRelativeCodeSurvivesDictionaryGc) {
+  // The paper's core resilience claim (§3.1): stored code uses
+  // associative addresses, so internal-dictionary GC cannot break it.
+  Engine engine;
+  ASSERT_TRUE(engine.StoreRulesExternal("stored(X) :- X = marker_atom.").ok());
+  auto first = engine.First("stored(V)");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)["V"], "marker_atom");
+
+  auto removed = engine.CollectDictionary();
+  ASSERT_TRUE(removed.ok()) << removed.status();
+
+  // Invalidate the loader cache by updating the stored procedure, forcing
+  // a fresh decode through the external dictionary after the sweep.
+  ASSERT_TRUE(engine.StoreRulesExternal("stored(second).").ok());
+  auto values = engine.CountSolutions("stored(V)");
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_EQ(*values, 2u);
+  auto marker = engine.First("stored(V), V = marker_atom");
+  ASSERT_TRUE(marker.ok()) << marker.status();
+}
+
+TEST(EngineTest, ExternalFactsSurviveDictionaryGc) {
+  Engine engine;
+  ASSERT_TRUE(engine.StoreFactsExternal("kv(alpha, 1). kv(beta, 2).").ok());
+  ASSERT_TRUE(engine.CollectDictionary().ok());
+  // The relation's functor id may have been swept; calling re-interns it
+  // and the catalog resolves by name/arity.
+  auto v = engine.First("kv(beta, V)");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ((*v)["V"], "2");
+}
+
+}  // namespace
+}  // namespace educe

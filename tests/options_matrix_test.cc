@@ -1,0 +1,144 @@
+// Consistency matrix: every combination of the engine's evaluation knobs
+// (first-argument indexing, choice-point elimination, loader cache,
+// pre-unification, rule storage mode) must compute the same answers on a
+// fixed mixed workload — the options trade speed, never semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "educe/engine.h"
+
+namespace educe {
+namespace {
+
+struct Knobs {
+  bool indexing;
+  bool cpe;       // choice-point elimination
+  bool cache;     // loader cache
+  bool preunify;
+  RuleStorage storage;
+  bool rules_external;
+};
+
+std::string KnobsName(const ::testing::TestParamInfo<Knobs>& info) {
+  const Knobs& k = info.param;
+  std::string name;
+  name += k.indexing ? "idx_" : "noidx_";
+  name += k.cpe ? "cpe_" : "nocpe_";
+  name += k.cache ? "cache_" : "nocache_";
+  name += k.preunify ? "pre_" : "nopre_";
+  name += !k.rules_external ? "mem"
+          : (k.storage == RuleStorage::kCompiled ? "edbc" : "edbs");
+  return name;
+}
+
+constexpr const char* kFacts = R"(
+  flight(muc, fra, lh100, 60).
+  flight(muc, txl, lh200, 70).
+  flight(fra, cdg, af300, 80).
+  flight(fra, lhr, ba400, 90).
+  flight(txl, lhr, ba500, 95).
+  flight(cdg, jfk, af600, 480).
+  flight(lhr, jfk, ba700, 460).
+  hub(fra). hub(lhr).
+)";
+
+constexpr const char* kRules = R"(
+  leg(A, B, F, D) :- flight(A, B, F, D).
+  itinerary(A, B, [F], D) :- leg(A, B, F, D).
+  itinerary(A, B, [F|Fs], D) :-
+      leg(A, M, F, D1),
+      itinerary(M, B, Fs, D2),
+      D is D1 + D2.
+  via_hub(A, B) :- leg(A, H, _, _), hub(H), leg(H, B, _, _).
+  short_hop(A, B) :- leg(A, B, _, D), D < 75.
+  options(A, B, N) :- findall(Fs, itinerary(A, B, Fs, _), L), length(L, N).
+)";
+
+std::vector<std::string> RunWorkload(const Knobs& k) {
+  EngineOptions options;
+  options.first_arg_indexing = k.indexing;
+  options.choice_point_elimination = k.cpe;
+  options.loader_cache = k.cache;
+  options.preunify = k.preunify;
+  options.rule_storage = k.storage;
+  Engine engine(options);
+  EXPECT_TRUE(engine.StoreFactsExternal(kFacts).ok());
+  if (k.rules_external) {
+    EXPECT_TRUE(engine.StoreRulesExternal(kRules).ok());
+  } else {
+    EXPECT_TRUE(engine.Consult(kRules).ok());
+  }
+
+  std::vector<std::string> out;
+  const char* queries[] = {
+      "itinerary(muc, jfk, Fs, D)",
+      "via_hub(muc, B)",
+      "short_hop(A, B)",
+      "options(muc, jfk, N)",
+      "itinerary(muc, X, _, D), D < 100",
+      "\\+ short_hop(cdg, jfk)",
+  };
+  for (const char* query : queries) {
+    auto q = engine.Query(query);
+    EXPECT_TRUE(q.ok()) << q.status() << " for " << query;
+    if (!q.ok()) continue;
+    int count = 0;
+    while (count < 200) {
+      auto more = (*q)->Next();
+      EXPECT_TRUE(more.ok()) << more.status() << " for " << query;
+      if (!more.ok() || !*more) break;
+      ++count;
+      std::string solution = query;
+      for (const auto& [name, value] : (*q)->All()) {
+        solution += " " + name + "=" + value;
+      }
+      out.push_back(std::move(solution));
+    }
+  }
+  return out;
+}
+
+class OptionsMatrixTest : public ::testing::TestWithParam<Knobs> {};
+
+TEST_P(OptionsMatrixTest, AgreesWithReferenceConfiguration) {
+  static const std::vector<std::string>* reference = [] {
+    // Reference: everything on, rules in memory.
+    return new std::vector<std::string>(RunWorkload(
+        Knobs{true, true, true, true, RuleStorage::kCompiled, false}));
+  }();
+  ASSERT_FALSE(reference->empty());
+  EXPECT_EQ(RunWorkload(GetParam()), *reference);
+}
+
+std::vector<Knobs> AllKnobs() {
+  std::vector<Knobs> out;
+  for (bool indexing : {true, false}) {
+    for (bool cpe : {true, false}) {
+      for (bool cache : {true, false}) {
+        for (bool preunify : {true, false}) {
+          // Rule placements: memory, EDB-compiled, EDB-source.
+          out.push_back(
+              {indexing, cpe, cache, preunify, RuleStorage::kCompiled, false});
+          out.push_back(
+              {indexing, cpe, cache, preunify, RuleStorage::kCompiled, true});
+          // Source mode ignores cache/preunify; keep a representative pair
+          // to bound the matrix size.
+          if (cache && preunify) {
+            out.push_back(
+                {indexing, cpe, cache, preunify, RuleStorage::kSource, true});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, OptionsMatrixTest,
+                         ::testing::ValuesIn(AllKnobs()), KnobsName);
+
+}  // namespace
+}  // namespace educe

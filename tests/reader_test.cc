@@ -1,0 +1,319 @@
+#include "reader/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "reader/tokenizer.h"
+#include "reader/writer.h"
+
+namespace educe::reader {
+namespace {
+
+using term::Ast;
+
+class ReaderTest : public ::testing::Test {
+ protected:
+  dict::Dictionary dict_;
+
+  term::AstPtr Parse(std::string_view text) {
+    auto result = ParseTerm(&dict_, text);
+    EXPECT_TRUE(result.ok()) << result.status() << " for: " << text;
+    return result.ok() ? result->term : nullptr;
+  }
+
+  std::string Name(const Ast& t) {
+    return std::string(dict_.NameOf(t.functor));
+  }
+};
+
+TEST_F(ReaderTest, Atoms) {
+  auto t = Parse("foo");
+  ASSERT_TRUE(t && t->IsAtom());
+  EXPECT_EQ(Name(*t), "foo");
+
+  t = Parse("'hello world'");
+  ASSERT_TRUE(t && t->IsAtom());
+  EXPECT_EQ(Name(*t), "hello world");
+
+  t = Parse("[]");
+  ASSERT_TRUE(t && t->IsAtom());
+  EXPECT_EQ(Name(*t), "[]");
+}
+
+TEST_F(ReaderTest, Numbers) {
+  auto t = Parse("42");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->kind, Ast::Kind::kInt);
+  EXPECT_EQ(t->int_value, 42);
+
+  t = Parse("-7");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->int_value, -7);
+
+  t = Parse("3.5");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->kind, Ast::Kind::kFloat);
+  EXPECT_DOUBLE_EQ(t->float_value, 3.5);
+
+  t = Parse("1.0e3");
+  ASSERT_TRUE(t);
+  EXPECT_DOUBLE_EQ(t->float_value, 1000.0);
+
+  t = Parse("0'a");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->int_value, 'a');
+
+  t = Parse("0x2A");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->int_value, 42);
+}
+
+TEST_F(ReaderTest, Variables) {
+  auto result = ParseTerm(&dict_, "f(X, Y, X, _)");
+  ASSERT_TRUE(result.ok());
+  const Ast& t = *result->term;
+  ASSERT_EQ(t.args.size(), 4u);
+  EXPECT_EQ(t.args[0]->var_index, t.args[2]->var_index);
+  EXPECT_NE(t.args[0]->var_index, t.args[1]->var_index);
+  EXPECT_NE(t.args[3]->var_index, t.args[0]->var_index);  // _ is fresh
+  EXPECT_EQ(result->num_vars, 3u);
+  EXPECT_EQ(result->var_names.size(), 2u);  // X and Y only
+}
+
+TEST_F(ReaderTest, Structures) {
+  auto t = Parse("point(1, 2.5, name)");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(Name(*t), "point");
+  EXPECT_EQ(t->arity(), 3u);
+}
+
+TEST_F(ReaderTest, Lists) {
+  auto t = Parse("[1, 2, 3]");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(Name(*t), ".");
+  EXPECT_EQ(t->args[0]->int_value, 1);
+  // Tail: [2,3]
+  const Ast& tail = *t->args[1];
+  EXPECT_EQ(tail.args[0]->int_value, 2);
+
+  t = Parse("[H|T]");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_TRUE(t->args[0]->IsVar());
+  EXPECT_TRUE(t->args[1]->IsVar());
+}
+
+TEST_F(ReaderTest, OperatorPrecedence) {
+  // 1 + 2 * 3 parses as +(1, *(2, 3)).
+  auto t = Parse("1 + 2 * 3");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(Name(*t), "+");
+  EXPECT_EQ(t->args[0]->int_value, 1);
+  EXPECT_EQ(Name(*t->args[1]), "*");
+
+  // Left associativity: 1 - 2 - 3 = -(-(1,2),3).
+  t = Parse("1 - 2 - 3");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(Name(*t), "-");
+  EXPECT_EQ(Name(*t->args[0]), "-");
+  EXPECT_EQ(t->args[1]->int_value, 3);
+
+  // xfy: a , b , c = ','(a, ','(b, c)).
+  t = Parse("(a , b , c)");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(Name(*t), ",");
+  EXPECT_EQ(Name(*t->args[1]), ",");
+}
+
+TEST_F(ReaderTest, ClauseSyntax) {
+  auto t = Parse("p(X) :- q(X), r(X)");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(Name(*t), ":-");
+  EXPECT_EQ(Name(*t->args[0]), "p");
+  EXPECT_EQ(Name(*t->args[1]), ",");
+}
+
+TEST_F(ReaderTest, IfThenElseAndNegation) {
+  auto t = Parse("( a -> b ; c )");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(Name(*t), ";");
+  EXPECT_EQ(Name(*t->args[0]), "->");
+
+  t = Parse("\\+ foo(X)");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(Name(*t), "\\+");
+}
+
+TEST_F(ReaderTest, NegativeNumberVsSubtraction) {
+  auto t = Parse("f(-1)");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->args[0]->kind, Ast::Kind::kInt);
+  EXPECT_EQ(t->args[0]->int_value, -1);
+
+  t = Parse("3-1");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(Name(*t), "-");
+}
+
+TEST_F(ReaderTest, Comments) {
+  auto program = ParseProgram(&dict_,
+                              "% line comment\n"
+                              "a. /* block\ncomment */ b.\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 2u);
+}
+
+TEST_F(ReaderTest, StringsAreCodeLists) {
+  auto t = Parse("\"ab\"");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(t->args[0]->int_value, 'a');
+}
+
+TEST_F(ReaderTest, MultipleClauses) {
+  auto program = ParseProgram(&dict_, "p(1). p(2). q(X) :- p(X).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 3u);
+}
+
+TEST_F(ReaderTest, CurlyBraces) {
+  auto t = Parse("{a, b}");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(Name(*t), "{}");
+  EXPECT_EQ(t->arity(), 1u);
+}
+
+TEST_F(ReaderTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseTerm(&dict_, "f(").ok());
+  EXPECT_FALSE(ParseTerm(&dict_, "f(a,)").ok());
+  EXPECT_FALSE(ParseTerm(&dict_, "[a, b").ok());
+  EXPECT_FALSE(ParseTerm(&dict_, "'unterminated").ok());
+  EXPECT_FALSE(ParseTerm(&dict_, "/* unterminated").ok());
+}
+
+TEST_F(ReaderTest, EndTokenRequiresLayout) {
+  // =.. is a symbolic atom, not an end token.
+  auto t = Parse("X =.. L");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(Name(*t), "=..");
+}
+
+
+TEST_F(ReaderTest, PrefixDeclarationOperators) {
+  auto t = Parse(":- dynamic foo/2");
+  ASSERT_TRUE(t && t->IsStruct());
+  EXPECT_EQ(Name(*t), ":-");
+  ASSERT_EQ(t->args.size(), 1u);
+  EXPECT_EQ(Name(*t->args[0]), "dynamic");
+}
+
+TEST_F(ReaderTest, OperatorsAsArguments) {
+  // An operator atom in an argument position parses as a plain atom when
+  // nothing follows it.
+  auto t = Parse("f(a, -, b)");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->arity(), 3u);
+  EXPECT_EQ(Name(*t->args[1]), "-");
+}
+
+TEST_F(ReaderTest, DeeplyNestedTermsParse) {
+  std::string text = "x";
+  for (int i = 0; i < 200; ++i) text = "w(" + text + ")";
+  auto t = Parse(text);
+  ASSERT_TRUE(t);
+  int depth = 0;
+  const term::Ast* node = t.get();
+  while (node->IsStruct()) {
+    node = node->args[0].get();
+    ++depth;
+  }
+  EXPECT_EQ(depth, 200);
+}
+
+TEST_F(ReaderTest, QuotedAtomsWithEscapes) {
+  auto t = Parse("'line\\nbreak'");
+  ASSERT_TRUE(t && t->IsAtom());
+  EXPECT_EQ(Name(*t), "line\nbreak");
+  t = Parse("'it''s'");
+  ASSERT_TRUE(t && t->IsAtom());
+  EXPECT_EQ(Name(*t), "it's");
+}
+
+TEST_F(ReaderTest, CommaPrecedenceInsideArguments) {
+  // Inside f(...), an unparenthesized ',' separates arguments; a
+  // parenthesized one is the conjunction operator.
+  auto t = Parse("f((a, b), c)");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->arity(), 2u);
+  EXPECT_EQ(Name(*t->args[0]), ",");
+}
+
+// --- writer round-trips ----------------------------------------------------
+
+class WriterRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WriterRoundTripTest, ParseWriteParse) {
+  dict::Dictionary dict;
+  auto first = ParseTerm(&dict, GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string text = WriteTerm(dict, *first->term);
+  auto second = ParseTerm(&dict, text);
+  ASSERT_TRUE(second.ok()) << second.status() << " from rendered: " << text;
+  EXPECT_TRUE(term::AstEquals(*first->term, *second->term))
+      << "round-trip changed term: " << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Terms, WriterRoundTripTest,
+    ::testing::Values(
+        "foo", "'quoted atom'", "42", "-42", "3.25", "[1,2,3]", "[H|T]",
+        "f(a, B, g(h(1)))", "p(X) :- q(X), r(X, [a|Y])",
+        "a + b * c - d", "'ODD name'(1)", "[]", "[[]]", "f([a,b],[c|[d]])",
+        "\\+ p(X)", "(a ; b)", "(a -> b ; c)", "X = [1, 'two', 3.0]",
+        "f(-1, - 1)", "'hello\\nworld'", "{x, y}",
+        "schedule(u6, garching, 480, 510, [stop(a,1),stop(b,2)])"));
+
+// Property: writer output always re-parses for random nested terms.
+TEST(WriterPropertyTest, RandomTermsRoundTrip) {
+  base::Rng rng(7);
+  dict::Dictionary dict;
+  // Random term builder.
+  std::function<term::AstPtr(int)> build = [&](int depth) -> term::AstPtr {
+    const uint64_t pick = rng.Below(depth > 3 ? 3 : 5);
+    switch (pick) {
+      case 0:
+        return term::MakeInt(static_cast<int64_t>(rng.Below(1000)) - 500);
+      case 1:
+        return term::MakeAtom(
+            *dict.Intern("atom" + std::to_string(rng.Below(10)), 0));
+      case 2:
+        return term::MakeVar(static_cast<uint32_t>(rng.Below(5)),
+                             "V" + std::to_string(rng.Below(5)));
+      case 3: {
+        const uint32_t arity = 1 + static_cast<uint32_t>(rng.Below(3));
+        std::vector<term::AstPtr> args;
+        for (uint32_t i = 0; i < arity; ++i) args.push_back(build(depth + 1));
+        return term::MakeStruct(
+            *dict.Intern("f" + std::to_string(rng.Below(4)), arity),
+            std::move(args));
+      }
+      default: {
+        std::vector<term::AstPtr> elements;
+        const uint32_t n = static_cast<uint32_t>(rng.Below(4));
+        for (uint32_t i = 0; i < n; ++i) elements.push_back(build(depth + 1));
+        return term::MakeList(*dict.Intern(".", 2), elements,
+                              term::MakeAtom(*dict.Intern("[]", 0)));
+      }
+    }
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    term::AstPtr t = build(0);
+    const std::string text = WriteTerm(dict, *t);
+    auto parsed = ParseTerm(&dict, text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for " << text;
+    // Var indices may differ (parser renumbers); compare shape by
+    // rendering both.
+    EXPECT_EQ(WriteTerm(dict, *parsed->term), text);
+  }
+}
+
+}  // namespace
+}  // namespace educe::reader

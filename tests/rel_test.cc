@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rel/exec.h"
+#include "rel/row.h"
+#include "rel/table.h"
+#include "rel/wisconsin.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace educe::rel {
+namespace {
+
+class RelTest : public ::testing::Test {
+ protected:
+  RelTest() : pool_(&file_, 256), db_(&pool_) {}
+
+  storage::PagedFile file_;
+  storage::BufferPool pool_;
+  Database db_;
+};
+
+Schema TwoColumnSchema() {
+  return Schema({{"id", ColumnType::kInt}, {"name", ColumnType::kString}});
+}
+
+TEST_F(RelTest, TupleCodecRoundTrip) {
+  Schema schema({{"a", ColumnType::kInt},
+                 {"b", ColumnType::kFloat},
+                 {"c", ColumnType::kString}});
+  Tuple tuple = {int64_t{-42}, 2.5, std::string("hello world")};
+  auto decoded = DecodeTuple(schema, EncodeTuple(schema, tuple));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tuple);
+}
+
+TEST_F(RelTest, TupleCodecDetectsCorruption) {
+  Schema schema({{"a", ColumnType::kInt}});
+  EXPECT_FALSE(DecodeTuple(schema, "abc").ok());
+  Tuple tuple = {int64_t{1}};
+  std::string bytes = EncodeTuple(schema, tuple) + "x";
+  EXPECT_FALSE(DecodeTuple(schema, bytes).ok());
+}
+
+TEST_F(RelTest, InsertAndScan) {
+  auto table = db_.CreateTable("people", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Insert({int64_t{1}, std::string("ann")}).ok());
+  ASSERT_TRUE((*table)->Insert({int64_t{2}, std::string("bob")}).ok());
+
+  auto rows = MakeSeqScan(*table)->Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(RelTest, InsertTypeChecked) {
+  auto table = db_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE((*table)->Insert({int64_t{1}}).ok());  // arity
+  EXPECT_FALSE(
+      (*table)->Insert({std::string("x"), std::string("y")}).ok());  // type
+}
+
+TEST_F(RelTest, IndexLookup) {
+  auto table = db_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*table)->Insert({i, "row" + std::to_string(i)}).ok());
+  }
+  ASSERT_TRUE((*table)->CreateIndex("id").ok());
+  auto rows = (*table)->IndexLookup(0, int64_t{123});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(std::get<std::string>((*rows)[0][1]), "row123");
+
+  auto missing = (*table)->IndexLookup(0, int64_t{9999});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+}
+
+TEST_F(RelTest, IndexMaintainedOnInsert) {
+  auto table = db_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->CreateIndex("id").ok());
+  ASSERT_TRUE((*table)->Insert({int64_t{7}, std::string("late")}).ok());
+  auto rows = (*table)->IndexLookup(0, int64_t{7});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(RelTest, FilterAndProject) {
+  auto table = db_.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*table)->Insert({i, "n" + std::to_string(i)}).ok());
+  }
+  auto source = MakeProject(
+      MakeFilter(MakeSeqScan(*table),
+                 [](const Tuple& t) { return std::get<int64_t>(t[0]) < 10; }),
+      {1});
+  auto rows = source->Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  EXPECT_EQ((*rows)[0].size(), 1u);
+}
+
+TEST_F(RelTest, JoinsAgree) {
+  auto left = db_.CreateTable("l", TwoColumnSchema());
+  auto right = db_.CreateTable("r", TwoColumnSchema());
+  ASSERT_TRUE(left.ok() && right.ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*left)->Insert({i % 10, "L" + std::to_string(i)}).ok());
+  }
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*right)->Insert({i % 5, "R" + std::to_string(i)}).ok());
+  }
+
+  auto nl = MakeNestedLoopJoin(MakeSeqScan(*left), MakeSeqScan(*right), 0, 0)
+                ->Collect();
+  auto hash = MakeHashJoin(MakeSeqScan(*left), MakeSeqScan(*right), 0, 0)
+                  ->Collect();
+  ASSERT_TRUE(nl.ok() && hash.ok());
+  EXPECT_EQ(nl->size(), hash->size());
+  // 50 left rows, keys 0..9; right keys 0..4 with 4 rows each. Left rows
+  // with key<5: 25 of them, each matching 4 right rows = 100.
+  EXPECT_EQ(nl->size(), 100u);
+}
+
+TEST_F(RelTest, WisconsinShape) {
+  auto table = rel::WisconsinGenerator::Build(&db_, "tenk", 1000, 42);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count(), 1000u);
+
+  // unique1 is a permutation: all values distinct, in [0, n).
+  auto rows = MakeSeqScan(*table)->Collect();
+  ASSERT_TRUE(rows.ok());
+  std::set<int64_t> unique1;
+  for (const Tuple& t : *rows) {
+    const int64_t u1 = std::get<int64_t>(t[0]);
+    EXPECT_GE(u1, 0);
+    EXPECT_LT(u1, 1000);
+    unique1.insert(u1);
+    EXPECT_EQ(std::get<int64_t>(t[2]), u1 % 2);       // two
+    EXPECT_EQ(std::get<int64_t>(t[6]), u1 % 100);     // one_percent
+    EXPECT_EQ(std::get<std::string>(t[13]).size(), 52u);
+  }
+  EXPECT_EQ(unique1.size(), 1000u);
+
+  // Indexed point lookup on unique2.
+  auto hit = (*table)->IndexLookup(1, int64_t{500});
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->size(), 1u);
+
+  // 1% selection via one_percent column.
+  auto sel = MakeFilter(MakeSeqScan(*table), [](const Tuple& t) {
+               return std::get<int64_t>(t[6]) == 50;
+             })->Collect();
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 10u);  // 1% of 1000
+}
+
+TEST_F(RelTest, WisconsinDeterministicAcrossSeedReuse) {
+  auto a = rel::WisconsinGenerator::Build(&db_, "a", 200, 7);
+  auto b = rel::WisconsinGenerator::Build(&db_, "b", 200, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto rows_a = MakeSeqScan(*a)->Collect();
+  auto rows_b = MakeSeqScan(*b)->Collect();
+  ASSERT_TRUE(rows_a.ok() && rows_b.ok());
+  EXPECT_EQ(*rows_a, *rows_b);
+}
+
+TEST_F(RelTest, DuplicateTableRejected) {
+  ASSERT_TRUE(db_.CreateTable("dup", TwoColumnSchema()).ok());
+  EXPECT_FALSE(db_.CreateTable("dup", TwoColumnSchema()).ok());
+  EXPECT_TRUE(db_.GetTable("dup").ok());
+  EXPECT_FALSE(db_.GetTable("nope").ok());
+}
+
+
+TEST_F(RelTest, IndexNestedLoopJoinMatchesHashJoin) {
+  auto left = db_.CreateTable("lt", TwoColumnSchema());
+  auto right = db_.CreateTable("rt", TwoColumnSchema());
+  ASSERT_TRUE(left.ok() && right.ok());
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*left)->Insert({i % 40, "L" + std::to_string(i)}).ok());
+    ASSERT_TRUE((*right)->Insert({i, "R" + std::to_string(i)}).ok());
+  }
+  ASSERT_TRUE((*right)->CreateIndex("id").ok());
+
+  auto inl = MakeIndexNestedLoopJoin(MakeSeqScan(*left), *right, 0, 0)
+                 ->Collect();
+  auto hash =
+      MakeHashJoin(MakeSeqScan(*left), MakeSeqScan(*right), 0, 0)->Collect();
+  ASSERT_TRUE(inl.ok() && hash.ok());
+  EXPECT_EQ(inl->size(), 200u);
+  // Hash join output is right-driven; compare as multisets.
+  auto key = [](const Tuple& t) {
+    return std::get<std::string>(t[1]) + "/" + std::get<std::string>(t[3]);
+  };
+  std::multiset<std::string> a, b;
+  for (const auto& t : *inl) a.insert(key(t));
+  for (const auto& t : *hash) {
+    // hash join emits left row ++ right row in build/probe order: the
+    // build side was `left`, so columns align with inl output.
+    b.insert(key(t));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RelTest, JoinsOnEmptyInputs) {
+  auto a = db_.CreateTable("ea", TwoColumnSchema());
+  auto b = db_.CreateTable("eb", TwoColumnSchema());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*b)->Insert({int64_t{1}, std::string("x")}).ok());
+  auto nl =
+      MakeNestedLoopJoin(MakeSeqScan(*a), MakeSeqScan(*b), 0, 0)->Collect();
+  auto hj = MakeHashJoin(MakeSeqScan(*a), MakeSeqScan(*b), 0, 0)->Collect();
+  ASSERT_TRUE(nl.ok() && hj.ok());
+  EXPECT_TRUE(nl->empty());
+  EXPECT_TRUE(hj->empty());
+}
+
+TEST_F(RelTest, ResetRestartsSources) {
+  auto t = db_.CreateTable("rr", TwoColumnSchema());
+  ASSERT_TRUE(t.ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*t)->Insert({i, "v"}).ok());
+  }
+  auto scan = MakeSeqScan(*t);
+  Tuple row;
+  ASSERT_TRUE(*scan->Next(&row));
+  ASSERT_TRUE(*scan->Next(&row));
+  ASSERT_TRUE(scan->Reset().ok());
+  int count = 0;
+  while (*scan->Next(&row)) ++count;
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(RelTest, FloatColumnsRoundTripAndJoin) {
+  Schema schema({{"k", ColumnType::kInt}, {"w", ColumnType::kFloat}});
+  auto t = db_.CreateTable("fl", schema);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->Insert({int64_t{1}, 2.5}).ok());
+  ASSERT_TRUE((*t)->Insert({int64_t{2}, -0.125}).ok());
+  auto rows = MakeSeqScan(*t)->Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[1][1]), -0.125);
+}
+
+}  // namespace
+}  // namespace educe::rel

@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reader/parser.h"
+#include "reader/writer.h"
+#include "wam/builtins.h"
+#include "wam/machine.h"
+#include "wam/program.h"
+
+namespace educe::wam {
+namespace {
+
+/// End-to-end harness: consult source text, run queries, render answers.
+class WamTest : public ::testing::Test {
+ protected:
+  WamTest() : program_(&dict_) {
+    EXPECT_TRUE(InstallStandardLibrary(&program_).ok());
+  }
+
+  void Consult(std::string_view source) {
+    auto clauses = reader::ParseProgram(&dict_, source);
+    ASSERT_TRUE(clauses.ok()) << clauses.status();
+    for (const auto& clause : *clauses) {
+      ASSERT_TRUE(program_.AddClause(clause.term).ok());
+    }
+  }
+
+  /// All solutions (up to `max`) rendered as "X = 1, Y = a"; a solution of
+  /// a variable-free query renders as "true".
+  std::vector<std::string> Solve(std::string_view query, int max = 100,
+                                 MachineOptions options = {}) {
+    auto read = reader::ParseTerm(&dict_, query);
+    EXPECT_TRUE(read.ok()) << read.status() << " for " << query;
+    if (!read.ok()) return {};
+
+    Machine machine(&program_, options);
+    last_status_ = machine.StartQuery(read->term, read->num_vars);
+    EXPECT_TRUE(last_status_.ok()) << last_status_;
+    std::vector<std::string> out;
+    while (static_cast<int>(out.size()) < max) {
+      auto more = machine.NextSolution();
+      if (!more.ok()) {
+        last_status_ = more.status();
+        break;
+      }
+      if (!*more) break;
+      std::map<uint64_t, uint32_t> var_map;
+      std::string rendered;
+      for (const auto& [name, index] : read->var_names) {
+        if (!rendered.empty()) rendered += ", ";
+        rendered += name + " = " +
+                    reader::WriteTerm(dict_, *machine.ExportVar(index, &var_map));
+      }
+      out.push_back(rendered.empty() ? "true" : rendered);
+    }
+    last_stats_ = machine.stats();
+    return out;
+  }
+
+  /// Convenience: does the goal succeed at least once?
+  bool Succeeds(std::string_view query) { return !Solve(query, 1).empty(); }
+
+  dict::Dictionary dict_;
+  Program program_;
+  base::Status last_status_;
+  MachineStats last_stats_;
+};
+
+TEST_F(WamTest, FactsEnumerate) {
+  Consult("p(1). p(2). p(3).");
+  EXPECT_EQ(Solve("p(X)"),
+            (std::vector<std::string>{"X = 1", "X = 2", "X = 3"}));
+}
+
+TEST_F(WamTest, GroundQuerySucceedsOrFails) {
+  Consult("p(1). p(2).");
+  EXPECT_TRUE(Succeeds("p(1)"));
+  EXPECT_FALSE(Succeeds("p(7)"));
+}
+
+TEST_F(WamTest, ConjunctionAndSharedVariables) {
+  Consult("edge(a, b). edge(b, c). edge(c, d).");
+  EXPECT_EQ(Solve("edge(X, Y), edge(Y, Z)"),
+            (std::vector<std::string>{"X = a, Y = b, Z = c",
+                                      "X = b, Y = c, Z = d"}));
+}
+
+TEST_F(WamTest, RulesAndRecursion) {
+  Consult(R"(
+    parent(tom, bob). parent(bob, ann). parent(ann, joe).
+    anc(X, Y) :- parent(X, Y).
+    anc(X, Y) :- parent(X, Z), anc(Z, Y).
+  )");
+  EXPECT_EQ(Solve("anc(tom, X)"),
+            (std::vector<std::string>{"X = bob", "X = ann", "X = joe"}));
+  EXPECT_TRUE(Succeeds("anc(bob, joe)"));
+  EXPECT_FALSE(Succeeds("anc(joe, tom)"));
+}
+
+TEST_F(WamTest, StructuresUnify) {
+  Consult("shape(circle(R), area) :- R > 0.  shape(square(S), area) :- S > 0.");
+  EXPECT_TRUE(Succeeds("shape(circle(3), area)"));
+  EXPECT_FALSE(Succeeds("shape(circle(0), area)"));
+  EXPECT_TRUE(Succeeds("shape(square(2), area)"));
+}
+
+TEST_F(WamTest, NestedStructures) {
+  Consult("deep(f(g(h(X)), [X, k(X)])).");
+  EXPECT_EQ(Solve("deep(f(g(h(7)), L))"),
+            (std::vector<std::string>{"L = [7,k(7)]"}));
+}
+
+TEST_F(WamTest, ListsViaLibrary) {
+  EXPECT_EQ(Solve("append([1,2], [3], L)"),
+            (std::vector<std::string>{"L = [1,2,3]"}));
+  EXPECT_EQ(Solve("append(X, Y, [a,b])").size(), 3u);
+  EXPECT_EQ(Solve("member(X, [x,y,z])").size(), 3u);
+  EXPECT_EQ(Solve("length([a,b,c], N)"),
+            (std::vector<std::string>{"N = 3"}));
+  EXPECT_EQ(Solve("reverse([1,2,3], R)"),
+            (std::vector<std::string>{"R = [3,2,1]"}));
+}
+
+TEST_F(WamTest, ArithmeticEvaluation) {
+  EXPECT_EQ(Solve("X is 2 + 3 * 4"), (std::vector<std::string>{"X = 14"}));
+  EXPECT_EQ(Solve("X is (2 + 3) * 4"), (std::vector<std::string>{"X = 20"}));
+  EXPECT_EQ(Solve("X is 7 // 2"), (std::vector<std::string>{"X = 3"}));
+  EXPECT_EQ(Solve("X is -7 // 2"), (std::vector<std::string>{"X = -4"}));
+  EXPECT_EQ(Solve("X is 7 mod 3"), (std::vector<std::string>{"X = 1"}));
+  EXPECT_EQ(Solve("X is -7 mod 3"), (std::vector<std::string>{"X = 2"}));
+  EXPECT_EQ(Solve("X is abs(-5)"), (std::vector<std::string>{"X = 5"}));
+  EXPECT_EQ(Solve("X is min(3, 9)"), (std::vector<std::string>{"X = 3"}));
+  EXPECT_EQ(Solve("X is 2 ^ 10"), (std::vector<std::string>{"X = 1024"}));
+  EXPECT_EQ(Solve("X is 10 / 4"), (std::vector<std::string>{"X = 2.5"}));
+  EXPECT_EQ(Solve("X is 10 / 5"), (std::vector<std::string>{"X = 2"}));
+}
+
+TEST_F(WamTest, ArithmeticComparisons) {
+  EXPECT_TRUE(Succeeds("3 < 4"));
+  EXPECT_FALSE(Succeeds("4 < 3"));
+  EXPECT_TRUE(Succeeds("2 + 2 =:= 4"));
+  EXPECT_TRUE(Succeeds("2 + 2 =\\= 5"));
+  EXPECT_TRUE(Succeeds("3.5 > 3"));
+  EXPECT_TRUE(Succeeds("10 >= 10"));
+}
+
+TEST_F(WamTest, ArithmeticErrors) {
+  Solve("X is 1 / 0", 1);
+  EXPECT_FALSE(last_status_.ok());
+  Solve("X is foo + 1", 1);
+  EXPECT_FALSE(last_status_.ok());
+  Solve("X is Y + 1", 1);
+  EXPECT_EQ(last_status_.code(), base::StatusCode::kInstantiationError);
+}
+
+TEST_F(WamTest, CutPrunesAlternatives) {
+  Consult(R"(
+    max(X, Y, X) :- X >= Y, !.
+    max(_, Y, Y).
+  )");
+  EXPECT_EQ(Solve("max(3, 7, M)"), (std::vector<std::string>{"M = 7"}));
+  // Without the cut this would give two answers; with it exactly one.
+  EXPECT_EQ(Solve("max(9, 2, M)"), (std::vector<std::string>{"M = 9"}));
+}
+
+TEST_F(WamTest, CutInsideEnumeration) {
+  Consult("first(X) :- member(X, [a,b,c]), !.");
+  EXPECT_EQ(Solve("first(X)"), (std::vector<std::string>{"X = a"}));
+}
+
+TEST_F(WamTest, NegationAsFailure) {
+  Consult("p(1). p(2).");
+  EXPECT_TRUE(Succeeds("\\+ p(3)"));
+  EXPECT_FALSE(Succeeds("\\+ p(1)"));
+  EXPECT_EQ(Solve("member(X, [1,2,3,4]), \\+ p(X)"),
+            (std::vector<std::string>{"X = 3", "X = 4"}));
+}
+
+TEST_F(WamTest, Disjunction) {
+  EXPECT_EQ(Solve("( X = 1 ; X = 2 )"),
+            (std::vector<std::string>{"X = 1", "X = 2"}));
+}
+
+TEST_F(WamTest, IfThenElse) {
+  Consult("classify(X, neg) :- ( X < 0 -> true ; fail ).");
+  EXPECT_TRUE(Succeeds("classify(-3, neg)"));
+  EXPECT_FALSE(Succeeds("classify(3, neg)"));
+
+  Consult("sign_of(X, S) :- ( X > 0 -> S = pos ; X < 0 -> S = neg ; S = zero ).");
+  EXPECT_EQ(Solve("sign_of(5, S)"), (std::vector<std::string>{"S = pos"}));
+  EXPECT_EQ(Solve("sign_of(-5, S)"), (std::vector<std::string>{"S = neg"}));
+  EXPECT_EQ(Solve("sign_of(0, S)"), (std::vector<std::string>{"S = zero"}));
+  // The condition is committed: only one solution even though X > 0
+  // could backtrack into other branches.
+  EXPECT_EQ(Solve("sign_of(5, S)").size(), 1u);
+}
+
+TEST_F(WamTest, TermInspection) {
+  EXPECT_EQ(Solve("functor(foo(a, b), F, N)"),
+            (std::vector<std::string>{"F = foo, N = 2"}));
+  EXPECT_EQ(Solve("functor(T, pair, 2), arg(1, T, left)"),
+            (std::vector<std::string>{"T = pair(left,_G0)"}));
+  EXPECT_EQ(Solve("foo(a, b) =.. L"),
+            (std::vector<std::string>{"L = [foo,a,b]"}));
+  EXPECT_EQ(Solve("T =.. [g, 1, 2]"),
+            (std::vector<std::string>{"T = g(1,2)"}));
+  EXPECT_EQ(Solve("arg(2, t(a, b, c), A)"),
+            (std::vector<std::string>{"A = b"}));
+}
+
+TEST_F(WamTest, TypeTests) {
+  EXPECT_TRUE(Succeeds("atom(foo)"));
+  EXPECT_FALSE(Succeeds("atom(1)"));
+  EXPECT_TRUE(Succeeds("integer(3)"));
+  EXPECT_TRUE(Succeeds("float(3.5)"));
+  EXPECT_TRUE(Succeeds("number(3.5)"));
+  EXPECT_TRUE(Succeeds("var(_)"));
+  EXPECT_TRUE(Succeeds("X = f(Y), compound(X)"));
+  EXPECT_TRUE(Succeeds("is_list([1,2])"));
+  EXPECT_FALSE(Succeeds("is_list([1|_])"));
+  EXPECT_TRUE(Succeeds("ground(f(1, a))"));
+  EXPECT_FALSE(Succeeds("ground(f(1, _))"));
+}
+
+TEST_F(WamTest, StandardOrder) {
+  EXPECT_TRUE(Succeeds("1 @< a"));
+  EXPECT_TRUE(Succeeds("a @< f(a)"));
+  EXPECT_TRUE(Succeeds("f(a) @< f(b)"));
+  EXPECT_TRUE(Succeeds("f(a) @< g(a)"));
+  EXPECT_TRUE(Succeeds("f(a) @< f(a, b)"));
+  EXPECT_TRUE(Succeeds("f(a) == f(a)"));
+  EXPECT_TRUE(Succeeds("f(a) \\== f(b)"));
+  EXPECT_TRUE(Succeeds("X = Y, X == Y"));
+  EXPECT_FALSE(Succeeds("X == Y"));
+  EXPECT_EQ(Solve("compare(O, 1, 2)"), (std::vector<std::string>{"O = <"}));
+}
+
+TEST_F(WamTest, UnifyAndNotUnify) {
+  EXPECT_EQ(Solve("f(X, b) = f(a, Y)"),
+            (std::vector<std::string>{"X = a, Y = b"}));
+  EXPECT_TRUE(Succeeds("f(a) \\= f(b)"));
+  EXPECT_FALSE(Succeeds("f(a) \\= f(a)"));
+  EXPECT_FALSE(Succeeds("X \\= a"));  // unifiable, so \= fails
+}
+
+TEST_F(WamTest, CopyTerm) {
+  EXPECT_EQ(Solve("copy_term(f(X, X, a), T)"),
+            (std::vector<std::string>{"X = _G0, T = f(_G1,_G1,a)"}));
+}
+
+TEST_F(WamTest, Between) {
+  EXPECT_EQ(Solve("between(1, 4, X)"),
+            (std::vector<std::string>{"X = 1", "X = 2", "X = 3", "X = 4"}));
+  EXPECT_TRUE(Succeeds("between(1, 10, 5)"));
+  EXPECT_FALSE(Succeeds("between(1, 10, 50)"));
+}
+
+TEST_F(WamTest, Findall) {
+  Consult("p(1). p(2). p(3).");
+  EXPECT_EQ(Solve("findall(X, p(X), L)"),
+            (std::vector<std::string>{"X = _G0, L = [1,2,3]"}));
+  EXPECT_EQ(Solve("findall(X-Y, (p(X), p(Y), X < Y), L)"),
+            (std::vector<std::string>{
+                "X = _G0, Y = _G1, L = [1 - 2,1 - 3,2 - 3]"}));
+  EXPECT_EQ(Solve("findall(X, fail, L)"),
+            (std::vector<std::string>{"X = _G0, L = []"}));
+  // Nested findall.
+  EXPECT_EQ(Solve("findall(L1, (p(X), findall(Y, (p(Y), Y =< X), L1)), L)"),
+            (std::vector<std::string>{
+                "L1 = _G0, X = _G1, Y = _G2, L = [[1],[1,2],[1,2,3]]"}));
+}
+
+TEST_F(WamTest, AssertAndRetract) {
+  EXPECT_FALSE(Succeeds("fact(1)"));
+  EXPECT_TRUE(Succeeds("assert(fact(1))"));
+  EXPECT_TRUE(Succeeds("fact(1)"));
+  EXPECT_TRUE(Succeeds("assert(fact(2)), assert(fact(3))"));
+  EXPECT_EQ(Solve("fact(X)").size(), 3u);
+  EXPECT_TRUE(Succeeds("retract(fact(2))"));
+  EXPECT_EQ(Solve("fact(X)").size(), 2u);
+  EXPECT_FALSE(Succeeds("retract(fact(9))"));
+  EXPECT_TRUE(Succeeds("asserta(fact(0))"));
+  EXPECT_EQ(Solve("fact(X)")[0], "X = 0");
+  EXPECT_TRUE(Succeeds("abolish(fact/1)"));
+  EXPECT_FALSE(Succeeds("fact(0)"));
+}
+
+TEST_F(WamTest, AssertRules) {
+  EXPECT_TRUE(Succeeds("assert((double(X, Y) :- Y is X * 2))"));
+  EXPECT_EQ(Solve("double(21, Y)"), (std::vector<std::string>{"Y = 42"}));
+}
+
+TEST_F(WamTest, Metacall) {
+  Consult("p(1). p(2).");
+  EXPECT_EQ(Solve("G = p(X), call(G)").size(), 2u);
+  EXPECT_EQ(Solve("call(p, X)").size(), 2u);
+  EXPECT_TRUE(Succeeds("call((p(1), p(2)))"));
+  EXPECT_TRUE(Succeeds("call((p(9) ; p(2)))"));
+  EXPECT_FALSE(Succeeds("call(\\+ p(1))"));
+  Solve("call(X)", 1);
+  EXPECT_EQ(last_status_.code(), base::StatusCode::kInstantiationError);
+}
+
+TEST_F(WamTest, AtomBuiltins) {
+  EXPECT_EQ(Solve("atom_codes(abc, L), atom_codes(A, L)"),
+            (std::vector<std::string>{"L = [97,98,99], A = abc"}));
+  EXPECT_EQ(Solve("atom_length(hello, N)"),
+            (std::vector<std::string>{"N = 5"}));
+  EXPECT_EQ(Solve("atom_concat(foo, bar, A)"),
+            (std::vector<std::string>{"A = foobar"}));
+  EXPECT_EQ(Solve("number_codes(N, \"42\")"),
+            (std::vector<std::string>{"N = 42"}));
+}
+
+TEST_F(WamTest, UndefinedPredicateIsError) {
+  Solve("no_such_thing(1)", 1);
+  EXPECT_EQ(last_status_.code(), base::StatusCode::kNotFound);
+}
+
+TEST_F(WamTest, UndefinedPredicateCanFail) {
+  MachineOptions options;
+  options.unknown_predicates_fail = true;
+  EXPECT_TRUE(Solve("no_such_thing(1)", 1, options).empty());
+  EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(WamTest, DeepRecursionWithGc) {
+  Consult(R"(
+    build(0, []) :- !.
+    build(N, [N|T]) :- M is N - 1, build(M, T).
+    sum([], 0).
+    sum([H|T], S) :- sum(T, S1), S is S1 + H.
+  )");
+  MachineOptions options;
+  options.gc_threshold_cells = 4096;  // force frequent collections
+  auto result = Solve("build(2000, L), sum(L, S), L = [F|_]", 1, options);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NE(result[0].find("S = 2001000"), std::string::npos);
+  EXPECT_NE(result[0].find("F = 2000"), std::string::npos);
+  EXPECT_GT(last_stats_.gc_runs, 0u) << "GC should have triggered";
+}
+
+TEST_F(WamTest, GcPreservesBacktracking) {
+  Consult(R"(
+    blow(0) :- !.
+    blow(N) :- M is N - 1, blow(M).
+    pick(X) :- member(X, [1,2,3]), blow(3000).
+  )");
+  MachineOptions options;
+  options.gc_threshold_cells = 2048;
+  EXPECT_EQ(Solve("pick(X)", 100, options),
+            (std::vector<std::string>{"X = 1", "X = 2", "X = 3"}));
+  EXPECT_GT(last_stats_.gc_runs, 0u);
+}
+
+TEST_F(WamTest, TailRecursionRunsInBoundedHeapWithGc) {
+  Consult(R"(
+    count(N, N) :- !.
+    count(I, N) :- I < N, J is I + 1, count(J, N).
+  )");
+  MachineOptions options;
+  options.gc_threshold_cells = 4096;
+  options.max_heap_cells = 1u << 22;
+  EXPECT_TRUE(Succeeds("count(0, 100000)"));
+}
+
+TEST_F(WamTest, FirstArgumentIndexingReducesChoicePoints) {
+  std::ostringstream source;
+  for (int i = 0; i < 200; ++i) {
+    source << "big(k" << i << ", " << i << ").\n";
+  }
+  Consult(source.str());
+
+  program_.SetIndexingEnabled(true);
+  Solve("big(k150, V)");
+  const uint64_t with_index = last_stats_.choice_points;
+
+  program_.SetIndexingEnabled(false);
+  Solve("big(k150, V)");
+  const uint64_t without_index = last_stats_.choice_points;
+
+  EXPECT_EQ(with_index, 0u) << "unique key: deterministic dispatch";
+  EXPECT_GT(without_index, 0u);
+  program_.SetIndexingEnabled(true);
+}
+
+TEST_F(WamTest, IndexingPreservesSolutionOrder) {
+  Consult(R"(
+    m(a, 1). m(b, 2). m(X, 3) :- X = c. m(a, 4). m(d, 5).
+  )");
+  // The var-headed clause (matching only c) interleaves correctly: it is
+  // *tried* in every bucket but only succeeds for c.
+  EXPECT_EQ(Solve("m(a, V)"), (std::vector<std::string>{"V = 1", "V = 4"}));
+  EXPECT_EQ(Solve("m(c, V)"), (std::vector<std::string>{"V = 3"}));
+  EXPECT_EQ(Solve("m(Q, V)").size(), 5u);
+
+  program_.SetIndexingEnabled(false);
+  EXPECT_EQ(Solve("m(a, V)"), (std::vector<std::string>{"V = 1", "V = 4"}));
+  EXPECT_EQ(Solve("m(c, V)"), (std::vector<std::string>{"V = 3"}));
+  program_.SetIndexingEnabled(true);
+}
+
+TEST_F(WamTest, IndexingOnTypes) {
+  Consult(R"(
+    t(7, int). t(x, atom). t([1], list). t(f(1), struct). t(2.5, float).
+  )");
+  EXPECT_EQ(Solve("t(7, W)"), (std::vector<std::string>{"W = int"}));
+  EXPECT_EQ(Solve("t(x, W)"), (std::vector<std::string>{"W = atom"}));
+  EXPECT_EQ(Solve("t([1], W)"), (std::vector<std::string>{"W = list"}));
+  EXPECT_EQ(Solve("t(f(1), W)"), (std::vector<std::string>{"W = struct"}));
+  EXPECT_EQ(Solve("t(2.5, W)"), (std::vector<std::string>{"W = float"}));
+  EXPECT_EQ(Solve("t(T, W)").size(), 5u);
+}
+
+TEST_F(WamTest, FloatsUnifyAndCompute) {
+  EXPECT_TRUE(Succeeds("X = 2.5, X = 2.5"));
+  EXPECT_FALSE(Succeeds("2.5 = 2.6"));
+  EXPECT_EQ(Solve("X is 1.5 + 2.25"), (std::vector<std::string>{"X = 3.75"}));
+  EXPECT_TRUE(Succeeds("X is 2.0, X =:= 2"));
+  EXPECT_FALSE(Succeeds("2.0 = 2"));  // unification is not =:=
+}
+
+TEST_F(WamTest, ForallAndIgnore) {
+  Consult("p(1). p(2). p(3).");
+  EXPECT_TRUE(Succeeds("forall(p(X), X > 0)"));
+  EXPECT_FALSE(Succeeds("forall(p(X), X > 1)"));
+  EXPECT_TRUE(Succeeds("ignore(p(99))"));
+}
+
+TEST_F(WamTest, WriteProducesOutput) {
+  auto read = reader::ParseTerm(&dict_, "write(f(X, [1,2])), nl");
+  ASSERT_TRUE(read.ok());
+  Machine machine(&program_);
+  std::ostringstream out;
+  machine.set_output(&out);
+  ASSERT_TRUE(machine.StartQuery(read->term, read->num_vars).ok());
+  auto more = machine.NextSolution();
+  ASSERT_TRUE(more.ok());
+  EXPECT_TRUE(*more);
+  EXPECT_EQ(out.str(), "f(_G0,[1,2])\n");
+}
+
+TEST_F(WamTest, LastCallOptimizationKeepsStackFlat) {
+  // A long deterministic tail-recursive loop must not run out of memory;
+  // with TRO the environment stack stays bounded.
+  Consult(R"(
+    loop(0) :- !.
+    loop(N) :- M is N - 1, loop(M).
+  )");
+  EXPECT_TRUE(Succeeds("loop(200000)"));
+}
+
+TEST_F(WamTest, QueriesAreIsolated) {
+  Consult("p(1).");
+  EXPECT_TRUE(Succeeds("X = 5"));
+  EXPECT_TRUE(Succeeds("X = 6"));  // no state leak between queries
+  EXPECT_EQ(Solve("p(X)").size(), 1u);
+}
+
+// Parameterized sweep: naive reverse of lists of several sizes exercises
+// the allocator, GC, and unification on a classic benchmark shape.
+class NreverseTest : public WamTest,
+                     public ::testing::WithParamInterface<int> {};
+
+TEST_P(NreverseTest, ReversesCorrectly) {
+  Consult(R"(
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+    make(0, []) :- !.
+    make(N, [N|T]) :- M is N - 1, make(M, T).
+  )");
+  const int n = GetParam();
+  MachineOptions options;
+  options.gc_threshold_cells = 16384;
+  auto result = Solve("make(" + std::to_string(n) +
+                          ", L), nrev(L, R), R = [First|_]",
+                      1, options);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NE(result[0].find("First = 1"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NreverseTest,
+                         ::testing::Values(1, 5, 30, 100, 300));
+
+}  // namespace
+}  // namespace educe::wam

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workloads/integrity.h"
+#include "workloads/mvv.h"
+
+namespace educe::workloads {
+namespace {
+
+TEST(MvvWorkloadTest, CardinalitiesMatchPaper) {
+  MvvWorkload mvv;
+  // Count generated facts per relation.
+  auto count = [&](const std::string& prefix) {
+    size_t n = 0, pos = 0;
+    while ((pos = mvv.facts().find(prefix, pos)) != std::string::npos) {
+      ++n;
+      pos += prefix.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("location2("), 2307u);
+  EXPECT_EQ(count("schedule3("), 8776u);
+  EXPECT_EQ(count("schedule2("), 7260u);
+  EXPECT_EQ(mvv.class1_queries().size(), 10u);
+  EXPECT_EQ(mvv.class2_queries().size(), 10u);
+}
+
+TEST(MvvWorkloadTest, QueriesHaveSolutions) {
+  MvvWorkload::Config config;
+  config.num_stops = 300;          // small instance for test speed
+  config.schedule3_rows = 1200;
+  config.schedule2_rows = 900;
+  config.num_lines = 20;
+  MvvWorkload mvv(config);
+
+  Engine engine;
+  ASSERT_TRUE(mvv.Setup(&engine, /*rules_external=*/false).ok());
+
+  int class1_hits = 0;
+  for (const std::string& q : mvv.class1_queries()) {
+    auto ok = engine.Succeeds(q);
+    ASSERT_TRUE(ok.ok()) << ok.status() << " for " << q;
+    class1_hits += *ok ? 1 : 0;
+  }
+  EXPECT_GE(class1_hits, 8) << "adjacent-stop queries should mostly succeed";
+
+  int class2_hits = 0;
+  for (const std::string& q : mvv.class2_queries()) {
+    auto ok = engine.Succeeds(q);
+    ASSERT_TRUE(ok.ok()) << ok.status() << " for " << q;
+    class2_hits += *ok ? 1 : 0;
+  }
+  EXPECT_GE(class2_hits, 5) << "one-change queries should often succeed";
+}
+
+TEST(MvvWorkloadTest, ModesAgreeOnASmallInstance) {
+  MvvWorkload::Config config;
+  config.num_stops = 120;
+  config.schedule3_rows = 400;
+  config.schedule2_rows = 300;
+  config.num_lines = 10;
+  MvvWorkload mvv(config);
+
+  auto count_solutions = [&](RuleStorage mode, bool external) {
+    EngineOptions options;
+    options.rule_storage = mode;
+    Engine engine(options);
+    EXPECT_TRUE(mvv.Setup(&engine, external).ok());
+    uint64_t total = 0;
+    for (const std::string& q : mvv.class2_queries()) {
+      auto n = engine.CountSolutions(q);
+      EXPECT_TRUE(n.ok()) << n.status();
+      total += n.ValueOr(0);
+    }
+    return total;
+  };
+
+  const uint64_t internal = count_solutions(RuleStorage::kCompiled, false);
+  const uint64_t compiled = count_solutions(RuleStorage::kCompiled, true);
+  const uint64_t source = count_solutions(RuleStorage::kSource, true);
+  EXPECT_EQ(compiled, internal);
+  EXPECT_EQ(source, internal);
+}
+
+TEST(IntegrityWorkloadTest, ShapeMatchesPaper) {
+  IntegrityWorkload ic;
+  auto count = [&](const std::string& text, const std::string& prefix) {
+    size_t n = 0, pos = 0;
+    while ((pos = text.find(prefix, pos)) != std::string::npos) {
+      ++n;
+      pos += prefix.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count(ic.facts(), "employee("), 4000u);
+  EXPECT_EQ(count(ic.facts(), "dept_location("), 48u);  // the ~50x2 relation
+  EXPECT_EQ(count(ic.constraints(), "constraint("),
+            5u * 30u);  // 5 schemas x variants
+  EXPECT_EQ(ic.updates().size(), 5u);
+}
+
+TEST(IntegrityWorkloadTest, PreprocessSpecialises) {
+  IntegrityWorkload::Config config;
+  config.employee_rows = 50;  // facts are not touched by preprocess anyway
+  config.variants_per_constraint = 6;
+  IntegrityWorkload ic(config);
+
+  Engine engine;
+  ASSERT_TRUE(ic.Setup(&engine, /*constraints_external=*/false).ok());
+
+  // Preprocess never touches the fact relations.
+  engine.ResetStats();
+  std::vector<uint64_t> counts;
+  for (int k = 0; k < 5; ++k) {
+    auto first = engine.First("spec_count(" + ic.updates()[k] + ", N)");
+    ASSERT_TRUE(first.ok()) << first.status();
+    counts.push_back(std::stoull((*first)["N"]));
+  }
+  EXPECT_EQ(engine.Stats().clause_store.fact_rows_fetched, 0u)
+      << "preprocess must not read facts";
+
+  // Updates are ordered by increasing generality: u5 (all variables)
+  // matches at least as many literals as the ground u1.
+  EXPECT_GT(counts[4], counts[0]);
+  EXPECT_GT(counts[4], 0u);
+  // The fully-general update resolves against every employee literal:
+  // schemas C1..C5 contribute 1+1+2+1+1 = 6 per variant.
+  EXPECT_EQ(counts[4], 6u * 6u);
+}
+
+TEST(IntegrityWorkloadTest, ExternalAndInternalAgree) {
+  IntegrityWorkload::Config config;
+  config.employee_rows = 20;
+  config.variants_per_constraint = 4;
+  IntegrityWorkload ic(config);
+
+  auto run = [&](bool external) {
+    Engine engine;
+    EXPECT_TRUE(ic.Setup(&engine, external).ok());
+    std::vector<std::string> out;
+    for (int k = 0; k < 5; ++k) {
+      auto first = engine.First("spec_count(" + ic.updates()[k] + ", N)");
+      EXPECT_TRUE(first.ok()) << first.status();
+      out.push_back(first.ok() ? (*first)["N"] : "?");
+    }
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace educe::workloads
