@@ -1,0 +1,173 @@
+// The EDB code cache (DESIGN.md §8) on the per-call load path the paper's
+// design exists to kill (§2, §3.1): with the loader's full-procedure
+// cache off and pre-unification on, every call — every level of a
+// recursion — used to re-fetch, re-decode and re-link the stored relative
+// code. The pattern tier removes the decode+link from all but the first
+// call per distinct clause selection. The acceptance bar for this bench:
+// pattern cache on must decode ≥5× fewer clauses than off, at identical
+// solution counts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "educe/engine.h"
+
+namespace educe {
+namespace {
+
+using bench::Check;
+using bench::CheckResult;
+using bench::Ms;
+using bench::Num;
+using bench::Ratio;
+using bench::Table;
+
+constexpr const char* kReachRules = R"(
+  reach(X, Y) :- edge(X, Y).
+  reach(X, Y) :- edge(X, Z), reach(Z, Y).
+)";
+
+/// A layered DAG: a chain n0..n{N-1} plus a shortcut every kSkip nodes,
+/// so transitive closure revisits nodes along multiple paths (rule-heavy
+/// recursion with a changing bound argument — the worst case for an
+/// exact-pattern-only cache, the common case in deductive workloads).
+std::string GraphFacts(int nodes, int skip) {
+  std::string facts;
+  for (int i = 0; i + 1 < nodes; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").\n";
+  }
+  for (int i = 0; i + skip < nodes; i += skip) {
+    facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + skip) +
+             ").\n";
+  }
+  return facts;
+}
+
+struct RunResult {
+  uint64_t solutions = 0;
+  double seconds = 0;
+  EngineStats stats;
+};
+
+RunResult RunReach(bool loader_cache, bool pattern_cache) {
+  EngineOptions options;
+  options.loader_cache = loader_cache;
+  options.pattern_cache = pattern_cache;
+  options.preunify = true;
+  Engine engine(options);
+  Check(engine.StoreFactsExternal(GraphFacts(/*nodes=*/36, /*skip=*/6)),
+        "facts");
+  Check(engine.StoreRulesExternal(kReachRules), "rules");
+
+  engine.ResetStats();
+  base::Stopwatch watch;
+  RunResult out;
+  for (int start = 0; start < 6; ++start) {
+    const std::string goal = "reach(n" + std::to_string(start * 6) + ", X)";
+    out.solutions += CheckResult(engine.CountSolutions(goal), goal.c_str());
+  }
+  out.seconds = watch.ElapsedSeconds();
+  out.stats = engine.Stats();
+  return out;
+}
+
+int Main() {
+  Table table(
+      "EDB code cache: recursive reach/2, per-call loads (preunify on)");
+  table.Header({"config", "solutions", "ms", "rule calls", "clauses decoded",
+                "pat hits", "sel hits", "decode ms", "link ms", "resolve ms",
+                "bytes resident"});
+
+  const RunResult uncached = RunReach(/*loader_cache=*/false,
+                                      /*pattern_cache=*/false);
+  const RunResult pattern = RunReach(/*loader_cache=*/false,
+                                     /*pattern_cache=*/true);
+  const RunResult full = RunReach(/*loader_cache=*/true,
+                                  /*pattern_cache=*/true);
+
+  auto row = [&](const char* name, const RunResult& r) {
+    const edb::LoaderStats& l = r.stats.loader;
+    const edb::CodeCacheStats& c = r.stats.code_cache;
+    table.Row({name, Num(r.solutions), Ms(r.seconds),
+               Num(l.call_loads + l.loads), Num(l.clauses_decoded),
+               Num(c.pattern_hits), Num(c.selection_hits),
+               Ms(l.decode_ns * 1e-9), Ms(l.link_ns * 1e-9),
+               Ms(r.stats.resolver.resolve_ns * 1e-9),
+               Num(c.bytes_resident)});
+  };
+  row("per-call, no cache (seed)", uncached);
+  row("per-call + pattern cache", pattern);
+  row("full-procedure cache", full);
+  table.Print();
+
+  if (uncached.solutions != pattern.solutions ||
+      uncached.solutions != full.solutions) {
+    std::fprintf(stderr, "FATAL: solution counts diverge\n");
+    std::abort();
+  }
+  const double speedup =
+      static_cast<double>(uncached.stats.loader.clauses_decoded) /
+      static_cast<double>(pattern.stats.loader.clauses_decoded);
+  std::printf(
+      "\nclauses_decoded: %llu -> %llu (%s fewer with the pattern tier)\n",
+      static_cast<unsigned long long>(uncached.stats.loader.clauses_decoded),
+      static_cast<unsigned long long>(pattern.stats.loader.clauses_decoded),
+      Ratio(static_cast<double>(uncached.stats.loader.clauses_decoded),
+            static_cast<double>(pattern.stats.loader.clauses_decoded))
+          .c_str());
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FATAL: pattern tier below the 5x acceptance bar\n");
+    std::abort();
+  }
+
+  // Invalidation under churn: every stored clause push-evicts, so updates
+  // are seen immediately; once the churn stops, calls hit again.
+  Table churn("Invalidation: interleaved StoreRulesExternal + queries");
+  churn.Header({"phase", "queries", "loads", "hits", "invalidations",
+                "entries resident"});
+  EngineOptions options;
+  Engine engine(options);
+  constexpr int kRounds = 10;
+  for (int i = 0; i < kRounds; ++i) {
+    Check(engine.StoreRulesExternal("grow(" + std::to_string(i) + ")."),
+          "grow");
+    const uint64_t count =
+        CheckResult(engine.CountSolutions("grow(X)"), "grow(X)");
+    if (count != static_cast<uint64_t>(i + 1)) {
+      std::fprintf(stderr, "FATAL: stale code served after invalidation\n");
+      std::abort();
+    }
+  }
+  EngineStats after_churn = engine.Stats();
+  churn.Row({"churn", Num(kRounds), Num(after_churn.loader.loads),
+             Num(after_churn.loader.cache_hits),
+             Num(after_churn.code_cache.invalidations),
+             Num(after_churn.code_cache.entries)});
+  engine.ResetStats();
+  constexpr int kSteady = 10;
+  for (int i = 0; i < kSteady; ++i) {
+    (void)CheckResult(engine.CountSolutions("grow(X)"), "grow(X)");
+  }
+  EngineStats steady = engine.Stats();
+  churn.Row({"steady", Num(kSteady), Num(steady.loader.loads),
+             Num(steady.loader.cache_hits),
+             Num(steady.code_cache.invalidations),
+             Num(steady.code_cache.entries)});
+  churn.Print();
+
+  std::printf(
+      "\nShape: the decode/link cost of per-call loads collapses onto the "
+      "first call per clause selection; the bound argument changing every "
+      "recursion level no longer matters (selection-fingerprint tier). "
+      "Mutations evict eagerly — churn pays one reload per update, steady "
+      "state is all hits.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace educe
+
+int main() { return educe::Main(); }

@@ -38,7 +38,8 @@ int Main() {
   for (bool preunify : {true, false}) {
     EngineOptions options;
     options.rule_storage = RuleStorage::kCompiled;
-    options.loader_cache = false;  // isolate the per-call fetch path
+    options.loader_cache = false;   // isolate the per-call fetch path
+    options.pattern_cache = false;  // ... with the code cache out of play
     options.preunify = preunify;
     Engine engine(options);
     engine.SyncOptions();

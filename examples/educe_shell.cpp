@@ -62,7 +62,9 @@ void PrintStats(educe::Engine* engine) {
       "edb:     %llu facts stored, %llu rules stored, %llu fact rows "
       "fetched, %llu clauses decoded\n"
       "disc:    %llu pages read, %llu written; buffer %llu hits / %llu "
-      "misses\n",
+      "misses\n"
+      "cache:   %llu hits / %llu misses, %llu invalidations, %llu entries "
+      "(%llu bytes)\n",
       static_cast<unsigned long long>(s.machine.instructions),
       static_cast<unsigned long long>(s.machine.calls),
       static_cast<unsigned long long>(s.machine.choice_points),
@@ -75,7 +77,12 @@ void PrintStats(educe::Engine* engine) {
       static_cast<unsigned long long>(s.paged_file.pages_read),
       static_cast<unsigned long long>(s.paged_file.pages_written),
       static_cast<unsigned long long>(s.buffer_pool.hits),
-      static_cast<unsigned long long>(s.buffer_pool.misses));
+      static_cast<unsigned long long>(s.buffer_pool.misses),
+      static_cast<unsigned long long>(s.code_cache.hits),
+      static_cast<unsigned long long>(s.code_cache.misses),
+      static_cast<unsigned long long>(s.code_cache.invalidations),
+      static_cast<unsigned long long>(s.code_cache.entries),
+      static_cast<unsigned long long>(s.code_cache.bytes_resident));
 }
 
 std::string Trim(const std::string& s) {

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ASan+UBSan build-and-test sweep. Catches pointer-lifetime bugs (dangling
+# cache keys, use-after-evict) and UB that plain builds hide. CI should
+# run this next to the normal ctest job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DEDUCE_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

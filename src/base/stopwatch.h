@@ -17,9 +17,17 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-  uint64_t ElapsedMicros() const {
-    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  /// Integer nanoseconds since start/Reset. Counter accumulation must use
+  /// this, not ElapsedSeconds() * 1e9: the double round-trip loses
+  /// precision once totals grow past 2^53 ns (~104 days) and costs two
+  /// conversions per sample.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
   }
+  uint64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -164,7 +164,30 @@ base::Result<ProcedureInfo*> ClauseStore::Declare(
   info.relation = std::make_unique<storage::BangFile>(std::move(relation));
 
   auto [it, inserted] = procedures_.emplace(std::move(key), std::move(info));
+  by_hash_[it->second.functor_hash] = &it->second;
   return &it->second;
+}
+
+ProcedureInfo* ClauseStore::FindByHash(uint64_t functor_hash) {
+  auto it = by_hash_.find(functor_hash);
+  return it == by_hash_.end() ? nullptr : it->second;
+}
+
+uint64_t ClauseStore::AddMutationListener(MutationListener listener) {
+  const uint64_t token = next_listener_token_++;
+  mutation_listeners_[token] = std::move(listener);
+  return token;
+}
+
+void ClauseStore::RemoveMutationListener(uint64_t token) {
+  mutation_listeners_.erase(token);
+}
+
+void ClauseStore::NotifyMutation(ProcedureInfo* proc) {
+  ++proc->version;
+  for (const auto& [token, listener] : mutation_listeners_) {
+    listener(*proc);
+  }
 }
 
 ProcedureInfo* ClauseStore::Find(dict::SymbolId functor) {
@@ -208,7 +231,7 @@ base::Status ClauseStore::StoreFact(ProcedureInfo* proc,
   }
   EDUCE_ASSIGN_OR_RETURN(std::string payload, codec_->EncodeGroundTerm(fact));
   EDUCE_RETURN_IF_ERROR(proc->relation->Insert(keys, payload));
-  ++proc->version;
+  NotifyMutation(proc);
   ++stats_.facts_stored;
   return base::Status::OK();
 }
@@ -268,7 +291,7 @@ base::Status ClauseStore::StoreRuleCompiled(ProcedureInfo* proc,
   EDUCE_ASSIGN_OR_RETURN(std::string bytes, codec_->EncodeClause(code));
   EDUCE_RETURN_IF_ERROR(
       clauses_relation_->Insert({proc->functor_hash, clause_id}, bytes));
-  ++proc->version;
+  NotifyMutation(proc);
   ++stats_.rules_stored;
   return base::Status::OK();
 }
@@ -286,7 +309,7 @@ base::Status ClauseStore::StoreRuleSource(ProcedureInfo* proc,
       proc->relation->Insert({kVarRuleKey, clause_id}, RowFlag(false)));
   EDUCE_RETURN_IF_ERROR(clauses_relation_->Insert(
       {proc->functor_hash, clause_id}, std::string(text)));
-  ++proc->version;
+  NotifyMutation(proc);
   ++stats_.rules_stored;
   return base::Status::OK();
 }
@@ -391,6 +414,13 @@ base::Result<bool> ClauseStore::PreUnify(std::string_view relative_code,
 
 base::Result<std::vector<std::string>> ClauseStore::FetchRules(
     ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
+  EDUCE_ASSIGN_OR_RETURN(RuleFetch fetch,
+                         FetchRulesDetailed(proc, pattern, preunify));
+  return std::move(fetch.payloads);
+}
+
+base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailed(
+    ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
   if (proc->mode == ProcedureMode::kFacts) {
     return base::Status::InvalidArgument(proc->name + " is a fact relation");
   }
@@ -435,7 +465,7 @@ base::Result<std::vector<std::string>> ClauseStore::FetchRules(
 
   // Step 2: ship each candidate's payload from the clauses relation,
   // running the pre-unification unit on the relative code first.
-  std::vector<std::string> out;
+  RuleFetch out;
   for (uint32_t clause_id : clause_ids) {
     auto cursor =
         clauses_relation_->OpenScan({proc->functor_hash, clause_id});
@@ -454,7 +484,8 @@ base::Result<std::vector<std::string>> ClauseStore::FetchRules(
       }
     }
     ++stats_.rule_codes_fetched;
-    out.push_back(std::move(record.payload));
+    out.clause_ids.push_back(clause_id);
+    out.payloads.push_back(std::move(record.payload));
   }
   return out;
 }
@@ -489,7 +520,7 @@ base::Result<term::AstPtr> ClauseStore::FactCursor::Next() {
 base::Status ClauseStore::DeleteFact(ProcedureInfo* proc,
                                      storage::RecordId rid) {
   EDUCE_RETURN_IF_ERROR(proc->relation->Delete(rid));
-  ++proc->version;
+  NotifyMutation(proc);
   return base::Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define EDUCE_EDB_CLAUSE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -106,6 +107,9 @@ class ClauseStore {
   /// Catalog lookup; nullptr if `functor` is not external.
   ProcedureInfo* Find(dict::SymbolId functor);
   ProcedureInfo* Find(std::string_view name, uint32_t arity);
+  /// Lookup by the stable external-dictionary functor hash (code-cache
+  /// identity); nullptr if unknown.
+  ProcedureInfo* FindByHash(uint64_t functor_hash);
 
   /// Stores a ground fact (an atom/struct whose args are all ground).
   /// The procedure must be kFacts.
@@ -127,6 +131,27 @@ class ClauseStore {
   /// the source baseline's "retrieve all clauses" policy).
   base::Result<std::vector<std::string>> FetchRules(
       ProcedureInfo* proc, const CallPattern* pattern, bool preunify);
+
+  /// FetchRules plus the surviving clause ids (same order as `payloads`).
+  /// The id sequence is the loader's selection fingerprint: two calls
+  /// selecting the same ids at the same procedure version are guaranteed
+  /// the same linked code.
+  struct RuleFetch {
+    std::vector<uint32_t> clause_ids;
+    std::vector<std::string> payloads;
+  };
+  base::Result<RuleFetch> FetchRulesDetailed(ProcedureInfo* proc,
+                                             const CallPattern* pattern,
+                                             bool preunify);
+
+  /// Mutation push notifications: fired after any update that bumps a
+  /// procedure's version (facts and rules alike). The loader's code cache
+  /// subscribes to evict stale entries eagerly instead of waiting for a
+  /// version check at lookup. Returns a token for RemoveMutationListener;
+  /// listeners must deregister before they dangle.
+  using MutationListener = std::function<void(const ProcedureInfo&)>;
+  uint64_t AddMutationListener(MutationListener listener);
+  void RemoveMutationListener(uint64_t token);
 
   /// Streams facts matching `pattern` (bound args become BANG keys).
   class FactCursor {
@@ -171,6 +196,9 @@ class ClauseStore {
   void InvalidateFunctorCache() { by_functor_.clear(); }
 
  private:
+  /// Version bump + listener fan-out after a mutation of `proc`.
+  void NotifyMutation(ProcedureInfo* proc);
+
   storage::BufferPool* pool_;
   ExternalDictionary* external_;
   CodeCodec* codec_;
@@ -182,6 +210,9 @@ class ClauseStore {
 
   std::map<std::pair<std::string, uint32_t>, ProcedureInfo> procedures_;
   std::map<dict::SymbolId, ProcedureInfo*> by_functor_;
+  std::map<uint64_t, ProcedureInfo*> by_hash_;
+  std::map<uint64_t, MutationListener> mutation_listeners_;
+  uint64_t next_listener_token_ = 1;
   ClauseStoreStats stats_;
 };
 

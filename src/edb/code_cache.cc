@@ -1,0 +1,193 @@
+#include "edb/code_cache.h"
+
+#include "base/hash.h"
+#include "edb/clause_store.h"
+#include "wam/program.h"
+
+namespace educe::edb {
+
+namespace {
+
+/// Per-entry bound on alias keys: beyond this, additional call patterns
+/// simply miss the exact-pattern key and re-hit via their selection
+/// fingerprint. Keeps entries with very many distinct callers (e.g. a
+/// recursion over thousands of constants) from growing without bound.
+constexpr size_t kMaxKeysPerEntry = 64;
+
+uint64_t Combine(uint64_t h, uint64_t v) {
+  return (h ^ base::MixInt64(v)) * 1099511628211ull;
+}
+
+}  // namespace
+
+uint64_t FingerprintPattern(const std::vector<ArgSummary>& pattern) {
+  uint64_t h = 1469598103934665603ull;
+  for (const ArgSummary& s : pattern) {
+    h = Combine(h, static_cast<uint64_t>(s.kind));
+    // Unbound/list summaries carry no value; skip it so equal patterns
+    // fingerprint equally regardless of stale bits.
+    if (s.kind != ArgSummary::Kind::kAny && s.kind != ArgSummary::Kind::kList) {
+      h = Combine(h, s.value);
+    }
+  }
+  return Combine(h, pattern.size());
+}
+
+uint64_t FingerprintSelection(const std::vector<uint32_t>& clause_ids) {
+  uint64_t h = 0x2545F4914F6CDD1Dull;  // distinct basis from patterns
+  for (uint32_t id : clause_ids) h = Combine(h, id);
+  return Combine(h, clause_ids.size());
+}
+
+size_t CodeCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = base::MixInt64(k.proc_hash);
+  h = Combine(h, k.sub_key);
+  h = Combine(h, static_cast<uint64_t>(k.tier));
+  return static_cast<size_t>(h);
+}
+
+void CodeCache::SetLimits(Limits limits) {
+  limits_ = limits;
+  EvictToFit(lru_.end());
+}
+
+CodeCache::EntryList::iterator CodeCache::Remove(EntryList::iterator it) {
+  for (const Key& key : it->keys) {
+    auto indexed = index_.find(key);
+    if (indexed != index_.end() && indexed->second == it) {
+      index_.erase(indexed);
+    }
+  }
+  stats_.bytes_resident -= it->bytes;
+  --stats_.entries;
+  return lru_.erase(it);
+}
+
+void CodeCache::EvictToFit(EntryList::iterator keep) {
+  while (!lru_.empty() && (lru_.size() > limits_.max_entries ||
+                           stats_.bytes_resident > limits_.max_bytes)) {
+    auto victim = std::prev(lru_.end());
+    if (victim == keep) break;  // never evict the entry being inserted
+    Remove(victim);
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const wam::LinkedCode> CodeCache::Lookup(const Key& key,
+                                                         uint64_t version) {
+  auto note_miss = [&] {
+    if (key.tier == Tier::kProcedure) ++stats_.misses;
+    // Pattern-tier misses are counted by the loader per logical load (one
+    // load probes both the pattern and selection keys).
+  };
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    note_miss();
+    return nullptr;
+  }
+  EntryList::iterator entry = it->second;
+  if (entry->version != version) {
+    // Safety net: push invalidation should have removed this already.
+    Remove(entry);
+    ++stats_.invalidations;
+    note_miss();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, entry);
+  switch (key.tier) {
+    case Tier::kProcedure: ++stats_.hits; break;
+    case Tier::kPattern: ++stats_.pattern_hits; break;
+    case Tier::kSelection: ++stats_.selection_hits; break;
+  }
+  return entry->code;
+}
+
+void CodeCache::Insert(const std::vector<Key>& keys, uint64_t version,
+                       std::shared_ptr<const wam::LinkedCode> code) {
+  if (keys.empty() || code == nullptr) return;
+  for (const Key& key : keys) {
+    auto it = index_.find(key);
+    if (it != index_.end()) Remove(it->second);
+  }
+  Entry entry;
+  entry.proc_hash = keys.front().proc_hash;
+  entry.version = version;
+  entry.bytes = wam::LinkedCodeBytes(*code);
+  entry.code = std::move(code);
+  entry.keys = keys;
+  lru_.push_front(std::move(entry));
+  stats_.bytes_resident += lru_.front().bytes;
+  ++stats_.entries;
+  for (const Key& key : keys) index_[key] = lru_.begin();
+  EvictToFit(lru_.begin());
+}
+
+void CodeCache::Alias(const Key& existing, const Key& alias) {
+  auto it = index_.find(existing);
+  if (it == index_.end()) return;
+  EntryList::iterator entry = it->second;
+  if (entry->keys.size() >= kMaxKeysPerEntry) return;
+  auto aliased = index_.find(alias);
+  if (aliased != index_.end()) {
+    if (aliased->second == entry) return;  // already attached
+    // The alias currently names another entry; re-point it and detach the
+    // key from the old entry's key list.
+    auto& old_keys = aliased->second->keys;
+    for (auto k = old_keys.begin(); k != old_keys.end(); ++k) {
+      if (*k == alias) {
+        old_keys.erase(k);
+        break;
+      }
+    }
+  }
+  entry->keys.push_back(alias);
+  index_[alias] = entry;
+}
+
+void CodeCache::InvalidateProcedure(uint64_t proc_hash) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->proc_hash == proc_hash) {
+      it = Remove(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CodeCache::PurgeStale(
+    const std::function<std::optional<uint64_t>(uint64_t proc_hash)>&
+        current_version) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const std::optional<uint64_t> live = current_version(it->proc_hash);
+    if (!live.has_value() || *live != it->version) {
+      it = Remove(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CodeCache::CollectSymbols(std::set<dict::SymbolId>* out) const {
+  for (const Entry& entry : lru_) {
+    wam::CollectLinkedSymbols(*entry.code, out);
+  }
+}
+
+void CodeCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes_resident = 0;
+}
+
+void CodeCache::ResetStats() {
+  const uint64_t entries = stats_.entries;
+  const uint64_t bytes = stats_.bytes_resident;
+  stats_ = CodeCacheStats{};
+  stats_.entries = entries;
+  stats_.bytes_resident = bytes;
+}
+
+}  // namespace educe::edb

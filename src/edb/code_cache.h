@@ -1,0 +1,161 @@
+#ifndef EDUCE_EDB_CODE_CACHE_H_
+#define EDUCE_EDB_CODE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "wam/code.h"
+
+namespace educe::edb {
+
+struct ArgSummary;  // clause_store.h
+
+/// Counters and gauges for the EDB code cache. Counters accumulate until
+/// ResetStats; `entries` and `bytes_resident` are gauges tracking current
+/// residency (ResetStats leaves them alone).
+struct CodeCacheStats {
+  uint64_t hits = 0;             // procedure-tier hits
+  uint64_t misses = 0;           // procedure-tier misses
+  uint64_t pattern_hits = 0;     // pattern tier: exact-pattern key hit
+  uint64_t selection_hits = 0;   // pattern tier: selection-fingerprint hit
+  uint64_t pattern_misses = 0;   // per-call loads that had to decode+link
+  uint64_t evictions = 0;        // LRU capacity evictions
+  uint64_t invalidations = 0;    // version-based removals (push or pull)
+  uint64_t entries = 0;          // gauge: resident entries
+  uint64_t bytes_resident = 0;   // gauge: approx resident bytes
+};
+
+/// LRU cache of decoded-and-linked EDB procedures (paper §3.1: the point
+/// of storing compiled relative code is paying decode/link once, not per
+/// call). Entries are keyed by *stable* identity — the external
+/// dictionary's functor hash, never a ProcedureInfo pointer, so a dropped
+/// procedure whose address is reused (ABA) can never alias a cache entry.
+///
+/// Two tiers share one LRU list and one memory budget:
+///  - kProcedure: the fully linked procedure (all clauses), used by the
+///    loader's full-procedure path.
+///  - kPattern/kSelection: per-call (pattern-filtered) loads. A kPattern
+///    key fingerprints the call pattern exactly (kinds + values); a
+///    kSelection key fingerprints the *surviving clause-id sequence* after
+///    EDB-side filtering, so two different call patterns that select the
+///    same clauses share one linked entry (the recursive-rule case, where
+///    the bound argument value changes every level but the clause set
+///    does not). A pattern key is attached to the selection entry as an
+///    alias on first use, making later identical calls hit without
+///    touching the EDB at all.
+///
+/// Invalidation is version-based and *pushed*: ClauseStore mutations call
+/// InvalidateProcedure so stale entries are evicted eagerly. Lookup still
+/// verifies the stored version as a safety net (a mismatch evicts and
+/// counts as an invalidation, never serves stale code).
+class CodeCache {
+ public:
+  struct Limits {
+    size_t max_entries = 256;
+    size_t max_bytes = 8u << 20;
+  };
+
+  enum class Tier : uint8_t { kProcedure = 0, kPattern = 1, kSelection = 2 };
+
+  struct Key {
+    uint64_t proc_hash = 0;  // ExternalDictionary::HashOf(name, arity)
+    uint64_t sub_key = 0;    // 0 / pattern fingerprint / selection fp
+    Tier tier = Tier::kProcedure;
+
+    bool operator==(const Key& o) const {
+      return proc_hash == o.proc_hash && sub_key == o.sub_key &&
+             tier == o.tier;
+    }
+  };
+
+  CodeCache() = default;
+  explicit CodeCache(Limits limits) : limits_(limits) {}
+
+  /// Changes the capacity bounds, evicting immediately if now over.
+  void SetLimits(Limits limits);
+  const Limits& limits() const { return limits_; }
+
+  /// Returns the cached code under `key` if present *and* its recorded
+  /// version equals `version`; refreshes LRU recency. A version mismatch
+  /// evicts the entry (counted as an invalidation) and misses. Hit/miss
+  /// counters are attributed per tier from `key.tier`.
+  std::shared_ptr<const wam::LinkedCode> Lookup(const Key& key,
+                                                uint64_t version);
+
+  /// Inserts `code` reachable under every key in `keys` (entries already
+  /// under those keys are replaced), then evicts LRU entries until within
+  /// budget. The newly inserted entry itself is never evicted by this
+  /// call, so a single over-budget procedure still caches.
+  void Insert(const std::vector<Key>& keys, uint64_t version,
+              std::shared_ptr<const wam::LinkedCode> code);
+
+  /// Attaches `alias` as an additional key of the entry under `existing`
+  /// (no-op if absent or the per-entry alias bound is reached).
+  void Alias(const Key& existing, const Key& alias);
+
+  /// Push invalidation: drops every entry of `proc_hash` (all tiers).
+  void InvalidateProcedure(uint64_t proc_hash);
+
+  /// Drops entries whose recorded version no longer matches the live
+  /// procedure version (`current_version` returns nullopt for procedures
+  /// that no longer resolve). Run before CollectSymbols so dictionary GC
+  /// never retains symbols referenced only by outdated code.
+  void PurgeStale(
+      const std::function<std::optional<uint64_t>(uint64_t proc_hash)>&
+          current_version);
+
+  /// Dictionary-GC roots: every symbol referenced by resident code.
+  void CollectSymbols(std::set<dict::SymbolId>* out) const;
+
+  /// One logical per-call load probes both the pattern and selection
+  /// keys; the loader reports a single pattern miss when both fail.
+  void NotePatternMiss() { ++stats_.pattern_misses; }
+
+  void Clear();
+  size_t entry_count() const { return lru_.size(); }
+  size_t bytes_resident() const { return stats_.bytes_resident; }
+
+  const CodeCacheStats& stats() const { return stats_; }
+  /// Zeroes the counters; residency gauges are preserved.
+  void ResetStats();
+
+ private:
+  struct Entry {
+    uint64_t proc_hash = 0;
+    uint64_t version = 0;
+    std::shared_ptr<const wam::LinkedCode> code;
+    size_t bytes = 0;
+    std::vector<Key> keys;  // every index key resolving to this entry
+  };
+  using EntryList = std::list<Entry>;
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  EntryList::iterator Remove(EntryList::iterator it);
+  void EvictToFit(EntryList::iterator keep);
+
+  Limits limits_ = {};
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<Key, EntryList::iterator, KeyHash> index_;
+  CodeCacheStats stats_;
+};
+
+/// Order-sensitive 64-bit fingerprint of a call pattern (kinds + values).
+/// Stable across sessions: ArgSummary values are external hashes.
+uint64_t FingerprintPattern(const std::vector<ArgSummary>& pattern);
+
+/// Order-sensitive 64-bit fingerprint of a surviving clause-id sequence.
+uint64_t FingerprintSelection(const std::vector<uint32_t>& clause_ids);
+
+}  // namespace educe::edb
+
+#endif  // EDUCE_EDB_CODE_CACHE_H_

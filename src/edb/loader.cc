@@ -5,10 +5,44 @@
 
 namespace educe::edb {
 
+namespace {
+
+CodeCache::Key ProcedureKey(const ProcedureInfo& proc) {
+  return CodeCache::Key{proc.functor_hash, 0, CodeCache::Tier::kProcedure};
+}
+
+CodeCache::Key PatternKey(const ProcedureInfo& proc,
+                          const CallPattern& pattern) {
+  return CodeCache::Key{proc.functor_hash, FingerprintPattern(pattern),
+                        CodeCache::Tier::kPattern};
+}
+
+CodeCache::Key SelectionKey(const ProcedureInfo& proc,
+                            const std::vector<uint32_t>& clause_ids) {
+  return CodeCache::Key{proc.functor_hash, FingerprintSelection(clause_ids),
+                        CodeCache::Tier::kSelection};
+}
+
+}  // namespace
+
+Loader::Loader(ClauseStore* store, CodeCodec* codec)
+    : store_(store), codec_(codec) {
+  // Push invalidation: any EDB mutation of a procedure evicts its cached
+  // code immediately (versions are still verified at lookup as a net).
+  mutation_listener_token_ =
+      store_->AddMutationListener([this](const ProcedureInfo& proc) {
+        cache_.InvalidateProcedure(proc.functor_hash);
+      });
+}
+
+Loader::~Loader() {
+  store_->RemoveMutationListener(mutation_listener_token_);
+}
+
 base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::DecodeAndLink(
     const std::vector<std::string>& payloads, dict::SymbolId functor,
     uint32_t arity) {
-  base::Stopwatch resolve_watch;
+  base::Stopwatch decode_watch;
   std::vector<std::shared_ptr<const wam::ClauseCode>> clauses;
   clauses.reserve(payloads.size());
   for (const std::string& bytes : payloads) {
@@ -16,22 +50,22 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::DecodeAndLink(
     clauses.push_back(std::make_shared<const wam::ClauseCode>(std::move(code)));
     ++stats_.clauses_decoded;
   }
-  stats_.resolve_ns += static_cast<uint64_t>(resolve_watch.ElapsedSeconds() * 1e9);
+  stats_.decode_ns += decode_watch.ElapsedNanos();
 
   base::Stopwatch link_watch;
   auto linked =
       wam::LinkProcedure(functor, arity, clauses, options_.indexing);
-  stats_.link_ns += static_cast<uint64_t>(link_watch.ElapsedSeconds() * 1e9);
+  stats_.link_ns += link_watch.ElapsedNanos();
   return linked;
 }
 
 base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
     ProcedureInfo* proc, dict::SymbolId functor) {
+  const CodeCache::Key key = ProcedureKey(*proc);
   if (options_.cache) {
-    auto it = cache_.find(proc);
-    if (it != cache_.end() && it->second.version == proc->version) {
+    if (auto code = cache_.Lookup(key, proc->version)) {
       ++stats_.cache_hits;
-      return it->second.code;
+      return code;
     }
   }
   ++stats_.loads;
@@ -41,7 +75,7 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
   EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
                          DecodeAndLink(payloads, functor, proc->arity));
   if (options_.cache) {
-    cache_[proc] = CacheEntry{proc->version, linked};
+    cache_.Insert({key}, proc->version, linked);
   }
   return linked;
 }
@@ -49,17 +83,49 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
 base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::LoadForCall(
     ProcedureInfo* proc, dict::SymbolId functor, const CallPattern& pattern) {
   ++stats_.call_loads;
+  if (!options_.pattern_cache) {
+    EDUCE_ASSIGN_OR_RETURN(
+        std::vector<std::string> payloads,
+        store_->FetchRules(proc, &pattern, options_.preunify));
+    return DecodeAndLink(payloads, functor, proc->arity);
+  }
+
+  // Fast path: this exact call pattern was linked before (no EDB touch).
+  const CodeCache::Key pattern_key = PatternKey(*proc, pattern);
+  if (auto code = cache_.Lookup(pattern_key, proc->version)) {
+    ++stats_.pattern_cache_hits;
+    return code;
+  }
+
   EDUCE_ASSIGN_OR_RETURN(
-      std::vector<std::string> payloads,
-      store_->FetchRules(proc, &pattern, options_.preunify));
-  return DecodeAndLink(payloads, functor, proc->arity);
+      ClauseStore::RuleFetch fetch,
+      store_->FetchRulesDetailed(proc, &pattern, options_.preunify));
+
+  // Second chance: a different pattern already linked this clause subset
+  // (the recursion case — the bound value varies, the selection doesn't).
+  const CodeCache::Key selection_key = SelectionKey(*proc, fetch.clause_ids);
+  if (auto code = cache_.Lookup(selection_key, proc->version)) {
+    ++stats_.pattern_cache_hits;
+    cache_.Alias(selection_key, pattern_key);
+    return code;
+  }
+
+  cache_.NotePatternMiss();
+  EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
+                         DecodeAndLink(fetch.payloads, functor, proc->arity));
+  cache_.Insert({selection_key, pattern_key}, proc->version, linked);
+  return linked;
 }
 
-void Loader::CollectReferencedSymbols(std::set<dict::SymbolId>* out) const {
-  for (const auto& [proc, entry] : cache_) {
-    out->insert(entry.code->functor);
-    wam::CollectSymbols(entry.code->code, out);
-  }
+void Loader::CollectReferencedSymbols(std::set<dict::SymbolId>* out) {
+  // Drop version-stale entries (and entries of dropped procedures) before
+  // the walk: GC must not retain symbols only referenced by outdated code.
+  cache_.PurgeStale([this](uint64_t proc_hash) -> std::optional<uint64_t> {
+    ProcedureInfo* proc = store_->FindByHash(proc_hash);
+    if (proc == nullptr) return std::nullopt;
+    return proc->version;
+  });
+  cache_.CollectSymbols(out);
 }
 
 }  // namespace educe::edb

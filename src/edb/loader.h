@@ -1,47 +1,61 @@
 #ifndef EDUCE_EDB_LOADER_H_
 #define EDUCE_EDB_LOADER_H_
 
-#include <map>
 #include <memory>
 #include <set>
 
 #include "base/result.h"
 #include "edb/clause_store.h"
+#include "edb/code_cache.h"
 #include "edb/code_codec.h"
 #include "wam/code.h"
 
 namespace educe::edb {
 
-/// Counters for the loader: resolve vs link time backs the paper's §3.1
+/// Counters for the loader: decode vs link time backs the paper's §3.1
 /// claim that address resolution is far cheaper than compilation.
 struct LoaderStats {
   uint64_t loads = 0;            // full-procedure loads performed
-  uint64_t cache_hits = 0;
+  uint64_t cache_hits = 0;       // procedure-tier cache hits
   uint64_t call_loads = 0;       // per-call (pattern-filtered) loads
+  uint64_t pattern_cache_hits = 0;  // per-call loads served from cache
   uint64_t clauses_decoded = 0;
-  uint64_t resolve_ns = 0;       // decode (address resolution) time
+  uint64_t decode_ns = 0;        // address resolution (decode) time
   uint64_t link_ns = 0;          // control/indexing insertion time
 };
 
 /// The dynamic loader (paper §3.1 component 2): fetches relative code
 /// from the EDB, resolves its associative addresses into internal
 /// dictionary ids, and splices in the control and first-argument-indexing
-/// instructions that make it runnable — then caches the result until the
-/// stored procedure changes.
+/// instructions that make it runnable — then keeps the result in an
+/// LRU-bounded CodeCache keyed by the procedure's *stable* external
+/// functor hash. Per-call (pattern-filtered) loads cache too: an exact
+/// pattern key for repeat calls, plus a selection-fingerprint key so a
+/// recursion whose bound argument changes every level still reuses one
+/// linked entry. ClauseStore mutations push-invalidate stale entries.
 class Loader {
  public:
   struct Options {
-    /// Keep loaded procedures in the code cache (invalidated by version).
+    /// Keep full-procedure loads in the code cache.
     bool cache = true;
+    /// Keep per-call (pattern-filtered) loads in the code cache.
+    bool pattern_cache = true;
     /// Ask the EDB to run the pre-unification filter on per-call loads.
     bool preunify = true;
     /// First-argument indexing in the linked code.
     bool indexing = true;
   };
 
-  Loader(ClauseStore* store, CodeCodec* codec) : store_(store), codec_(codec) {}
+  Loader(ClauseStore* store, CodeCodec* codec);
+  ~Loader();
+
+  Loader(const Loader&) = delete;
+  Loader& operator=(const Loader&) = delete;
 
   Options& options() { return options_; }
+
+  /// Adjusts the cache capacity (entries/bytes), evicting if now over.
+  void SetCacheLimits(CodeCache::Limits limits) { cache_.SetLimits(limits); }
 
   /// Loads the whole procedure (all clauses), linking with indexing; the
   /// normal Educe* path. `functor` is the internal id the linked code is
@@ -50,16 +64,24 @@ class Loader {
       ProcedureInfo* proc, dict::SymbolId functor);
 
   /// Loads only the clauses surviving the EDB-side filter for `pattern`.
-  /// Never cached (the result is pattern-specific). Used when the cache
-  /// is disabled and by the pre-unification ablation.
+  /// With pattern_cache on, repeated patterns — and distinct patterns
+  /// selecting the same clause subset — skip decode+link entirely.
   base::Result<std::shared_ptr<const wam::LinkedCode>> LoadForCall(
       ProcedureInfo* proc, dict::SymbolId functor, const CallPattern& pattern);
 
   const LoaderStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = LoaderStats{}; }
+  const CodeCacheStats& cache_stats() const { return cache_.stats(); }
+  void ResetStats() {
+    stats_ = LoaderStats{};
+    cache_.ResetStats();
+  }
 
   /// Dictionary-GC roots: symbols referenced by cached linked code.
-  void CollectReferencedSymbols(std::set<dict::SymbolId>* out) const;
+  /// Entries whose procedure version is stale are dropped first so GC
+  /// never retains symbols only referenced by outdated code.
+  void CollectReferencedSymbols(std::set<dict::SymbolId>* out);
+
+  CodeCache* cache() { return &cache_; }
 
  private:
   base::Result<std::shared_ptr<const wam::LinkedCode>> DecodeAndLink(
@@ -69,12 +91,8 @@ class Loader {
   ClauseStore* store_;
   CodeCodec* codec_;
   Options options_;
-
-  struct CacheEntry {
-    uint64_t version;
-    std::shared_ptr<const wam::LinkedCode> code;
-  };
-  std::map<const ProcedureInfo*, CacheEntry> cache_;
+  CodeCache cache_;
+  uint64_t mutation_listener_token_ = 0;
   LoaderStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "base/stopwatch.h"
 #include "reader/parser.h"
 
 namespace educe::edb {
@@ -148,6 +149,16 @@ base::Result<wam::ExternalResolver::Resolution> EdbResolver::Resolve(
     resolution.kind = Resolution::Kind::kNotFound;
     return resolution;
   }
+  base::Stopwatch resolve_watch;
+  auto resolved = ResolveDispatch(proc, functor, arity, machine);
+  stats_.resolve_ns += resolve_watch.ElapsedNanos();
+  return resolved;
+}
+
+base::Result<wam::ExternalResolver::Resolution> EdbResolver::ResolveDispatch(
+    ProcedureInfo* proc, dict::SymbolId functor, uint32_t arity,
+    wam::Machine* machine) {
+  Resolution resolution;
   switch (proc->mode) {
     case ProcedureMode::kFacts:
       return ResolveFacts(proc, arity, machine);

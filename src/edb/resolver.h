@@ -18,6 +18,10 @@ struct ResolverStats {
   uint64_t source_parses = 0;   // clauses parsed from source text
   uint64_t source_asserts = 0;  // transient main-memory assertions
   uint64_t source_erases = 0;
+  /// Total wall time spent in the EDB trap (fact retrieval, rule loads,
+  /// the source cycle) — the true "resolve" cost; the loader's
+  /// decode_ns/link_ns are sub-components of it.
+  uint64_t resolve_ns = 0;
 };
 
 /// Connects the WAM to the EDB: the trap that fires "when no predicate is
@@ -53,6 +57,10 @@ class EdbResolver : public wam::ExternalResolver {
   void ResetStats() { stats_ = ResolverStats{}; }
 
  private:
+  base::Result<Resolution> ResolveDispatch(ProcedureInfo* proc,
+                                           dict::SymbolId functor,
+                                           uint32_t arity,
+                                           wam::Machine* machine);
   base::Result<Resolution> ResolveFacts(ProcedureInfo* proc, uint32_t arity,
                                         wam::Machine* machine);
   base::Result<Resolution> ResolveCompiled(ProcedureInfo* proc,

@@ -174,9 +174,16 @@ void Engine::RegisterEdbBuiltins() {
 
 void Engine::SyncOptions() {
   program_.SetIndexingEnabled(options_.first_arg_indexing);
+  if (loader_.options().indexing != options_.first_arg_indexing) {
+    // Cached EDB code was linked under the old indexing mode.
+    loader_.cache()->Clear();
+  }
   loader_.options().cache = options_.loader_cache;
+  loader_.options().pattern_cache = options_.pattern_cache;
   loader_.options().preunify = options_.preunify;
   loader_.options().indexing = options_.first_arg_indexing;
+  loader_.SetCacheLimits(edb::CodeCache::Limits{
+      options_.code_cache_entries, options_.code_cache_bytes});
   resolver_.options().choice_point_elimination =
       options_.choice_point_elimination;
   resolver_.options().loader_cache = options_.loader_cache;
@@ -375,6 +382,7 @@ EngineStats Engine::Stats() {
   stats.buffer_pool = pool_.stats();
   stats.clause_store = clause_store_.stats();
   stats.loader = loader_.stats();
+  stats.code_cache = loader_.cache_stats();
   stats.resolver = resolver_.stats();
   stats.compiler = program_.compiler()->stats();
   return stats;

@@ -44,6 +44,12 @@ struct EngineOptions {
   bool choice_point_elimination = true;  // Ablation B
   bool loader_cache = true;              // full-proc cache vs per-call load
   bool preunify = true;                  // Ablation E (per-call loads)
+  /// Cache per-call (pattern-filtered) loads too, so recursive rules do
+  /// not re-decode every level (DESIGN.md code-cache section).
+  bool pattern_cache = true;
+  /// EDB code-cache capacity (all tiers share one LRU and budget).
+  uint32_t code_cache_entries = 256;
+  uint64_t code_cache_bytes = 8u << 20;
 
   wam::MachineOptions machine;
 };
@@ -85,6 +91,7 @@ struct EngineStats {
   storage::BufferPoolStats buffer_pool;
   edb::ClauseStoreStats clause_store;
   edb::LoaderStats loader;
+  edb::CodeCacheStats code_cache;
   edb::ResolverStats resolver;
   wam::CompilerStats compiler;
 };

@@ -309,6 +309,38 @@ void Program::SetIndexingEnabled(bool enabled) {
   for (auto& [functor, proc] : procs_) proc.linked = nullptr;
 }
 
+void CollectLinkedSymbols(const LinkedCode& linked,
+                          std::set<dict::SymbolId>* out) {
+  if (linked.functor != dict::kInvalidSymbol) out->insert(linked.functor);
+  CollectSymbols(linked.code, out);
+  // Constant/structure switch tables key on SymbolIds. Every key also
+  // appears as an operand of the clause it dispatches to, but walking the
+  // tables keeps retention independent of that linker invariant. Integer
+  // tables key on immediate bits and must not be walked.
+  for (const Instruction& ins : linked.code) {
+    if (ins.op != Opcode::kSwitchOnConstant &&
+        ins.op != Opcode::kSwitchOnStructure) {
+      continue;
+    }
+    for (const auto& [key, target] : linked.tables[ins.c].entries) {
+      out->insert(static_cast<dict::SymbolId>(key));
+    }
+  }
+}
+
+size_t LinkedCodeBytes(const LinkedCode& linked) {
+  size_t bytes = sizeof(LinkedCode);
+  bytes += linked.code.capacity() * sizeof(Instruction);
+  bytes += linked.clause_offsets.capacity() * sizeof(uint32_t);
+  for (const SwitchTable& table : linked.tables) {
+    bytes += sizeof(SwitchTable);
+    // unordered_map node ≈ key/value pair + bucket/link overhead.
+    bytes += table.entries.size() *
+             (sizeof(uint64_t) + sizeof(uint32_t) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
 namespace {
 void CollectAstSymbols(const term::Ast& t, std::set<dict::SymbolId>* out) {
   if (t.kind == term::Ast::Kind::kAtom || t.kind == term::Ast::Kind::kStruct) {

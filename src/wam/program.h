@@ -79,6 +79,19 @@ std::shared_ptr<const LinkedCode> LinkProcedure(
     const std::vector<std::shared_ptr<const ClauseCode>>& clauses,
     bool indexing);
 
+/// Adds every dictionary symbol a *linked* procedure keeps alive to `out`:
+/// the functor label, all instruction operands, and the keys of
+/// constant/structure switch tables. Retaining code (e.g. in the EDB code
+/// cache) must retain exactly this set across dictionary GC (§3.3) —
+/// surviving ids are never relocated, so retained code stays valid.
+void CollectLinkedSymbols(const LinkedCode& linked,
+                          std::set<dict::SymbolId>* out);
+
+/// Approximate resident heap bytes of a linked procedure (instructions,
+/// switch tables, clause offsets). Used as the code-cache memory budget
+/// unit; an estimate, not an allocator measurement.
+size_t LinkedCodeBytes(const LinkedCode& linked);
+
 /// Counters for the linker and predicate store.
 struct ProgramStats {
   uint64_t clauses_added = 0;

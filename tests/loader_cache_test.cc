@@ -1,0 +1,334 @@
+// The EDB code-cache subsystem (DESIGN.md §8): LRU bounds, version
+// invalidation pushed from ClauseStore mutations, the pattern tier that
+// makes per-call (pre-unified) loads hit in recursive rules, and
+// GC-safety of cached code. The engine-level tests double as the
+// acceptance check that per-call loads decode ≥5× fewer clauses with the
+// pattern tier than without, at identical solutions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "edb/code_cache.h"
+#include "edb/clause_store.h"
+#include "educe/engine.h"
+#include "wam/code.h"
+
+namespace educe {
+namespace {
+
+using edb::CodeCache;
+
+// --- CodeCache unit tests --------------------------------------------------
+
+std::shared_ptr<const wam::LinkedCode> FakeCode(dict::SymbolId functor,
+                                                dict::SymbolId operand) {
+  auto code = std::make_shared<wam::LinkedCode>();
+  code->functor = functor;
+  code->arity = 1;
+  code->code.push_back(
+      wam::Instruction::Make(wam::Opcode::kGetConstant, 0, 0, operand));
+  code->code.push_back(wam::Instruction::Make(wam::Opcode::kProceed));
+  return code;
+}
+
+CodeCache::Key ProcKey(uint64_t hash) {
+  return CodeCache::Key{hash, 0, CodeCache::Tier::kProcedure};
+}
+
+TEST(CodeCacheTest, LookupHitRefreshesAndMissCounts) {
+  CodeCache cache;
+  cache.Insert({ProcKey(1)}, /*version=*/7, FakeCode(10, 11));
+  EXPECT_EQ(cache.Lookup(ProcKey(1), 7).get(),
+            cache.Lookup(ProcKey(1), 7).get());
+  EXPECT_EQ(cache.Lookup(ProcKey(2), 7), nullptr);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GT(cache.stats().bytes_resident, 0u);
+}
+
+TEST(CodeCacheTest, VersionMismatchEvictsAtLookup) {
+  CodeCache cache;
+  cache.Insert({ProcKey(1)}, /*version=*/1, FakeCode(10, 11));
+  // The pull-path safety net: a stale version must never be served.
+  EXPECT_EQ(cache.Lookup(ProcKey(1), /*version=*/2), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(CodeCacheTest, LruEvictionUnderEntryBound) {
+  CodeCache cache(CodeCache::Limits{/*max_entries=*/2, /*max_bytes=*/1 << 20});
+  cache.Insert({ProcKey(1)}, 0, FakeCode(10, 11));
+  cache.Insert({ProcKey(2)}, 0, FakeCode(20, 21));
+  ASSERT_NE(cache.Lookup(ProcKey(1), 0), nullptr);  // 1 is now most recent
+  cache.Insert({ProcKey(3)}, 0, FakeCode(30, 31));  // evicts 2 (LRU)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(ProcKey(1), 0), nullptr);
+  EXPECT_EQ(cache.Lookup(ProcKey(2), 0), nullptr);
+  EXPECT_NE(cache.Lookup(ProcKey(3), 0), nullptr);
+  EXPECT_EQ(cache.entry_count(), 2u);
+}
+
+TEST(CodeCacheTest, ByteBudgetEvictsButKeepsNewestEntry) {
+  // A budget smaller than one entry still caches the latest insert.
+  CodeCache cache(CodeCache::Limits{/*max_entries=*/64, /*max_bytes=*/1});
+  cache.Insert({ProcKey(1)}, 0, FakeCode(10, 11));
+  cache.Insert({ProcKey(2)}, 0, FakeCode(20, 21));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(ProcKey(2), 0), nullptr);
+}
+
+TEST(CodeCacheTest, PushInvalidationDropsAllTiersOfProcedure) {
+  CodeCache cache;
+  const CodeCache::Key pat{1, 42, CodeCache::Tier::kPattern};
+  const CodeCache::Key sel{1, 43, CodeCache::Tier::kSelection};
+  cache.Insert({ProcKey(1)}, 3, FakeCode(10, 11));
+  cache.Insert({sel, pat}, 3, FakeCode(10, 12));
+  cache.Insert({ProcKey(9)}, 3, FakeCode(90, 91));
+  cache.InvalidateProcedure(1);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.Lookup(pat, 3), nullptr);
+  EXPECT_EQ(cache.Lookup(sel, 3), nullptr);
+  EXPECT_NE(cache.Lookup(ProcKey(9), 3), nullptr);  // other proc untouched
+}
+
+TEST(CodeCacheTest, PurgeStaleDropsOutdatedBeforeSymbolWalk) {
+  CodeCache cache;
+  cache.Insert({ProcKey(1)}, /*version=*/1, FakeCode(10, 11));
+  cache.Insert({ProcKey(2)}, /*version=*/5, FakeCode(20, 21));
+  // Procedure 1 moved to version 2; procedure 3's hash no longer resolves.
+  cache.Insert({ProcKey(3)}, /*version=*/1, FakeCode(30, 31));
+  cache.PurgeStale([](uint64_t hash) -> std::optional<uint64_t> {
+    if (hash == 1) return 2;             // stale (cached v1)
+    if (hash == 2) return 5;             // fresh
+    return std::nullopt;                 // dropped procedure
+  });
+  std::set<dict::SymbolId> symbols;
+  cache.CollectSymbols(&symbols);
+  // Only the fresh entry's symbols act as GC roots.
+  EXPECT_EQ(symbols, (std::set<dict::SymbolId>{20, 21}));
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(CodeCacheTest, AliasResolvesToSameEntry) {
+  CodeCache cache;
+  const CodeCache::Key sel{1, 7, CodeCache::Tier::kSelection};
+  const CodeCache::Key pat{1, 8, CodeCache::Tier::kPattern};
+  cache.Insert({sel}, 0, FakeCode(10, 11));
+  cache.Alias(sel, pat);
+  EXPECT_EQ(cache.Lookup(sel, 0).get(), cache.Lookup(pat, 0).get());
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats().pattern_hits, 1u);
+  EXPECT_EQ(cache.stats().selection_hits, 1u);
+}
+
+// --- Engine-level integration ----------------------------------------------
+
+constexpr const char* kReachRules = R"(
+  reach(X, Y) :- edge(X, Y).
+  reach(X, Y) :- edge(X, Z), reach(Z, Y).
+)";
+
+std::string ChainFacts(int nodes) {
+  std::string facts;
+  for (int i = 0; i + 1 < nodes; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").\n";
+  }
+  return facts;
+}
+
+Engine MakePerCallEngine(bool pattern_cache) {
+  EngineOptions options;
+  options.loader_cache = false;  // force per-call (pre-unified) loads
+  options.preunify = true;
+  options.pattern_cache = pattern_cache;
+  return Engine(options);
+}
+
+TEST(LoaderCacheTest, PatternTierServesRecursiveCalls) {
+  constexpr int kNodes = 30;
+  uint64_t solutions[2];
+  uint64_t decoded[2];
+  for (const bool cached : {false, true}) {
+    Engine engine = MakePerCallEngine(cached);
+    ASSERT_TRUE(engine.StoreFactsExternal(ChainFacts(kNodes)).ok());
+    ASSERT_TRUE(engine.StoreRulesExternal(kReachRules).ok());
+    engine.ResetStats();
+    auto count = engine.CountSolutions("reach(n0, X)");
+    ASSERT_TRUE(count.ok()) << count.status();
+    solutions[cached] = *count;
+    const EngineStats stats = engine.Stats();
+    decoded[cached] = stats.loader.clauses_decoded;
+    if (cached) {
+      EXPECT_GT(stats.code_cache.selection_hits, 0u)
+          << "recursion with varying bound args must reuse one linked entry";
+      EXPECT_GT(stats.loader.pattern_cache_hits, 0u);
+    }
+  }
+  EXPECT_EQ(solutions[0], solutions[1]);
+  EXPECT_EQ(solutions[0], static_cast<uint64_t>(kNodes - 1));
+  // Acceptance: ≥5× fewer decodes with the pattern tier, same answers.
+  EXPECT_GE(decoded[0], 5 * decoded[1])
+      << "uncached=" << decoded[0] << " cached=" << decoded[1];
+}
+
+TEST(LoaderCacheTest, ExactPatternHitSkipsTheEdbEntirely) {
+  Engine engine = MakePerCallEngine(true);
+  ASSERT_TRUE(engine.StoreFactsExternal("edge(a, b).").ok());
+  ASSERT_TRUE(engine.StoreRulesExternal(kReachRules).ok());
+  ASSERT_TRUE(engine.CountSolutions("reach(a, X)").ok());
+
+  engine.ResetStats();
+  ASSERT_TRUE(engine.CountSolutions("reach(a, X)").ok());
+  const EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.code_cache.pattern_hits, 0u);
+  EXPECT_EQ(stats.loader.clauses_decoded, 0u);
+  EXPECT_EQ(stats.clause_store.rule_rows_scanned, 0u)
+      << "an exact-pattern hit must not touch the rule relation";
+}
+
+TEST(LoaderCacheTest, StoreRulesInvalidatesCachedCode) {
+  Engine engine;  // defaults: full-procedure cache
+  ASSERT_TRUE(engine.StoreRulesExternal("p(1).").ok());
+  auto one = engine.CountSolutions("p(X)");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+
+  // Appending a clause must push-evict the cached linked code ...
+  ASSERT_TRUE(engine.StoreRulesExternal("p(2).").ok());
+  EXPECT_GE(engine.Stats().code_cache.invalidations, 1u);
+
+  // ... so the next call decodes fresh code and sees the new clause.
+  const uint64_t decoded_before = engine.Stats().loader.clauses_decoded;
+  auto two = engine.CountSolutions("p(X)");
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, 2u);
+  EXPECT_GT(engine.Stats().loader.clauses_decoded, decoded_before);
+}
+
+TEST(LoaderCacheTest, FactMutationsViaBuiltinsLeaveRuleCodeResident) {
+  Engine engine;
+  ASSERT_TRUE(engine.StoreFactsExternal("f(1). f(2).").ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("q(X) :- f(X).").ok());
+  auto base_count = engine.CountSolutions("q(X)");
+  ASSERT_TRUE(base_count.ok());
+  EXPECT_EQ(*base_count, 2u);
+
+  // edb_assert / edb_retract bump the *fact* relation's version; the
+  // cached rule code for q/1 does not embed facts and must stay resident.
+  auto asserted = engine.Succeeds("edb_assert(f(3))");
+  ASSERT_TRUE(asserted.ok());
+  EXPECT_TRUE(*asserted);
+  EXPECT_EQ(engine.Stats().code_cache.invalidations, 0u);
+
+  engine.ResetStats();
+  auto grown = engine.CountSolutions("q(X)");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(*grown, 3u);  // new fact visible immediately
+  EXPECT_GT(engine.Stats().loader.cache_hits, 0u);  // rule code still cached
+  EXPECT_EQ(engine.Stats().loader.loads, 0u);
+
+  auto retracted = engine.Succeeds("edb_retract(f(1))");
+  ASSERT_TRUE(retracted.ok());
+  EXPECT_TRUE(*retracted);
+  auto shrunk = engine.CountSolutions("q(X)");
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(*shrunk, 2u);
+}
+
+TEST(LoaderCacheTest, EvictionUnderSmallCapacity) {
+  EngineOptions options;
+  options.code_cache_entries = 2;
+  Engine engine(options);
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "ev" + std::to_string(i);
+    ASSERT_TRUE(engine.StoreRulesExternal(name + "(1). " + name + "(2).").ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto count = engine.CountSolutions("ev" + std::to_string(i) + "(X)");
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 2u);
+  }
+  const EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.code_cache.evictions, 2u);
+  EXPECT_LE(stats.code_cache.entries, 2u);
+
+  // The evicted ev0 reloads (miss), the resident ev3 hits.
+  engine.ResetStats();
+  ASSERT_TRUE(engine.CountSolutions("ev3(X)").ok());
+  EXPECT_GT(engine.Stats().loader.cache_hits, 0u);
+  ASSERT_TRUE(engine.CountSolutions("ev0(X)").ok());
+  EXPECT_GT(engine.Stats().loader.loads, 0u);
+}
+
+TEST(LoaderCacheTest, DictionaryGcRetainsCachedCodeSymbols) {
+  Engine engine;
+  // `edb_only_atom` is referenced by nothing but the externally stored,
+  // cached rule code once the consult-time ASTs are gone.
+  ASSERT_TRUE(engine.StoreRulesExternal("g(X) :- X = edb_only_atom.").ok());
+  auto first = engine.First("g(X)");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)["X"], "edb_only_atom");
+
+  auto removed = engine.CollectDictionary();
+  ASSERT_TRUE(removed.ok());
+
+  // The cached code survives GC and still names the same atom.
+  auto again = engine.First("g(X)");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ((*again)["X"], "edb_only_atom");
+  EXPECT_GT(engine.Stats().loader.cache_hits, 0u);
+}
+
+TEST(LoaderCacheTest, PatternCacheAgreesWithUncachedOnMixedWorkload) {
+  // Mini-differential: clause sets where pre-unification actually prunes,
+  // probed with repeating patterns, must answer identically with the
+  // pattern tier on and off.
+  const char* rules = R"(
+    sel(a, 1).
+    sel(a, 2).
+    sel(b, 10) :- true.
+    sel(C, V) :- C = c, V = 99.
+  )";
+  const char* queries[] = {"sel(a, V)", "sel(b, V)", "sel(c, V)",
+                           "sel(W, V)", "sel(a, 2)", "sel(d, V)"};
+  std::vector<uint64_t> counts[2];
+  for (const bool cached : {false, true}) {
+    Engine engine = MakePerCallEngine(cached);
+    ASSERT_TRUE(engine.StoreRulesExternal(rules).ok());
+    for (const char* q : queries) {
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        auto count = engine.CountSolutions(q);
+        ASSERT_TRUE(count.ok()) << q << ": " << count.status();
+        counts[cached].push_back(*count);
+      }
+    }
+    if (cached) {
+      const EngineStats stats = engine.Stats();
+      EXPECT_GT(stats.code_cache.pattern_hits + stats.code_cache.selection_hits,
+                0u);
+    }
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(LoaderCacheTest, TimeSplitCountersPopulate) {
+  Engine engine = MakePerCallEngine(false);
+  ASSERT_TRUE(engine.StoreFactsExternal(ChainFacts(12)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal(kReachRules).ok());
+  ASSERT_TRUE(engine.CountSolutions("reach(n0, X)").ok());
+  const EngineStats stats = engine.Stats();
+  // Decode and link attribute separately; the resolver's resolve_ns spans
+  // both plus retrieval, so it must dominate either component.
+  EXPECT_GT(stats.loader.decode_ns, 0u);
+  EXPECT_GT(stats.loader.link_ns, 0u);
+  EXPECT_GE(stats.resolver.resolve_ns,
+            stats.loader.decode_ns + stats.loader.link_ns);
+}
+
+}  // namespace
+}  // namespace educe
