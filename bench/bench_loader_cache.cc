@@ -164,6 +164,18 @@ int Main() {
       "recursion level no longer matters (selection-fingerprint tier). "
       "Mutations evict eagerly — churn pays one reload per update, steady "
       "state is all hits.\n");
+
+  bench::BenchJson json;
+  json.Add("bench", std::string("codecache"));
+  json.Add("solutions", uncached.solutions);
+  json.Add("uncached_clauses_decoded", uncached.stats.loader.clauses_decoded);
+  json.Add("pattern_clauses_decoded", pattern.stats.loader.clauses_decoded);
+  json.Add("full_clauses_decoded", full.stats.loader.clauses_decoded);
+  json.Add("decode_reduction", speedup);
+  json.Add("uncached_ms", uncached.seconds * 1e3);
+  json.Add("pattern_ms", pattern.seconds * 1e3);
+  json.Add("full_ms", full.seconds * 1e3);
+  json.Print();
   return 0;
 }
 

@@ -80,6 +80,33 @@ inline std::string Ratio(double a, double b) {
   return buf;
 }
 
+/// Accumulates key/value pairs and prints one machine-readable line:
+///   BENCH_JSON {"key": 1, ...}
+/// scripts/run_benches.sh greps these lines into BENCH_*.json files.
+class BenchJson {
+ public:
+  void Add(const std::string& key, uint64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    AddRaw(key, buf);
+  }
+  void Add(const std::string& key, const std::string& value) {
+    AddRaw(key, "\"" + value + "\"");
+  }
+
+  void Print() const { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }
+
+ private:
+  void AddRaw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + rendered;
+  }
+  std::string body_;
+};
+
 }  // namespace educe::bench
 
 #endif  // EDUCE_BENCH_BENCH_UTIL_H_

@@ -171,6 +171,9 @@ int Main() {
   t2b.Header({"query", "format", "buffer acc", "pages read", "pages written",
               "buffer acc (warm)", "pages read (warm)"});
 
+  bench::BenchJson json;
+  json.Add("bench", std::string("wisconsin"));
+  int query_index = 0;
   for (const Query& query : queries) {
     // Cold: empty buffer pool.
     Check(fx.pool.Invalidate(), "invalidate");
@@ -188,6 +191,13 @@ int Main() {
     t2b.Row({query.id, query.format, Num(cold.buffer_accesses),
              Num(cold.pages_read), Num(cold.pages_written),
              Num(warm.buffer_accesses), Num(warm.pages_read)});
+    const std::string prefix = "q" + std::to_string(query_index++);
+    json.Add(prefix + "_id", std::string(query.id) + " / " + query.format);
+    json.Add(prefix + "_rows", cold.rows);
+    json.Add(prefix + "_cold_ms", cold.seconds * 1e3);
+    json.Add(prefix + "_warm_ms", warm.seconds * 1e3);
+    json.Add(prefix + "_cold_pages_read", cold.pages_read);
+    json.Add(prefix + "_warm_pages_read", warm.pages_read);
   }
   t2a.Print();
   t2b.Print();
@@ -195,6 +205,7 @@ int Main() {
       "\nShape checks (paper §5.2): selection cost scales with selectivity; "
       "warm runs re-read far fewer pages; index point lookup beats the "
       "scan by orders of magnitude.\n");
+  json.Print();
   return 0;
 }
 

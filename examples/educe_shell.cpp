@@ -5,10 +5,18 @@
 //   ?- p(X).                   queries print every solution
 //   :facts  edge(a,b). ...     store ground facts in the EDB
 //   :rules  r(X) :- edge(X,_). store rules in the EDB (compiled mode)
-//   :stats                     engine counters
+//   :stats                     engine counters + unified memory report
+//   :cold                      drop buffer cache AND code cache
+//   :save                      persist the database image now
 //   :halt                      exit
 //
 //   $ printf 'p(1).\np(2).\n?- p(X).\n:halt\n' | ./examples/educe_shell
+//
+// With a path argument the session is persistent: an existing image at
+// the path is attached (catalog, facts, rules, warm code segment) and
+// written back on :save / :halt:
+//
+//   $ ./examples/educe_shell /tmp/my.edb
 
 #include <cstdio>
 #include <iostream>
@@ -83,6 +91,20 @@ void PrintStats(educe::Engine* engine) {
       static_cast<unsigned long long>(s.code_cache.invalidations),
       static_cast<unsigned long long>(s.code_cache.entries),
       static_cast<unsigned long long>(s.code_cache.bytes_resident));
+  if (s.code_cache.warm_seeded != 0 || s.code_cache.warm_rejected != 0) {
+    std::printf("warm:    %llu entries seeded, %llu rejected\n",
+                static_cast<unsigned long long>(s.code_cache.warm_seeded),
+                static_cast<unsigned long long>(s.code_cache.warm_rejected));
+  }
+  // The unified memory report: both in-memory consumers side by side.
+  std::printf(
+      "memory:  buffer pool %llu / %llu bytes resident, code cache %llu / "
+      "%llu bytes, paged file %llu bytes\n",
+      static_cast<unsigned long long>(s.memory.buffer_resident_bytes),
+      static_cast<unsigned long long>(s.memory.buffer_capacity_bytes),
+      static_cast<unsigned long long>(s.memory.code_cache_resident_bytes),
+      static_cast<unsigned long long>(s.memory.code_cache_capacity_bytes),
+      static_cast<unsigned long long>(s.memory.paged_file_bytes));
 }
 
 std::string Trim(const std::string& s) {
@@ -94,10 +116,24 @@ std::string Trim(const std::string& s) {
 
 }  // namespace
 
-int main() {
-  educe::Engine engine;
+int main(int argc, char** argv) {
+  educe::EngineOptions options;
+  if (argc > 1) options.db_path = argv[1];
+  educe::Engine engine(options);
   std::printf("Educe* shell — clauses consult; '?- Goal.' queries; "
-              ":facts/:rules store to the EDB; :load file; :stats; :halt\n");
+              ":facts/:rules store to the EDB; :load file; :stats; :cold; "
+              ":save; :halt\n");
+  if (!options.db_path.empty()) {
+    if (engine.attached()) {
+      const educe::EngineStats s = engine.Stats();
+      std::printf("attached %s (%llu warm entries seeded)\n",
+                  options.db_path.c_str(),
+                  static_cast<unsigned long long>(s.code_cache.warm_seeded));
+    } else {
+      std::printf("fresh database at %s\n", options.db_path.c_str());
+    }
+    Report(engine.open_status());
+  }
 
   std::string line;
   std::string pending;  // clause text may span lines until a '.'
@@ -121,6 +157,11 @@ int main() {
       }
       if (command == ":stats") {
         PrintStats(&engine);
+      } else if (command == ":cold") {
+        Report(engine.ResetBufferCache(/*drop_code_cache=*/true));
+        std::printf("buffer cache and code cache dropped\n");
+      } else if (command == ":save") {
+        Report(engine.Close());
       } else if (command == ":facts") {
         Report(engine.StoreFactsExternal(rest));
       } else if (command == ":rules") {
@@ -145,6 +186,9 @@ int main() {
     } else {
       Report(engine.Consult(input));
     }
+  }
+  if (!engine.options().db_path.empty()) {
+    Report(engine.Close());
   }
   std::printf("\nbye.\n");
   return 0;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the three headline benchmarks and captures their machine-readable
+# results. Each bench prints one `BENCH_JSON {...}` line next to its
+# human-readable tables; this script strips the prefix into
+#
+#   BENCH_codecache.json   bench_loader_cache  (in-session code cache)
+#   BENCH_wisconsin.json   bench_wisconsin     (relational queries, Table 2)
+#   BENCH_warmstart.json   bench_warm_start    (cross-session warm segments)
+#
+# The benches abort loudly if an acceptance bar is missed (e.g. the warm
+# reopen not decoding >=5x fewer clauses than cold), so a green run of
+# this script doubles as a perf regression check.
+#
+# Usage: scripts/run_benches.sh [output-dir]
+# Builds into $BUILD_DIR (default: build) if the binaries are missing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${1:-.}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_warm_start" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target bench_loader_cache bench_wisconsin bench_warm_start
+fi
+
+mkdir -p "$OUT_DIR"
+
+run_bench() {
+  local bench="$1" out="$2" log
+  log="$(mktemp)"
+  echo "=== $bench ==="
+  "$BUILD_DIR/bench/$bench" | tee "$log"
+  grep '^BENCH_JSON ' "$log" | sed 's/^BENCH_JSON //' > "$OUT_DIR/$out"
+  rm -f "$log"
+  echo "--- wrote $OUT_DIR/$out"
+}
+
+run_bench bench_loader_cache BENCH_codecache.json
+run_bench bench_wisconsin BENCH_wisconsin.json
+run_bench bench_warm_start BENCH_warmstart.json
+
+echo "All benches passed their acceptance checks."

@@ -524,4 +524,133 @@ base::Status ClauseStore::DeleteFact(ProcedureInfo* proc,
   return base::Status::OK();
 }
 
+namespace {
+
+template <typename T>
+void PutPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PutBytes(std::string* out, std::string_view bytes) {
+  PutPod<uint32_t>(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+/// Bounds-checked little cursor over serialized catalog bytes: every
+/// read either succeeds or flips ok() to false (no partial state).
+class CatalogReader {
+ public:
+  explicit CatalogReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T Pod() {
+    T value{};
+    if (pos_ + sizeof(T) > data_.size()) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string_view Bytes() {
+    const uint32_t len = Pod<uint32_t>();
+    if (!ok_ || pos_ + len > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string ClauseStore::SerializeCatalog() const {
+  std::string out;
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(procedures_.size()));
+  for (const auto& [key, info] : procedures_) {
+    PutBytes(&out, info.name);
+    PutPod<uint32_t>(&out, info.arity);
+    PutPod<uint8_t>(&out, static_cast<uint8_t>(info.mode));
+    PutPod<uint64_t>(&out, info.functor_hash);
+    PutPod<uint32_t>(&out, static_cast<uint32_t>(info.key_attrs.size()));
+    for (uint32_t attr : info.key_attrs) PutPod<uint32_t>(&out, attr);
+    PutPod<uint32_t>(&out, info.next_clause_id);
+    PutPod<uint64_t>(&out, info.version);
+    PutBytes(&out, info.relation->SerializeState());
+  }
+  PutBytes(&out, clauses_relation_->SerializeState());
+  return out;
+}
+
+base::Status ClauseStore::RestoreCatalog(std::string_view state) {
+  CatalogReader reader(state);
+  const uint32_t proc_count = reader.Pod<uint32_t>();
+  if (!reader.ok() || proc_count > 1u << 20) {
+    return base::Status::Corruption("bad catalog header");
+  }
+
+  // Build the replacement catalog fully before swapping it in, so a
+  // corrupt tail leaves the store in its pre-call (fresh) state.
+  std::map<std::pair<std::string, uint32_t>, ProcedureInfo> procedures;
+  for (uint32_t i = 0; i < proc_count; ++i) {
+    ProcedureInfo info;
+    info.name = std::string(reader.Bytes());
+    info.arity = reader.Pod<uint32_t>();
+    const uint8_t mode = reader.Pod<uint8_t>();
+    if (mode > static_cast<uint8_t>(ProcedureMode::kSourceRules)) {
+      return base::Status::Corruption("bad procedure mode in catalog");
+    }
+    info.mode = static_cast<ProcedureMode>(mode);
+    info.functor_hash = reader.Pod<uint64_t>();
+    const uint32_t key_attr_count = reader.Pod<uint32_t>();
+    if (!reader.ok() || key_attr_count > 16) {
+      return base::Status::Corruption("bad catalog key attributes");
+    }
+    for (uint32_t k = 0; k < key_attr_count; ++k) {
+      info.key_attrs.push_back(reader.Pod<uint32_t>());
+    }
+    info.next_clause_id = reader.Pod<uint32_t>();
+    info.version = reader.Pod<uint64_t>();
+    std::string_view rel_state = reader.Bytes();
+    if (!reader.ok()) {
+      return base::Status::Corruption("truncated catalog entry");
+    }
+    EDUCE_ASSIGN_OR_RETURN(storage::BangFile relation,
+                           storage::BangFile::Open(pool_, rel_state));
+    info.relation = std::make_unique<storage::BangFile>(std::move(relation));
+    auto key = std::make_pair(info.name, info.arity);
+    if (!procedures.emplace(std::move(key), std::move(info)).second) {
+      return base::Status::Corruption("duplicate procedure in catalog");
+    }
+  }
+  std::string_view clauses_state = reader.Bytes();
+  if (!reader.AtEnd()) {
+    return base::Status::Corruption("trailing bytes in catalog");
+  }
+  EDUCE_ASSIGN_OR_RETURN(storage::BangFile clauses,
+                         storage::BangFile::Open(pool_, clauses_state));
+
+  procedures_ = std::move(procedures);
+  clauses_relation_ =
+      std::make_unique<storage::BangFile>(std::move(clauses));
+  by_functor_.clear();
+  by_hash_.clear();
+  for (auto& [key, info] : procedures_) {
+    by_hash_[info.functor_hash] = &info;
+  }
+  return base::Status::OK();
+}
+
 }  // namespace educe::edb

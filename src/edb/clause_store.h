@@ -185,6 +185,20 @@ class ClauseStore {
   static base::Result<bool> PreUnify(std::string_view relative_code,
                                      const CallPattern& pattern);
 
+  /// Reopen state for the procedures table (paper §4 structure 1) plus
+  /// the directories of every BANG relation it points at: per procedure
+  /// the name/arity/mode/hash/key attributes/version and its relation's
+  /// BangFile state, then the shared clauses relation's state. Written at
+  /// clean shutdown into the superblock's catalog segment.
+  std::string SerializeCatalog() const;
+
+  /// Re-attaches every procedure to its pages inside the reloaded paged
+  /// file. Replaces the current (fresh) catalog and clauses relation; the
+  /// pages allocated for them by the constructor become unreferenced,
+  /// which a purely additive page allocator tolerates. Corruption on
+  /// malformed state.
+  base::Status RestoreCatalog(std::string_view state);
+
   const ClauseStoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ClauseStoreStats{}; }
 

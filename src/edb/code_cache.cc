@@ -175,6 +175,13 @@ void CodeCache::CollectSymbols(std::set<dict::SymbolId>* out) const {
   }
 }
 
+void CodeCache::ForEachEntry(
+    const std::function<void(const EntryView&)>& fn) const {
+  for (const Entry& entry : lru_) {
+    fn(EntryView{entry.proc_hash, entry.version, entry.keys, *entry.code});
+  }
+}
+
 void CodeCache::Clear() {
   lru_.clear();
   index_.clear();

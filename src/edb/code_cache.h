@@ -28,6 +28,8 @@ struct CodeCacheStats {
   uint64_t pattern_misses = 0;   // per-call loads that had to decode+link
   uint64_t evictions = 0;        // LRU capacity evictions
   uint64_t invalidations = 0;    // version-based removals (push or pull)
+  uint64_t warm_seeded = 0;      // entries restored from the warm segment
+  uint64_t warm_rejected = 0;    // warm entries refused (stale/unresolvable)
   uint64_t entries = 0;          // gauge: resident entries
   uint64_t bytes_resident = 0;   // gauge: approx resident bytes
 };
@@ -117,6 +119,22 @@ class CodeCache {
   /// One logical per-call load probes both the pattern and selection
   /// keys; the loader reports a single pattern miss when both fail.
   void NotePatternMiss() { ++stats_.pattern_misses; }
+
+  /// Warm-segment accounting (the segment loader calls these as it seeds
+  /// or refuses entries at session start).
+  void NoteWarmSeeded() { ++stats_.warm_seeded; }
+  void NoteWarmRejected() { ++stats_.warm_rejected; }
+
+  /// Read-only view of one resident entry, for warm-segment serialization.
+  struct EntryView {
+    uint64_t proc_hash;
+    uint64_t version;
+    const std::vector<Key>& keys;
+    const wam::LinkedCode& code;
+  };
+  /// Visits every resident entry in LRU order (most recent first) without
+  /// touching recency or stats.
+  void ForEachEntry(const std::function<void(const EntryView&)>& fn) const;
 
   void Clear();
   size_t entry_count() const { return lru_.size(); }

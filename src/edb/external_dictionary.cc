@@ -1,16 +1,62 @@
 #include "edb/external_dictionary.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 
 #include "base/hash.h"
 
 namespace educe::edb {
 
+namespace {
+
+/// A fresh epoch stamp: wall clock mixed with a process-local counter, so
+/// two databases created back to back (or in different processes) get
+/// distinct identities with overwhelming probability.
+uint64_t MintEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  return base::MixInt64(now) ^ base::MixInt64(counter.fetch_add(1) + 1);
+}
+
+}  // namespace
+
 base::Result<ExternalDictionary> ExternalDictionary::Create(
     storage::BufferPool* pool) {
   EDUCE_ASSIGN_OR_RETURN(storage::BangFile file,
                          storage::BangFile::Create(pool, 1));
-  return ExternalDictionary(std::move(file));
+  ExternalDictionary dict(std::move(file));
+  dict.epoch_ = MintEpoch();
+  return dict;
+}
+
+base::Result<ExternalDictionary> ExternalDictionary::Open(
+    storage::BufferPool* pool, std::string_view state) {
+  if (state.size() < 2 * sizeof(uint64_t)) {
+    return base::Status::Corruption("short external dictionary state");
+  }
+  uint64_t epoch, entries;
+  std::memcpy(&epoch, state.data(), sizeof(epoch));
+  std::memcpy(&entries, state.data() + sizeof(epoch), sizeof(entries));
+  EDUCE_ASSIGN_OR_RETURN(
+      storage::BangFile file,
+      storage::BangFile::Open(pool, state.substr(2 * sizeof(uint64_t))));
+  if (file.num_attrs() != 1) {
+    return base::Status::Corruption("external dictionary state shape");
+  }
+  ExternalDictionary dict(std::move(file));
+  dict.epoch_ = epoch;
+  dict.entries_ = entries;
+  return dict;
+}
+
+std::string ExternalDictionary::SerializeState() const {
+  std::string out;
+  out.append(reinterpret_cast<const char*>(&epoch_), sizeof(epoch_));
+  out.append(reinterpret_cast<const char*>(&entries_), sizeof(entries_));
+  out.append(file_.SerializeState());
+  return out;
 }
 
 uint64_t ExternalDictionary::HashOf(std::string_view name, uint32_t arity) {

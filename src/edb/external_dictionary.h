@@ -25,6 +25,22 @@ class ExternalDictionary {
  public:
   static base::Result<ExternalDictionary> Create(storage::BufferPool* pool);
 
+  /// Re-attaches to an existing dictionary inside `pool`'s reloaded paged
+  /// file, from bytes produced by SerializeState (the superblock's
+  /// external-dictionary segment). Corruption on malformed state.
+  static base::Result<ExternalDictionary> Open(storage::BufferPool* pool,
+                                               std::string_view state);
+
+  /// Reopen state: the epoch, entry count and the underlying BANG file's
+  /// directory. Written at clean shutdown.
+  std::string SerializeState() const;
+
+  /// Identity stamp of this dictionary instance, minted at Create and
+  /// preserved across Open. The warm code segment records it; a segment
+  /// whose epoch differs was built against a *different* database and is
+  /// rejected wholesale (its hashes would resolve to the wrong names).
+  uint64_t epoch() const { return epoch_; }
+
   /// Ensures an entry for (name, arity) exists; returns its persisted
   /// hash (the relative address used by stored code).
   base::Result<uint64_t> Ensure(std::string_view name, uint32_t arity);
@@ -46,6 +62,7 @@ class ExternalDictionary {
   // Write-through cache; misses fall back to the stored table.
   std::unordered_map<uint64_t, std::pair<std::string, uint32_t>> cache_;
   uint64_t entries_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace educe::edb

@@ -1,0 +1,456 @@
+#include "edb/warm_segment.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "wam/code.h"
+
+namespace educe::edb {
+
+namespace {
+
+// "EDUCWRM1" little-endian.
+constexpr uint64_t kWarmMagic = 0x314d525743554445ull;
+
+/// Relocation site kinds.
+enum class RelocKind : uint8_t { kSymbol = 0, kBuiltin = 1 };
+
+/// Whether `op`'s c operand is a dictionary SymbolId (and which arity the
+/// referenced symbol carries is read off the dictionary itself).
+bool HasSymbolOperand(wam::Opcode op) {
+  switch (op) {
+    case wam::Opcode::kGetConstant:
+    case wam::Opcode::kGetStructure:
+    case wam::Opcode::kUnifyConstant:
+    case wam::Opcode::kPutConstant:
+    case wam::Opcode::kPutStructure:
+    case wam::Opcode::kCall:
+    case wam::Opcode::kExecute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Whether `op`'s c operand is a code offset the machine jumps to.
+bool HasTargetOperand(wam::Opcode op) {
+  switch (op) {
+    case wam::Opcode::kTryMeElse:
+    case wam::Opcode::kRetryMeElse:
+    case wam::Opcode::kTry:
+    case wam::Opcode::kRetry:
+    case wam::Opcode::kTrust:
+    case wam::Opcode::kJump:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSwitchOp(wam::Opcode op) {
+  switch (op) {
+    case wam::Opcode::kSwitchOnTerm:
+    case wam::Opcode::kSwitchOnConstant:
+    case wam::Opcode::kSwitchOnInteger:
+    case wam::Opcode::kSwitchOnStructure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+void PutPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// Bounds-checked reader; any out-of-range read flips ok() permanently.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T Pod() {
+    T value{};
+    if (pos_ + sizeof(T) > data_.size()) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// Whether `count` records of `record_size` bytes can still be read —
+  /// checked *before* reserving vectors so a corrupt count cannot balloon
+  /// an allocation.
+  bool CanRead(uint64_t count, uint64_t record_size) const {
+    return ok_ && count <= (data_.size() - pos_) / record_size;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serializes one cache entry. Fails (entry skipped by the caller) if a
+/// referenced symbol is dead or the external dictionary rejects an
+/// Ensure — nothing is partially written.
+base::Result<std::string> SerializeEntry(const CodeCache::EntryView& entry,
+                                         const dict::Dictionary& dictionary,
+                                         ExternalDictionary* external,
+                                         const wam::BuiltinTable& builtins) {
+  const wam::LinkedCode& code = entry.code;
+  std::string out;
+  PutPod<uint64_t>(&out, entry.proc_hash);
+  PutPod<uint64_t>(&out, entry.version);
+  PutPod<uint32_t>(&out, code.arity);
+
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(entry.keys.size()));
+  for (const CodeCache::Key& key : entry.keys) {
+    PutPod<uint8_t>(&out, static_cast<uint8_t>(key.tier));
+    PutPod<uint64_t>(&out, key.sub_key);
+  }
+
+  // Hash of a symbol operand, ensuring the external dictionary can
+  // resolve it next session.
+  auto hash_of = [&](dict::SymbolId sym) -> base::Result<uint64_t> {
+    if (!dictionary.IsLive(sym)) {
+      return base::Status::Internal("dead symbol in cached code");
+    }
+    return external->Ensure(dictionary.NameOf(sym), dictionary.ArityOf(sym));
+  };
+
+  // Instructions, with symbol/builtin operands zeroed and recorded as
+  // relocations.
+  struct Reloc {
+    uint32_t offset;
+    RelocKind kind;
+    uint64_t hash;
+  };
+  std::vector<Reloc> relocs;
+  // Table kinds, derived from the switch instruction referencing each
+  // table (the table itself does not know whether its keys are symbols).
+  std::vector<uint8_t> table_kind(code.tables.size(), 0);
+
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(code.code.size()));
+  for (uint32_t i = 0; i < code.code.size(); ++i) {
+    const wam::Instruction& instr = code.code[i];
+    uint32_t c = instr.c;
+    if (HasSymbolOperand(instr.op)) {
+      EDUCE_ASSIGN_OR_RETURN(uint64_t hash,
+                             hash_of(static_cast<dict::SymbolId>(instr.c)));
+      relocs.push_back({i, RelocKind::kSymbol, hash});
+      c = 0;
+    } else if (instr.op == wam::Opcode::kBuiltin) {
+      EDUCE_ASSIGN_OR_RETURN(
+          uint64_t hash,
+          external->Ensure(builtins.name(instr.c), builtins.arity(instr.c)));
+      relocs.push_back({i, RelocKind::kBuiltin, hash});
+      c = 0;
+    } else if ((instr.op == wam::Opcode::kSwitchOnConstant ||
+                instr.op == wam::Opcode::kSwitchOnStructure) &&
+               instr.c < table_kind.size()) {
+      table_kind[instr.c] = 1;  // symbol-keyed
+    }
+    PutPod<uint8_t>(&out, static_cast<uint8_t>(instr.op));
+    PutPod<uint8_t>(&out, instr.a);
+    PutPod<uint16_t>(&out, instr.b);
+    PutPod<uint32_t>(&out, c);
+    PutPod<uint64_t>(&out, instr.imm);
+  }
+
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(relocs.size()));
+  for (const Reloc& r : relocs) {
+    PutPod<uint32_t>(&out, r.offset);
+    PutPod<uint8_t>(&out, static_cast<uint8_t>(r.kind));
+    PutPod<uint64_t>(&out, r.hash);
+  }
+
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(code.tables.size()));
+  for (uint32_t t = 0; t < code.tables.size(); ++t) {
+    const wam::SwitchTable& table = code.tables[t];
+    PutPod<uint8_t>(&out, table_kind[t]);
+    PutPod<uint32_t>(&out, table.on_var);
+    PutPod<uint32_t>(&out, table.on_atom);
+    PutPod<uint32_t>(&out, table.on_number);
+    PutPod<uint32_t>(&out, table.on_list);
+    PutPod<uint32_t>(&out, table.on_struct);
+    PutPod<uint32_t>(&out, table.default_target);
+    PutPod<uint32_t>(&out, static_cast<uint32_t>(table.entries.size()));
+    for (const auto& [key, target] : table.entries) {
+      uint64_t stored = key;
+      if (table_kind[t] == 1) {
+        EDUCE_ASSIGN_OR_RETURN(stored,
+                               hash_of(static_cast<dict::SymbolId>(key)));
+      }
+      PutPod<uint64_t>(&out, stored);
+      PutPod<uint32_t>(&out, target);
+    }
+  }
+
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(code.clause_offsets.size()));
+  for (uint32_t offset : code.clause_offsets) PutPod<uint32_t>(&out, offset);
+  return out;
+}
+
+/// A jump target is valid if it is the fail sentinel or inside the code.
+bool ValidTarget(uint32_t target, size_t code_len) {
+  return target == wam::kFailTarget || target < code_len;
+}
+
+/// Parses and rebinds one entry. Returns the seeded flag: false = entry
+/// structurally fine but refused (stale/unresolvable); Corruption status
+/// = stream damaged, stop the whole load.
+base::Result<bool> LoadEntry(Reader* reader, CodeCache* cache,
+                             dict::Dictionary* dictionary,
+                             ExternalDictionary* external,
+                             const wam::BuiltinTable& builtins,
+                             ClauseStore* store) {
+  const uint64_t proc_hash = reader->Pod<uint64_t>();
+  const uint64_t version = reader->Pod<uint64_t>();
+  const uint32_t arity = reader->Pod<uint32_t>();
+
+  const uint32_t key_count = reader->Pod<uint32_t>();
+  if (!reader->CanRead(key_count, 9)) {
+    return base::Status::Corruption("warm entry key list truncated");
+  }
+  std::vector<CodeCache::Key> keys;
+  keys.reserve(key_count);
+  bool keys_valid = true;
+  for (uint32_t i = 0; i < key_count; ++i) {
+    const uint8_t tier = reader->Pod<uint8_t>();
+    const uint64_t sub_key = reader->Pod<uint64_t>();
+    if (tier > static_cast<uint8_t>(CodeCache::Tier::kSelection)) {
+      keys_valid = false;
+      continue;
+    }
+    keys.push_back(CodeCache::Key{proc_hash, sub_key,
+                                  static_cast<CodeCache::Tier>(tier)});
+  }
+
+  const uint32_t code_len = reader->Pod<uint32_t>();
+  if (!reader->CanRead(code_len, 16)) {
+    return base::Status::Corruption("warm entry code truncated");
+  }
+  auto code = std::make_shared<wam::LinkedCode>();
+  code->arity = arity;
+  code->code.reserve(code_len);
+  bool instrs_valid = true;
+  for (uint32_t i = 0; i < code_len; ++i) {
+    wam::Instruction instr;
+    const uint8_t op = reader->Pod<uint8_t>();
+    if (op > static_cast<uint8_t>(wam::Opcode::kHalt)) instrs_valid = false;
+    instr.op = static_cast<wam::Opcode>(op);
+    instr.a = reader->Pod<uint8_t>();
+    instr.b = reader->Pod<uint16_t>();
+    instr.c = reader->Pod<uint32_t>();
+    instr.imm = reader->Pod<uint64_t>();
+    code->code.push_back(instr);
+  }
+
+  const uint32_t reloc_count = reader->Pod<uint32_t>();
+  if (!reader->CanRead(reloc_count, 13)) {
+    return base::Status::Corruption("warm entry relocations truncated");
+  }
+  struct Reloc {
+    uint32_t offset;
+    uint8_t kind;
+    uint64_t hash;
+  };
+  std::vector<Reloc> relocs;
+  relocs.reserve(reloc_count);
+  for (uint32_t i = 0; i < reloc_count; ++i) {
+    Reloc r;
+    r.offset = reader->Pod<uint32_t>();
+    r.kind = reader->Pod<uint8_t>();
+    r.hash = reader->Pod<uint64_t>();
+    relocs.push_back(r);
+  }
+
+  const uint32_t table_count = reader->Pod<uint32_t>();
+  if (!reader->CanRead(table_count, 29)) {
+    return base::Status::Corruption("warm entry tables truncated");
+  }
+  // (kind, hash-or-raw-keyed entries) per table; key resolution happens in
+  // the rebind step below so that a refusal never half-patches anything.
+  std::vector<uint8_t> table_kind;
+  table_kind.reserve(table_count);
+  code->tables.reserve(table_count);
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> raw_entries;
+  raw_entries.reserve(table_count);
+  for (uint32_t t = 0; t < table_count; ++t) {
+    table_kind.push_back(reader->Pod<uint8_t>());
+    wam::SwitchTable table;
+    table.on_var = reader->Pod<uint32_t>();
+    table.on_atom = reader->Pod<uint32_t>();
+    table.on_number = reader->Pod<uint32_t>();
+    table.on_list = reader->Pod<uint32_t>();
+    table.on_struct = reader->Pod<uint32_t>();
+    table.default_target = reader->Pod<uint32_t>();
+    const uint32_t n_entries = reader->Pod<uint32_t>();
+    if (!reader->CanRead(n_entries, 12)) {
+      return base::Status::Corruption("warm switch table truncated");
+    }
+    std::vector<std::pair<uint64_t, uint32_t>> entries;
+    entries.reserve(n_entries);
+    for (uint32_t e = 0; e < n_entries; ++e) {
+      const uint64_t key = reader->Pod<uint64_t>();
+      const uint32_t target = reader->Pod<uint32_t>();
+      entries.emplace_back(key, target);
+    }
+    raw_entries.push_back(std::move(entries));
+    code->tables.push_back(std::move(table));
+  }
+
+  const uint32_t offset_count = reader->Pod<uint32_t>();
+  if (!reader->CanRead(offset_count, 4)) {
+    return base::Status::Corruption("warm clause offsets truncated");
+  }
+  code->clause_offsets.reserve(offset_count);
+  for (uint32_t i = 0; i < offset_count; ++i) {
+    code->clause_offsets.push_back(reader->Pod<uint32_t>());
+  }
+  if (!reader->ok()) {
+    return base::Status::Corruption("warm entry truncated");
+  }
+
+  // --- The byte stream is consumed; everything below refuses the entry
+  // (returns false) without poisoning the rest of the segment. ---
+  if (!keys_valid || !instrs_valid || keys.empty()) return false;
+
+  ProcedureInfo* proc = store->FindByHash(proc_hash);
+  if (proc == nullptr || proc->mode != ProcedureMode::kCompiledRules ||
+      proc->version != version || proc->arity != arity) {
+    return false;  // unknown or mutated since the segment was written
+  }
+
+  // Resolve a stored hash to this session's SymbolId.
+  auto resolve = [&](uint64_t hash) -> base::Result<dict::SymbolId> {
+    EDUCE_ASSIGN_OR_RETURN(auto entry, external->Resolve(hash));
+    return dictionary->Intern(entry.first, entry.second);
+  };
+
+  auto functor = resolve(proc_hash);
+  if (!functor.ok()) return false;
+  code->functor = functor.value();
+
+  for (const Reloc& r : relocs) {
+    if (r.offset >= code->code.size() || r.kind > 1) return false;
+    auto sym = resolve(r.hash);
+    if (!sym.ok()) return false;
+    if (r.kind == static_cast<uint8_t>(RelocKind::kBuiltin)) {
+      const std::optional<uint32_t> id = builtins.Find(sym.value());
+      if (!id.has_value()) return false;  // builtin set changed
+      code->code[r.offset].c = *id;
+    } else {
+      code->code[r.offset].c = sym.value();
+    }
+  }
+
+  // Rebind switch-table keys and sanity-check every jump target so a
+  // seeded entry can never send the machine outside its own code.
+  for (uint32_t t = 0; t < code->tables.size(); ++t) {
+    wam::SwitchTable& table = code->tables[t];
+    if (!ValidTarget(table.on_var, code->code.size()) ||
+        !ValidTarget(table.on_atom, code->code.size()) ||
+        !ValidTarget(table.on_number, code->code.size()) ||
+        !ValidTarget(table.on_list, code->code.size()) ||
+        !ValidTarget(table.on_struct, code->code.size()) ||
+        !ValidTarget(table.default_target, code->code.size())) {
+      return false;
+    }
+    for (const auto& [key, target] : raw_entries[t]) {
+      if (!ValidTarget(target, code->code.size())) return false;
+      uint64_t bound = key;
+      if (table_kind[t] == 1) {
+        auto sym = resolve(key);
+        if (!sym.ok()) return false;
+        bound = sym.value();
+      }
+      table.entries[bound] = target;
+    }
+  }
+  for (const wam::Instruction& instr : code->code) {
+    if (HasTargetOperand(instr.op) &&
+        !ValidTarget(instr.c, code->code.size())) {
+      return false;
+    }
+    if (IsSwitchOp(instr.op) && instr.c >= code->tables.size()) return false;
+  }
+
+  cache->Insert(keys, version, std::move(code));
+  return true;
+}
+
+}  // namespace
+
+base::Result<std::string> SerializeWarmSegment(
+    const CodeCache& cache, const dict::Dictionary& dictionary,
+    ExternalDictionary* external, const wam::BuiltinTable& builtins,
+    uint64_t epoch) {
+  std::string out;
+  PutPod<uint64_t>(&out, kWarmMagic);
+  PutPod<uint64_t>(&out, epoch);
+  uint32_t count = 0;
+  const size_t count_pos = out.size();
+  PutPod<uint32_t>(&out, count);  // patched below
+  cache.ForEachEntry([&](const CodeCache::EntryView& entry) {
+    auto bytes = SerializeEntry(entry, dictionary, external, builtins);
+    if (!bytes.ok()) return;  // dead symbol etc.: skip, don't fail the save
+    out.append(bytes.value());
+    ++count;
+  });
+  std::memcpy(out.data() + count_pos, &count, sizeof(count));
+  return out;
+}
+
+base::Result<WarmLoadReport> LoadWarmSegment(
+    std::string_view bytes, CodeCache* cache, dict::Dictionary* dictionary,
+    ExternalDictionary* external, const wam::BuiltinTable& builtins,
+    ClauseStore* store, uint64_t expected_epoch) {
+  WarmLoadReport report;
+  Reader reader(bytes);
+  const uint64_t magic = reader.Pod<uint64_t>();
+  const uint64_t epoch = reader.Pod<uint64_t>();
+  const uint32_t entry_count = reader.Pod<uint32_t>();
+  if (!reader.ok() || magic != kWarmMagic) {
+    return base::Status::Corruption("bad warm segment header");
+  }
+  if (epoch != expected_epoch) {
+    // A segment written against a different database: its hashes would
+    // resolve through the wrong external dictionary. Reject wholesale.
+    report.rejected = entry_count;
+    for (uint32_t i = 0; i < entry_count; ++i) cache->NoteWarmRejected();
+    return report;
+  }
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    base::Result<bool> seeded =
+        LoadEntry(&reader, cache, dictionary, external, builtins, store);
+    if (!seeded.ok()) {
+      // Damaged stream: keep what was already seeded, report the rest.
+      cache->NoteWarmRejected();
+      ++report.rejected;
+      return seeded.status();
+    }
+    if (seeded.value()) {
+      cache->NoteWarmSeeded();
+      ++report.seeded;
+    } else {
+      cache->NoteWarmRejected();
+      ++report.rejected;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return base::Status::Corruption("trailing bytes in warm segment");
+  }
+  return report;
+}
+
+}  // namespace educe::edb

@@ -1,0 +1,69 @@
+#ifndef EDUCE_EDB_WARM_SEGMENT_H_
+#define EDUCE_EDB_WARM_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "dict/dictionary.h"
+#include "edb/clause_store.h"
+#include "edb/code_cache.h"
+#include "edb/external_dictionary.h"
+#include "wam/program.h"
+
+namespace educe::edb {
+
+/// The warm code segment: resident code-cache entries serialized in
+/// *relocatable* form at clean shutdown and rebound at the next session
+/// start, so the first call of a warm session skips decode+link entirely
+/// (the cross-session extension of the paper's §3.1 design — compiled
+/// code in the EDB is relative precisely so that it survives sessions).
+///
+/// Relocation model: linked code contains session-local SymbolIds (atom
+/// and functor operands, switch-table keys) and registration-order
+/// builtin ids — none of which survive a restart. The segment therefore
+/// stores each such site as a (code offset, external-dictionary hash)
+/// relocation and zeroes the operand; symbol-keyed switch tables store
+/// hashes in place of keys. Loading resolves every hash through the
+/// external dictionary (hashes are the stable associative addresses),
+/// interns the result into the session's internal dictionary, and patches
+/// the operands back in.
+///
+/// Safety: the segment records the external dictionary's epoch (a whole
+/// different database rejects the segment wholesale) and each procedure's
+/// ClauseStore version (a procedure mutated since the segment was written
+/// rejects just its own entries). Rejections are counted in
+/// CodeCacheStats::warm_rejected; a malformed byte stream stops the load
+/// with Corruption and the session simply starts cold.
+
+/// Outcome of a warm-segment load.
+struct WarmLoadReport {
+  uint64_t seeded = 0;    // entries inserted into the cache
+  uint64_t rejected = 0;  // entries refused (stale version, unknown
+                          // procedure, unresolvable hash, bad epoch)
+};
+
+/// Serializes every resident cache entry into warm-segment bytes.
+/// `external` may gain entries (operand symbols are Ensure'd so their
+/// hashes resolve at the next session start). Entries referencing dead
+/// symbols are skipped silently.
+base::Result<std::string> SerializeWarmSegment(
+    const CodeCache& cache, const dict::Dictionary& dictionary,
+    ExternalDictionary* external, const wam::BuiltinTable& builtins,
+    uint64_t epoch);
+
+/// Rebinds and seeds `cache` from warm-segment bytes. `expected_epoch` is
+/// the opened database's external-dictionary epoch; a mismatch rejects
+/// every entry. Versions are validated against `store`. Returns
+/// Corruption (with whatever was already seeded left in place) on a
+/// malformed stream — callers treat that as a cold start, never a crash.
+base::Result<WarmLoadReport> LoadWarmSegment(
+    std::string_view bytes, CodeCache* cache, dict::Dictionary* dictionary,
+    ExternalDictionary* external, const wam::BuiltinTable& builtins,
+    ClauseStore* store, uint64_t expected_epoch);
+
+}  // namespace educe::edb
+
+#endif  // EDUCE_EDB_WARM_SEGMENT_H_

@@ -1,15 +1,28 @@
 #include "educe/engine.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "base/hash.h"
+#include "edb/warm_segment.h"
 #include "reader/writer.h"
+#include "storage/segment.h"
 #include "wam/builtins.h"
 #include "wam/compiler.h"
 
 namespace educe {
 
 namespace {
+
+// "EDUCESB1" little-endian: the superblock magic on page 0 of a database
+// image. Layout (44 bytes): magic u64, version u32, page_size u32,
+// epoch u64, external_root u32, catalog_root u32, warm_root u32,
+// checksum u64 (FNV-1a over the preceding 36 bytes).
+constexpr uint64_t kSuperMagic = 0x3142534543554445ull;
+constexpr uint32_t kSuperVersion = 1;
+constexpr size_t kSuperChecksumOffset = 36;
+constexpr size_t kSuperSize = 44;
 
 storage::PagedFile::Options FileOptions(const EngineOptions& options) {
   storage::PagedFile::Options out;
@@ -18,19 +31,111 @@ storage::PagedFile::Options FileOptions(const EngineOptions& options) {
   return out;
 }
 
-edb::ExternalDictionary MakeExternalDictionary(storage::BufferPool* pool) {
-  // Creation on a fresh pool cannot fail (one page allocation).
+}  // namespace
+
+Engine::AttachState Engine::AttachImage(storage::PagedFile* file,
+                                        const EngineOptions& options) {
+  AttachState out;
+  if (options.db_path.empty()) return out;
+  // Distinguish "no image yet" (a fresh database, the normal first run)
+  // from "image present but rejected" (recorded, session starts fresh).
+  std::ifstream probe(options.db_path, std::ios::binary);
+  if (!probe) return out;
+  probe.close();
+  base::Status loaded = file->LoadImage(options.db_path);
+  if (loaded.ok()) {
+    out.attached = true;
+  } else {
+    out.status = loaded;
+  }
+  return out;
+}
+
+Engine::BootState Engine::ReadBoot(storage::BufferPool* pool,
+                                   AttachState attach,
+                                   const EngineOptions& options) {
+  BootState boot;
+  boot.status = attach.status;
+  if (options.db_path.empty()) return boot;
+  if (!attach.attached) {
+    // Fresh database: reserve page 0 for the superblock before any other
+    // structure allocates a page.
+    if (pool->file()->page_count() == 0) {
+      auto page = pool->New();
+      if (page.ok()) page.value().MarkDirty();
+    }
+    return boot;
+  }
+  auto reject = [&](base::Status why) {
+    boot.attached = false;
+    if (boot.status.ok()) boot.status = std::move(why);
+    return boot;
+  };
+  auto page = pool->Fetch(0);
+  if (!page.ok()) return reject(page.status());
+  if (pool->page_size() < kSuperSize) {
+    return reject(base::Status::Corruption("page too small for superblock"));
+  }
+  const char* d = page.value().data();
+  uint64_t magic, epoch, checksum;
+  uint32_t version, page_size, external_root, catalog_root, warm_root;
+  std::memcpy(&magic, d, 8);
+  std::memcpy(&version, d + 8, 4);
+  std::memcpy(&page_size, d + 12, 4);
+  std::memcpy(&epoch, d + 16, 8);
+  std::memcpy(&external_root, d + 24, 4);
+  std::memcpy(&catalog_root, d + 28, 4);
+  std::memcpy(&warm_root, d + 32, 4);
+  std::memcpy(&checksum, d + kSuperChecksumOffset, 8);
+  if (magic != kSuperMagic || version != kSuperVersion ||
+      page_size != pool->page_size() ||
+      checksum !=
+          base::Fnv1a64(std::string_view(d, kSuperChecksumOffset))) {
+    return reject(base::Status::Corruption("bad superblock"));
+  }
+  page.value().Release();
+
+  auto external = storage::ReadSegment(pool, external_root);
+  if (!external.ok()) return reject(external.status());
+  auto catalog = storage::ReadSegment(pool, catalog_root);
+  if (!catalog.ok()) return reject(catalog.status());
+  boot.external_state = std::move(external.value());
+  boot.catalog_state = std::move(catalog.value());
+  boot.warm_root = warm_root;
+  if (warm_root != storage::kInvalidPage) {
+    auto warm = storage::ReadSegment(pool, warm_root);
+    if (warm.ok()) {
+      boot.warm_bytes = std::move(warm.value());
+    } else {
+      // A damaged warm segment only costs warmth, never the database.
+      boot.warm_root = storage::kInvalidPage;
+      if (boot.status.ok()) boot.status = warm.status();
+    }
+  }
+  boot.attached = true;
+  return boot;
+}
+
+edb::ExternalDictionary Engine::MakeExternalDictionary(
+    storage::BufferPool* pool, BootState* boot) {
+  if (boot->attached) {
+    auto opened = edb::ExternalDictionary::Open(pool, boot->external_state);
+    if (opened.ok()) return std::move(opened).value();
+    boot->attached = false;
+    if (boot->status.ok()) boot->status = opened.status();
+  }
+  // Fresh creation cannot fail (one page allocation).
   return std::move(edb::ExternalDictionary::Create(pool)).value();
 }
 
-}  // namespace
-
 Engine::Engine(EngineOptions options)
-    : options_(options),
+    : options_(std::move(options)),
       program_(&dictionary_),
-      file_(FileOptions(options)),
-      pool_(&file_, options.buffer_frames),
-      external_dictionary_(MakeExternalDictionary(&pool_)),
+      file_(FileOptions(options_)),
+      attach_(AttachImage(&file_, options_)),
+      pool_(&file_, options_.buffer_frames),
+      boot_(ReadBoot(&pool_, attach_, options_)),
+      external_dictionary_(MakeExternalDictionary(&pool_, &boot_)),
       codec_(&dictionary_, &external_dictionary_, program_.builtins()),
       clause_store_(&pool_, &external_dictionary_, &codec_, &dictionary_),
       loader_(&clause_store_, &codec_),
@@ -41,6 +146,71 @@ Engine::Engine(EngineOptions options)
   machine_ = std::make_unique<wam::Machine>(&program_, options_.machine);
   machine_->set_resolver(&resolver_);
   SyncOptions();
+
+  if (boot_.attached) {
+    base::Status restored = clause_store_.RestoreCatalog(boot_.catalog_state);
+    if (!restored.ok()) {
+      boot_.attached = false;
+      if (boot_.status.ok()) boot_.status = restored;
+    } else if (options_.load_warm_segment && !boot_.warm_bytes.empty()) {
+      auto warm = edb::LoadWarmSegment(
+          boot_.warm_bytes, loader_.cache(), &dictionary_,
+          &external_dictionary_, *program_.builtins(), &clause_store_,
+          external_dictionary_.epoch());
+      // A damaged warm segment means a cold start, nothing worse.
+      if (!warm.ok() && boot_.status.ok()) boot_.status = warm.status();
+    }
+  }
+}
+
+Engine::~Engine() {
+  if (!options_.db_path.empty() && !closed_) (void)Close();
+}
+
+base::Status Engine::Close() {
+  if (options_.db_path.empty()) return base::Status::OK();
+  closed_ = true;
+  // Warm segment first: serializing Ensure()s operand symbols into the
+  // external dictionary, whose state is captured afterwards.
+  storage::PageId warm_root = boot_.warm_root;  // carried over when not saving
+  if (options_.save_warm_segment) {
+    EDUCE_ASSIGN_OR_RETURN(
+        std::string warm,
+        edb::SerializeWarmSegment(*loader_.cache(), dictionary_,
+                                  &external_dictionary_, *program_.builtins(),
+                                  external_dictionary_.epoch()));
+    EDUCE_ASSIGN_OR_RETURN(warm_root, storage::WriteSegment(&pool_, warm));
+  }
+  EDUCE_ASSIGN_OR_RETURN(
+      storage::PageId external_root,
+      storage::WriteSegment(&pool_, external_dictionary_.SerializeState()));
+  EDUCE_ASSIGN_OR_RETURN(
+      storage::PageId catalog_root,
+      storage::WriteSegment(&pool_, clause_store_.SerializeCatalog()));
+
+  // Superblock last, so it only ever points at fully written segments.
+  EDUCE_ASSIGN_OR_RETURN(storage::PageHandle page, pool_.Fetch(0));
+  char* d = page.data();
+  std::memset(d, 0, kSuperSize);
+  std::memcpy(d, &kSuperMagic, 8);
+  std::memcpy(d + 8, &kSuperVersion, 4);
+  const uint32_t page_size = pool_.page_size();
+  std::memcpy(d + 12, &page_size, 4);
+  const uint64_t epoch = external_dictionary_.epoch();
+  std::memcpy(d + 16, &epoch, 8);
+  std::memcpy(d + 24, &external_root, 4);
+  std::memcpy(d + 28, &catalog_root, 4);
+  std::memcpy(d + 32, &warm_root, 4);
+  const uint64_t checksum =
+      base::Fnv1a64(std::string_view(d, kSuperChecksumOffset));
+  std::memcpy(d + kSuperChecksumOffset, &checksum, 8);
+  page.MarkDirty();
+  page.Release();
+
+  EDUCE_RETURN_IF_ERROR(pool_.FlushAll());
+  EDUCE_RETURN_IF_ERROR(file_.SaveImage(options_.db_path));
+  boot_.warm_root = warm_root;
+  return base::Status::OK();
 }
 
 void Engine::RegisterEdbBuiltins() {
@@ -339,7 +509,12 @@ base::Result<uint64_t> Engine::CountSolutions(std::string_view goal) {
   return count;
 }
 
-base::Status Engine::InvalidateBuffers() { return pool_.Invalidate(); }
+base::Status Engine::ResetBufferCache(bool drop_code_cache) {
+  if (drop_code_cache) loader_.cache()->Clear();
+  return pool_.Invalidate();
+}
+
+base::Status Engine::InvalidateBuffers() { return ResetBufferCache(false); }
 
 base::Result<uint64_t> Engine::CollectDictionary() {
   // Roots: everything the predicate store and cached EDB code reference,
@@ -385,6 +560,12 @@ EngineStats Engine::Stats() {
   stats.code_cache = loader_.cache_stats();
   stats.resolver = resolver_.stats();
   stats.compiler = program_.compiler()->stats();
+  stats.memory.buffer_resident_bytes = pool_.resident_bytes();
+  stats.memory.buffer_capacity_bytes = pool_.capacity_bytes();
+  stats.memory.code_cache_resident_bytes = loader_.cache()->bytes_resident();
+  stats.memory.code_cache_capacity_bytes = loader_.cache()->limits().max_bytes;
+  stats.memory.paged_file_bytes =
+      static_cast<uint64_t>(file_.page_count()) * file_.page_size();
   return stats;
 }
 

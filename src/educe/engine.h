@@ -36,6 +36,19 @@ struct EngineOptions {
   /// Simulated per-page transfer latency (see storage::PagedFile).
   uint64_t io_latency_ns = 0;
 
+  /// Path of the on-disk database image. Empty (the default) keeps the
+  /// whole EDB in memory for the session, as before. Non-empty: an
+  /// existing image at the path is attached at construction (superblock,
+  /// external dictionary, procedure catalog, and — unless disabled below —
+  /// the warm code segment); Close() writes everything back. A missing or
+  /// rejected image simply starts a fresh database at the same path.
+  std::string db_path;
+  /// Write the warm code segment (resident code-cache entries in
+  /// relocatable form) at Close() so the next session starts warm.
+  bool save_warm_segment = true;
+  /// Seed the code cache from the attached image's warm segment.
+  bool load_warm_segment = true;
+
   /// Rule storage mode for StoreRulesExternal.
   RuleStorage rule_storage = RuleStorage::kCompiled;
 
@@ -83,6 +96,17 @@ class Solutions {
   reader::ReadTerm read_;
 };
 
+/// The unified memory report (ROADMAP "memory budget split"): the two
+/// big in-memory consumers — buffer pool and code cache — side by side,
+/// plus the size of the backing paged file.
+struct EngineMemoryReport {
+  uint64_t buffer_resident_bytes = 0;
+  uint64_t buffer_capacity_bytes = 0;
+  uint64_t code_cache_resident_bytes = 0;
+  uint64_t code_cache_capacity_bytes = 0;
+  uint64_t paged_file_bytes = 0;  // page_count * page_size
+};
+
 /// Aggregated counters across all Engine subsystems.
 struct EngineStats {
   wam::MachineStats machine;
@@ -94,6 +118,7 @@ struct EngineStats {
   edb::CodeCacheStats code_cache;
   edb::ResolverStats resolver;
   wam::CompilerStats compiler;
+  EngineMemoryReport memory;
 };
 
 /// The Educe* engine: a WAM-based Prolog system whose predicates can live
@@ -111,6 +136,9 @@ struct EngineStats {
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+
+  /// With a db_path set, the destructor performs a best-effort Close().
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -155,9 +183,33 @@ class Engine {
   /// Convenience: count all solutions.
   base::Result<uint64_t> CountSolutions(std::string_view goal);
 
+  /// --- persistence ---------------------------------------------------------
+
+  /// Clean shutdown: with a db_path set, writes the warm code segment
+  /// (resident code-cache entries in relocatable form, unless
+  /// save_warm_segment is off), the external dictionary, the procedure
+  /// catalog, and the superblock, flushes the pool, and saves the paged
+  /// file to disk. Idempotent; a no-op without a db_path. After Close()
+  /// the engine remains usable but further mutations are not persisted
+  /// until the next Close().
+  base::Status Close();
+
+  /// Whether this session attached to an existing on-disk image.
+  bool attached() const { return boot_.attached; }
+
+  /// Non-OK when something persisted was present but rejected (corrupt
+  /// image, stale superblock, damaged warm segment): the session started
+  /// cold instead. Never fatal.
+  const base::Status& open_status() const { return boot_.status; }
+
   /// --- buffer / stats ------------------------------------------------------
 
-  /// Drops the buffer cache (models a cold first run, paper §5.1).
+  /// Drops the buffer cache (models a cold first run, paper §5.1). With
+  /// `drop_code_cache`, also clears all three code-cache tiers — the
+  /// fully-cold configuration (shell `:cold`, cold-run benches).
+  base::Status ResetBufferCache(bool drop_code_cache = false);
+
+  /// Drops the buffer cache only (back-compat alias).
   base::Status InvalidateBuffers();
 
   /// Dictionary garbage collection (paper §3.3): removes every atom and
@@ -188,6 +240,31 @@ class Engine {
  private:
   friend class Solutions;
 
+  /// Result of trying to load an on-disk image into the paged file.
+  /// Must complete before the BufferPool is constructed: frame buffers
+  /// are sized from the file's (possibly image-adopted) page size.
+  struct AttachState {
+    bool attached = false;  // an image was loaded
+    base::Status status;    // non-OK: image present but rejected
+  };
+
+  /// Superblock + boot segments parsed from an attached image.
+  struct BootState {
+    bool attached = false;  // superblock and boot segments parsed
+    base::Status status;    // first thing that went wrong, if any
+    std::string external_state;
+    std::string catalog_state;
+    std::string warm_bytes;
+    storage::PageId warm_root = storage::kInvalidPage;
+  };
+
+  static AttachState AttachImage(storage::PagedFile* file,
+                                 const EngineOptions& options);
+  static BootState ReadBoot(storage::BufferPool* pool, AttachState attach,
+                            const EngineOptions& options);
+  static edb::ExternalDictionary MakeExternalDictionary(
+      storage::BufferPool* pool, BootState* boot);
+
   /// Installs the EDB-aware builtins (edb_assert/1, edb_retract/1,
   /// edb_scan/2) that let programs mix goal-oriented (set-at-a-time) and
   /// term-oriented evaluation, per paper §4.
@@ -197,13 +274,16 @@ class Engine {
   dict::Dictionary dictionary_;
   wam::Program program_;
   storage::PagedFile file_;
+  AttachState attach_;  // ordered: after file_, before pool_
   storage::BufferPool pool_;
+  BootState boot_;
   edb::ExternalDictionary external_dictionary_;
   edb::CodeCodec codec_;
   edb::ClauseStore clause_store_;
   edb::Loader loader_;
   edb::EdbResolver resolver_;
   std::unique_ptr<wam::Machine> machine_;
+  bool closed_ = false;
 };
 
 }  // namespace educe

@@ -39,6 +39,61 @@ base::Result<BangFile> BangFile::Create(BufferPool* pool, uint32_t num_attrs) {
   return file;
 }
 
+std::string BangFile::SerializeState() const {
+  std::string out;
+  auto put_u32 = [&out](uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_u64 = [&out](uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(num_attrs_);
+  put_u32(depth_);
+  put_u64(record_count_);
+  put_u32(static_cast<uint32_t>(directory_.size()));
+  for (PageId id : directory_) put_u32(id);
+  return out;
+}
+
+base::Result<BangFile> BangFile::Open(BufferPool* pool,
+                                      std::string_view state) {
+  size_t pos = 0;
+  auto get_u32 = [&](uint32_t* v) -> bool {
+    if (pos + sizeof(*v) > state.size()) return false;
+    std::memcpy(v, state.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+    return true;
+  };
+  uint32_t num_attrs = 0, depth = 0, dir_size = 0;
+  uint64_t record_count = 0;
+  uint32_t lo = 0, hi = 0;
+  if (!get_u32(&num_attrs) || !get_u32(&depth) || !get_u32(&lo) ||
+      !get_u32(&hi) || !get_u32(&dir_size)) {
+    return base::Status::Corruption("short BANG file state");
+  }
+  record_count = (static_cast<uint64_t>(hi) << 32) | lo;
+  if (num_attrs == 0 || num_attrs > 16 || depth > kMaxDepth ||
+      dir_size != (1u << depth)) {
+    return base::Status::Corruption("malformed BANG file state");
+  }
+  const uint32_t page_count = pool->file()->page_count();
+  BangFile file(pool, num_attrs);
+  file.depth_ = depth;
+  file.record_count_ = record_count;
+  file.directory_.reserve(dir_size);
+  for (uint32_t i = 0; i < dir_size; ++i) {
+    uint32_t page = 0;
+    if (!get_u32(&page) || page >= page_count) {
+      return base::Status::Corruption("BANG directory page out of range");
+    }
+    file.directory_.push_back(page);
+  }
+  if (pos != state.size()) {
+    return base::Status::Corruption("trailing bytes in BANG file state");
+  }
+  return file;
+}
+
 base::Result<PageHandle> BangFile::NewBucket(uint8_t local_depth) {
   EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool_->New());
   SlottedPage view(page.data(), pool_->page_size(), kReserved);

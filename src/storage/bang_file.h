@@ -55,6 +55,18 @@ class BangFile {
   /// Creates a new file with `num_attrs` key attributes (1..16) in `pool`.
   static base::Result<BangFile> Create(BufferPool* pool, uint32_t num_attrs);
 
+  /// Reopen state: the directory (which lives in memory, not in pages)
+  /// plus the scalar file parameters, as an opaque byte string. Persist it
+  /// at clean shutdown (the clause-store catalog does) and pass it to
+  /// Open to re-attach to the same buckets in a later session.
+  std::string SerializeState() const;
+
+  /// Re-attaches to an existing file inside `pool`'s (reloaded) paged
+  /// file from bytes produced by SerializeState. Validates shape and page
+  /// ids; Corruption on malformed state.
+  static base::Result<BangFile> Open(BufferPool* pool,
+                                     std::string_view state);
+
   /// Inserts a record. All keys must be real values (not kBangWildcard).
   /// Fails if keys+payload exceed one page's capacity.
   base::Status Insert(const std::vector<uint64_t>& keys,

@@ -79,6 +79,21 @@ class BufferPool {
   uint32_t page_size() const { return file_->page_size(); }
   PagedFile* file() { return file_; }
 
+  /// Bytes of page data currently resident (occupied frames × page size);
+  /// feeds the engine's unified memory report next to the code cache.
+  uint64_t resident_bytes() const {
+    uint64_t occupied = 0;
+    for (const Frame& frame : frames_) {
+      if (frame.page != kInvalidPage) ++occupied;
+    }
+    return occupied * page_size();
+  }
+
+  /// Capacity of the pool in bytes (all frames).
+  uint64_t capacity_bytes() const {
+    return static_cast<uint64_t>(frames_.size()) * page_size();
+  }
+
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
 

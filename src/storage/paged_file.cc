@@ -1,9 +1,35 @@
 #include "storage/paged_file.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+
+#include "base/hash.h"
 
 namespace educe::storage {
+
+namespace {
+
+// Image header: magic, format version, page size, page count. A whole-file
+// FNV-1a checksum (header fields + every page image) trails the pages, so
+// truncation and bit rot are both detected at load.
+constexpr uint64_t kImageMagic = 0x3147504543554445ull;  // "EDUCEPG1"
+constexpr uint32_t kImageVersion = 1;
+
+uint64_t ChecksumPages(
+    uint32_t page_size, const std::vector<std::unique_ptr<char[]>>& pages) {
+  uint64_t h = base::Fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(&page_size),
+                       sizeof(page_size)));
+  for (const auto& page : pages) {
+    h ^= base::Fnv1a64(std::string_view(page.get(), page_size));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 void PagedFile::ChargeLatency() const {
   if (options_.simulated_latency_ns == 0) return;
@@ -42,6 +68,80 @@ base::Status PagedFile::Write(PageId id, const char* in) {
   ChargeLatency();
   std::memcpy(pages_[id].get(), in, options_.page_size);
   ++stats_.pages_written;
+  return base::Status::OK();
+}
+
+base::Status PagedFile::SaveImage(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return base::Status::IOError("cannot open " + tmp + " for writing");
+    }
+    const uint32_t page_size = options_.page_size;
+    const uint32_t count = static_cast<uint32_t>(pages_.size());
+    out.write(reinterpret_cast<const char*>(&kImageMagic), sizeof(kImageMagic));
+    out.write(reinterpret_cast<const char*>(&kImageVersion),
+              sizeof(kImageVersion));
+    out.write(reinterpret_cast<const char*>(&page_size), sizeof(page_size));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& page : pages_) {
+      out.write(page.get(), page_size);
+    }
+    const uint64_t checksum = ChecksumPages(page_size, pages_);
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    if (!out) {
+      return base::Status::IOError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return base::Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return base::Status::OK();
+}
+
+base::Status PagedFile::LoadImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return base::Status::IOError("cannot open " + path);
+  }
+  uint64_t magic = 0;
+  uint32_t version = 0, page_size = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&page_size), sizeof(page_size));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kImageMagic) {
+    return base::Status::Corruption(path + " is not a paged-file image");
+  }
+  if (version != kImageVersion) {
+    return base::Status::Unsupported("paged-file image version " +
+                                     std::to_string(version));
+  }
+  if (page_size < 512 || page_size > (64u << 20)) {
+    return base::Status::Corruption("implausible page size in " + path);
+  }
+  std::vector<std::unique_ptr<char[]>> pages;
+  pages.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto page = std::make_unique<char[]>(page_size);
+    in.read(page.get(), page_size);
+    if (!in) {
+      return base::Status::Corruption("truncated paged-file image " + path);
+    }
+    pages.push_back(std::move(page));
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in) {
+    return base::Status::Corruption("truncated paged-file image " + path);
+  }
+  if (stored_checksum != ChecksumPages(page_size, pages)) {
+    return base::Status::Corruption("checksum mismatch in " + path);
+  }
+  options_.page_size = page_size;
+  pages_ = std::move(pages);
   return base::Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/status.h"
@@ -63,6 +64,23 @@ class PagedFile {
   void set_simulated_latency_ns(uint64_t ns) {
     options_.simulated_latency_ns = ns;
   }
+
+  /// --- image persistence ---------------------------------------------------
+  /// The "disc" can be checkpointed to a real OS file and reloaded in a
+  /// later process — the substrate for everything cross-session (the
+  /// BANG/heap relations, the external dictionary and the warm code
+  /// segment all live in these page images).
+
+  /// Writes all page images to `path` (atomic: a temp file is renamed
+  /// into place), with a header and a whole-file checksum.
+  base::Status SaveImage(const std::string& path) const;
+
+  /// Replaces this file's contents with the image stored at `path`,
+  /// adopting the stored page size. Validates the header, length and
+  /// checksum; on any error the in-memory state is left untouched.
+  /// Transfer counters are not charged (the load models mmap-style
+  /// attach, not per-page I/O).
+  base::Status LoadImage(const std::string& path);
 
  private:
   void ChargeLatency() const;

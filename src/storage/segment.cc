@@ -1,0 +1,121 @@
+#include "storage/segment.h"
+
+#include <cstring>
+
+#include "base/hash.h"
+
+namespace educe::storage {
+
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x45475345;  // "ESGE"
+constexpr uint32_t kFirstHeader = 4 + 4 + 8 + 8;
+constexpr uint32_t kContHeader = 4 + 4;
+
+void PutU32At(char* page, size_t offset, uint32_t v) {
+  std::memcpy(page + offset, &v, sizeof(v));
+}
+void PutU64At(char* page, size_t offset, uint64_t v) {
+  std::memcpy(page + offset, &v, sizeof(v));
+}
+uint32_t GetU32At(const char* page, size_t offset) {
+  uint32_t v;
+  std::memcpy(&v, page + offset, sizeof(v));
+  return v;
+}
+uint64_t GetU64At(const char* page, size_t offset) {
+  uint64_t v;
+  std::memcpy(&v, page + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+base::Result<PageId> WriteSegment(BufferPool* pool, std::string_view bytes) {
+  const uint32_t page_size = pool->page_size();
+  if (page_size <= kFirstHeader) {
+    return base::Status::InvalidArgument("page size too small for a segment");
+  }
+  const uint64_t checksum = base::Fnv1a64(bytes);
+
+  EDUCE_ASSIGN_OR_RETURN(PageHandle first, pool->New());
+  const PageId root = first.page_id();
+  PageHandle current = std::move(first);
+  size_t header = kFirstHeader;
+  size_t pos = 0;
+  bool is_first = true;
+  while (true) {
+    const size_t capacity = page_size - header;
+    const size_t take = std::min(capacity, bytes.size() - pos);
+    char* data = current.data();
+    PutU32At(data, 0, kSegmentMagic);
+    if (is_first) {
+      PutU64At(data, 8, static_cast<uint64_t>(bytes.size()));
+      PutU64At(data, 16, checksum);
+    }
+    std::memcpy(data + header, bytes.data() + pos, take);
+    pos += take;
+    if (pos == bytes.size()) {
+      PutU32At(data, 4, kInvalidPage);
+      current.MarkDirty();
+      break;
+    }
+    EDUCE_ASSIGN_OR_RETURN(PageHandle next, pool->New());
+    PutU32At(data, 4, next.page_id());
+    current.MarkDirty();
+    current = std::move(next);
+    header = kContHeader;
+    is_first = false;
+  }
+  return root;
+}
+
+base::Result<std::string> ReadSegment(BufferPool* pool, PageId root) {
+  const uint32_t page_size = pool->page_size();
+  const uint32_t page_count = pool->file()->page_count();
+  if (root >= page_count) {
+    return base::Status::Corruption("segment root page out of range");
+  }
+
+  EDUCE_ASSIGN_OR_RETURN(PageHandle first, pool->Fetch(root));
+  if (GetU32At(first.data(), 0) != kSegmentMagic) {
+    return base::Status::Corruption("bad segment magic");
+  }
+  const uint64_t total_len = GetU64At(first.data(), 8);
+  const uint64_t stored_checksum = GetU64At(first.data(), 16);
+  // A chain cannot hold more payload than the whole file: reject an
+  // implausible length before it drives allocation.
+  if (total_len > static_cast<uint64_t>(page_count) * page_size) {
+    return base::Status::Corruption("implausible segment length");
+  }
+
+  std::string out;
+  out.reserve(total_len);
+  PageId next = GetU32At(first.data(), 4);
+  {
+    const size_t take =
+        std::min<uint64_t>(total_len, page_size - kFirstHeader);
+    out.append(first.data() + kFirstHeader, take);
+    first.Release();
+  }
+  uint32_t visited = 1;
+  while (out.size() < total_len) {
+    if (next == kInvalidPage || next >= page_count || ++visited > page_count) {
+      return base::Status::Corruption("truncated segment chain");
+    }
+    EDUCE_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(next));
+    if (GetU32At(page.data(), 0) != kSegmentMagic) {
+      return base::Status::Corruption("bad segment magic in chain");
+    }
+    const size_t take =
+        std::min<uint64_t>(total_len - out.size(), page_size - kContHeader);
+    out.append(page.data() + kContHeader, take);
+    next = GetU32At(page.data(), 4);
+  }
+  if (base::Fnv1a64(out) != stored_checksum) {
+    return base::Status::Corruption("segment checksum mismatch");
+  }
+  return out;
+}
+
+}  // namespace educe::storage

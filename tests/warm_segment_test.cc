@@ -1,0 +1,336 @@
+// Cross-session persistence: the database image (superblock, external
+// dictionary, catalog) and the relocatable warm code segment. The safety
+// net gets the heavier testing — stale versions, foreign epochs,
+// truncated and bit-flipped bytes must degrade to a cold start, never
+// misbehave or crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "edb/warm_segment.h"
+#include "educe/engine.h"
+
+namespace educe {
+namespace {
+
+std::string TempDbPath(const std::string& name) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("educe_warm_" + name + ".edb"))
+          .string();
+  std::remove(path.c_str());
+  return path;
+}
+
+/// A small DAG whose transitive closure takes several recursion levels.
+/// Must stay acyclic: reach/2 below is plain transitive closure and
+/// diverges on cycles.
+void BuildDatabase(Engine* engine) {
+  std::string facts;
+  for (int i = 0; i < 24; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").\n";
+    if (i % 4 == 0 && i + 7 <= 24) {
+      facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 7) +
+               ").\n";
+    }
+  }
+  ASSERT_TRUE(engine->StoreFactsExternal(facts).ok());
+  ASSERT_TRUE(engine
+                  ->StoreRulesExternal(
+                      "reach(X, Y) :- edge(X, Y).\n"
+                      "reach(X, Z) :- edge(X, Y), reach(Y, Z).")
+                  .ok());
+}
+
+uint64_t CountReach(Engine* engine, const std::string& from) {
+  auto count = engine->CountSolutions("reach(" + from + ", X)");
+  EXPECT_TRUE(count.ok()) << count.status();
+  return count.ok() ? *count : 0;
+}
+
+TEST(WarmSegmentTest, CrossSessionRoundTrip) {
+  const std::string path = TempDbPath("round_trip");
+  uint64_t cold_solutions = 0;
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    EXPECT_FALSE(engine.attached());
+    BuildDatabase(&engine);
+    cold_solutions = CountReach(&engine, "n0");
+    EXPECT_GT(cold_solutions, 0u);
+    EXPECT_GT(engine.Stats().loader.clauses_decoded, 0u);
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    EXPECT_TRUE(engine.attached());
+    EXPECT_TRUE(engine.open_status().ok()) << engine.open_status();
+    const EngineStats before = engine.Stats();
+    EXPECT_GT(before.code_cache.warm_seeded, 0u);
+    EXPECT_EQ(before.code_cache.warm_rejected, 0u);
+    // The warm session answers identically without decoding any clause.
+    EXPECT_EQ(CountReach(&engine, "n0"), cold_solutions);
+    EXPECT_EQ(engine.Stats().loader.clauses_decoded, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WarmSegmentTest, CatalogPersistsWithoutWarmSegment) {
+  const std::string path = TempDbPath("catalog_only");
+  uint64_t cold_solutions = 0;
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    BuildDatabase(&engine);
+    cold_solutions = CountReach(&engine, "n3");
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  {
+    EngineOptions options;
+    options.db_path = path;
+    options.load_warm_segment = false;
+    Engine engine(options);
+    EXPECT_TRUE(engine.attached());
+    EXPECT_EQ(engine.Stats().code_cache.warm_seeded, 0u);
+    // Facts and rules come back from the restored catalog; the loader
+    // decodes from stored relative code as in any cold session.
+    EXPECT_EQ(CountReach(&engine, "n3"), cold_solutions);
+    EXPECT_GT(engine.Stats().loader.clauses_decoded, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WarmSegmentTest, StaleVersionsAreRejectedEntryWise) {
+  Engine engine;
+  BuildDatabase(&engine);
+  EXPECT_GT(CountReach(&engine, "n0"), 0u);
+
+  auto* external = engine.clause_store()->external_dictionary();
+  auto warm = edb::SerializeWarmSegment(
+      *engine.loader()->cache(), *engine.dictionary(), external,
+      *engine.program()->builtins(), external->epoch());
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  // Mutate reach/2 (bumps its version); edge/2 stays untouched.
+  ASSERT_TRUE(engine.StoreRulesExternal("reach(X, X) :- edge(X, _).").ok());
+
+  engine.loader()->cache()->Clear();
+  auto report = edb::LoadWarmSegment(
+      warm.value(), engine.loader()->cache(), engine.dictionary(), external,
+      *engine.program()->builtins(), engine.clause_store(), external->epoch());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report.value().rejected, 0u);  // reach/2 entries are stale
+
+  // The engine serves the *new* program, never the stale cached code.
+  auto self = engine.Succeeds("reach(n2, n2)");
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(*self);
+}
+
+TEST(WarmSegmentTest, ForeignEpochRejectsWholesale) {
+  Engine a;
+  BuildDatabase(&a);
+  EXPECT_GT(CountReach(&a, "n0"), 0u);
+  auto* a_external = a.clause_store()->external_dictionary();
+  auto warm = edb::SerializeWarmSegment(
+      *a.loader()->cache(), *a.dictionary(), a_external,
+      *a.program()->builtins(), a_external->epoch());
+  ASSERT_TRUE(warm.ok());
+
+  Engine b;
+  BuildDatabase(&b);  // same schema, different database identity
+  auto* b_external = b.clause_store()->external_dictionary();
+  ASSERT_NE(a_external->epoch(), b_external->epoch());
+  auto report = edb::LoadWarmSegment(
+      warm.value(), b.loader()->cache(), b.dictionary(), b_external,
+      *b.program()->builtins(), b.clause_store(), b_external->epoch());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().seeded, 0u);
+  EXPECT_GT(report.value().rejected, 0u);
+  EXPECT_EQ(b.Stats().code_cache.warm_rejected, report.value().rejected);
+}
+
+TEST(WarmSegmentTest, StaleSegmentAcrossSessions) {
+  const std::string path = TempDbPath("stale_sessions");
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    BuildDatabase(&engine);
+    EXPECT_GT(CountReach(&engine, "n0"), 0u);
+    ASSERT_TRUE(engine.Close().ok());  // writes the warm segment
+  }
+  {
+    // Session 2 mutates the rules but keeps the *old* warm segment (the
+    // not-saving path carries the previous root over).
+    EngineOptions options;
+    options.db_path = path;
+    options.load_warm_segment = false;
+    options.save_warm_segment = false;
+    Engine engine(options);
+    ASSERT_TRUE(engine.attached());
+    ASSERT_TRUE(engine.StoreRulesExternal("reach(X, X) :- edge(X, _).").ok());
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  {
+    // Session 3 sees a warm segment written before the mutation: every
+    // reach/2 entry is version-stale and must be rejected, and queries
+    // reflect the new program.
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    ASSERT_TRUE(engine.attached());
+    EXPECT_GT(engine.Stats().code_cache.warm_rejected, 0u);
+    auto self = engine.Succeeds("reach(n2, n2)");
+    ASSERT_TRUE(self.ok());
+    EXPECT_TRUE(*self);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WarmSegmentTest, TruncatedWarmBytesNeverCrash) {
+  Engine engine;
+  BuildDatabase(&engine);
+  EXPECT_GT(CountReach(&engine, "n0"), 0u);
+  auto* external = engine.clause_store()->external_dictionary();
+  auto warm = edb::SerializeWarmSegment(
+      *engine.loader()->cache(), *engine.dictionary(), external,
+      *engine.program()->builtins(), external->epoch());
+  ASSERT_TRUE(warm.ok());
+  const std::string& bytes = warm.value();
+  ASSERT_GT(bytes.size(), 20u);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    engine.loader()->cache()->Clear();
+    auto report = edb::LoadWarmSegment(
+        std::string_view(bytes).substr(0, len), engine.loader()->cache(),
+        engine.dictionary(), external, *engine.program()->builtins(),
+        engine.clause_store(), external->epoch());
+    // Every strict prefix must fail parsing — cleanly.
+    EXPECT_FALSE(report.ok()) << "prefix length " << len;
+  }
+  // And the intact bytes still load.
+  engine.loader()->cache()->Clear();
+  auto intact = edb::LoadWarmSegment(
+      bytes, engine.loader()->cache(), engine.dictionary(), external,
+      *engine.program()->builtins(), engine.clause_store(), external->epoch());
+  ASSERT_TRUE(intact.ok()) << intact.status();
+  EXPECT_GT(intact.value().seeded, 0u);
+}
+
+TEST(WarmSegmentTest, FlippedWarmBytesNeverCrash) {
+  Engine engine;
+  BuildDatabase(&engine);
+  EXPECT_GT(CountReach(&engine, "n0"), 0u);
+  auto* external = engine.clause_store()->external_dictionary();
+  auto warm = edb::SerializeWarmSegment(
+      *engine.loader()->cache(), *engine.dictionary(), external,
+      *engine.program()->builtins(), external->epoch());
+  ASSERT_TRUE(warm.ok());
+
+  for (size_t pos = 0; pos < warm.value().size(); pos += 3) {
+    std::string mutated = warm.value();
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    engine.loader()->cache()->Clear();
+    // Any outcome but a crash/UB is acceptable: clean error, rejected
+    // entries, or (for don't-care bytes) a normal load.
+    (void)edb::LoadWarmSegment(mutated, engine.loader()->cache(),
+                               engine.dictionary(), external,
+                               *engine.program()->builtins(),
+                               engine.clause_store(), external->epoch());
+  }
+}
+
+TEST(WarmSegmentTest, TruncatedImageFallsBackToFresh) {
+  const std::string path = TempDbPath("truncated_image");
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    BuildDatabase(&engine);
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    EXPECT_FALSE(engine.attached());
+    EXPECT_FALSE(engine.open_status().ok());
+    // The session starts fresh and fully usable.
+    ASSERT_TRUE(engine.Consult("p(1).").ok());
+    auto ok = engine.Succeeds("p(1)");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(*ok);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WarmSegmentTest, ResetBufferCacheCanDropCodeCache) {
+  Engine engine;
+  BuildDatabase(&engine);
+  EXPECT_GT(CountReach(&engine, "n0"), 0u);
+  EXPECT_GT(engine.Stats().code_cache.entries, 0u);
+
+  ASSERT_TRUE(engine.ResetBufferCache(/*drop_code_cache=*/false).ok());
+  EXPECT_GT(engine.Stats().code_cache.entries, 0u);  // code survives
+
+  ASSERT_TRUE(engine.ResetBufferCache(/*drop_code_cache=*/true).ok());
+  EXPECT_EQ(engine.Stats().code_cache.entries, 0u);
+  EXPECT_EQ(engine.Stats().memory.code_cache_resident_bytes, 0u);
+
+  // Fully cold, everything still answers.
+  EXPECT_GT(CountReach(&engine, "n0"), 0u);
+}
+
+TEST(WarmSegmentTest, MemoryReportIsCoherent) {
+  Engine engine;
+  BuildDatabase(&engine);
+  EXPECT_GT(CountReach(&engine, "n0"), 0u);
+  const EngineStats s = engine.Stats();
+  EXPECT_GT(s.memory.buffer_resident_bytes, 0u);
+  EXPECT_LE(s.memory.buffer_resident_bytes, s.memory.buffer_capacity_bytes);
+  EXPECT_GT(s.memory.code_cache_resident_bytes, 0u);
+  EXPECT_LE(s.memory.code_cache_resident_bytes,
+            s.memory.code_cache_capacity_bytes);
+  EXPECT_GT(s.memory.paged_file_bytes, 0u);
+  EXPECT_EQ(s.memory.code_cache_resident_bytes, s.code_cache.bytes_resident);
+}
+
+TEST(WarmSegmentTest, PerCallTiersSurviveSessions) {
+  const std::string path = TempDbPath("per_call");
+  uint64_t cold_solutions = 0;
+  EngineOptions options;
+  options.db_path = path;
+  options.loader_cache = false;  // per-call (pattern-filtered) loading
+  {
+    Engine engine(options);
+    BuildDatabase(&engine);
+    cold_solutions = CountReach(&engine, "n0");
+    EXPECT_GT(engine.Stats().code_cache.pattern_misses, 0u);
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  {
+    Engine engine(options);
+    ASSERT_TRUE(engine.attached());
+    EXPECT_GT(engine.Stats().code_cache.warm_seeded, 0u);
+    EXPECT_EQ(CountReach(&engine, "n0"), cold_solutions);
+    // Pattern and selection fingerprints are stable across sessions, so
+    // the warm-seeded per-call entries are hit without any decoding.
+    EXPECT_EQ(engine.Stats().loader.clauses_decoded, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace educe
