@@ -1,0 +1,267 @@
+// Parallel query throughput over a shared EDB (DESIGN.md §10): worker
+// sessions — each its own WAM machine + Program overlay — share one
+// clause store, buffer pool, and code cache. The paper's system ran one
+// OS process per user session with the EDB shared beneath (§2); this
+// bench is that architecture in-process, measuring aggregate throughput
+// at 1/2/4/8 workers on two workloads:
+//   1. Wisconsin-style selections (rel-bench conventions) through the
+//      Engine EDB: exact-match key selections plus 1%-selection rules.
+//   2. The synthetic MVV workload (§5.1) with compiled external rules.
+//
+// Bars (abort on miss):
+//   - every worker count produces the identical per-goal solution counts;
+//   - 1 worker stays within 20% of the plain single-threaded query loop
+//     (sessions must not tax the sequential path; typically within the
+//     run-to-run noise — the direct loop is timed both before and after
+//     the session runs to cancel scheduler drift);
+//   - with >= 4 hardware cores, 4 workers deliver >= 3x the 1-worker
+//     aggregate throughput on the Wisconsin selections. On smaller hosts
+//     the speedup is reported but not enforced — there is nothing to
+//     overlap onto.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/stopwatch.h"
+#include "bench/bench_util.h"
+#include "educe/engine.h"
+#include "workloads/mvv.h"
+
+namespace educe {
+namespace {
+
+using bench::BenchJson;
+using bench::Check;
+using bench::CheckResult;
+using bench::Ms;
+using bench::Num;
+using bench::Table;
+
+constexpr int kWiscRows = 10000;
+constexpr int kWiscSelections = 160;
+constexpr int kWiscPctQueries = 40;
+constexpr int kRepeats = 3;  // best-of, to tame scheduler noise
+
+/// Wisconsin-flavoured rows: wisc(Unique1, Unique2, Ten, OnePercent).
+/// Unique1 is the clustering key (declared first key attribute), Unique2
+/// a shuffled unique column, Ten = Unique1 mod 10, OnePercent =
+/// Unique1 mod 100 — the columns the classic selection queries filter on.
+std::string WisconsinFacts() {
+  std::ostringstream out;
+  uint64_t shuffle = 7919;  // odd => bijection mod kWiscRows
+  for (int i = 0; i < kWiscRows; ++i) {
+    const uint64_t unique2 = (i * shuffle + 13) % kWiscRows;
+    out << "wisc(" << i << ", " << unique2 << ", " << i % 10 << ", "
+        << i % 100 << ").\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> WisconsinGoals() {
+  std::vector<std::string> goals;
+  goals.reserve(kWiscSelections + kWiscPctQueries);
+  // Exact-match selections on the clustering key, spread over the table.
+  for (int i = 0; i < kWiscSelections; ++i) {
+    const int key = (i * 61) % kWiscRows;
+    goals.push_back("wisc(" + std::to_string(key) + ", U, T, P)");
+  }
+  // 1% selections through a compiled external rule (100 rows each).
+  for (int i = 0; i < kWiscPctQueries; ++i) {
+    goals.push_back("one_pct(" + std::to_string(i % 100) + ", X)");
+  }
+  return goals;
+}
+
+struct WorkerRun {
+  double seconds = 0;             // best-of-kRepeats wall time
+  std::vector<uint64_t> counts;   // per-goal solution counts
+  uint64_t total_solutions = 0;
+};
+
+WorkerRun RunWorkers(Engine* engine, const std::vector<std::string>& goals,
+                     uint32_t workers) {
+  WorkerRun out;
+  out.seconds = 1e100;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    base::Stopwatch watch;
+    auto results =
+        CheckResult(engine->SolveParallel(goals, workers), "SolveParallel");
+    const double seconds = watch.ElapsedSeconds();
+    std::vector<uint64_t> counts;
+    counts.reserve(results.size());
+    uint64_t total = 0;
+    for (const SolveOutcome& outcome : results) {
+      counts.push_back(outcome.count);
+      total += outcome.count;
+    }
+    if (rep == 0) {
+      out.counts = std::move(counts);
+      out.total_solutions = total;
+    } else if (counts != out.counts) {
+      std::fprintf(stderr, "FATAL: solution counts changed between reps\n");
+      std::abort();
+    }
+    out.seconds = std::min(out.seconds, seconds);
+  }
+  return out;
+}
+
+void RequireSameCounts(const WorkerRun& base, const WorkerRun& run,
+                       const char* what) {
+  if (base.counts != run.counts) {
+    std::fprintf(stderr, "FATAL %s: solution sets differ across workers\n",
+                 what);
+    std::abort();
+  }
+}
+
+struct SectionResult {
+  double w1_seconds = 0;
+  double w4_speedup = 0;
+  std::vector<std::pair<uint32_t, WorkerRun>> runs;
+};
+
+SectionResult RunSection(Engine* engine, const std::vector<std::string>& goals,
+                         const char* title, Table* table) {
+  SectionResult section;
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    WorkerRun run = RunWorkers(engine, goals, workers);
+    if (!section.runs.empty()) {
+      RequireSameCounts(section.runs.front().second, run, title);
+    }
+    const double throughput = goals.size() / run.seconds;
+    const double speedup =
+        section.runs.empty() ? 1.0 : section.runs.front().second.seconds /
+                                         run.seconds;
+    if (workers == 1) section.w1_seconds = run.seconds;
+    if (workers == 4) section.w4_speedup = speedup;
+    char speedup_text[32], throughput_text[32];
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", speedup);
+    std::snprintf(throughput_text, sizeof(throughput_text), "%.0f",
+                  throughput);
+    table->Row({std::string(title), Num(workers), Ms(run.seconds),
+                throughput_text, speedup_text,
+                Num(run.total_solutions)});
+    section.runs.emplace_back(workers, std::move(run));
+  }
+  return section;
+}
+
+int Main() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("bench_parallel: %u hardware core(s)\n", cores);
+
+  // --- Section 1: Wisconsin selections ----------------------------------
+  Engine wisc_engine;
+  Check(wisc_engine.DeclareRelation("wisc", 4, {0}), "declare wisc");
+  Check(wisc_engine.StoreFactsExternal(WisconsinFacts()), "wisc facts");
+  Check(wisc_engine.StoreRulesExternal(
+            "one_pct(C, X) :- wisc(X, U, T, C)."),
+        "one_pct rule");
+  const std::vector<std::string> wisc_goals = WisconsinGoals();
+
+  // Pre-PR single-threaded baseline: the plain engine query loop, no
+  // sessions involved. Timed again after the session runs; the best of
+  // both rounds is the baseline, so a noisy scheduler slice hitting one
+  // side does not read as session overhead.
+  uint64_t direct_solutions = 0;
+  auto time_direct = [&]() {
+    double best = 1e100;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      base::Stopwatch watch;
+      uint64_t total = 0;
+      for (const std::string& goal : wisc_goals) {
+        total += CheckResult(wisc_engine.CountSolutions(goal), goal.c_str());
+      }
+      best = std::min(best, watch.ElapsedSeconds());
+      direct_solutions = total;
+    }
+    return best;
+  };
+  double direct_seconds = time_direct();
+
+  Table table("Parallel query throughput (worker sessions, shared EDB)");
+  table.Header({"workload", "workers", "wall ms", "goals/s", "speedup",
+                "solutions"});
+  SectionResult wisc =
+      RunSection(&wisc_engine, wisc_goals, "wisconsin", &table);
+  direct_seconds = std::min(direct_seconds, time_direct());
+  if (wisc.runs.front().second.total_solutions != direct_solutions) {
+    std::fprintf(stderr, "FATAL: session solutions != direct solutions\n");
+    return 1;
+  }
+
+  // --- Section 2: MVV route queries, compiled external rules -------------
+  EngineOptions mvv_options;
+  mvv_options.rule_storage = RuleStorage::kCompiled;
+  Engine mvv_engine(mvv_options);
+  workloads::MvvWorkload mvv;
+  Check(mvv.Setup(&mvv_engine, /*rules_external=*/true), "mvv setup");
+  std::vector<std::string> mvv_goals;
+  for (const std::string& goal : mvv.class1_queries()) {
+    mvv_goals.push_back(goal);
+  }
+  for (const std::string& goal : mvv.class2_queries()) {
+    mvv_goals.push_back(goal);
+  }
+  SectionResult mvv_section =
+      RunSection(&mvv_engine, mvv_goals, "mvv", &table);
+
+  table.Print();
+
+  const double overhead = wisc.w1_seconds / direct_seconds;
+  std::printf("\n1-worker vs direct loop: %.3fx (%.2f ms vs %.2f ms)\n",
+              overhead, wisc.w1_seconds * 1e3, direct_seconds * 1e3);
+
+  BenchJson json;
+  json.Add("bench", std::string("parallel"));
+  json.Add("cores", static_cast<uint64_t>(cores));
+  json.Add("wisc_goals", static_cast<uint64_t>(wisc_goals.size()));
+  json.Add("wisc_direct_ms", direct_seconds * 1e3);
+  json.Add("single_worker_overhead", overhead);
+  for (const auto& [workers, run] : wisc.runs) {
+    json.Add("wisc_w" + std::to_string(workers) + "_ms", run.seconds * 1e3);
+  }
+  json.Add("wisc_speedup_w4", wisc.w4_speedup);
+  json.Add("mvv_goals", static_cast<uint64_t>(mvv_goals.size()));
+  for (const auto& [workers, run] : mvv_section.runs) {
+    json.Add("mvv_w" + std::to_string(workers) + "_ms", run.seconds * 1e3);
+  }
+  json.Add("mvv_speedup_w4", mvv_section.w4_speedup);
+  json.Print();
+
+  // --- Bars ---------------------------------------------------------------
+  if (overhead > 1.20) {
+    std::fprintf(stderr,
+                 "FATAL: 1-worker session run is %.2fx the direct loop "
+                 "(bar: 1.20x)\n",
+                 overhead);
+    return 1;
+  }
+  if (cores >= 4) {
+    if (wisc.w4_speedup < 3.0) {
+      std::fprintf(stderr,
+                   "FATAL: 4-worker speedup %.2fx on wisconsin selections "
+                   "(bar: 3.0x on >=4 cores)\n",
+                   wisc.w4_speedup);
+      return 1;
+    }
+  } else {
+    std::printf(
+        "NOTE: %u core(s) — 4-worker speedup %.2fx reported, 3.0x bar "
+        "enforced only on >=4 cores\n",
+        cores, wisc.w4_speedup);
+  }
+  std::printf("bench_parallel: OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace educe
+
+int main() { return educe::Main(); }

@@ -5,6 +5,8 @@
 //   ?- p(X).                   queries print every solution
 //   :facts  edge(a,b). ...     store ground facts in the EDB
 //   :rules  r(X) :- edge(X,_). store rules in the EDB (compiled mode)
+//   :workers N                 worker sessions for :par (default 1)
+//   :par  g1(X). g2(Y). ...    run a goal batch across worker sessions
 //   :stats                     engine counters + unified memory report
 //   :cold                      drop buffer cache AND code cache
 //   :save                      persist the database image now
@@ -19,9 +21,11 @@
 //   $ ./examples/educe_shell /tmp/my.edb
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "educe/engine.h"
 
@@ -114,6 +118,48 @@ std::string Trim(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
+/// Runs a '.'-separated goal batch across `workers` sessions and prints
+/// each goal's solutions (DESIGN.md §10: the paper's concurrent user
+/// sessions over one shared EDB, driven from a single toplevel).
+void RunParallel(educe::Engine* engine, const std::string& batch,
+                 uint32_t workers) {
+  std::vector<std::string> goals;
+  std::string current;
+  for (char c : batch) {
+    if (c == '.') {
+      const std::string goal = Trim(current);
+      if (!goal.empty()) goals.push_back(goal);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!Trim(current).empty()) goals.push_back(Trim(current));
+  if (goals.empty()) {
+    std::printf("usage: :par goal1. goal2. ...\n");
+    return;
+  }
+  auto results =
+      engine->SolveParallel(goals, workers, /*collect_bindings=*/true);
+  if (!results.ok()) {
+    Report(results.status());
+    return;
+  }
+  for (size_t i = 0; i < goals.size(); ++i) {
+    const educe::SolveOutcome& outcome = (*results)[i];
+    std::printf("%s: %llu solution(s)\n", goals[i].c_str(),
+                static_cast<unsigned long long>(outcome.count));
+    size_t shown = 0;
+    for (const std::string& row : outcome.rows) {
+      if (shown++ == 5) {
+        std::printf("  ...\n");
+        break;
+      }
+      std::printf("  %s\n", row.empty() ? "true" : row.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,8 +167,8 @@ int main(int argc, char** argv) {
   if (argc > 1) options.db_path = argv[1];
   educe::Engine engine(options);
   std::printf("Educe* shell — clauses consult; '?- Goal.' queries; "
-              ":facts/:rules store to the EDB; :load file; :stats; :cold; "
-              ":save; :halt\n");
+              ":facts/:rules store to the EDB; :workers N; :par goals; "
+              ":load file; :stats; :cold; :save; :halt\n");
   if (!options.db_path.empty()) {
     if (engine.attached()) {
       const educe::EngineStats s = engine.Stats();
@@ -136,7 +182,8 @@ int main(int argc, char** argv) {
   }
 
   std::string line;
-  std::string pending;  // clause text may span lines until a '.'
+  std::string pending;   // clause text may span lines until a '.'
+  uint32_t workers = 1;  // :workers N — session count for :par batches
   while (true) {
     std::printf(pending.empty() ? "educe> " : "     > ");
     std::fflush(stdout);
@@ -166,6 +213,17 @@ int main(int argc, char** argv) {
         Report(engine.StoreFactsExternal(rest));
       } else if (command == ":rules") {
         Report(engine.StoreRulesExternal(rest));
+      } else if (command == ":workers") {
+        const int n = std::atoi(Trim(rest).c_str());
+        if (n < 1) {
+          std::printf("usage: :workers N (N >= 1)\n");
+        } else {
+          workers = static_cast<uint32_t>(n);
+          std::printf("parallel batches now use %u worker session(s)\n",
+                      workers);
+        }
+      } else if (command == ":par") {
+        RunParallel(&engine, rest, workers);
       } else {
         std::printf("unknown command %s\n", command.c_str());
       }

@@ -1,17 +1,40 @@
 #!/usr/bin/env bash
-# ASan+UBSan build-and-test sweep. Catches pointer-lifetime bugs (dangling
-# cache keys, use-after-evict) and UB that plain builds hide. CI should
-# run this next to the normal ctest job.
+# Sanitizer build-and-test sweep.
+#
+#   scripts/check_sanitizers.sh [address|thread] [-- extra ctest args]
+#
+# address (default): ASan+UBSan — catches pointer-lifetime bugs (dangling
+#   cache keys, use-after-evict) and UB that plain builds hide.
+# thread: TSan — catches data races on the worker-session paths
+#   (DESIGN.md §10): shared code cache, clause-store latches, concurrent
+#   dictionary interning, SolveParallel.
+#
+# CI runs both next to the normal ctest job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+MODE="address"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+  MODE="$1"
+  shift
+fi
+case "$MODE" in
+  address|thread) ;;
+  *) echo "usage: $0 [address|thread] [ctest args]" >&2; exit 2 ;;
+esac
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize-$MODE}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DEDUCE_SANITIZE=ON \
+  -DEDUCE_SANITIZE_MODE="$MODE" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+if [[ "$MODE" == "thread" ]]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Runs the three headline benchmarks and captures their machine-readable
+# Runs the headline benchmarks and captures their machine-readable
 # results. Each bench prints one `BENCH_JSON {...}` line next to its
 # human-readable tables; this script strips the prefix into
 #
 #   BENCH_codecache.json   bench_loader_cache  (in-session code cache)
 #   BENCH_wisconsin.json   bench_wisconsin     (relational queries, Table 2)
 #   BENCH_warmstart.json   bench_warm_start    (cross-session warm segments)
+#   BENCH_parallel.json    bench_parallel      (worker sessions, shared EDB)
 #
 # The benches abort loudly if an acceptance bar is missed (e.g. the warm
-# reopen not decoding >=5x fewer clauses than cold), so a green run of
-# this script doubles as a perf regression check.
+# reopen not decoding >=5x fewer clauses than cold, or a 4-worker run on a
+# >=4-core host falling short of 3x aggregate throughput), so a green run
+# of this script doubles as a perf regression check.
 #
 # Usage: scripts/run_benches.sh [output-dir]
 # Builds into $BUILD_DIR (default: build) if the binaries are missing.
@@ -19,10 +21,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${1:-.}"
 
-if [[ ! -x "$BUILD_DIR/bench/bench_warm_start" ]]; then
+if [[ ! -x "$BUILD_DIR/bench/bench_parallel" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target bench_loader_cache bench_wisconsin bench_warm_start
+    --target bench_loader_cache bench_wisconsin bench_warm_start bench_parallel
 fi
 
 mkdir -p "$OUT_DIR"
@@ -40,5 +42,6 @@ run_bench() {
 run_bench bench_loader_cache BENCH_codecache.json
 run_bench bench_wisconsin BENCH_wisconsin.json
 run_bench bench_warm_start BENCH_warmstart.json
+run_bench bench_parallel BENCH_parallel.json
 
 echo "All benches passed their acceptance checks."

@@ -1,0 +1,71 @@
+#ifndef EDUCE_BASE_COUNTER_H_
+#define EDUCE_BASE_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace educe::base {
+
+/// A statistics counter that is safe to bump from concurrent threads.
+///
+/// Behaves like a plain `uint64_t` in expressions (`++`, `+=`, comparisons,
+/// stream output) but is backed by a relaxed `std::atomic`, so subsystems
+/// shared between worker sessions (dictionary, clause store, code cache,
+/// loader) can keep their existing `stats()` accessors without handing
+/// torn or racy reads to callers. Relaxed ordering is sufficient: the
+/// counters are diagnostics, never used for synchronization.
+///
+/// Unlike `std::atomic<uint64_t>` it is copyable, so stats structs remain
+/// aggregates that can be snapshotted, reset (`stats_ = Stats{}`), and
+/// embedded in by-value reports such as `EngineStats`.
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() noexcept = default;
+  constexpr RelaxedCounter(uint64_t v) noexcept : value_(v) {}  // NOLINT
+  RelaxedCounter(const RelaxedCounter& other) noexcept : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const noexcept { return load(); }  // NOLINT
+  uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  RelaxedCounter& operator++() noexcept {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) noexcept {
+    return value_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator--() noexcept {
+    value_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator-=(uint64_t d) noexcept {
+    value_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const RelaxedCounter& c) {
+    return os << c.load();
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace educe::base
+
+#endif  // EDUCE_BASE_COUNTER_H_

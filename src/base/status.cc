@@ -17,6 +17,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInstantiationError: return "InstantiationError";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kInstantiationError = 10,  // unbound variable where a bound term is needed
   kUnsupported = 11,     // feature intentionally not implemented
   kInternal = 12,        // invariant violation (a bug)
+  kFailedPrecondition = 13,  // operation refused in the current state
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -86,6 +87,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -98,6 +102,9 @@ class Status {
 
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsSyntaxError() const { return code() == StatusCode::kSyntaxError; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

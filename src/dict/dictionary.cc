@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
 
 #include "base/hash.h"
 
@@ -43,6 +45,7 @@ std::optional<uint32_t> Dictionary::FindInSegment(const Segment& seg,
 
 std::optional<SymbolId> Dictionary::Lookup(std::string_view name,
                                            uint32_t arity) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   ++stats_.lookups;
   const uint64_t hash = base::HashFunctor(name, arity);
   for (uint32_t s = 0; s < segments_.size(); ++s) {
@@ -80,6 +83,7 @@ uint32_t Dictionary::PickHotSegment() {
 
 base::Result<SymbolId> Dictionary::Intern(std::string_view name,
                                           uint32_t arity) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const uint64_t hash = base::HashFunctor(name, arity);
   // Existing entry anywhere wins: ids must be unique per (name, arity).
   for (uint32_t s = 0; s < segments_.size(); ++s) {
@@ -118,6 +122,7 @@ base::Result<SymbolId> Dictionary::Intern(std::string_view name,
 }
 
 bool Dictionary::IsLive(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const uint32_t seg = id >> slot_bits_;
   const uint32_t slot = id & slot_mask_;
   return seg < segments_.size() &&
@@ -125,21 +130,28 @@ bool Dictionary::IsLive(SymbolId id) const {
 }
 
 std::string_view Dictionary::NameOf(SymbolId id) const {
-  assert(IsLive(id));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  assert(segments_[id >> slot_bits_].slots[id & slot_mask_].state ==
+         SlotState::kLive);
   return segments_[id >> slot_bits_].slots[id & slot_mask_].name;
 }
 
 uint32_t Dictionary::ArityOf(SymbolId id) const {
-  assert(IsLive(id));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  assert(segments_[id >> slot_bits_].slots[id & slot_mask_].state ==
+         SlotState::kLive);
   return segments_[id >> slot_bits_].slots[id & slot_mask_].arity;
 }
 
 uint64_t Dictionary::HashOf(SymbolId id) const {
-  assert(IsLive(id));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  assert(segments_[id >> slot_bits_].slots[id & slot_mask_].state ==
+         SlotState::kLive);
   return segments_[id >> slot_bits_].slots[id & slot_mask_].hash;
 }
 
 base::Status Dictionary::Remove(SymbolId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const uint32_t seg_idx = id >> slot_bits_;
   const uint32_t slot_idx = id & slot_mask_;
   if (seg_idx >= segments_.size()) {
@@ -162,7 +174,18 @@ base::Status Dictionary::Remove(SymbolId id) {
   return base::Status::OK();
 }
 
+size_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return live_count_;
+}
+
+size_t Dictionary::segment_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return segments_.size();
+}
+
 double Dictionary::SegmentOccupancy(size_t i) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(i < segments_.size());
   return static_cast<double>(segments_[i].live) / options_.segment_capacity;
 }

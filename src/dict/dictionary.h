@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/counter.h"
 #include "base/result.h"
 #include "base/status.h"
 
@@ -23,14 +25,16 @@ using SymbolId = uint32_t;
 inline constexpr SymbolId kInvalidSymbol = 0xFFFFFFFFu;
 
 /// Statistics maintained by the dictionary; read by tests and by the
-/// dictionary ablation benchmark (DESIGN.md Ablation D).
+/// dictionary ablation benchmark (DESIGN.md Ablation D). Counters are
+/// relaxed atomics: lookups from concurrent worker sessions bump them
+/// under the shared (reader) side of the latch.
 struct DictionaryStats {
-  uint64_t inserts = 0;
-  uint64_t lookups = 0;
-  uint64_t removes = 0;
-  uint64_t probes = 0;          // total probe steps over all operations
-  uint64_t slot_reuses = 0;     // inserts that landed on a tombstone
-  uint32_t segments_allocated = 0;
+  base::RelaxedCounter inserts;
+  base::RelaxedCounter lookups;
+  base::RelaxedCounter removes;
+  base::RelaxedCounter probes;       // total probe steps over all operations
+  base::RelaxedCounter slot_reuses;  // inserts that landed on a tombstone
+  base::RelaxedCounter segments_allocated;
 };
 
 /// The segmented closed-hash dictionary of Educe* (paper §3.3.1).
@@ -44,6 +48,14 @@ struct DictionaryStats {
 ///     ("hot") segment to balance collision-chain lengths.
 ///  6/7/8. Exact-match lookup by linear probing inside each closed
 ///     segment, with a fast FNV-1a key-to-address transform.
+///
+/// Thread safety: all operations are internally latched by a
+/// reader-writer lock — Intern/Remove take the write side, lookups the
+/// read side — so concurrent worker sessions may intern and resolve
+/// symbols against one shared dictionary (DESIGN.md §10). `string_view`s
+/// returned by NameOf stay valid across growth (slots are never
+/// relocated) but not across Remove of that same symbol; removal only
+/// happens in dictionary GC, which requires all sessions to be retired.
 class Dictionary {
  public:
   struct Options {
@@ -85,8 +97,11 @@ class Dictionary {
   base::Status Remove(SymbolId id);
 
   /// Invokes `fn(id)` for every live symbol (dictionary GC sweeps).
+  /// Holds the read latch for the whole sweep; `fn` must not call back
+  /// into a mutating dictionary operation.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     for (uint32_t s = 0; s < segments_.size(); ++s) {
       for (uint32_t i = 0; i < options_.segment_capacity; ++i) {
         if (segments_[s].slots[i].state == SlotState::kLive) {
@@ -97,9 +112,9 @@ class Dictionary {
   }
 
   /// Number of live entries.
-  size_t size() const { return live_count_; }
+  size_t size() const;
   /// Number of segments currently chained.
-  size_t segment_count() const { return segments_.size(); }
+  size_t segment_count() const;
   /// Live-entry occupancy of segment `i` in [0, 1].
   double SegmentOccupancy(size_t i) const;
 
@@ -144,6 +159,7 @@ class Dictionary {
   std::vector<Segment> segments_;
   size_t live_count_ = 0;
   uint32_t hot_segment_ = 0;
+  mutable std::shared_mutex mu_;
   mutable DictionaryStats stats_;
 };
 

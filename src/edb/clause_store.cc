@@ -122,6 +122,7 @@ ClauseStore::ClauseStore(storage::BufferPool* pool,
 base::Result<ProcedureInfo*> ClauseStore::Declare(
     std::string_view name, uint32_t arity, ProcedureMode mode,
     std::vector<uint32_t> key_attrs) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   auto key = std::make_pair(std::string(name), arity);
   if (procedures_.count(key)) {
     return base::Status::AlreadyExists("external procedure " +
@@ -169,17 +170,20 @@ base::Result<ProcedureInfo*> ClauseStore::Declare(
 }
 
 ProcedureInfo* ClauseStore::FindByHash(uint64_t functor_hash) {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   auto it = by_hash_.find(functor_hash);
   return it == by_hash_.end() ? nullptr : it->second;
 }
 
 uint64_t ClauseStore::AddMutationListener(MutationListener listener) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   const uint64_t token = next_listener_token_++;
   mutation_listeners_[token] = std::move(listener);
   return token;
 }
 
 void ClauseStore::RemoveMutationListener(uint64_t token) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   mutation_listeners_.erase(token);
 }
 
@@ -191,16 +195,23 @@ void ClauseStore::NotifyMutation(ProcedureInfo* proc) {
 }
 
 ProcedureInfo* ClauseStore::Find(dict::SymbolId functor) {
-  auto cached = by_functor_.find(functor);
-  if (cached != by_functor_.end()) return cached->second;
+  {
+    std::lock_guard<std::mutex> lock(functor_cache_mu_);
+    auto cached = by_functor_.find(functor);
+    if (cached != by_functor_.end()) return cached->second;
+  }
   if (!dictionary_->IsLive(functor)) return nullptr;
   ProcedureInfo* info = Find(dictionary_->NameOf(functor),
                              dictionary_->ArityOf(functor));
-  if (info != nullptr) by_functor_[functor] = info;
+  if (info != nullptr) {
+    std::lock_guard<std::mutex> lock(functor_cache_mu_);
+    by_functor_[functor] = info;
+  }
   return info;
 }
 
 ProcedureInfo* ClauseStore::Find(std::string_view name, uint32_t arity) {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   auto it = procedures_.find(std::make_pair(std::string(name), arity));
   return it == procedures_.end() ? nullptr : &it->second;
 }
@@ -230,6 +241,7 @@ base::Status ClauseStore::StoreFact(ProcedureInfo* proc,
     }
   }
   EDUCE_ASSIGN_OR_RETURN(std::string payload, codec_->EncodeGroundTerm(fact));
+  std::unique_lock<std::shared_mutex> latch(latch_);
   EDUCE_RETURN_IF_ERROR(proc->relation->Insert(keys, payload));
   NotifyMutation(proc);
   ++stats_.facts_stored;
@@ -251,6 +263,7 @@ base::Status ClauseStore::StoreRuleCompiled(ProcedureInfo* proc,
     return base::Status::InvalidArgument(proc->name +
                                          " does not store compiled rules");
   }
+  std::unique_lock<std::shared_mutex> latch(latch_);
   const uint32_t clause_id = proc->next_clause_id++;
   // Row key: first-argument type+value key (paper §3.2.2) + clause id.
   uint64_t arg_key = kVarRuleKey;
@@ -302,6 +315,7 @@ base::Status ClauseStore::StoreRuleSource(ProcedureInfo* proc,
     return base::Status::InvalidArgument(proc->name +
                                          " does not store source rules");
   }
+  std::unique_lock<std::shared_mutex> latch(latch_);
   const uint32_t clause_id = proc->next_clause_id++;
   // Source mode has no usable index key (paper: "poor selectivity ...
   // the interpreter retrieves all the clauses for the procedure").
@@ -421,6 +435,12 @@ base::Result<std::vector<std::string>> ClauseStore::FetchRules(
 
 base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailed(
     ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  return FetchRulesDetailedLocked(proc, pattern, preunify);
+}
+
+base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailedLocked(
+    ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
   if (proc->mode == ProcedureMode::kFacts) {
     return base::Status::InvalidArgument(proc->name + " is a fact relation");
   }
@@ -487,6 +507,9 @@ base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailed(
     out.clause_ids.push_back(clause_id);
     out.payloads.push_back(std::move(record.payload));
   }
+  // Snapshot the version the payloads were read at while still latched:
+  // a mutator cannot have intervened between the scan and this read.
+  out.version = proc->version;
   return out;
 }
 
@@ -506,6 +529,35 @@ base::Result<ClauseStore::FactCursor> ClauseStore::OpenFactScan(
   return FactCursor(this, proc->relation->OpenScan(keys));
 }
 
+base::Result<std::vector<ClauseStore::FactMatch>> ClauseStore::CollectFacts(
+    ProcedureInfo* proc, const CallPattern& pattern) {
+  if (proc->mode != ProcedureMode::kFacts) {
+    return base::Status::InvalidArgument(proc->name + " is not a relation");
+  }
+  std::vector<uint64_t> keys;
+  if (proc->key_attrs.empty()) {
+    keys.push_back(storage::kBangWildcard);
+  } else {
+    for (uint32_t attr : proc->key_attrs) {
+      keys.push_back(KeyOfSummary(pattern[attr]));
+    }
+  }
+  // One read-latch hold across the whole drain: a concurrent insert could
+  // split buckets and relocate records under the cursor otherwise.
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  auto cursor = proc->relation->OpenScan(keys);
+  std::vector<FactMatch> out;
+  storage::BangFile::Record record;
+  while (cursor.Next(&record)) {
+    ++stats_.fact_rows_fetched;
+    EDUCE_ASSIGN_OR_RETURN(term::AstPtr fact,
+                           codec_->DecodeTerm(record.payload));
+    out.push_back(FactMatch{std::move(fact), record.rid});
+  }
+  EDUCE_RETURN_IF_ERROR(cursor.status());
+  return out;
+}
+
 base::Result<term::AstPtr> ClauseStore::FactCursor::Next() {
   storage::BangFile::Record record;
   if (!cursor_.Next(&record)) {
@@ -519,6 +571,7 @@ base::Result<term::AstPtr> ClauseStore::FactCursor::Next() {
 
 base::Status ClauseStore::DeleteFact(ProcedureInfo* proc,
                                      storage::RecordId rid) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   EDUCE_RETURN_IF_ERROR(proc->relation->Delete(rid));
   NotifyMutation(proc);
   return base::Status::OK();
@@ -577,6 +630,7 @@ class CatalogReader {
 }  // namespace
 
 std::string ClauseStore::SerializeCatalog() const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   std::string out;
   PutPod<uint32_t>(&out, static_cast<uint32_t>(procedures_.size()));
   for (const auto& [key, info] : procedures_) {
@@ -595,6 +649,7 @@ std::string ClauseStore::SerializeCatalog() const {
 }
 
 base::Status ClauseStore::RestoreCatalog(std::string_view state) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   CatalogReader reader(state);
   const uint32_t proc_count = reader.Pod<uint32_t>();
   if (!reader.ok() || proc_count > 1u << 20) {
@@ -645,7 +700,10 @@ base::Status ClauseStore::RestoreCatalog(std::string_view state) {
   procedures_ = std::move(procedures);
   clauses_relation_ =
       std::make_unique<storage::BangFile>(std::move(clauses));
-  by_functor_.clear();
+  {
+    std::lock_guard<std::mutex> lock(functor_cache_mu_);
+    by_functor_.clear();
+  }
   by_hash_.clear();
   for (auto& [key, info] : procedures_) {
     by_hash_[info.functor_hash] = &info;

@@ -5,10 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "base/counter.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "dict/dictionary.h"
@@ -74,24 +77,41 @@ struct ProcedureInfo {
   /// attribute — the same trade a DBA makes choosing index columns.
   std::vector<uint32_t> key_attrs;
   uint32_t next_clause_id = 0;
-  /// Bumped on every update; loader caches check it.
-  uint64_t version = 0;
+  /// Bumped on every update (under the store's write latch); loader
+  /// caches check it. A relaxed atomic so readers may sample it without
+  /// the latch; a consistent (version, payload) pair comes from
+  /// FetchRulesDetailed, which snapshots it inside the latched fetch.
+  base::RelaxedCounter version;
 };
 
-/// Counters for the rule-storage and pre-unification benches.
+/// Counters for the rule-storage and pre-unification benches. Relaxed
+/// atomics: concurrent worker sessions bump them under the read latch.
 struct ClauseStoreStats {
-  uint64_t facts_stored = 0;
-  uint64_t rules_stored = 0;
-  uint64_t fact_rows_fetched = 0;
-  uint64_t rule_rows_scanned = 0;     // candidate rows examined
-  uint64_t rule_codes_fetched = 0;    // clause codes actually shipped
-  uint64_t preunify_filtered = 0;     // clauses dropped by pre-unification
+  base::RelaxedCounter facts_stored;
+  base::RelaxedCounter rules_stored;
+  base::RelaxedCounter fact_rows_fetched;
+  base::RelaxedCounter rule_rows_scanned;   // candidate rows examined
+  base::RelaxedCounter rule_codes_fetched;  // clause codes actually shipped
+  base::RelaxedCounter preunify_filtered;   // dropped by pre-unification
 };
 
 /// Management of compiled code and facts in the EDB (paper §3.1, §4):
 /// the procedures table, per-procedure relations, and the global clauses
 /// relation keyed (procedure, clause_id) holding relative code or source
 /// text. Owns no buffers; everything lives in the supplied pool's file.
+///
+/// Thread safety (DESIGN.md §10): an internal reader-writer latch guards
+/// the catalog and every relation. Mutations (Declare, Store*, DeleteFact,
+/// RestoreCatalog) take the write side and fire mutation listeners before
+/// unlatching, so a reader can never fetch new payloads and then observe
+/// a cache entry built from old ones. Retrieval (FetchRules*,
+/// CollectFacts, Find) takes the read side; CollectFacts drains a whole
+/// scan under one latch hold because concurrent inserts may split BANG
+/// buckets and relocate records under an open cursor. OpenFactScan hands
+/// the cursor to the caller and is therefore *not* safe against
+/// concurrent mutators — single-threaded callers and tests only.
+/// ProcedureInfo pointers are stable (node-based map) and may be held
+/// across latch releases.
 class ClauseStore {
  public:
   ClauseStore(storage::BufferPool* pool, ExternalDictionary* external,
@@ -139,6 +159,10 @@ class ClauseStore {
   struct RuleFetch {
     std::vector<uint32_t> clause_ids;
     std::vector<std::string> payloads;
+    /// The procedure version the payloads were read at, snapshotted
+    /// inside the latched fetch: the version a cache entry built from
+    /// these payloads must record.
+    uint64_t version = 0;
   };
   base::Result<RuleFetch> FetchRulesDetailed(ProcedureInfo* proc,
                                              const CallPattern* pattern,
@@ -178,6 +202,18 @@ class ClauseStore {
   base::Result<FactCursor> OpenFactScan(ProcedureInfo* proc,
                                         const CallPattern& pattern);
 
+  /// One matching fact plus its storage id (for deletion).
+  struct FactMatch {
+    term::AstPtr fact;
+    storage::RecordId rid;
+  };
+  /// Drains a whole fact scan under a single read-latch hold and returns
+  /// every match. This is the concurrency-safe retrieval path: the latch
+  /// keeps mutators (whose inserts can split buckets and relocate
+  /// records) out for the duration of the scan.
+  base::Result<std::vector<FactMatch>> CollectFacts(ProcedureInfo* proc,
+                                                    const CallPattern& pattern);
+
   /// The pre-unification unit: executes the head section of stored
   /// *relative* code against the call pattern — necessary but not
   /// sufficient for unifiability (paper §4). Exposed for tests and the
@@ -207,11 +243,20 @@ class ClauseStore {
 
   /// Drops the SymbolId -> procedure cache (required before dictionary
   /// garbage collection: cached ids may be swept).
-  void InvalidateFunctorCache() { by_functor_.clear(); }
+  void InvalidateFunctorCache() {
+    std::lock_guard<std::mutex> lock(functor_cache_mu_);
+    by_functor_.clear();
+  }
 
  private:
   /// Version bump + listener fan-out after a mutation of `proc`.
+  /// Requires the write latch: the push invalidation must be ordered
+  /// before any reader can latch in and fetch the new payloads.
   void NotifyMutation(ProcedureInfo* proc);
+
+  base::Result<RuleFetch> FetchRulesDetailedLocked(ProcedureInfo* proc,
+                                                   const CallPattern* pattern,
+                                                   bool preunify);
 
   storage::BufferPool* pool_;
   ExternalDictionary* external_;
@@ -227,6 +272,13 @@ class ClauseStore {
   std::map<uint64_t, ProcedureInfo*> by_hash_;
   std::map<uint64_t, MutationListener> mutation_listeners_;
   uint64_t next_listener_token_ = 1;
+  /// Catalog + relation latch (see class comment). Mutators hold it
+  /// exclusively across the relation update, version bump, and listener
+  /// fan-out; retrieval holds it shared across whole scans.
+  mutable std::shared_mutex latch_;
+  /// Guards by_functor_ only: the SymbolId cache is written on the (read)
+  /// lookup path, so it cannot live under the shared latch.
+  mutable std::mutex functor_cache_mu_;
   ClauseStoreStats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "edb/code_cache.h"
 
+#include <algorithm>
+
 #include "base/hash.h"
 #include "edb/clause_store.h"
 #include "wam/program.h"
@@ -46,30 +48,68 @@ size_t CodeCache::KeyHash::operator()(const Key& k) const {
   return static_cast<size_t>(h);
 }
 
+CodeCache::CodeCache(Limits limits)
+    : max_entries_(limits.max_entries), max_bytes_(limits.max_bytes) {}
+
 void CodeCache::SetLimits(Limits limits) {
-  limits_ = limits;
-  EvictToFit(lru_.end());
+  max_entries_.store(limits.max_entries, std::memory_order_relaxed);
+  max_bytes_.store(limits.max_bytes, std::memory_order_relaxed);
+  EvictToFit(/*keep_id=*/0);
 }
 
-CodeCache::EntryList::iterator CodeCache::Remove(EntryList::iterator it) {
+CodeCache::EntryList::iterator CodeCache::Remove(Shard& shard,
+                                                 EntryList::iterator it) {
   for (const Key& key : it->keys) {
-    auto indexed = index_.find(key);
-    if (indexed != index_.end() && indexed->second == it) {
-      index_.erase(indexed);
+    auto indexed = shard.index.find(key);
+    if (indexed != shard.index.end() && indexed->second == it) {
+      shard.index.erase(indexed);
     }
   }
   stats_.bytes_resident -= it->bytes;
   --stats_.entries;
-  return lru_.erase(it);
+  return shard.lru.erase(it);
 }
 
-void CodeCache::EvictToFit(EntryList::iterator keep) {
-  while (!lru_.empty() && (lru_.size() > limits_.max_entries ||
-                           stats_.bytes_resident > limits_.max_bytes)) {
-    auto victim = std::prev(lru_.end());
-    if (victim == keep) break;  // never evict the entry being inserted
-    Remove(victim);
-    ++stats_.evictions;
+void CodeCache::EvictToFit(uint64_t keep_id) {
+  const size_t max_entries = max_entries_.load(std::memory_order_relaxed);
+  const size_t max_bytes = max_bytes_.load(std::memory_order_relaxed);
+  while (stats_.entries.load() > max_entries ||
+         stats_.bytes_resident.load() > max_bytes) {
+    // Pass 1: find the globally least-recent entry by peeking at each
+    // shard's tail (its least-recent entry), skipping the keep entry.
+    // One shard lock at a time — never two, so no ordering to violate.
+    size_t victim_shard = kShardCount;
+    uint64_t victim_id = 0;
+    uint64_t victim_tick = UINT64_MAX;
+    for (size_t s = 0; s < kShardCount; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      for (auto it = shards_[s].lru.rbegin(); it != shards_[s].lru.rend();
+           ++it) {
+        if (it->id == keep_id) continue;  // never evict the fresh insert
+        if (it->last_used < victim_tick) {
+          victim_tick = it->last_used;
+          victim_id = it->id;
+          victim_shard = s;
+        }
+        break;  // the first non-keep entry from the tail is this shard's LRU
+      }
+    }
+    if (victim_shard == kShardCount) return;  // nothing evictable
+    // Pass 2: re-locate the victim by id (it may have been touched or
+    // removed while unlocked) and evict it if it is still the entry we
+    // chose. A concurrent touch just sends us around the loop again.
+    {
+      Shard& shard = shards_[victim_shard];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+        if (it->id != victim_id) continue;
+        if (it->last_used == victim_tick) {
+          Remove(shard, it);
+          ++stats_.evictions;
+        }
+        break;
+      }
+    }
   }
 }
 
@@ -80,20 +120,23 @@ std::shared_ptr<const wam::LinkedCode> CodeCache::Lookup(const Key& key,
     // Pattern-tier misses are counted by the loader per logical load (one
     // load probes both the pattern and selection keys).
   };
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  Shard& shard = ShardFor(key.proc_hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
     note_miss();
     return nullptr;
   }
   EntryList::iterator entry = it->second;
   if (entry->version != version) {
     // Safety net: push invalidation should have removed this already.
-    Remove(entry);
+    Remove(shard, entry);
     ++stats_.invalidations;
     note_miss();
     return nullptr;
   }
-  lru_.splice(lru_.begin(), lru_, entry);
+  entry->last_used = NextTick();
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry);
   switch (key.tier) {
     case Tier::kProcedure: ++stats_.hits; break;
     case Tier::kPattern: ++stats_.pattern_hits; break;
@@ -105,30 +148,41 @@ std::shared_ptr<const wam::LinkedCode> CodeCache::Lookup(const Key& key,
 void CodeCache::Insert(const std::vector<Key>& keys, uint64_t version,
                        std::shared_ptr<const wam::LinkedCode> code) {
   if (keys.empty() || code == nullptr) return;
-  for (const Key& key : keys) {
-    auto it = index_.find(key);
-    if (it != index_.end()) Remove(it->second);
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(keys.front().proc_hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Key& key : keys) {
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) Remove(shard, it->second);
+    }
+    Entry entry;
+    entry.id = id;
+    entry.last_used = NextTick();
+    entry.proc_hash = keys.front().proc_hash;
+    entry.version = version;
+    entry.bytes = wam::LinkedCodeBytes(*code);
+    entry.code = std::move(code);
+    entry.keys = keys;
+    shard.lru.push_front(std::move(entry));
+    stats_.bytes_resident += shard.lru.front().bytes;
+    ++stats_.entries;
+    for (const Key& key : keys) shard.index[key] = shard.lru.begin();
   }
-  Entry entry;
-  entry.proc_hash = keys.front().proc_hash;
-  entry.version = version;
-  entry.bytes = wam::LinkedCodeBytes(*code);
-  entry.code = std::move(code);
-  entry.keys = keys;
-  lru_.push_front(std::move(entry));
-  stats_.bytes_resident += lru_.front().bytes;
-  ++stats_.entries;
-  for (const Key& key : keys) index_[key] = lru_.begin();
-  EvictToFit(lru_.begin());
+  // Evict with the insert shard unlocked: EvictToFit takes shard locks
+  // one at a time and must never nest under another shard's lock.
+  EvictToFit(id);
 }
 
 void CodeCache::Alias(const Key& existing, const Key& alias) {
-  auto it = index_.find(existing);
-  if (it == index_.end()) return;
+  Shard& shard = ShardFor(existing.proc_hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(existing);
+  if (it == shard.index.end()) return;
   EntryList::iterator entry = it->second;
   if (entry->keys.size() >= kMaxKeysPerEntry) return;
-  auto aliased = index_.find(alias);
-  if (aliased != index_.end()) {
+  auto aliased = shard.index.find(alias);
+  if (aliased != shard.index.end()) {
     if (aliased->second == entry) return;  // already attached
     // The alias currently names another entry; re-point it and detach the
     // key from the old entry's key list.
@@ -141,13 +195,15 @@ void CodeCache::Alias(const Key& existing, const Key& alias) {
     }
   }
   entry->keys.push_back(alias);
-  index_[alias] = entry;
+  shard.index[alias] = entry;
 }
 
 void CodeCache::InvalidateProcedure(uint64_t proc_hash) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
+  Shard& shard = ShardFor(proc_hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (auto it = shard.lru.begin(); it != shard.lru.end();) {
     if (it->proc_hash == proc_hash) {
-      it = Remove(it);
+      it = Remove(shard, it);
       ++stats_.invalidations;
     } else {
       ++it;
@@ -158,35 +214,92 @@ void CodeCache::InvalidateProcedure(uint64_t proc_hash) {
 void CodeCache::PurgeStale(
     const std::function<std::optional<uint64_t>(uint64_t proc_hash)>&
         current_version) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    const std::optional<uint64_t> live = current_version(it->proc_hash);
-    if (!live.has_value() || *live != it->version) {
-      it = Remove(it);
-      ++stats_.invalidations;
-    } else {
-      ++it;
+  // The callback reads the clause store (shared latch). Never call it
+  // with a shard lock held: a concurrent mutator holds the store's write
+  // latch while pushing invalidations into shard locks, so holding a
+  // shard lock while waiting on the store latch would deadlock.
+  for (size_t s = 0; s < kShardCount; ++s) {
+    struct Probe {
+      uint64_t id;
+      uint64_t proc_hash;
+      uint64_t version;
+    };
+    std::vector<Probe> probes;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      for (const Entry& entry : shards_[s].lru) {
+        probes.push_back(Probe{entry.id, entry.proc_hash, entry.version});
+      }
+    }
+    std::vector<uint64_t> stale_ids;
+    for (const Probe& probe : probes) {
+      const std::optional<uint64_t> live = current_version(probe.proc_hash);
+      if (!live.has_value() || *live != probe.version) {
+        stale_ids.push_back(probe.id);
+      }
+    }
+    if (stale_ids.empty()) continue;
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (auto it = shards_[s].lru.begin(); it != shards_[s].lru.end();) {
+      if (std::find(stale_ids.begin(), stale_ids.end(), it->id) !=
+          stale_ids.end()) {
+        it = Remove(shards_[s], it);
+        ++stats_.invalidations;
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void CodeCache::CollectSymbols(std::set<dict::SymbolId>* out) const {
-  for (const Entry& entry : lru_) {
-    wam::CollectLinkedSymbols(*entry.code, out);
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const Entry& entry : shards_[s].lru) {
+      wam::CollectLinkedSymbols(*entry.code, out);
+    }
   }
 }
 
 void CodeCache::ForEachEntry(
     const std::function<void(const EntryView&)>& fn) const {
-  for (const Entry& entry : lru_) {
+  // Snapshot per shard, then merge into global LRU order (most recent
+  // first) by recency tick. The shared_ptr copies keep code alive even if
+  // a concurrent eviction drops an entry mid-visit.
+  struct Snapshot {
+    uint64_t last_used;
+    uint64_t proc_hash;
+    uint64_t version;
+    std::vector<Key> keys;
+    std::shared_ptr<const wam::LinkedCode> code;
+  };
+  std::vector<Snapshot> entries;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const Entry& entry : shards_[s].lru) {
+      entries.push_back(Snapshot{entry.last_used, entry.proc_hash,
+                                 entry.version, entry.keys, entry.code});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Snapshot& a, const Snapshot& b) {
+              return a.last_used > b.last_used;
+            });
+  for (const Snapshot& entry : entries) {
     fn(EntryView{entry.proc_hash, entry.version, entry.keys, *entry.code});
   }
 }
 
 void CodeCache::Clear() {
-  lru_.clear();
-  index_.clear();
-  stats_.entries = 0;
-  stats_.bytes_resident = 0;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const Entry& entry : shards_[s].lru) {
+      stats_.bytes_resident -= entry.bytes;
+      --stats_.entries;
+    }
+    shards_[s].lru.clear();
+    shards_[s].index.clear();
+  }
 }
 
 void CodeCache::ResetStats() {

@@ -1,15 +1,18 @@
 #ifndef EDUCE_EDB_CODE_CACHE_H_
 #define EDUCE_EDB_CODE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "base/counter.h"
 #include "dict/dictionary.h"
 #include "wam/code.h"
 
@@ -19,19 +22,20 @@ struct ArgSummary;  // clause_store.h
 
 /// Counters and gauges for the EDB code cache. Counters accumulate until
 /// ResetStats; `entries` and `bytes_resident` are gauges tracking current
-/// residency (ResetStats leaves them alone).
+/// residency (ResetStats leaves them alone). All fields are relaxed
+/// atomics: concurrent worker sessions bump them through shared loaders.
 struct CodeCacheStats {
-  uint64_t hits = 0;             // procedure-tier hits
-  uint64_t misses = 0;           // procedure-tier misses
-  uint64_t pattern_hits = 0;     // pattern tier: exact-pattern key hit
-  uint64_t selection_hits = 0;   // pattern tier: selection-fingerprint hit
-  uint64_t pattern_misses = 0;   // per-call loads that had to decode+link
-  uint64_t evictions = 0;        // LRU capacity evictions
-  uint64_t invalidations = 0;    // version-based removals (push or pull)
-  uint64_t warm_seeded = 0;      // entries restored from the warm segment
-  uint64_t warm_rejected = 0;    // warm entries refused (stale/unresolvable)
-  uint64_t entries = 0;          // gauge: resident entries
-  uint64_t bytes_resident = 0;   // gauge: approx resident bytes
+  base::RelaxedCounter hits;            // procedure-tier hits
+  base::RelaxedCounter misses;          // procedure-tier misses
+  base::RelaxedCounter pattern_hits;    // pattern tier: exact-pattern key hit
+  base::RelaxedCounter selection_hits;  // pattern tier: selection-fp hit
+  base::RelaxedCounter pattern_misses;  // per-call loads that decode+link
+  base::RelaxedCounter evictions;       // LRU capacity evictions
+  base::RelaxedCounter invalidations;   // version-based removals (push/pull)
+  base::RelaxedCounter warm_seeded;     // entries restored from warm segment
+  base::RelaxedCounter warm_rejected;   // warm entries refused (stale)
+  base::RelaxedCounter entries;         // gauge: resident entries
+  base::RelaxedCounter bytes_resident;  // gauge: approx resident bytes
 };
 
 /// LRU cache of decoded-and-linked EDB procedures (paper §3.1: the point
@@ -40,7 +44,7 @@ struct CodeCacheStats {
 /// dictionary's functor hash, never a ProcedureInfo pointer, so a dropped
 /// procedure whose address is reused (ABA) can never alias a cache entry.
 ///
-/// Two tiers share one LRU list and one memory budget:
+/// Two tiers share one logical LRU and one memory budget:
 ///  - kProcedure: the fully linked procedure (all clauses), used by the
 ///    loader's full-procedure path.
 ///  - kPattern/kSelection: per-call (pattern-filtered) loads. A kPattern
@@ -57,6 +61,17 @@ struct CodeCacheStats {
 /// InvalidateProcedure so stale entries are evicted eagerly. Lookup still
 /// verifies the stored version as a safety net (a mismatch evicts and
 /// counts as an invalidation, never serves stale code).
+///
+/// Thread safety (DESIGN.md §10): the cache is sharded by `proc_hash`
+/// with one mutex per shard — every key of an entry shares its
+/// procedure hash, so an entry, its aliases, and its push invalidation
+/// all live in a single shard. Recency is a global atomic tick stamped
+/// per touch; the capacity budget (entries + bytes) is global, so tiny
+/// limits still evict the globally least-recent entry exactly as the
+/// unsharded cache did. Eviction locks one shard at a time (never two),
+/// and code is handed out as `shared_ptr<const LinkedCode>`, so an
+/// eviction or invalidation never frees code under a running machine —
+/// the machine's retained reference keeps it alive.
 class CodeCache {
  public:
   struct Limits {
@@ -77,12 +92,15 @@ class CodeCache {
     }
   };
 
-  CodeCache() = default;
-  explicit CodeCache(Limits limits) : limits_(limits) {}
+  CodeCache() : CodeCache(Limits{}) {}
+  explicit CodeCache(Limits limits);
 
   /// Changes the capacity bounds, evicting immediately if now over.
   void SetLimits(Limits limits);
-  const Limits& limits() const { return limits_; }
+  Limits limits() const {
+    return Limits{max_entries_.load(std::memory_order_relaxed),
+                  max_bytes_.load(std::memory_order_relaxed)};
+  }
 
   /// Returns the cached code under `key` if present *and* its recorded
   /// version equals `version`; refreshes LRU recency. A version mismatch
@@ -93,13 +111,16 @@ class CodeCache {
 
   /// Inserts `code` reachable under every key in `keys` (entries already
   /// under those keys are replaced), then evicts LRU entries until within
-  /// budget. The newly inserted entry itself is never evicted by this
-  /// call, so a single over-budget procedure still caches.
+  /// budget. Every key must carry the same proc_hash (they do: pattern
+  /// and selection keys of one load name one procedure). The newly
+  /// inserted entry itself is never evicted by this call, so a single
+  /// over-budget procedure still caches.
   void Insert(const std::vector<Key>& keys, uint64_t version,
               std::shared_ptr<const wam::LinkedCode> code);
 
   /// Attaches `alias` as an additional key of the entry under `existing`
-  /// (no-op if absent or the per-entry alias bound is reached).
+  /// (no-op if absent or the per-entry alias bound is reached). Both keys
+  /// must carry the same proc_hash.
   void Alias(const Key& existing, const Key& alias);
 
   /// Push invalidation: drops every entry of `proc_hash` (all tiers).
@@ -108,7 +129,8 @@ class CodeCache {
   /// Drops entries whose recorded version no longer matches the live
   /// procedure version (`current_version` returns nullopt for procedures
   /// that no longer resolve). Run before CollectSymbols so dictionary GC
-  /// never retains symbols referenced only by outdated code.
+  /// never retains symbols referenced only by outdated code. The callback
+  /// is invoked with no shard lock held (it reads the clause store).
   void PurgeStale(
       const std::function<std::optional<uint64_t>(uint64_t proc_hash)>&
           current_version);
@@ -133,12 +155,14 @@ class CodeCache {
     const wam::LinkedCode& code;
   };
   /// Visits every resident entry in LRU order (most recent first) without
-  /// touching recency or stats.
+  /// touching recency or stats. Works from a snapshot, so entries inserted
+  /// or evicted concurrently may be missed or visited after removal (their
+  /// code is kept alive by the snapshot's references).
   void ForEachEntry(const std::function<void(const EntryView&)>& fn) const;
 
   void Clear();
-  size_t entry_count() const { return lru_.size(); }
-  size_t bytes_resident() const { return stats_.bytes_resident; }
+  size_t entry_count() const { return stats_.entries.load(); }
+  size_t bytes_resident() const { return stats_.bytes_resident.load(); }
 
   const CodeCacheStats& stats() const { return stats_; }
   /// Zeroes the counters; residency gauges are preserved.
@@ -146,6 +170,8 @@ class CodeCache {
 
  private:
   struct Entry {
+    uint64_t id = 0;         // unique, for stable identity across unlocks
+    uint64_t last_used = 0;  // global recency tick at last touch
     uint64_t proc_hash = 0;
     uint64_t version = 0;
     std::shared_ptr<const wam::LinkedCode> code;
@@ -158,12 +184,36 @@ class CodeCache {
     size_t operator()(const Key& k) const;
   };
 
-  EntryList::iterator Remove(EntryList::iterator it);
-  void EvictToFit(EntryList::iterator keep);
+  // Shards are a fixed power of two; each owns a recency-ordered list
+  // (front = shard's most recently used) plus the key index for the
+  // entries resident in it.
+  static constexpr size_t kShardCount = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    EntryList lru;
+    std::unordered_map<Key, EntryList::iterator, KeyHash> index;
+  };
 
-  Limits limits_ = {};
-  EntryList lru_;  // front = most recently used
-  std::unordered_map<Key, EntryList::iterator, KeyHash> index_;
+  Shard& ShardFor(uint64_t proc_hash) {
+    return shards_[proc_hash & (kShardCount - 1)];
+  }
+
+  // Unlinks `it` from `shard` and updates the global gauges. Requires
+  // shard.mu held. Returns the iterator past the removed entry.
+  EntryList::iterator Remove(Shard& shard, EntryList::iterator it);
+
+  // Evicts globally least-recently-used entries (never the entry whose
+  // unique id is `keep_id`) until within budget. Takes shard locks one at
+  // a time; call with no shard lock held.
+  void EvictToFit(uint64_t keep_id);
+
+  uint64_t NextTick() { return tick_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::atomic<size_t> max_entries_;
+  std::atomic<size_t> max_bytes_;
+  std::atomic<uint64_t> tick_{1};
+  std::atomic<uint64_t> next_id_{1};
+  Shard shards_[kShardCount];
   CodeCacheStats stats_;
 };
 

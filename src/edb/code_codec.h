@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/counter.h"
 #include "base/result.h"
 #include "dict/dictionary.h"
 #include "edb/external_dictionary.h"
@@ -20,6 +21,10 @@ namespace educe::edb {
 /// address-resolution step: each hash is resolved through the external
 /// dictionary and re-interned into the (session-local) internal
 /// dictionary, yielding code the emulator can run after linking.
+///
+/// Thread safety: the codec keeps no per-call state — it only forwards
+/// to the internally latched dictionaries — so one shared instance
+/// serves concurrent worker sessions.
 class CodeCodec {
  public:
   /// `dictionary`, `external` and `builtins` must outlive the codec.
@@ -45,7 +50,7 @@ class CodeCodec {
   /// Statistics for the compiler-split bench: time spent resolving
   /// associative addresses is measured around DecodeClause by callers;
   /// these count the volume.
-  uint64_t symbols_resolved() const { return symbols_resolved_; }
+  uint64_t symbols_resolved() const { return symbols_resolved_.load(); }
 
  private:
   base::Result<uint64_t> RelativeSymbol(dict::SymbolId id);
@@ -58,7 +63,7 @@ class CodeCodec {
   dict::Dictionary* dictionary_;
   ExternalDictionary* external_;
   const wam::BuiltinTable* builtins_;
-  uint64_t symbols_resolved_ = 0;
+  base::RelaxedCounter symbols_resolved_;
 };
 
 }  // namespace educe::edb

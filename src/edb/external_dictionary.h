@@ -2,6 +2,8 @@
 #define EDUCE_EDB_EXTERNAL_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,6 +23,10 @@ namespace educe::edb {
 /// *associative address* embedded in stored relative code; it is stable
 /// across sessions and across internal-dictionary garbage collection,
 /// which is exactly why compiled code in the EDB stays valid (paper §3.1).
+///
+/// Thread safety: internally latched (one leaf mutex around the
+/// write-through cache and the stored table), so concurrent worker
+/// sessions may Ensure/Resolve against one shared instance.
 class ExternalDictionary {
  public:
   static base::Result<ExternalDictionary> Create(storage::BufferPool* pool);
@@ -52,7 +58,10 @@ class ExternalDictionary {
   /// associative-address resolution step. NotFound if never stored.
   base::Result<std::pair<std::string, uint32_t>> Resolve(uint64_t hash);
 
-  uint64_t entry_count() const { return entries_; }
+  uint64_t entry_count() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return entries_;
+  }
 
  private:
   explicit ExternalDictionary(storage::BangFile file)
@@ -63,6 +72,10 @@ class ExternalDictionary {
   std::unordered_map<uint64_t, std::pair<std::string, uint32_t>> cache_;
   uint64_t entries_ = 0;
   uint64_t epoch_ = 0;
+  // Behind unique_ptr so the dictionary stays movable (Create/Open
+  // return by value). Leaf lock: nothing is called out to while held
+  // except buffer-pool page fetches (themselves a leaf).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace educe::edb

@@ -69,13 +69,17 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
     }
   }
   ++stats_.loads;
+  // FetchRulesDetailed snapshots the version under the store's read
+  // latch: the entry must record the version the payloads were read at,
+  // not whatever the procedure advances to while we decode.
   EDUCE_ASSIGN_OR_RETURN(
-      std::vector<std::string> payloads,
-      store_->FetchRules(proc, /*pattern=*/nullptr, /*preunify=*/false));
+      ClauseStore::RuleFetch fetch,
+      store_->FetchRulesDetailed(proc, /*pattern=*/nullptr,
+                                 /*preunify=*/false));
   EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
-                         DecodeAndLink(payloads, functor, proc->arity));
+                         DecodeAndLink(fetch.payloads, functor, proc->arity));
   if (options_.cache) {
-    cache_.Insert({key}, proc->version, linked);
+    cache_.Insert({key}, fetch.version, linked);
   }
   return linked;
 }
@@ -104,7 +108,7 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::LoadForCall(
   // Second chance: a different pattern already linked this clause subset
   // (the recursion case — the bound value varies, the selection doesn't).
   const CodeCache::Key selection_key = SelectionKey(*proc, fetch.clause_ids);
-  if (auto code = cache_.Lookup(selection_key, proc->version)) {
+  if (auto code = cache_.Lookup(selection_key, fetch.version)) {
     ++stats_.pattern_cache_hits;
     cache_.Alias(selection_key, pattern_key);
     return code;
@@ -113,7 +117,7 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::LoadForCall(
   cache_.NotePatternMiss();
   EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
                          DecodeAndLink(fetch.payloads, functor, proc->arity));
-  cache_.Insert({selection_key, pattern_key}, proc->version, linked);
+  cache_.Insert({selection_key, pattern_key}, fetch.version, linked);
   return linked;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 
+#include "base/counter.h"
 #include "base/result.h"
 #include "edb/clause_store.h"
 #include "edb/code_cache.h"
@@ -14,14 +15,15 @@ namespace educe::edb {
 
 /// Counters for the loader: decode vs link time backs the paper's §3.1
 /// claim that address resolution is far cheaper than compilation.
+/// Relaxed atomics: one shared loader serves concurrent worker sessions.
 struct LoaderStats {
-  uint64_t loads = 0;            // full-procedure loads performed
-  uint64_t cache_hits = 0;       // procedure-tier cache hits
-  uint64_t call_loads = 0;       // per-call (pattern-filtered) loads
-  uint64_t pattern_cache_hits = 0;  // per-call loads served from cache
-  uint64_t clauses_decoded = 0;
-  uint64_t decode_ns = 0;        // address resolution (decode) time
-  uint64_t link_ns = 0;          // control/indexing insertion time
+  base::RelaxedCounter loads;       // full-procedure loads performed
+  base::RelaxedCounter cache_hits;  // procedure-tier cache hits
+  base::RelaxedCounter call_loads;  // per-call (pattern-filtered) loads
+  base::RelaxedCounter pattern_cache_hits;  // per-call served from cache
+  base::RelaxedCounter clauses_decoded;
+  base::RelaxedCounter decode_ns;   // address resolution (decode) time
+  base::RelaxedCounter link_ns;     // control/indexing insertion time
 };
 
 /// The dynamic loader (paper §3.1 component 2): fetches relative code
@@ -33,6 +35,12 @@ struct LoaderStats {
 /// pattern key for repeat calls, plus a selection-fingerprint key so a
 /// recursion whose bound argument changes every level still reuses one
 /// linked entry. ClauseStore mutations push-invalidate stale entries.
+///
+/// Thread safety: one shared loader serves concurrent worker sessions.
+/// The cache is internally sharded; fetches run under the store's read
+/// latch, which snapshots the procedure version together with the
+/// payloads, so a cache entry can never pair new code with an old
+/// version (or vice versa). Options are set before sessions start.
 class Loader {
  public:
   struct Options {

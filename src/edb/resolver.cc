@@ -47,15 +47,16 @@ base::Result<wam::ExternalResolver::Resolution> EdbResolver::ResolveFacts(
     ProcedureInfo* proc, uint32_t arity, wam::Machine* machine) {
   ++stats_.fact_calls;
   const CallPattern pattern = PatternFromCall(machine, arity);
-  EDUCE_ASSIGN_OR_RETURN(ClauseStore::FactCursor cursor,
-                         store_->OpenFactScan(proc, pattern));
+  // CollectFacts drains the scan under one read-latch hold, so a
+  // concurrent edb_assert in another session cannot split buckets and
+  // relocate records under the cursor mid-drain.
+  EDUCE_ASSIGN_OR_RETURN(std::vector<ClauseStore::FactMatch> matches,
+                         store_->CollectFacts(proc, pattern));
   std::vector<term::AstPtr> facts;
-  while (true) {
-    EDUCE_ASSIGN_OR_RETURN(term::AstPtr fact, cursor.Next());
-    if (fact == nullptr) break;
-    facts.push_back(std::move(fact));
+  facts.reserve(matches.size());
+  for (ClauseStore::FactMatch& match : matches) {
+    facts.push_back(std::move(match.fact));
   }
-  EDUCE_RETURN_IF_ERROR(cursor.status());
 
   Resolution resolution;
   if (facts.empty() && options_.choice_point_elimination) {

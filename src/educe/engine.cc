@@ -1,8 +1,11 @@
 #include "educe/engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "base/hash.h"
 #include "edb/warm_segment.h"
@@ -167,8 +170,21 @@ Engine::~Engine() {
   if (!options_.db_path.empty() && !closed_) (void)Close();
 }
 
+base::Status Engine::RefuseIfSessionsActive(const char* what) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (active_sessions_ > 0) {
+    return base::Status::FailedPrecondition(
+        std::string(what) + " refused: " + std::to_string(active_sessions_) +
+        " worker session(s) active");
+  }
+  return base::Status::OK();
+}
+
 base::Status Engine::Close() {
   if (options_.db_path.empty()) return base::Status::OK();
+  // A live session may be mid-query over the pool and clause store;
+  // flushing and saving under it would snapshot a torn image.
+  EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("Close"));
   closed_ = true;
   // Warm segment first: serializing Ensure()s operand symbols into the
   // external dictionary, whose state is captured afterwards.
@@ -276,21 +292,22 @@ void Engine::RegisterEdbBuiltins() {
         for (uint32_t i = 0; i < proc->arity; ++i) {
           pattern[i] = edb::SummaryOfCell(m, m->HeapAt(d.addr() + 1 + i));
         }
-        auto cursor = clause_store_.OpenFactScan(proc, pattern);
-        if (!cursor.ok()) return err(m, cursor.status());
-        while (true) {
-          auto fact = cursor->Next();
-          if (!fact.ok()) return err(m, fact.status());
-          if (*fact == nullptr) break;
+        // Collect under the store's read latch, delete under its write
+        // latch. A concurrent session may delete the same record between
+        // the two; that surfaces as NotFound here and we move on to the
+        // next match, so each stored fact is retracted by at most one
+        // session.
+        auto matches = clause_store_.CollectFacts(proc, pattern);
+        if (!matches.ok()) return err(m, matches.status());
+        for (const auto& match : *matches) {
           const size_t mark = m->TrailMark();
           std::vector<Cell> cells;
-          auto imported = m->ImportAst(**fact, &cells);
+          auto imported = m->ImportAst(*match.fact, &cells);
           if (!imported.ok()) return err(m, imported.status());
           if (m->Unify(m->X(0), *imported)) {
-            base::Status st = clause_store_.DeleteFact(proc,
-                                                       cursor->last_rid());
-            if (!st.ok()) return err(m, st);
-            return BuiltinResult::kTrue;
+            base::Status st = clause_store_.DeleteFact(proc, match.rid);
+            if (st.ok()) return BuiltinResult::kTrue;
+            if (!st.IsNotFound()) return err(m, st);
           }
           m->UndoTo(mark);
         }
@@ -320,15 +337,14 @@ void Engine::RegisterEdbBuiltins() {
           return BuiltinResult::kFalse;
         }
         edb::CallPattern pattern(proc->arity);  // all wildcards
-        auto cursor = clause_store_.OpenFactScan(proc, pattern);
-        if (!cursor.ok()) return err(m, cursor.status());
+        // One read-latch hold for the whole scan: concurrent asserts
+        // cannot split buckets under the cursor.
+        auto matches = clause_store_.CollectFacts(proc, pattern);
+        if (!matches.ok()) return err(m, matches.status());
         std::vector<Cell> facts;
-        while (true) {
-          auto fact = cursor->Next();
-          if (!fact.ok()) return err(m, fact.status());
-          if (*fact == nullptr) break;
+        for (const auto& match : *matches) {
           std::vector<Cell> cells;
-          auto imported = m->ImportAst(**fact, &cells);
+          auto imported = m->ImportAst(*match.fact, &cells);
           if (!imported.ok()) return err(m, imported.status());
           facts.push_back(*imported);
         }
@@ -361,6 +377,8 @@ void Engine::SyncOptions() {
 }
 
 base::Status Engine::Consult(std::string_view source) {
+  // Consult mutates the base program worker sessions overlay.
+  EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("Consult"));
   EDUCE_ASSIGN_OR_RETURN(std::vector<reader::ReadTerm> clauses,
                          reader::ParseProgram(&dictionary_, source));
   for (const auto& clause : clauses) {
@@ -464,6 +482,13 @@ base::Status Engine::StoreRulesExternal(std::string_view source) {
     // memory (they are implementation details of this clause).
     EDUCE_ASSIGN_OR_RETURN(std::vector<wam::CompiledClause> compiled,
                            program_.compiler()->Compile(clause.term));
+    if (compiled.size() > 1) {
+      // Auxiliary clauses must be installed into the shared base program,
+      // which is frozen while worker sessions run. Plain clauses (no
+      // control constructs) store fine under load.
+      EDUCE_RETURN_IF_ERROR(
+          RefuseIfSessionsActive("StoreRulesExternal with control constructs"));
+    }
     bool main = true;
     for (auto& c : compiled) {
       if (main) {
@@ -478,10 +503,15 @@ base::Status Engine::StoreRulesExternal(std::string_view source) {
 }
 
 base::Result<std::unique_ptr<Solutions>> Engine::Query(std::string_view goal) {
+  // StartQuery installs $query scaffolding into the base program, which
+  // worker sessions read lock-free; route queries through a Session
+  // while any are open.
+  EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("Engine::Query"));
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&dictionary_, goal));
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
-  return std::unique_ptr<Solutions>(new Solutions(this, std::move(read)));
+  return std::unique_ptr<Solutions>(
+      new Solutions(machine_.get(), &dictionary_, std::move(read)));
 }
 
 base::Result<bool> Engine::Succeeds(std::string_view goal) {
@@ -517,6 +547,9 @@ base::Status Engine::ResetBufferCache(bool drop_code_cache) {
 base::Status Engine::InvalidateBuffers() { return ResetBufferCache(false); }
 
 base::Result<uint64_t> Engine::CollectDictionary() {
+  // Sweeping symbols while sessions run would tombstone ids their
+  // overlays and in-flight code still reference.
+  EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("CollectDictionary"));
   // Roots: everything the predicate store and cached EDB code reference,
   // plus the syntax symbols the reader/machine assume are interned.
   std::set<dict::SymbolId> live;
@@ -549,6 +582,152 @@ base::Result<uint64_t> Engine::CollectDictionary() {
   return static_cast<uint64_t>(dead.size());
 }
 
+namespace {
+void MergeResolverStats(edb::ResolverStats* into, const edb::ResolverStats& s) {
+  into->fact_calls += s.fact_calls;
+  into->fact_calls_deterministic += s.fact_calls_deterministic;
+  into->rule_loads += s.rule_loads;
+  into->source_parses += s.source_parses;
+  into->source_asserts += s.source_asserts;
+  into->source_erases += s.source_erases;
+  into->resolve_ns += s.resolve_ns;
+}
+}  // namespace
+
+Session::Session(Engine* engine, uint64_t serial)
+    : engine_(engine),
+      overlay_(&engine->dictionary_, &engine->program_),
+      resolver_(&engine->clause_store_, &engine->loader_, &overlay_) {
+  // Disjoint $aux/$query name ranges per session: an overlay must never
+  // shadow an auxiliary procedure generated (and still called) by the
+  // base program or a sibling session.
+  overlay_.SeedAuxCounter(serial << 32);
+  resolver_.options() = engine->resolver_.options();
+  machine_ = std::make_unique<wam::Machine>(&overlay_, engine->options_.machine);
+  machine_->set_resolver(&resolver_);
+}
+
+Session::~Session() {
+  std::lock_guard<std::mutex> lock(engine_->sessions_mu_);
+  MergeResolverStats(&engine_->retired_session_stats_, resolver_.stats());
+  --engine_->active_sessions_;
+}
+
+base::Result<std::unique_ptr<Solutions>> Session::Query(
+    std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
+                         reader::ParseTerm(&engine_->dictionary_, goal));
+  EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
+  return std::unique_ptr<Solutions>(
+      new Solutions(machine_.get(), &engine_->dictionary_, std::move(read)));
+}
+
+base::Result<bool> Session::Succeeds(std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Solutions> solutions, Query(goal));
+  return solutions->Next();
+}
+
+base::Result<uint64_t> Session::CountSolutions(std::string_view goal) {
+  EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Solutions> solutions, Query(goal));
+  uint64_t count = 0;
+  while (true) {
+    EDUCE_ASSIGN_OR_RETURN(bool more, solutions->Next());
+    if (!more) break;
+    ++count;
+  }
+  return count;
+}
+
+base::Result<std::unique_ptr<Session>> Engine::OpenSession() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (active_sessions_ == 0) {
+    // Freeze the base: with every procedure pre-linked, overlay sessions
+    // serve base code straight from the immutable linked pointers and
+    // never take the shadow-copy fallback.
+    program_.LinkAll();
+  }
+  ++active_sessions_;
+  const uint64_t serial = ++session_serial_;
+  return std::unique_ptr<Session>(new Session(this, serial));
+}
+
+uint32_t Engine::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return active_sessions_;
+}
+
+base::Result<std::vector<SolveOutcome>> Engine::SolveParallel(
+    const std::vector<std::string>& goals, uint32_t n_workers,
+    bool collect_bindings) {
+  if (n_workers == 0) {
+    return base::Status::InvalidArgument("SolveParallel needs >= 1 worker");
+  }
+  if (goals.empty()) return std::vector<SolveOutcome>{};
+  n_workers = static_cast<uint32_t>(
+      std::min<size_t>(n_workers, goals.size()));
+
+  // Open every session on this thread: the first open freezes the base
+  // program before any worker runs.
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(n_workers);
+  for (uint32_t w = 0; w < n_workers; ++w) {
+    EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Session> session, OpenSession());
+    sessions.push_back(std::move(session));
+  }
+
+  std::vector<SolveOutcome> results(goals.size());
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  base::Status first_error;
+
+  auto run_goal = [&](Session* session, size_t i) -> base::Status {
+    EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Solutions> solutions,
+                           session->Query(goals[i]));
+    while (true) {
+      EDUCE_ASSIGN_OR_RETURN(bool more, solutions->Next());
+      if (!more) break;
+      ++results[i].count;
+      if (collect_bindings) {
+        std::string row;
+        for (const auto& [name, value] : solutions->All()) {
+          if (!row.empty()) row += ' ';
+          row += name;
+          row += '=';
+          row += value;
+        }
+        results[i].rows.push_back(std::move(row));
+      }
+    }
+    return base::Status::OK();
+  };
+
+  auto worker = [&](Session* session) {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= goals.size()) break;
+      base::Status st = run_goal(session, i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = std::move(st);
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_workers - 1);
+  for (uint32_t w = 1; w < n_workers; ++w) {
+    threads.emplace_back(worker, sessions[w].get());
+  }
+  worker(sessions[0].get());  // the calling thread is worker 0
+  for (std::thread& t : threads) t.join();
+  sessions.clear();  // retire: merge resolver stats, release the freeze
+
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
 EngineStats Engine::Stats() {
   EngineStats stats;
   stats.machine = machine_->stats();
@@ -559,6 +738,13 @@ EngineStats Engine::Stats() {
   stats.loader = loader_.stats();
   stats.code_cache = loader_.cache_stats();
   stats.resolver = resolver_.stats();
+  {
+    // Retired worker sessions fold their EDB-trap counters in, so the
+    // aggregate view covers parallel work too (live sessions merge on
+    // retirement).
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MergeResolverStats(&stats.resolver, retired_session_stats_);
+  }
   stats.compiler = program_.compiler()->stats();
   stats.memory.buffer_resident_bytes = pool_.resident_bytes();
   stats.memory.buffer_capacity_bytes = pool_.capacity_bytes();
@@ -578,15 +764,17 @@ void Engine::ResetStats() {
   loader_.ResetStats();
   resolver_.ResetStats();
   program_.compiler()->ResetStats();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  retired_session_stats_ = edb::ResolverStats{};
 }
 
-base::Result<bool> Solutions::Next() { return engine_->machine_->NextSolution(); }
+base::Result<bool> Solutions::Next() { return machine_->NextSolution(); }
 
 term::AstPtr Solutions::BindingAst(std::string_view name) const {
   for (const auto& [var_name, index] : read_.var_names) {
     if (var_name == name) {
       std::map<uint64_t, uint32_t> var_map;
-      return engine_->machine_->ExportVar(index, &var_map);
+      return machine_->ExportVar(index, &var_map);
     }
   }
   return nullptr;
@@ -595,16 +783,15 @@ term::AstPtr Solutions::BindingAst(std::string_view name) const {
 std::string Solutions::Binding(std::string_view name) const {
   term::AstPtr ast = BindingAst(name);
   if (ast == nullptr) return "";
-  return reader::WriteTerm(engine_->dictionary_, *ast);
+  return reader::WriteTerm(*dictionary_, *ast);
 }
 
 std::map<std::string, std::string> Solutions::All() const {
   std::map<std::string, std::string> out;
   std::map<uint64_t, uint32_t> var_map;
   for (const auto& [var_name, index] : read_.var_names) {
-    out[var_name] = reader::WriteTerm(
-        engine_->dictionary_,
-        *engine_->machine_->ExportVar(index, &var_map));
+    out[var_name] =
+        reader::WriteTerm(*dictionary_, *machine_->ExportVar(index, &var_map));
   }
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,10 +69,12 @@ struct EngineOptions {
 };
 
 class Engine;
+class Session;
 
-/// One query's solutions, streamed. Obtained from Engine::Query; at most
-/// one Solutions may be active per Engine at a time (the engine owns a
-/// single machine, per the paper's one-process-per-session model).
+/// One query's solutions, streamed. Obtained from Engine::Query or
+/// Session::Query; at most one Solutions may be active per machine at a
+/// time (each engine/session owns a single machine, per the paper's
+/// one-process-per-session model).
 class Solutions {
  public:
   /// Advances to the next solution; false when exhausted.
@@ -89,11 +92,65 @@ class Solutions {
 
  private:
   friend class Engine;
-  Solutions(Engine* engine, reader::ReadTerm read)
-      : engine_(engine), read_(std::move(read)) {}
+  friend class Session;
+  Solutions(wam::Machine* machine, const dict::Dictionary* dictionary,
+            reader::ReadTerm read)
+      : machine_(machine), dictionary_(dictionary), read_(std::move(read)) {}
+
+  wam::Machine* machine_;
+  const dict::Dictionary* dictionary_;
+  reader::ReadTerm read_;
+};
+
+/// A worker session over a shared Engine (DESIGN.md §10): its own WAM
+/// machine and Program *overlay*, borrowing the engine's read-mostly
+/// substrate — symbol dictionary, external dictionary, clause store,
+/// buffer pool, and the loader with its shared code cache. Obtain via
+/// Engine::OpenSession(); any number of sessions may run queries on
+/// distinct threads concurrently (one thread per session at a time).
+///
+/// Sessions see the shared EDB live: concurrent edb_assert /
+/// StoreFactsExternal mutations become visible under the store's latch,
+/// with cache invalidation pushed before the mutation unlatches. The
+/// engine's main-memory program is frozen while sessions are open
+/// (Consult/Query/Close on the Engine are refused); each session's
+/// transient assertions ($query scaffolding, the source-rule cycle) land
+/// in its private overlay and never touch the shared base.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Opens a query on this session's machine.
+  base::Result<std::unique_ptr<Solutions>> Query(std::string_view goal);
+
+  /// Convenience: run `goal`, return whether it has at least one solution.
+  base::Result<bool> Succeeds(std::string_view goal);
+
+  /// Convenience: count all solutions.
+  base::Result<uint64_t> CountSolutions(std::string_view goal);
+
+  wam::Machine* machine() { return machine_.get(); }
+  wam::Program* program() { return &overlay_; }
+  edb::EdbResolver* resolver() { return &resolver_; }
+
+ private:
+  friend class Engine;
+  Session(Engine* engine, uint64_t serial);
 
   Engine* engine_;
-  reader::ReadTerm read_;
+  wam::Program overlay_;
+  edb::EdbResolver resolver_;
+  std::unique_ptr<wam::Machine> machine_;
+};
+
+/// Per-goal result of Engine::SolveParallel.
+struct SolveOutcome {
+  uint64_t count = 0;  // number of solutions
+  /// Rendered bindings, one string per solution ("X=1 Y=a"), when
+  /// collect_bindings was requested; empty otherwise.
+  std::vector<std::string> rows;
 };
 
 /// The unified memory report (ROADMAP "memory budget split"): the two
@@ -183,6 +240,29 @@ class Engine {
   /// Convenience: count all solutions.
   base::Result<uint64_t> CountSolutions(std::string_view goal);
 
+  /// --- worker sessions -----------------------------------------------------
+
+  /// Opens a worker session sharing this engine's EDB substrate. The
+  /// first open freezes the main-memory program (pre-links every
+  /// procedure); while any session is live, Engine::Query / Consult /
+  /// CollectDictionary / Close are refused with FailedPrecondition.
+  /// Destroy the Session to retire it (its resolver counters merge into
+  /// Stats().resolver).
+  base::Result<std::unique_ptr<Session>> OpenSession();
+
+  /// Number of currently open worker sessions.
+  uint32_t active_sessions() const;
+
+  /// Runs `goals` across `n_workers` worker sessions pulling from one
+  /// shared work queue (the calling thread is worker 0). Returns one
+  /// outcome per goal, order-aligned with the input. With
+  /// `collect_bindings`, every solution's named bindings are rendered
+  /// into SolveOutcome::rows for solution-set comparison. The first
+  /// error aborts remaining goals and is returned.
+  base::Result<std::vector<SolveOutcome>> SolveParallel(
+      const std::vector<std::string>& goals, uint32_t n_workers,
+      bool collect_bindings = false);
+
   /// --- persistence ---------------------------------------------------------
 
   /// Clean shutdown: with a db_path set, writes the warm code segment
@@ -239,6 +319,11 @@ class Engine {
 
  private:
   friend class Solutions;
+  friend class Session;
+
+  /// Refuses (FailedPrecondition) while worker sessions are open; the
+  /// guard for every operation that would mutate state sessions share.
+  base::Status RefuseIfSessionsActive(const char* what) const;
 
   /// Result of trying to load an on-disk image into the paged file.
   /// Must complete before the BufferPool is constructed: frame buffers
@@ -284,6 +369,13 @@ class Engine {
   edb::EdbResolver resolver_;
   std::unique_ptr<wam::Machine> machine_;
   bool closed_ = false;
+
+  /// Worker-session registry: count + serial issue, and the resolver
+  /// counters of retired sessions (merged into Stats().resolver).
+  mutable std::mutex sessions_mu_;
+  uint32_t active_sessions_ = 0;
+  uint64_t session_serial_ = 0;
+  edb::ResolverStats retired_session_stats_;
 };
 
 }  // namespace educe

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/counter.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "storage/buffer_pool.h"
@@ -18,14 +19,16 @@ inline constexpr uint64_t kBangWildcard = 0xFFFFFFFFFFFFFFFFull;
 
 /// Counters for the BANG file; the indexing ablation reads bucket_scans
 /// to show how key boundness narrows retrieval.
+/// Relaxed atomics: scans from concurrent worker sessions (under the
+/// clause store's read latch) bump the scan counters of one shared file.
 struct BangFileStats {
-  uint64_t inserts = 0;
-  uint64_t splits = 0;
-  uint64_t directory_doublings = 0;
-  uint64_t overflow_pages = 0;
-  uint64_t scans_opened = 0;
-  uint64_t buckets_scanned = 0;
-  uint64_t records_examined = 0;
+  base::RelaxedCounter inserts;
+  base::RelaxedCounter splits;
+  base::RelaxedCounter directory_doublings;
+  base::RelaxedCounter overflow_pages;
+  base::RelaxedCounter scans_opened;
+  base::RelaxedCounter buckets_scanned;
+  base::RelaxedCounter records_examined;
 };
 
 /// A multi-attribute dynamic file in the grid-file family, standing in for

@@ -61,6 +61,7 @@ BufferPool::BufferPool(PagedFile* file, uint32_t num_frames) : file_(file) {
 }
 
 void BufferPool::Unpin(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(frames_[frame].pin_count > 0);
   --frames_[frame].pin_count;
 }
@@ -92,6 +93,7 @@ base::Result<uint32_t> BufferPool::GrabFrame() {
 }
 
 base::Result<PageHandle> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = resident_.find(id);
   if (it != resident_.end()) {
     ++stats_.hits;
@@ -113,6 +115,7 @@ base::Result<PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 base::Result<PageHandle> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId id = file_->Allocate();
   EDUCE_ASSIGN_OR_RETURN(uint32_t idx, GrabFrame());
   Frame& frame = frames_[idx];
@@ -126,6 +129,7 @@ base::Result<PageHandle> BufferPool::New() {
 }
 
 base::Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page != kInvalidPage && frame.dirty) {
       EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
@@ -137,6 +141,7 @@ base::Status BufferPool::FlushAll() {
 }
 
 base::Status BufferPool::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page == kInvalidPage) continue;
     if (frame.pin_count > 0) {

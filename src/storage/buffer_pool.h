@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/counter.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "storage/page.h"
@@ -15,11 +17,12 @@ namespace educe::storage {
 
 /// Buffer-manager counters; together with PagedFileStats these regenerate
 /// the paper's Table 2b ("Buffer read/write", "Total I/O activity").
+/// Relaxed atomics: worker sessions fetch pages concurrently.
 struct BufferPoolStats {
-  uint64_t hits = 0;        // page found resident
-  uint64_t misses = 0;      // page had to be read from the file
-  uint64_t evictions = 0;
-  uint64_t writebacks = 0;  // dirty pages written on eviction/flush
+  base::RelaxedCounter hits;        // page found resident
+  base::RelaxedCounter misses;      // page had to be read from the file
+  base::RelaxedCounter evictions;
+  base::RelaxedCounter writebacks;  // dirty pages written on eviction/flush
 };
 
 class BufferPool;
@@ -51,9 +54,16 @@ class PageHandle {
   uint32_t frame_ = 0;
 };
 
-/// A fixed-frame LRU buffer manager over a PagedFile. Single-threaded by
-/// design: Educe* is a per-session kernel (paper §5: one ~2.5 MB process
-/// per user).
+/// A fixed-frame LRU buffer manager over a PagedFile.
+///
+/// Thread safety (DESIGN.md §10): frame bookkeeping (residency map, pins,
+/// LRU ticks, eviction) is guarded by an internal mutex, so concurrent
+/// worker sessions may Fetch pages of one shared pool. Page *data* is not
+/// guarded here: while a page is pinned its frame cannot be recycled, and
+/// callers that mutate data must hold an exclusive latch above the pool
+/// (the ClauseStore write latch) so no reader shares the pin. The mutex
+/// is never held across file I/O initiated by other components, and pool
+/// methods never call out while holding it, so it is a leaf lock.
 class BufferPool {
  public:
   /// `file` must outlive the pool. `num_frames` >= 2.
@@ -82,6 +92,7 @@ class BufferPool {
   /// Bytes of page data currently resident (occupied frames × page size);
   /// feeds the engine's unified memory report next to the code cache.
   uint64_t resident_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t occupied = 0;
     for (const Frame& frame : frames_) {
       if (frame.page != kInvalidPage) ++occupied;
@@ -112,13 +123,15 @@ class BufferPool {
   void Touch(uint32_t frame) { frames_[frame].last_used = ++tick_; }
 
   // Picks a frame to (re)use: an empty frame or the LRU unpinned frame,
-  // writing it back if dirty. Fails if everything is pinned.
+  // writing it back if dirty. Fails if everything is pinned. Requires
+  // mu_ held.
   base::Result<uint32_t> GrabFrame();
 
   PagedFile* file_;
-  std::vector<Frame> frames_;
+  std::vector<Frame> frames_;  // sized once in the ctor, never resized
   std::unordered_map<PageId, uint32_t> resident_;
   uint64_t tick_ = 0;
+  mutable std::mutex mu_;
   BufferPoolStats stats_;
 };
 

@@ -204,8 +204,17 @@ std::shared_ptr<const LinkedCode> LinkProcedure(
 }
 
 Program::Program(dict::Dictionary* dictionary)
-    : dictionary_(dictionary), builtins_(dictionary),
-      compiler_(dictionary, &builtins_, &aux_counter_) {}
+    : dictionary_(dictionary),
+      owned_builtins_(std::make_unique<BuiltinTable>(dictionary)),
+      builtins_(owned_builtins_.get()),
+      compiler_(dictionary, builtins_, &aux_counter_) {}
+
+Program::Program(dict::Dictionary* dictionary, Program* base)
+    : dictionary_(dictionary),
+      base_(base),
+      builtins_(base->builtins_),
+      compiler_(dictionary, builtins_, &aux_counter_),
+      indexing_enabled_(base->indexing_enabled_) {}
 
 base::Status Program::AddClause(const term::AstPtr& clause, bool front) {
   EDUCE_ASSIGN_OR_RETURN(std::vector<CompiledClause> compiled,
@@ -227,11 +236,18 @@ base::Status Program::AddClauses(const std::vector<term::AstPtr>& clauses) {
 }
 
 base::Status Program::AddCompiled(CompiledClause compiled, bool front) {
-  if (builtins_.Find(compiled.functor)) {
+  if (builtins_->Find(compiled.functor)) {
     return base::Status::InvalidArgument(
         "cannot add clauses to builtin " +
         std::string(dictionary_->NameOf(compiled.functor)) + "/" +
         std::to_string(compiled.arity));
+  }
+  // Copy-on-write: adding to a base-resident procedure first shadows it
+  // locally so the shared base program is never mutated.
+  if (base_ != nullptr && procs_.find(compiled.functor) == procs_.end()) {
+    if (const Proc* base_proc = base_->Find(compiled.functor)) {
+      procs_[compiled.functor] = *base_proc;
+    }
   }
   Proc& proc = procs_[compiled.functor];
   proc.functor = compiled.functor;
@@ -249,17 +265,39 @@ base::Status Program::AddCompiled(CompiledClause compiled, bool front) {
   return base::Status::OK();
 }
 
+Program::Proc* Program::LocalProcForWrite(dict::SymbolId functor) {
+  auto it = procs_.find(functor);
+  if (it != procs_.end()) return &it->second;
+  if (base_ != nullptr) {
+    if (const Proc* base_proc = base_->Find(functor)) {
+      return &(procs_[functor] = *base_proc);
+    }
+  }
+  return nullptr;
+}
+
 base::Status Program::EraseProcedure(dict::SymbolId functor) {
   auto it = procs_.find(functor);
-  if (it == procs_.end()) {
+  const bool in_base = base_ != nullptr && base_->Find(functor) != nullptr;
+  if (it == procs_.end() && !in_base) {
     return base::Status::NotFound("no such procedure");
   }
-  procs_.erase(it);
+  if (it != procs_.end()) procs_.erase(it);
+  if (in_base) {
+    // The base cannot be touched: install an empty local shadow so the
+    // procedure resolves to a zero-clause (failing) definition here while
+    // other sessions still see the base's clauses.
+    Proc& shadow = procs_[functor];
+    shadow.functor = functor;
+    shadow.arity = dictionary_->ArityOf(functor);
+    shadow.clauses.clear();
+    shadow.linked = nullptr;
+  }
   return base::Status::OK();
 }
 
 base::Status Program::EraseClause(dict::SymbolId functor, size_t index) {
-  Proc* proc = FindMutable(functor);
+  Proc* proc = LocalProcForWrite(functor);
   if (proc == nullptr || index >= proc->clauses.size()) {
     return base::Status::NotFound("no such clause");
   }
@@ -270,7 +308,8 @@ base::Status Program::EraseClause(dict::SymbolId functor, size_t index) {
 }
 
 void Program::DeclareDynamic(dict::SymbolId functor) {
-  Proc& proc = procs_[functor];
+  Proc* existing = LocalProcForWrite(functor);
+  Proc& proc = existing != nullptr ? *existing : procs_[functor];
   proc.functor = functor;
   proc.arity = dictionary_->ArityOf(functor);
   proc.is_dynamic = true;
@@ -278,7 +317,8 @@ void Program::DeclareDynamic(dict::SymbolId functor) {
 
 const Program::Proc* Program::Find(dict::SymbolId functor) const {
   auto it = procs_.find(functor);
-  return it == procs_.end() ? nullptr : &it->second;
+  if (it != procs_.end()) return &it->second;
+  return base_ != nullptr ? base_->Find(functor) : nullptr;
 }
 
 Program::Proc* Program::FindMutable(dict::SymbolId functor) {
@@ -289,6 +329,14 @@ Program::Proc* Program::FindMutable(dict::SymbolId functor) {
 base::Result<std::shared_ptr<const LinkedCode>> Program::Linked(
     dict::SymbolId functor) {
   Proc* proc = FindMutable(functor);
+  if (proc == nullptr && base_ != nullptr) {
+    if (const Proc* base_proc = base_->Find(functor)) {
+      if (base_proc->linked != nullptr) return base_proc->linked;
+      // The base was not frozen for this procedure. Shadow-copy and link
+      // locally rather than writing into the shared base.
+      proc = &(procs_[functor] = *base_proc);
+    }
+  }
   if (proc == nullptr) {
     return base::Status::NotFound("undefined procedure");
   }
@@ -301,6 +349,17 @@ base::Result<std::shared_ptr<const LinkedCode>> Program::Linked(
     ++stats_.links_performed;
   }
   return proc->linked;
+}
+
+void Program::LinkAll() {
+  for (auto& [functor, proc] : procs_) {
+    if (proc.linked != nullptr) continue;
+    std::vector<std::shared_ptr<const ClauseCode>> codes;
+    codes.reserve(proc.clauses.size());
+    for (const auto& clause : proc.clauses) codes.push_back(clause.code);
+    proc.linked = LinkProcedure(functor, proc.arity, codes, indexing_enabled_);
+    ++stats_.links_performed;
+  }
 }
 
 void Program::SetIndexingEnabled(bool enabled) {
@@ -362,7 +421,7 @@ void Program::CollectReferencedSymbols(std::set<dict::SymbolId>* out) const {
       if (clause.source != nullptr) CollectAstSymbols(*clause.source, out);
     }
   }
-  for (dict::SymbolId functor : builtins_.RegisteredFunctors()) {
+  for (dict::SymbolId functor : builtins_->RegisteredFunctors()) {
     out->insert(functor);
   }
 }

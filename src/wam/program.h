@@ -104,15 +104,34 @@ struct ProgramStats {
 /// lazily into executable code. Linked code is shared_ptr-immutable so
 /// executions in flight survive assert/retract (relinking replaces the
 /// pointer, never mutates).
+///
+/// Overlays (DESIGN.md §10): a Program constructed with a `base` is a
+/// per-worker-session overlay. Lookups fall back to the base, the builtin
+/// table is shared with (borrowed from) the base, and every mutation is
+/// copy-on-write — a base-resident procedure is shadow-copied into the
+/// overlay before the overlay changes it, so the base is never written.
+/// The owner must freeze the base (LinkAll(), then no further mutation)
+/// while any overlay is live; each overlay is then single-threaded and
+/// needs no locking of its own. Seed each overlay's aux counter with a
+/// disjoint range (SeedAuxCounter) so `$aux`/`$query` functor names never
+/// collide across sessions — a collision would let one session's overlay
+/// shadow an auxiliary procedure that base code still calls.
 class Program {
  public:
   explicit Program(dict::Dictionary* dictionary);
 
+  /// Overlay constructor: `base` must outlive this Program and stay
+  /// frozen (fully linked, no mutations) while it is in use.
+  Program(dict::Dictionary* dictionary, Program* base);
+
   dict::Dictionary* dictionary() { return dictionary_; }
   const dict::Dictionary& dictionary() const { return *dictionary_; }
-  BuiltinTable* builtins() { return &builtins_; }
-  const BuiltinTable& builtins() const { return builtins_; }
+  BuiltinTable* builtins() { return builtins_; }
+  const BuiltinTable& builtins() const { return *builtins_; }
   Compiler* compiler() { return &compiler_; }
+
+  /// The base program this overlay falls back to (null for a root).
+  Program* base() { return base_; }
 
   /// One stored clause of a procedure.
   struct StoredClause {
@@ -154,9 +173,19 @@ class Program {
   Proc* FindMutable(dict::SymbolId functor);
 
   /// Executable code for `functor`, linking if dirty. NotFound if the
-  /// procedure does not exist.
+  /// procedure does not exist. On an overlay, a base-resident procedure
+  /// that is already linked is served from the base; a dirty base
+  /// procedure is shadow-copied and linked locally (the base is never
+  /// mutated). Freeze the base with LinkAll() first so that path stays
+  /// cold.
   base::Result<std::shared_ptr<const LinkedCode>> Linked(
       dict::SymbolId functor);
+
+  /// Links every dirty procedure. The engine calls this to freeze the
+  /// base program before handing it to overlay sessions: afterwards every
+  /// overlay read of the base (Find / Linked) touches only immutable
+  /// state.
+  void LinkAll();
 
   /// Enables/disables first-argument indexing at link time (Ablation C).
   /// Invalidates existing linked code.
@@ -167,6 +196,11 @@ class Program {
   base::Result<dict::SymbolId> FreshFunctor(std::string_view prefix,
                                             uint32_t arity);
 
+  /// Starts the aux/query counter at `start`. Overlay sessions get
+  /// disjoint ranges (e.g. session serial << 32) so generated functor
+  /// names are globally unique across concurrent sessions.
+  void SeedAuxCounter(uint64_t start) { aux_counter_ = start; }
+
   /// Adds every dictionary symbol the predicate store references — clause
   /// code operands, procedure functors, retained clause-source functors
   /// and registered builtins — to `out` (dictionary GC roots, §3.3).
@@ -176,8 +210,16 @@ class Program {
   void ResetStats() { stats_ = ProgramStats{}; }
 
  private:
+  // Copies a base-resident procedure into the local map so it can be
+  // mutated without touching the shared base (clauses are shared_ptr
+  // copies, so the shadow is cheap). Returns the local proc, or null if
+  // neither this program nor the base knows the functor.
+  Proc* LocalProcForWrite(dict::SymbolId functor);
+
   dict::Dictionary* dictionary_;
-  BuiltinTable builtins_;
+  Program* base_ = nullptr;                     // null for a root program
+  std::unique_ptr<BuiltinTable> owned_builtins_;  // root only
+  BuiltinTable* builtins_;  // root: owned_builtins_.get(); overlay: base's
   uint64_t aux_counter_ = 0;
   Compiler compiler_;
   std::unordered_map<dict::SymbolId, Proc> procs_;

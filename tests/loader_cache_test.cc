@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "edb/code_cache.h"
 #include "edb/clause_store.h"
@@ -123,6 +125,63 @@ TEST(CodeCacheTest, AliasResolvesToSameEntry) {
   EXPECT_EQ(cache.entry_count(), 1u);
   EXPECT_EQ(cache.stats().pattern_hits, 1u);
   EXPECT_EQ(cache.stats().selection_hits, 1u);
+}
+
+TEST(CodeCacheTest, ConcurrentLookupInsertInvalidateStaysCoherent) {
+  // Hammer the sharded cache from several threads mixing every mutation
+  // path. Lookups may hit or miss freely; the invariants are (a) a hit
+  // never returns code whose recorded version mismatches, and (b) the
+  // global residency gauges agree with the actual entries afterwards.
+  CodeCache cache(CodeCache::Limits{64, 1u << 20});
+  constexpr int kThreads = 6;
+  constexpr int kOps = 2000;
+  constexpr uint64_t kProcs = 40;  // spread across all 16 shards
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t proc = (t * 31 + i) % kProcs;
+        const uint64_t version = i % 3;
+        switch (i % 4) {
+          case 0:
+            cache.Insert({ProcKey(proc)}, version,
+                         FakeCode(static_cast<dict::SymbolId>(proc), 11));
+            break;
+          case 1:
+          case 2: {
+            auto code = cache.Lookup(ProcKey(proc), version);
+            if (code != nullptr &&
+                code->functor != static_cast<dict::SymbolId>(proc)) {
+              ++failures;  // a hit must be the code inserted for this proc
+            }
+            break;
+          }
+          case 3:
+            if (i % 16 == 3) {
+              cache.InvalidateProcedure(proc);
+            } else {
+              cache.Insert({ProcKey(proc)}, version,
+                           FakeCode(static_cast<dict::SymbolId>(proc), 12));
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Quiescent coherence: gauges equal a fresh count of resident entries.
+  size_t counted = 0;
+  size_t bytes = 0;
+  cache.ForEachEntry([&](const CodeCache::EntryView& entry) {
+    ++counted;
+    bytes += wam::LinkedCodeBytes(entry.code);
+  });
+  EXPECT_EQ(cache.entry_count(), counted);
+  EXPECT_EQ(cache.bytes_resident(), bytes);
+  EXPECT_LE(cache.entry_count(), 64u);
 }
 
 // --- Engine-level integration ----------------------------------------------

@@ -1,0 +1,336 @@
+// Concurrency tests for worker sessions over a shared EDB (DESIGN.md §10):
+// shared-substrate safety (dictionary, clause store, code cache), overlay
+// isolation, invalidation under load, and the engine's session guards.
+// Run under TSan via scripts/check_sanitizers.sh thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "educe/engine.h"
+
+namespace educe {
+namespace {
+
+std::string ItemFacts(int n) {
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) {
+    out << "item(" << i << ", " << 2 * i << "). ";
+  }
+  return out.str();
+}
+
+TEST(ParallelTest, ConcurrentInterningIsConsistent) {
+  dict::Dictionary dictionary;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 500;
+  // Every thread interns the same overlapping name set; ids must be
+  // unique per (name, arity) regardless of interleaving.
+  std::vector<std::vector<dict::SymbolId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t].resize(kNames);
+      for (int i = 0; i < kNames; ++i) {
+        auto id = dictionary.Intern("sym" + std::to_string(i), i % 4);
+        if (!id.ok()) {
+          ++failures;
+          return;
+        }
+        ids[t][i] = *id;
+        if (!dictionary.IsLive(*id)) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]) << "thread " << t << " saw different ids";
+  }
+  for (int i = 0; i < kNames; ++i) {
+    EXPECT_EQ(dictionary.NameOf(ids[0][i]), "sym" + std::to_string(i));
+  }
+}
+
+TEST(ParallelTest, ConcurrentFactQueriesAgree) {
+  Engine engine;
+  constexpr int kRows = 300;
+  ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+  ASSERT_TRUE(engine.StoreFactsExternal(ItemFacts(kRows)).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    threads.emplace_back(
+        [&failures, s = std::move(*session)]() mutable {
+          for (int round = 0; round < kRounds; ++round) {
+            auto all = s->CountSolutions("item(X, Y)");
+            if (!all.ok() || *all != kRows) ++failures;
+            auto one = s->CountSolutions("item(7, Y)");
+            if (!one.ok() || *one != 1) ++failures;
+          }
+        });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.active_sessions(), 0u);
+}
+
+TEST(ParallelTest, ConcurrentCompiledRuleQueriesShareCache) {
+  Engine engine;
+  constexpr int kRows = 120;
+  ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+  ASSERT_TRUE(engine.StoreFactsExternal(ItemFacts(kRows)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("pair(X, Y) :- item(X, Y).").ok());
+  engine.ResetStats();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    threads.emplace_back(
+        [&failures, s = std::move(*session)]() mutable {
+          for (int round = 0; round < kRounds; ++round) {
+            auto count = s->CountSolutions("pair(X, Y)");
+            if (!count.ok() || *count != kRows) ++failures;
+          }
+        });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // One load decodes and links; every other session round hits the shared
+  // cache entry.
+  EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.code_cache.hits + stats.code_cache.pattern_hits +
+                stats.code_cache.selection_hits,
+            static_cast<uint64_t>(kThreads * kRounds - kThreads));
+  EXPECT_GE(engine.loader()->cache()->entry_count(), 1u);
+}
+
+TEST(ParallelTest, SessionOverlayAssertIsIsolated) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1). p(2).").ok());
+  auto s1 = engine.OpenSession();
+  auto s2 = engine.OpenSession();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+
+  auto asserted = (*s1)->Succeeds("assertz(p(3))");
+  ASSERT_TRUE(asserted.ok()) << asserted.status();
+  EXPECT_TRUE(*asserted);
+
+  auto in_s1 = (*s1)->CountSolutions("p(X)");
+  ASSERT_TRUE(in_s1.ok());
+  EXPECT_EQ(*in_s1, 3u);  // copy-on-write shadow sees base + own assert
+
+  auto in_s2 = (*s2)->CountSolutions("p(X)");
+  ASSERT_TRUE(in_s2.ok());
+  EXPECT_EQ(*in_s2, 2u);  // sibling overlay never sees it
+
+  s1->reset();
+  s2->reset();
+  auto in_base = engine.CountSolutions("p(X)");
+  ASSERT_TRUE(in_base.ok());
+  EXPECT_EQ(*in_base, 2u);  // the shared base was never written
+}
+
+TEST(ParallelTest, QueryScaffoldingIsolatedAcrossSessions) {
+  // Disjunctions compile auxiliary predicates; with per-session aux-name
+  // ranges the overlays must never shadow each other's $aux/$query procs.
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1). p(2). p(3). q(4). q(5).").ok());
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    threads.emplace_back(
+        [&failures, s = std::move(*session)]() mutable {
+          for (int round = 0; round < kRounds; ++round) {
+            auto count = s->CountSolutions("(p(X) ; q(X))");
+            if (!count.ok() || *count != 5) ++failures;
+            auto found = s->Succeeds("findall(X, p(X), [_, _, _])");
+            if (!found.ok() || !*found) ++failures;
+          }
+        });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ParallelTest, InvalidationUnderLoadServesOldOrNewCode) {
+  // A writer keeps appending clauses to an external compiled rule while
+  // reader sessions execute it. Every observed solution count must equal
+  // a clause-set snapshot (a multiple of the per-clause count) — stale
+  // complete code is fine, torn code is not.
+  Engine engine;
+  constexpr int kRows = 20;
+  constexpr int kAppends = 30;
+  ASSERT_TRUE(engine.DeclareRelation("r", 1).ok());
+  std::ostringstream facts;
+  for (int i = 0; i < kRows; ++i) facts << "r(" << i << "). ";
+  ASSERT_TRUE(engine.StoreFactsExternal(facts.str()).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("s(X) :- r(X).").ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    readers.emplace_back(
+        [&failures, &writer_done, s = std::move(*session)]() mutable {
+          while (!writer_done.load(std::memory_order_acquire)) {
+            auto count = s->CountSolutions("s(X)");
+            if (!count.ok() || *count == 0 || *count % kRows != 0 ||
+                *count > kRows * (kAppends + 1)) {
+              ++failures;
+            }
+          }
+        });
+  }
+  for (int i = 0; i < kAppends; ++i) {
+    // Plain clauses (no control constructs) may be stored under load;
+    // each append bumps the version and push-invalidates cached code.
+    ASSERT_TRUE(engine.StoreRulesExternal("s(X) :- r(X).").ok());
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto final_count = engine.CountSolutions("s(X)");
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(*final_count, static_cast<uint64_t>(kRows * (kAppends + 1)));
+}
+
+TEST(ParallelTest, EngineOpsRefusedWhileSessionsActive) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1).").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(engine.active_sessions(), 1u);
+
+  EXPECT_TRUE(engine.Query("p(X)").status().IsFailedPrecondition());
+  EXPECT_TRUE(engine.Consult("p(2).").IsFailedPrecondition());
+  EXPECT_TRUE(engine.CollectDictionary().status().IsFailedPrecondition());
+  // Control constructs need aux clauses in the frozen base program.
+  EXPECT_TRUE(engine.StoreRulesExternal("t(X) :- (p(X) ; p(X)).")
+                  .IsFailedPrecondition());
+
+  // The session itself still works, and the EDB remains writable.
+  auto ok = (*session)->Succeeds("p(1)");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  EXPECT_TRUE(engine.StoreFactsExternal("live(1).").ok());
+
+  session->reset();
+  EXPECT_EQ(engine.active_sessions(), 0u);
+  EXPECT_TRUE(engine.Query("p(X)").ok());
+  EXPECT_TRUE(engine.Consult("p(2).").ok());
+}
+
+TEST(ParallelTest, CloseRefusedWhileSessionsActive) {
+  const std::string path = testing::TempDir() + "parallel_close_test.edb";
+  std::remove(path.c_str());
+  EngineOptions options;
+  options.db_path = path;
+  {
+    Engine engine(options);
+    ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+    ASSERT_TRUE(engine.StoreFactsExternal("item(1, 2).").ok());
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok());
+    EXPECT_TRUE(engine.Close().IsFailedPrecondition());
+    session->reset();
+    EXPECT_TRUE(engine.Close().ok());
+  }
+  // The image written after the session retired must reopen cleanly.
+  Engine reopened(options);
+  EXPECT_TRUE(reopened.attached());
+  auto count = reopened.CountSolutions("item(X, Y)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelTest, SolveParallelMatchesSequential) {
+  Engine engine;
+  constexpr int kRows = 100;
+  ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+  ASSERT_TRUE(engine.StoreFactsExternal(ItemFacts(kRows)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("pair(X, Y) :- item(X, Y).").ok());
+
+  std::vector<std::string> goals;
+  for (int i = 0; i < 40; ++i) {
+    goals.push_back("item(" + std::to_string(i % kRows) + ", Y)");
+    goals.push_back("pair(X, " + std::to_string(2 * (i % kRows)) + ")");
+  }
+  auto sequential = engine.SolveParallel(goals, 1, /*collect_bindings=*/true);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  auto parallel = engine.SolveParallel(goals, 4, /*collect_bindings=*/true);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  ASSERT_EQ(sequential->size(), goals.size());
+  ASSERT_EQ(parallel->size(), goals.size());
+  for (size_t i = 0; i < goals.size(); ++i) {
+    EXPECT_EQ((*parallel)[i].count, (*sequential)[i].count) << goals[i];
+    std::multiset<std::string> seq_rows((*sequential)[i].rows.begin(),
+                                        (*sequential)[i].rows.end());
+    std::multiset<std::string> par_rows((*parallel)[i].rows.begin(),
+                                        (*parallel)[i].rows.end());
+    EXPECT_EQ(par_rows, seq_rows) << goals[i];
+  }
+}
+
+TEST(ParallelTest, SolveParallelSurfacesErrors) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1).").ok());
+  std::vector<std::string> goals = {"p(X)", "p(X"};  // second is malformed
+  auto result = engine.SolveParallel(goals, 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(engine.active_sessions(), 0u);
+}
+
+TEST(ParallelTest, StatsAggregateAcrossSessions) {
+  Engine engine;
+  constexpr int kRows = 50;
+  ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+  ASSERT_TRUE(engine.StoreFactsExternal(ItemFacts(kRows)).ok());
+  engine.ResetStats();
+
+  std::vector<std::string> goals;
+  for (int i = 0; i < 64; ++i) {
+    goals.push_back("item(" + std::to_string(i % kRows) + ", Y)");
+  }
+  auto result = engine.SolveParallel(goals, 4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const SolveOutcome& outcome : *result) EXPECT_EQ(outcome.count, 1u);
+
+  // Every goal is one EDB fact call; retired sessions must fold their
+  // resolver counters into the aggregate exactly once.
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.resolver.fact_calls, goals.size());
+  // Residency gauges stay coherent with the cache's own accounting.
+  EXPECT_EQ(stats.code_cache.entries.load(),
+            engine.loader()->cache()->entry_count());
+}
+
+}  // namespace
+}  // namespace educe
