@@ -8,6 +8,7 @@
 #include "base/result.h"
 #include "base/status.h"
 #include "base/stopwatch.h"
+#include "obs/histogram.h"
 
 namespace educe::bench {
 
@@ -95,6 +96,17 @@ class BenchJson {
   }
   void Add(const std::string& key, const std::string& value) {
     AddRaw(key, "\"" + value + "\"");
+  }
+
+  /// Emits `<key>_p50_ns` / `_p95_ns` / `_p99_ns` (plus count and max)
+  /// from a latency histogram, so BENCH_*.json carries tail behaviour
+  /// instead of a single mean that hides it.
+  void AddHistogram(const std::string& key, const obs::Histogram& h) {
+    Add(key + "_count", h.count());
+    Add(key + "_p50_ns", h.Percentile(50));
+    Add(key + "_p95_ns", h.Percentile(95));
+    Add(key + "_p99_ns", h.Percentile(99));
+    Add(key + "_max_ns", h.max());
   }
 
   void Print() const { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }

@@ -8,6 +8,9 @@
 //   :workers N                 worker sessions for :par (default 1)
 //   :par  g1(X). g2(Y). ...    run a goal batch across worker sessions
 //   :stats                     engine counters + unified memory report
+//   :profile on|off            toggle tracing + per-query cost profiles
+//   :spans                     drain buffered trace spans as JSON
+//   :metrics                   full metrics document (ExportMetricsJson)
 //   :cold                      drop buffer cache AND code cache
 //   :save                      persist the database image now
 //   :halt                      exit
@@ -103,12 +106,29 @@ void PrintStats(educe::Engine* engine) {
   // The unified memory report: both in-memory consumers side by side.
   std::printf(
       "memory:  buffer pool %llu / %llu bytes resident, code cache %llu / "
-      "%llu bytes, paged file %llu bytes\n",
+      "%llu bytes, paged file %llu bytes\n"
+      "         warm segment %llu bytes, cache shard skew %llu max / %llu "
+      "min bytes\n",
       static_cast<unsigned long long>(s.memory.buffer_resident_bytes),
       static_cast<unsigned long long>(s.memory.buffer_capacity_bytes),
       static_cast<unsigned long long>(s.memory.code_cache_resident_bytes),
       static_cast<unsigned long long>(s.memory.code_cache_capacity_bytes),
-      static_cast<unsigned long long>(s.memory.paged_file_bytes));
+      static_cast<unsigned long long>(s.memory.paged_file_bytes),
+      static_cast<unsigned long long>(s.memory.warm_segment_bytes),
+      static_cast<unsigned long long>(s.memory.code_cache_shard_max_bytes),
+      static_cast<unsigned long long>(s.memory.code_cache_shard_min_bytes));
+  // Query-latency percentiles (nanoseconds) from the always-on histogram.
+  const educe::obs::Histogram latency = engine->QueryLatencyHistogram();
+  if (latency.count() > 0) {
+    std::printf(
+        "latency: %llu queries, p50 %llu ns, p95 %llu ns, p99 %llu ns, "
+        "max %llu ns\n",
+        static_cast<unsigned long long>(latency.count()),
+        static_cast<unsigned long long>(latency.Percentile(50)),
+        static_cast<unsigned long long>(latency.Percentile(95)),
+        static_cast<unsigned long long>(latency.Percentile(99)),
+        static_cast<unsigned long long>(latency.max()));
+  }
 }
 
 std::string Trim(const std::string& s) {
@@ -168,7 +188,8 @@ int main(int argc, char** argv) {
   educe::Engine engine(options);
   std::printf("Educe* shell — clauses consult; '?- Goal.' queries; "
               ":facts/:rules store to the EDB; :workers N; :par goals; "
-              ":load file; :stats; :cold; :save; :halt\n");
+              ":load file; :stats; :profile on|off; :spans; :metrics; "
+              ":cold; :save; :halt\n");
   if (!options.db_path.empty()) {
     if (engine.attached()) {
       const educe::EngineStats s = engine.Stats();
@@ -204,6 +225,18 @@ int main(int argc, char** argv) {
       }
       if (command == ":stats") {
         PrintStats(&engine);
+      } else if (command == ":profile") {
+        const std::string arg = Trim(rest);
+        if (arg == "on" || arg == "off") {
+          engine.SetProfiling(arg == "on");
+          std::printf("profiling %s\n", arg.c_str());
+        } else {
+          std::printf("usage: :profile on|off\n");
+        }
+      } else if (command == ":spans") {
+        std::printf("%s\n", engine.DrainSpansJson().c_str());
+      } else if (command == ":metrics") {
+        std::printf("%s\n", engine.ExportMetricsJson().c_str());
       } else if (command == ":cold") {
         Report(engine.ResetBufferCache(/*drop_code_cache=*/true));
         std::printf("buffer cache and code cache dropped\n");

@@ -40,6 +40,13 @@ run_bench() {
 }
 
 run_bench bench_loader_cache BENCH_codecache.json
+# bench_loader_cache also writes the full metrics document (a profiled
+# Wisconsin-style Engine run through ExportMetricsJson) to ./metrics.json;
+# park it with the other results so CI uploads it.
+if [[ -f metrics.json ]]; then
+  mv metrics.json "$OUT_DIR/metrics.json"
+  echo "--- wrote $OUT_DIR/metrics.json"
+fi
 run_bench bench_wisconsin BENCH_wisconsin.json
 run_bench bench_warm_start BENCH_warmstart.json
 run_bench bench_parallel BENCH_parallel.json

@@ -435,6 +435,8 @@ base::Result<std::vector<std::string>> ClauseStore::FetchRules(
 
 base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailed(
     ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
+  obs::ScopedSpan span(tracer_, obs::SpanKind::kClauseFetch,
+                       proc->functor_hash);
   std::shared_lock<std::shared_mutex> latch(latch_);
   return FetchRulesDetailedLocked(proc, pattern, preunify);
 }
@@ -542,6 +544,8 @@ base::Result<std::vector<ClauseStore::FactMatch>> ClauseStore::CollectFacts(
       keys.push_back(KeyOfSummary(pattern[attr]));
     }
   }
+  obs::ScopedSpan span(tracer_, obs::SpanKind::kFactFetch,
+                       proc->functor_hash);
   // One read-latch hold across the whole drain: a concurrent insert could
   // split buckets and relocate records under the cursor otherwise.
   std::shared_lock<std::shared_mutex> latch(latch_);

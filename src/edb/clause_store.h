@@ -17,6 +17,7 @@
 #include "dict/dictionary.h"
 #include "edb/code_codec.h"
 #include "edb/external_dictionary.h"
+#include "obs/trace.h"
 #include "storage/bang_file.h"
 #include "storage/buffer_pool.h"
 #include "term/ast.h"
@@ -238,6 +239,10 @@ class ClauseStore {
   const ClauseStoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ClauseStoreStats{}; }
 
+  /// Emits kClauseFetch / kFactFetch spans (detail = rows fetched) when
+  /// the tracer is enabled. Nullable.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   ExternalDictionary* external_dictionary() { return external_; }
   CodeCodec* codec() { return codec_; }
 
@@ -280,6 +285,7 @@ class ClauseStore {
   /// lookup path, so it cannot live under the shared latch.
   mutable std::mutex functor_cache_mu_;
   ClauseStoreStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace educe::edb

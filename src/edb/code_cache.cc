@@ -302,6 +302,20 @@ void CodeCache::Clear() {
   }
 }
 
+CodeCache::ShardOccupancy CodeCache::MeasureShardOccupancy() const {
+  ShardOccupancy occupancy;
+  occupancy.min_bytes = UINT64_MAX;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    uint64_t bytes = 0;
+    for (const Entry& entry : shards_[s].lru) bytes += entry.bytes;
+    if (bytes > occupancy.max_bytes) occupancy.max_bytes = bytes;
+    if (bytes < occupancy.min_bytes) occupancy.min_bytes = bytes;
+  }
+  if (occupancy.min_bytes == UINT64_MAX) occupancy.min_bytes = 0;
+  return occupancy;
+}
+
 void CodeCache::ResetStats() {
   const uint64_t entries = stats_.entries;
   const uint64_t bytes = stats_.bytes_resident;

@@ -164,6 +164,16 @@ class CodeCache {
   size_t entry_count() const { return stats_.entries.load(); }
   size_t bytes_resident() const { return stats_.bytes_resident.load(); }
 
+  /// Per-shard resident byte occupancy. The 16-way hash split can skew
+  /// badly when few procedures dominate (every key of a procedure lands
+  /// in one shard); the max/min pair feeds the engine memory report so
+  /// the skew is visible instead of hidden behind the global gauge.
+  struct ShardOccupancy {
+    uint64_t max_bytes = 0;
+    uint64_t min_bytes = 0;
+  };
+  ShardOccupancy MeasureShardOccupancy() const;
+
   const CodeCacheStats& stats() const { return stats_; }
   /// Zeroes the counters; residency gauges are preserved.
   void ResetStats();

@@ -40,8 +40,8 @@ Loader::~Loader() {
 }
 
 base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::DecodeAndLink(
-    const std::vector<std::string>& payloads, dict::SymbolId functor,
-    uint32_t arity) {
+    const ProcedureInfo& proc, const std::vector<std::string>& payloads,
+    dict::SymbolId functor) {
   base::Stopwatch decode_watch;
   std::vector<std::shared_ptr<const wam::ClauseCode>> clauses;
   clauses.reserve(payloads.size());
@@ -50,19 +50,49 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::DecodeAndLink(
     clauses.push_back(std::make_shared<const wam::ClauseCode>(std::move(code)));
     ++stats_.clauses_decoded;
   }
-  stats_.decode_ns += decode_watch.ElapsedNanos();
+  const uint64_t decode_elapsed = decode_watch.ElapsedNanos();
+  stats_.decode_ns += decode_elapsed;
 
   base::Stopwatch link_watch;
   auto linked =
-      wam::LinkProcedure(functor, arity, clauses, options_.indexing);
-  stats_.link_ns += link_watch.ElapsedNanos();
+      wam::LinkProcedure(functor, proc.arity, clauses, options_.indexing);
+  const uint64_t link_elapsed = link_watch.ElapsedNanos();
+  stats_.link_ns += link_elapsed;
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Both spans are recorded after the fact so the timed regions carry
+    // no tracer overhead; the decode span's start is therefore shifted
+    // late by link_elapsed, its duration is exact.
+    tracer_->RecordCompleted(obs::SpanKind::kLink, link_elapsed,
+                             proc.functor_hash);
+    tracer_->RecordCompleted(obs::SpanKind::kDecode, decode_elapsed,
+                             proc.functor_hash);
+    std::lock_guard<std::mutex> lock(proc_cost_mu_);
+    ProcCost& cost = proc_costs_[proc.functor_hash];
+    if (cost.name.empty()) {
+      cost.name = proc.name + "/" + std::to_string(proc.arity);
+    }
+    cost.decode_ns.Record(decode_elapsed);
+    cost.link_ns.Record(link_elapsed);
+  }
   return linked;
+}
+
+void Loader::ForEachProcCost(
+    const std::function<void(const std::string&, const obs::Histogram&,
+                             const obs::Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(proc_cost_mu_);
+  for (const auto& [hash, cost] : proc_costs_) {
+    fn(cost.name, cost.decode_ns, cost.link_ns);
+  }
 }
 
 base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
     ProcedureInfo* proc, dict::SymbolId functor) {
   const CodeCache::Key key = ProcedureKey(*proc);
   if (options_.cache) {
+    obs::ScopedSpan span(tracer_, obs::SpanKind::kCacheLookup,
+                         static_cast<uint64_t>(CodeCache::Tier::kProcedure));
     if (auto code = cache_.Lookup(key, proc->version)) {
       ++stats_.cache_hits;
       return code;
@@ -77,7 +107,7 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::Load(
       store_->FetchRulesDetailed(proc, /*pattern=*/nullptr,
                                  /*preunify=*/false));
   EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
-                         DecodeAndLink(fetch.payloads, functor, proc->arity));
+                         DecodeAndLink(*proc, fetch.payloads, functor));
   if (options_.cache) {
     cache_.Insert({key}, fetch.version, linked);
   }
@@ -91,14 +121,18 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::LoadForCall(
     EDUCE_ASSIGN_OR_RETURN(
         std::vector<std::string> payloads,
         store_->FetchRules(proc, &pattern, options_.preunify));
-    return DecodeAndLink(payloads, functor, proc->arity);
+    return DecodeAndLink(*proc, payloads, functor);
   }
 
   // Fast path: this exact call pattern was linked before (no EDB touch).
   const CodeCache::Key pattern_key = PatternKey(*proc, pattern);
-  if (auto code = cache_.Lookup(pattern_key, proc->version)) {
-    ++stats_.pattern_cache_hits;
-    return code;
+  {
+    obs::ScopedSpan span(tracer_, obs::SpanKind::kCacheLookup,
+                         static_cast<uint64_t>(CodeCache::Tier::kPattern));
+    if (auto code = cache_.Lookup(pattern_key, proc->version)) {
+      ++stats_.pattern_cache_hits;
+      return code;
+    }
   }
 
   EDUCE_ASSIGN_OR_RETURN(
@@ -108,15 +142,19 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::LoadForCall(
   // Second chance: a different pattern already linked this clause subset
   // (the recursion case — the bound value varies, the selection doesn't).
   const CodeCache::Key selection_key = SelectionKey(*proc, fetch.clause_ids);
-  if (auto code = cache_.Lookup(selection_key, fetch.version)) {
-    ++stats_.pattern_cache_hits;
-    cache_.Alias(selection_key, pattern_key);
-    return code;
+  {
+    obs::ScopedSpan span(tracer_, obs::SpanKind::kCacheLookup,
+                         static_cast<uint64_t>(CodeCache::Tier::kSelection));
+    if (auto code = cache_.Lookup(selection_key, fetch.version)) {
+      ++stats_.pattern_cache_hits;
+      cache_.Alias(selection_key, pattern_key);
+      return code;
+    }
   }
 
   cache_.NotePatternMiss();
   EDUCE_ASSIGN_OR_RETURN(std::shared_ptr<const wam::LinkedCode> linked,
-                         DecodeAndLink(fetch.payloads, functor, proc->arity));
+                         DecodeAndLink(*proc, fetch.payloads, functor));
   cache_.Insert({selection_key, pattern_key}, fetch.version, linked);
   return linked;
 }

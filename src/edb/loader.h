@@ -1,14 +1,20 @@
 #ifndef EDUCE_EDB_LOADER_H_
 #define EDUCE_EDB_LOADER_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <string>
+#include <unordered_map>
 
 #include "base/counter.h"
 #include "base/result.h"
 #include "edb/clause_store.h"
 #include "edb/code_cache.h"
 #include "edb/code_codec.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "wam/code.h"
 
 namespace educe::edb {
@@ -82,7 +88,23 @@ class Loader {
   void ResetStats() {
     stats_ = LoaderStats{};
     cache_.ResetStats();
+    std::lock_guard<std::mutex> lock(proc_cost_mu_);
+    proc_costs_.clear();
   }
+
+  /// --- Observability (DESIGN.md §11) --------------------------------------
+
+  /// Emits kDecode/kLink spans per DecodeAndLink and kCacheLookup spans
+  /// per cache probe; while enabled, per-procedure decode/link cost
+  /// histograms accumulate (see ForEachProcCost). Nullable; off = one
+  /// relaxed load per site.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Visits per-procedure decode/link cost histograms (name "p/2",
+  /// decode ns, link ns), collected while the tracer is enabled.
+  void ForEachProcCost(
+      const std::function<void(const std::string&, const obs::Histogram&,
+                               const obs::Histogram&)>& fn) const;
 
   /// Dictionary-GC roots: symbols referenced by cached linked code.
   /// Entries whose procedure version is stale are dropped first so GC
@@ -93,8 +115,8 @@ class Loader {
 
  private:
   base::Result<std::shared_ptr<const wam::LinkedCode>> DecodeAndLink(
-      const std::vector<std::string>& payloads, dict::SymbolId functor,
-      uint32_t arity);
+      const ProcedureInfo& proc, const std::vector<std::string>& payloads,
+      dict::SymbolId functor);
 
   ClauseStore* store_;
   CodeCodec* codec_;
@@ -102,6 +124,17 @@ class Loader {
   CodeCache cache_;
   uint64_t mutation_listener_token_ = 0;
   LoaderStats stats_;
+
+  // Observability: per-procedure decode/link cost (populated only while
+  // tracer_ is enabled; proc_cost_mu_ is a leaf lock).
+  struct ProcCost {
+    std::string name;  // "reach/2"
+    obs::Histogram decode_ns;
+    obs::Histogram link_ns;
+  };
+  obs::Tracer* tracer_ = nullptr;
+  mutable std::mutex proc_cost_mu_;
+  std::unordered_map<uint64_t, ProcCost> proc_costs_;
 };
 
 }  // namespace educe::edb

@@ -150,6 +150,7 @@ base::Result<wam::ExternalResolver::Resolution> EdbResolver::Resolve(
     resolution.kind = Resolution::Kind::kNotFound;
     return resolution;
   }
+  obs::ScopedSpan span(tracer_, obs::SpanKind::kResolve, proc->functor_hash);
   base::Stopwatch resolve_watch;
   auto resolved = ResolveDispatch(proc, functor, arity, machine);
   stats_.resolve_ns += resolve_watch.ElapsedNanos();

@@ -56,6 +56,10 @@ class EdbResolver : public wam::ExternalResolver {
   const ResolverStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ResolverStats{}; }
 
+  /// Emits one kResolve span per EDB trap (detail = functor hash) when
+  /// the tracer is enabled. Nullable.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   base::Result<Resolution> ResolveDispatch(ProcedureInfo* proc,
                                            dict::SymbolId functor,
@@ -75,6 +79,7 @@ class EdbResolver : public wam::ExternalResolver {
   wam::Program* program_;
   Options options_;
   ResolverStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace educe::edb

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <thread>
+
+#include "base/stopwatch.h"
 
 #include "base/hash.h"
 #include "edb/warm_segment.h"
@@ -33,6 +36,10 @@ storage::PagedFile::Options FileOptions(const EngineOptions& options) {
   out.simulated_latency_ns = options.io_latency_ns;
   return out;
 }
+
+// Bound on Engine::RecentProfiles: enough for a shell session's worth of
+// queries without growing without bound under profiling-on bench loops.
+constexpr size_t kMaxRecentProfiles = 64;
 
 }  // namespace
 
@@ -148,7 +155,16 @@ Engine::Engine(EngineOptions options)
   RegisterEdbBuiltins();
   machine_ = std::make_unique<wam::Machine>(&program_, options_.machine);
   machine_->set_resolver(&resolver_);
+  // One tracer for the whole stack: spans from the loader, resolver,
+  // clause store, buffer pool and emulator interleave on a shared
+  // timeline (DESIGN.md §11).
+  machine_->set_tracer(&tracer_);
+  loader_.set_tracer(&tracer_);
+  resolver_.set_tracer(&tracer_);
+  clause_store_.set_tracer(&tracer_);
+  pool_.set_tracer(&tracer_);
   SyncOptions();
+  warm_segment_bytes_ = boot_.warm_bytes.size();
 
   if (boot_.attached) {
     base::Status restored = clause_store_.RestoreCatalog(boot_.catalog_state);
@@ -196,6 +212,7 @@ base::Status Engine::Close() {
                                   &external_dictionary_, *program_.builtins(),
                                   external_dictionary_.epoch()));
     EDUCE_ASSIGN_OR_RETURN(warm_root, storage::WriteSegment(&pool_, warm));
+    warm_segment_bytes_ = warm.size();
   }
   EDUCE_ASSIGN_OR_RETURN(
       storage::PageId external_root,
@@ -374,6 +391,17 @@ void Engine::SyncOptions() {
       options_.choice_point_elimination;
   resolver_.options().loader_cache = options_.loader_cache;
   file_.set_simulated_latency_ns(options_.io_latency_ns);
+  // Observability gates: the tracer's enabled flag doubles as the master
+  // switch for span recording and per-procedure cost histograms; the
+  // emulator's opcode-class gate also opens when only the slow-query log
+  // wants profiles.
+  tracer_.SetEnabled(options_.profiling);
+  machine_->set_profiling(options_.profiling || options_.slow_query_ns > 0);
+}
+
+void Engine::SetProfiling(bool on) {
+  options_.profiling = on;
+  SyncOptions();
 }
 
 base::Status Engine::Consult(std::string_view source) {
@@ -510,8 +538,11 @@ base::Result<std::unique_ptr<Solutions>> Engine::Query(std::string_view goal) {
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&dictionary_, goal));
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
-  return std::unique_ptr<Solutions>(
+  std::unique_ptr<Solutions> solutions(
       new Solutions(machine_.get(), &dictionary_, std::move(read)));
+  AttachObservation(solutions.get(), goal, machine_.get(), &resolver_,
+                    /*session_latency=*/nullptr);
+  return solutions;
 }
 
 base::Result<bool> Engine::Succeeds(std::string_view goal) {
@@ -605,9 +636,19 @@ Session::Session(Engine* engine, uint64_t serial)
   resolver_.options() = engine->resolver_.options();
   machine_ = std::make_unique<wam::Machine>(&overlay_, engine->options_.machine);
   machine_->set_resolver(&resolver_);
+  // Sessions share the engine's tracer (its rings are thread-striped) and
+  // adopt the observability gates as they stand at open.
+  machine_->set_tracer(&engine->tracer_);
+  machine_->set_profiling(engine->options_.profiling ||
+                          engine->options_.slow_query_ns > 0);
+  resolver_.set_tracer(&engine->tracer_);
 }
 
 Session::~Session() {
+  // Fold the per-worker latency histogram in before touching the session
+  // registry: obs_mu_ is a leaf lock and is never nested inside
+  // sessions_mu_ (or vice versa).
+  engine_->MergeSessionLatency(latency_);
   std::lock_guard<std::mutex> lock(engine_->sessions_mu_);
   MergeResolverStats(&engine_->retired_session_stats_, resolver_.stats());
   --engine_->active_sessions_;
@@ -618,8 +659,11 @@ base::Result<std::unique_ptr<Solutions>> Session::Query(
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&engine_->dictionary_, goal));
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
-  return std::unique_ptr<Solutions>(
+  std::unique_ptr<Solutions> solutions(
       new Solutions(machine_.get(), &engine_->dictionary_, std::move(read)));
+  engine_->AttachObservation(solutions.get(), goal, machine_.get(), &resolver_,
+                             &latency_);
+  return solutions;
 }
 
 base::Result<bool> Session::Succeeds(std::string_view goal) {
@@ -752,6 +796,11 @@ EngineStats Engine::Stats() {
   stats.memory.code_cache_capacity_bytes = loader_.cache()->limits().max_bytes;
   stats.memory.paged_file_bytes =
       static_cast<uint64_t>(file_.page_count()) * file_.page_size();
+  stats.memory.warm_segment_bytes = warm_segment_bytes_;
+  const edb::CodeCache::ShardOccupancy occupancy =
+      loader_.cache()->MeasureShardOccupancy();
+  stats.memory.code_cache_shard_max_bytes = occupancy.max_bytes;
+  stats.memory.code_cache_shard_min_bytes = occupancy.min_bytes;
   return stats;
 }
 
@@ -764,11 +813,227 @@ void Engine::ResetStats() {
   loader_.ResetStats();
   resolver_.ResetStats();
   program_.compiler()->ResetStats();
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  retired_session_stats_ = edb::ResolverStats{};
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    retired_session_stats_ = edb::ResolverStats{};
+  }
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    query_latency_.Reset();
+    recent_profiles_.clear();
+    op_class_totals_.fill(0);
+    profiles_collected_ = 0;
+  }
+  tracer_.Clear();
 }
 
-base::Result<bool> Solutions::Next() { return machine_->NextSolution(); }
+void Engine::AttachObservation(Solutions* solutions, std::string_view goal,
+                               wam::Machine* machine,
+                               edb::EdbResolver* resolver,
+                               obs::Histogram* session_latency) {
+  const bool collect = options_.profiling || options_.slow_query_ns > 0;
+  // Counter snapshot at query start; the finalizer diffs against it at
+  // retirement so the profile holds exactly this query's footprint even
+  // though the underlying counters are lifetime totals.
+  struct Snapshot {
+    base::Stopwatch watch;
+    std::string goal;
+    wam::MachineStats machine;
+    uint64_t resolver_resolve_ns = 0;
+    uint64_t decode_ns = 0;
+    uint64_t link_ns = 0;
+    uint64_t clauses_decoded = 0;
+    uint64_t cache_hits = 0;
+    uint64_t pages_read = 0;
+    uint64_t buffer_hits = 0;
+  };
+  auto snap = std::make_shared<Snapshot>();
+  snap->goal = std::string(goal);
+  if (collect) {
+    snap->machine = machine->stats();
+    snap->resolver_resolve_ns = resolver->stats().resolve_ns;
+    const edb::LoaderStats& l = loader_.stats();
+    snap->decode_ns = l.decode_ns;
+    snap->link_ns = l.link_ns;
+    snap->clauses_decoded = l.clauses_decoded;
+    const edb::CodeCacheStats& c = loader_.cache_stats();
+    snap->cache_hits = c.hits + c.pattern_hits + c.selection_hits;
+    snap->pages_read = file_.stats().pages_read;
+    snap->buffer_hits = pool_.stats().hits;
+  }
+  solutions->on_retire_ = [this, snap, machine, resolver, session_latency,
+                           collect](uint64_t solutions_seen) {
+    const uint64_t total_ns = snap->watch.ElapsedNanos();
+    if (session_latency != nullptr) {
+      // Per-worker histogram, merged when the session retires: no engine
+      // lock on the parallel query path.
+      session_latency->Record(total_ns);
+    } else {
+      std::lock_guard<std::mutex> lock(obs_mu_);
+      query_latency_.Record(total_ns);
+    }
+    if (!collect) return;
+    obs::QueryProfile p;
+    p.goal = snap->goal;
+    p.total_ns = total_ns;
+    p.solutions = solutions_seen;
+    const wam::MachineStats m = machine->stats();
+    p.instructions = m.instructions - snap->machine.instructions;
+    p.calls = m.calls - snap->machine.calls;
+    p.choice_points_created = m.choice_points - snap->machine.choice_points;
+    p.choice_points_eliminated =
+        m.choice_points_eliminated - snap->machine.choice_points_eliminated;
+    p.backtracks = m.backtracks - snap->machine.backtracks;
+    p.trail_entries = m.trail_entries - snap->machine.trail_entries;
+    // The emulator profile is reset per StartQuery, so it is already
+    // query-scoped; no diffing needed.
+    const obs::EmulatorProfile& ep = machine->profile();
+    p.op_class = ep.op_class;
+    p.heap_high_water = ep.heap_high_water;
+    p.resolve_ns = resolver->stats().resolve_ns - snap->resolver_resolve_ns;
+    const edb::LoaderStats& l = loader_.stats();
+    p.decode_ns = l.decode_ns - snap->decode_ns;
+    p.link_ns = l.link_ns - snap->link_ns;
+    p.clauses_decoded = l.clauses_decoded - snap->clauses_decoded;
+    const edb::CodeCacheStats& c = loader_.cache_stats();
+    p.code_cache_hits =
+        (c.hits + c.pattern_hits + c.selection_hits) - snap->cache_hits;
+    p.pages_read = file_.stats().pages_read - snap->pages_read;
+    p.buffer_hits = pool_.stats().hits - snap->buffer_hits;
+    p.execute_ns = total_ns > p.resolve_ns ? total_ns - p.resolve_ns : 0;
+    FileQueryProfile(std::move(p));
+  };
+}
+
+void Engine::FileQueryProfile(obs::QueryProfile profile) {
+  const bool slow = options_.slow_query_ns != 0 &&
+                    profile.total_ns >= options_.slow_query_ns;
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  for (size_t i = 0; i < obs::kOpClassCount; ++i) {
+    op_class_totals_[i] += profile.op_class[i];
+  }
+  ++profiles_collected_;
+  if (slow) {
+    // Written under obs_mu_ so concurrent slow session queries never
+    // interleave their JSON lines.
+    std::ostream* log = metrics_log_ != nullptr ? metrics_log_ : &std::cerr;
+    *log << "SLOW_QUERY " << profile.ToJson() << "\n";
+  }
+  recent_profiles_.push_back(std::move(profile));
+  if (recent_profiles_.size() > kMaxRecentProfiles) {
+    recent_profiles_.pop_front();
+  }
+}
+
+void Engine::MergeSessionLatency(const obs::Histogram& latency) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  query_latency_.Merge(latency);
+}
+
+obs::Histogram Engine::QueryLatencyHistogram() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return query_latency_;
+}
+
+std::vector<obs::QueryProfile> Engine::RecentProfiles() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return {recent_profiles_.begin(), recent_profiles_.end()};
+}
+
+std::string Engine::ExportMetricsJson() {
+  // Stats() takes sessions_mu_ and per-shard cache locks; collect it (and
+  // the loader's per-procedure histograms) before touching obs_mu_.
+  const EngineStats stats = Stats();
+  std::string procs;
+  loader_.ForEachProcCost([&procs](const std::string& name,
+                                   const obs::Histogram& decode,
+                                   const obs::Histogram& link) {
+    if (!procs.empty()) procs += ",";
+    procs += "{\"proc\":\"" + obs::JsonEscape(name) +
+             "\",\"decode_ns\":" + decode.ToJson() +
+             ",\"link_ns\":" + link.ToJson() + "}";
+  });
+
+  obs::Histogram latency;
+  std::deque<obs::QueryProfile> recent;
+  std::array<uint64_t, obs::kOpClassCount> op_totals{};
+  uint64_t collected = 0;
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    latency = query_latency_;
+    recent = recent_profiles_;
+    op_totals = op_class_totals_;
+    collected = profiles_collected_;
+  }
+
+  auto num = [](uint64_t v) { return std::to_string(v); };
+  std::string out = "{\"profiling\":";
+  out += options_.profiling ? "true" : "false";
+  out += ",\"query_latency_ns\":" + latency.ToJson();
+  out += ",\"totals\":{";
+  out += "\"instructions\":" + num(stats.machine.instructions);
+  out += ",\"calls\":" + num(stats.machine.calls);
+  out += ",\"choice_points_created\":" + num(stats.machine.choice_points);
+  out += ",\"choice_points_eliminated\":" +
+         num(stats.machine.choice_points_eliminated);
+  out += ",\"backtracks\":" + num(stats.machine.backtracks);
+  out += ",\"trail_entries\":" + num(stats.machine.trail_entries);
+  out += ",\"resolve_ns\":" + num(stats.resolver.resolve_ns);
+  out += ",\"decode_ns\":" + num(stats.loader.decode_ns);
+  out += ",\"link_ns\":" + num(stats.loader.link_ns);
+  out += ",\"clauses_decoded\":" + num(stats.loader.clauses_decoded);
+  out += ",\"code_cache_hits\":" +
+         num(stats.code_cache.hits + stats.code_cache.pattern_hits +
+             stats.code_cache.selection_hits);
+  out += ",\"pages_read\":" + num(stats.paged_file.pages_read);
+  out += ",\"pages_written\":" + num(stats.paged_file.pages_written);
+  out += ",\"buffer_hits\":" + num(stats.buffer_pool.hits);
+  out += "}";
+  out += ",\"op_class_totals\":{";
+  for (size_t i = 0; i < obs::kOpClassCount; ++i) {
+    out += i == 0 ? "\"" : ",\"";
+    out += obs::OpClassName(static_cast<obs::OpClass>(i));
+    out += "\":" + num(op_totals[i]);
+  }
+  out += "}";
+  out += ",\"per_procedure\":[" + procs + "]";
+  out += ",\"spans\":{\"recorded\":" + num(tracer_.recorded()) +
+         ",\"dropped\":" + num(tracer_.dropped()) + "}";
+  out += ",\"memory\":{";
+  out += "\"buffer_resident_bytes\":" + num(stats.memory.buffer_resident_bytes);
+  out += ",\"buffer_capacity_bytes\":" + num(stats.memory.buffer_capacity_bytes);
+  out += ",\"code_cache_resident_bytes\":" +
+         num(stats.memory.code_cache_resident_bytes);
+  out += ",\"code_cache_capacity_bytes\":" +
+         num(stats.memory.code_cache_capacity_bytes);
+  out += ",\"code_cache_shard_max_bytes\":" +
+         num(stats.memory.code_cache_shard_max_bytes);
+  out += ",\"code_cache_shard_min_bytes\":" +
+         num(stats.memory.code_cache_shard_min_bytes);
+  out += ",\"paged_file_bytes\":" + num(stats.memory.paged_file_bytes);
+  out += ",\"warm_segment_bytes\":" + num(stats.memory.warm_segment_bytes);
+  out += "}";
+  out += ",\"profiles_collected\":" + num(collected);
+  out += ",\"recent_queries\":[";
+  bool first = true;
+  for (const auto& p : recent) {
+    if (!first) out += ",";
+    first = false;
+    out += p.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+Solutions::~Solutions() {
+  if (on_retire_) on_retire_(solutions_seen_);
+}
+
+base::Result<bool> Solutions::Next() {
+  base::Result<bool> more = machine_->NextSolution();
+  if (more.ok() && *more) ++solutions_seen_;
+  return more;
+}
 
 term::AstPtr Solutions::BindingAst(std::string_view name) const {
   for (const auto& [var_name, index] : read_.var_names) {

@@ -1,9 +1,13 @@
 #ifndef EDUCE_EDUCE_ENGINE_H_
 #define EDUCE_EDUCE_ENGINE_H_
 
+#include <array>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +20,9 @@
 #include "edb/external_dictionary.h"
 #include "edb/loader.h"
 #include "edb/resolver.h"
+#include "obs/histogram.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "reader/parser.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
@@ -65,6 +72,18 @@ struct EngineOptions {
   uint32_t code_cache_entries = 256;
   uint64_t code_cache_bytes = 8u << 20;
 
+  /// Observability (DESIGN.md §11). With profiling on, every query's cost
+  /// profile (decode/link/resolve/execute split, opcode-class counts,
+  /// choice points created vs eliminated) is collected, trace spans are
+  /// recorded through the whole stack, and per-procedure decode/link
+  /// histograms accumulate. Off (the default) the only residual cost is
+  /// one relaxed load / predictable branch per instrumented site.
+  bool profiling = false;
+  /// Non-zero: any query slower than this many nanoseconds dumps its
+  /// profile as one JSON line to the metrics log (default stderr), even
+  /// with profiling off. Zero disables the slow-query log.
+  uint64_t slow_query_ns = 0;
+
   wam::MachineOptions machine;
 };
 
@@ -77,6 +96,10 @@ class Session;
 /// one-process-per-session model).
 class Solutions {
  public:
+  /// Retiring the query finalizes its observation: latency lands in the
+  /// engine's histogram and, when profiling, the QueryProfile is filed.
+  ~Solutions();
+
   /// Advances to the next solution; false when exhausted.
   base::Result<bool> Next();
 
@@ -100,6 +123,10 @@ class Solutions {
   wam::Machine* machine_;
   const dict::Dictionary* dictionary_;
   reader::ReadTerm read_;
+  uint64_t solutions_seen_ = 0;
+  /// Observation finalizer installed by Engine/Session::Query; runs once
+  /// at destruction with the solution count.
+  std::function<void(uint64_t)> on_retire_;
 };
 
 /// A worker session over a shared Engine (DESIGN.md §10): its own WAM
@@ -143,6 +170,11 @@ class Session {
   wam::Program overlay_;
   edb::EdbResolver resolver_;
   std::unique_ptr<wam::Machine> machine_;
+  /// Per-worker query-latency histogram (DESIGN.md §11): recorded without
+  /// any engine lock while the session runs, merged into the engine-wide
+  /// histogram when the session retires. Merging is associative, so any
+  /// retirement order yields the same totals.
+  obs::Histogram latency_;
 };
 
 /// Per-goal result of Engine::SolveParallel.
@@ -162,6 +194,14 @@ struct EngineMemoryReport {
   uint64_t code_cache_resident_bytes = 0;
   uint64_t code_cache_capacity_bytes = 0;
   uint64_t paged_file_bytes = 0;  // page_count * page_size
+  /// Size of the warm code segment: the bytes loaded at attach, replaced
+  /// by the bytes written at the last Close().
+  uint64_t warm_segment_bytes = 0;
+  /// Code-cache 16-shard occupancy skew (max/min resident bytes per
+  /// shard): a handful of hot procedures can pile into one shard while
+  /// the global gauge looks healthy.
+  uint64_t code_cache_shard_max_bytes = 0;
+  uint64_t code_cache_shard_min_bytes = 0;
 };
 
 /// Aggregated counters across all Engine subsystems.
@@ -303,6 +343,39 @@ class Engine {
   EngineStats Stats();
   void ResetStats();
 
+  /// --- observability (DESIGN.md §11) --------------------------------------
+
+  /// Toggles profiling at runtime (shell `:profile on|off`): enables the
+  /// tracer, the emulator's opcode-class gate, and per-query profile
+  /// collection for this engine and every subsequently opened session.
+  void SetProfiling(bool on);
+  bool profiling() const { return options_.profiling; }
+
+  obs::Tracer* tracer() { return &tracer_; }
+
+  /// Snapshot of the engine-wide query-latency histogram (nanoseconds).
+  /// Always recorded, profiling on or off; session queries land here when
+  /// their session retires.
+  obs::Histogram QueryLatencyHistogram() const;
+
+  /// The most recent per-query profiles (oldest first, bounded ring).
+  /// Populated only while profiling is on or slow_query_ns is set.
+  std::vector<obs::QueryProfile> RecentProfiles() const;
+
+  /// Drains the buffered trace spans as a JSON array (shell `:spans`).
+  std::string DrainSpansJson() { return tracer_.DrainJson(); }
+
+  /// One JSON document with everything a dashboard needs: query-latency
+  /// percentiles, lifetime totals (decode/link/resolve split, choice
+  /// points created vs eliminated), opcode-class totals, per-procedure
+  /// decode/link cost histograms, the memory report, and the recent
+  /// query profiles.
+  std::string ExportMetricsJson();
+
+  /// Destination of the slow-query log (default std::cerr). Not
+  /// thread-safe against in-flight slow queries; set it before running.
+  void set_metrics_log(std::ostream* log) { metrics_log_ = log; }
+
   EngineOptions& options() { return options_; }
   dict::Dictionary* dictionary() { return &dictionary_; }
   wam::Program* program() { return &program_; }
@@ -355,6 +428,24 @@ class Engine {
   /// term-oriented evaluation, per paper §4.
   void RegisterEdbBuiltins();
 
+  /// Arms `solutions` with an observation finalizer: on retirement the
+  /// query's latency is recorded (into `session_latency` when given —
+  /// the lock-free per-worker path — else directly into the engine
+  /// histogram) and, when profiling or the slow-query log demand it, a
+  /// QueryProfile is assembled by diffing subsystem counters across the
+  /// query's lifetime. `machine`/`resolver` are the per-owner instances
+  /// the query runs on.
+  void AttachObservation(Solutions* solutions, std::string_view goal,
+                         wam::Machine* machine, edb::EdbResolver* resolver,
+                         obs::Histogram* session_latency);
+
+  /// Files a finished profile under obs_mu_ and appends to the slow-query
+  /// log if the query crossed options_.slow_query_ns.
+  void FileQueryProfile(obs::QueryProfile profile);
+
+  /// Folds a retiring session's latency histogram into the engine's.
+  void MergeSessionLatency(const obs::Histogram& latency);
+
   EngineOptions options_;
   dict::Dictionary dictionary_;
   wam::Program program_;
@@ -376,6 +467,19 @@ class Engine {
   uint32_t active_sessions_ = 0;
   uint64_t session_serial_ = 0;
   edb::ResolverStats retired_session_stats_;
+
+  /// Observability state (DESIGN.md §11). The tracer is wired into every
+  /// subsystem at construction and gated by its own enabled flag;
+  /// obs_mu_ guards the aggregates below it (leaf lock, never held while
+  /// calling into other subsystems).
+  obs::Tracer tracer_;
+  std::ostream* metrics_log_ = nullptr;  // nullptr -> std::cerr
+  uint64_t warm_segment_bytes_ = 0;
+  mutable std::mutex obs_mu_;
+  obs::Histogram query_latency_;
+  std::deque<obs::QueryProfile> recent_profiles_;  // bounded ring
+  std::array<uint64_t, obs::kOpClassCount> op_class_totals_{};
+  uint64_t profiles_collected_ = 0;
 };
 
 }  // namespace educe

@@ -1,0 +1,83 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace educe::obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  // Values below 2^kSubBits get exact buckets; above that, the octave
+  // (position of the most significant bit) picks a block of 4 buckets
+  // and the next kSubBits bits pick the sub-bucket. The layout is
+  // contiguous: 0..3 exact, then 4 per octave.
+  if (value < (1ull << kSubBits)) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  const uint64_t sub = (value >> shift) & ((1ull << kSubBits) - 1);
+  return ((static_cast<size_t>(msb) - kSubBits + 1) << kSubBits) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < (1ull << kSubBits)) return index;
+  const size_t block = index >> kSubBits;
+  const uint64_t sub = index & ((1ull << kSubBits) - 1);
+  const int msb = static_cast<int>(block) + kSubBits - 1;
+  return ((1ull << kSubBits) + sub) << (msb - kSubBits);
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0 && other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p >= 100.0) return max_;
+  if (p < 0.0) p = 0.0;
+  // Rank of the target sample, 1-based: ceil(p/100 * count), at least 1.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return max_;
+}
+
+std::string Histogram::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"min\":%llu,\"mean\":%.1f,\"p50\":%llu,"
+                "\"p90\":%llu,\"p95\":%llu,\"p99\":%llu,\"max\":%llu}",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(min()), Mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(90)),
+                static_cast<unsigned long long>(Percentile(95)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace educe::obs

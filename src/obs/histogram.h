@@ -1,0 +1,66 @@
+#ifndef EDUCE_OBS_HISTOGRAM_H_
+#define EDUCE_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace educe::obs {
+
+/// Log-bucketed histogram of non-negative 64-bit samples (nanoseconds,
+/// bytes, counts). Buckets are one octave split into 4 sub-buckets, so
+/// any percentile estimate is within ~12.5% of the true sample value
+/// while the whole histogram stays a fixed 2 KiB — cheap enough to keep
+/// one per worker session and per procedure.
+///
+/// Merging is plain bucket-wise addition, which makes it exactly
+/// associative and commutative: per-worker instances recorded during
+/// `SolveParallel` merge into the engine-wide histogram in any order and
+/// produce identical counts (tests/obs_test.cc asserts this).
+///
+/// Not internally synchronized. Engine-owned instances are guarded by
+/// the engine's obs mutex; session-owned instances are single-threaded
+/// by the session contract (DESIGN.md §10).
+class Histogram {
+ public:
+  /// 2 sub-bucket bits -> 4 sub-buckets per octave. 64 octaves of 4
+  /// plus the exact [0,4) range fit comfortably in 256 buckets.
+  static constexpr int kSubBits = 2;
+  static constexpr size_t kBuckets = 256;
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at percentile `p` in [0,100]. Returns the lower bound of the
+  /// bucket holding the p-th sample (deterministic across merges); p=100
+  /// returns the exact maximum. Zero when empty.
+  uint64_t Percentile(double p) const;
+
+  /// {"count":N,"min":..,"mean":..,"p50":..,"p90":..,"p95":..,
+  ///  "p99":..,"max":..} — all values in the recorded unit.
+  std::string ToJson() const;
+
+  /// Buckets holding at least one sample, for tests and dump tooling.
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace educe::obs
+
+#endif  // EDUCE_OBS_HISTOGRAM_H_

@@ -1,0 +1,83 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace educe::obs {
+
+const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kGet: return "get";
+    case OpClass::kUnify: return "unify";
+    case OpClass::kPut: return "put";
+    case OpClass::kControl: return "control";
+    case OpClass::kChoice: return "choice";
+    case OpClass::kIndex: return "index";
+  }
+  return "unknown";
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"goal\":\"" + JsonEscape(goal) + "\"";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"total_ns\":%llu,\"resolve_ns\":%llu,\"decode_ns\":%llu,"
+      "\"link_ns\":%llu,\"execute_ns\":%llu,\"solutions\":%llu,"
+      "\"instructions\":%llu,\"calls\":%llu,\"choice_points_created\":%llu,"
+      "\"choice_points_eliminated\":%llu,\"backtracks\":%llu,"
+      "\"trail_entries\":%llu,\"heap_high_water\":%llu,"
+      "\"clauses_decoded\":%llu,\"code_cache_hits\":%llu,"
+      "\"pages_read\":%llu,\"buffer_hits\":%llu",
+      static_cast<unsigned long long>(total_ns),
+      static_cast<unsigned long long>(resolve_ns),
+      static_cast<unsigned long long>(decode_ns),
+      static_cast<unsigned long long>(link_ns),
+      static_cast<unsigned long long>(execute_ns),
+      static_cast<unsigned long long>(solutions),
+      static_cast<unsigned long long>(instructions),
+      static_cast<unsigned long long>(calls),
+      static_cast<unsigned long long>(choice_points_created),
+      static_cast<unsigned long long>(choice_points_eliminated),
+      static_cast<unsigned long long>(backtracks),
+      static_cast<unsigned long long>(trail_entries),
+      static_cast<unsigned long long>(heap_high_water),
+      static_cast<unsigned long long>(clauses_decoded),
+      static_cast<unsigned long long>(code_cache_hits),
+      static_cast<unsigned long long>(pages_read),
+      static_cast<unsigned long long>(buffer_hits));
+  out += buf;
+  out += ",\"op_class\":{";
+  for (size_t i = 0; i < kOpClassCount; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", i == 0 ? "" : ",",
+                  OpClassName(static_cast<OpClass>(i)),
+                  static_cast<unsigned long long>(op_class[i]));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace educe::obs

@@ -1,0 +1,82 @@
+#ifndef EDUCE_OBS_PROFILE_H_
+#define EDUCE_OBS_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace educe::obs {
+
+/// WAM opcode classes for hot-spot accounting. Aggregating ~40 opcodes
+/// into six classes keeps the per-instruction profiling cost to one
+/// array increment while still answering the questions the paper's
+/// §5.4 cost analysis asks (how much emulation is argument marshalling
+/// vs unification vs control vs clause indexing).
+enum class OpClass : uint8_t {
+  kGet = 0,   // head argument matching (get_*)
+  kUnify,     // structure/list argument unification (unify_*)
+  kPut,       // goal argument construction (put_*)
+  kControl,   // allocate/deallocate/call/execute/proceed/cut/fail
+  kChoice,    // try/retry/trust choice-point management
+  kIndex,     // switch_on_* first-argument indexing
+};
+inline constexpr size_t kOpClassCount = 6;
+
+const char* OpClassName(OpClass c);
+
+/// Per-query emulator counters collected behind the `if (profiling_)`
+/// gate in the dispatch loop. Reset by Machine::StartQuery, so after a
+/// query drains it holds exactly that query's footprint.
+struct EmulatorProfile {
+  std::array<uint64_t, kOpClassCount> op_class{};
+  uint64_t heap_high_water = 0;  // max live heap cells during the query
+
+  void Reset() {
+    op_class.fill(0);
+    heap_high_water = 0;
+  }
+};
+
+/// One query's cost profile: the wall-clock split the paper's §5.4
+/// measures (decode + link vs execute) plus the §3.2.1 determinism
+/// counters (choice points created vs eliminated). Times come from the
+/// engine's stat counters diffed across the query; the emulator
+/// counters come from EmulatorProfile.
+struct QueryProfile {
+  std::string goal;
+
+  // Wall-clock split, nanoseconds.
+  uint64_t total_ns = 0;
+  uint64_t resolve_ns = 0;  // inside EdbResolver (fetch+decode+link+cache)
+  uint64_t decode_ns = 0;   //   of which: payload -> clause decode
+  uint64_t link_ns = 0;     //   of which: code -> LinkedCode
+  uint64_t execute_ns = 0;  // total - resolve: pure emulation + bindings
+
+  // Emulator counters.
+  uint64_t solutions = 0;
+  uint64_t instructions = 0;
+  uint64_t calls = 0;
+  uint64_t choice_points_created = 0;
+  uint64_t choice_points_eliminated = 0;  // paper §3.2.1 determinism wins
+  uint64_t backtracks = 0;
+  uint64_t trail_entries = 0;
+  uint64_t heap_high_water = 0;
+  std::array<uint64_t, kOpClassCount> op_class{};
+
+  // EDB-side counters.
+  uint64_t clauses_decoded = 0;
+  uint64_t code_cache_hits = 0;
+  uint64_t pages_read = 0;
+  uint64_t buffer_hits = 0;
+
+  std::string ToJson() const;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars)
+/// for goal texts and procedure names embedded in metric documents.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace educe::obs
+
+#endif  // EDUCE_OBS_PROFILE_H_

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace educe::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kExecute: return "execute";
+    case SpanKind::kResolve: return "resolve";
+    case SpanKind::kDecode: return "decode";
+    case SpanKind::kLink: return "link";
+    case SpanKind::kCacheLookup: return "cache_lookup";
+    case SpanKind::kClauseFetch: return "clause_fetch";
+    case SpanKind::kFactFetch: return "fact_fetch";
+    case SpanKind::kPageRead: return "page_read";
+    case SpanKind::kPageWrite: return "page_write";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::Ring& Tracer::RingForThread() {
+  // Threads draw a process-wide round-robin index once; with at most
+  // kRings concurrently tracing threads every thread owns its ring
+  // outright and the per-ring mutex never blocks.
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t thread_index =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return rings_[thread_index % kRings];
+}
+
+void Tracer::Record(SpanKind kind, uint64_t start_ns, uint64_t duration_ns,
+                    uint64_t detail) {
+  if (!enabled()) return;
+  Ring& ring = RingForThread();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.slots.size() < ring_capacity_) {
+    ring.slots.resize(ring_capacity_);
+  }
+  if (ring.next >= ring_capacity_) ++ring.dropped;  // overwriting unseen span
+  SpanRecord& slot = ring.slots[ring.next % ring_capacity_];
+  slot.kind = kind;
+  slot.ring = static_cast<uint16_t>(&ring - rings_.data());
+  slot.start_ns = start_ns;
+  slot.duration_ns = duration_ns;
+  slot.detail = detail;
+  ++ring.next;
+  ++ring.recorded;
+}
+
+void Tracer::RecordCompleted(SpanKind kind, uint64_t duration_ns,
+                             uint64_t detail) {
+  if (!enabled()) return;
+  const uint64_t now = NowNanos();
+  Record(kind, now >= duration_ns ? now - duration_ns : 0, duration_ns,
+         detail);
+}
+
+std::vector<SpanRecord> Tracer::Drain() {
+  std::vector<SpanRecord> out;
+  for (Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    const uint64_t buffered = std::min<uint64_t>(ring.next, ring_capacity_);
+    const uint64_t oldest = ring.next - buffered;
+    for (uint64_t i = oldest; i < ring.next; ++i) {
+      out.push_back(ring.slots[i % ring_capacity_]);
+    }
+    ring.slots.clear();
+    ring.slots.shrink_to_fit();
+    ring.next = 0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::string Tracer::DrainJson() {
+  const std::vector<SpanRecord> spans = Drain();
+  std::string out = "[";
+  char buf[192];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"kind\":\"%s\",\"ring\":%u,\"start_ns\":%llu,"
+                  "\"duration_ns\":%llu,\"detail\":%llu}",
+                  i == 0 ? "" : ",", SpanKindName(s.kind), s.ring,
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.duration_ns),
+                  static_cast<unsigned long long>(s.detail));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+void Tracer::Clear() {
+  for (Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    ring.slots.clear();
+    ring.slots.shrink_to_fit();
+    ring.next = 0;
+    ring.recorded = 0;
+    ring.dropped = 0;
+  }
+}
+
+uint64_t Tracer::recorded() const {
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    total += ring.recorded;
+  }
+  return total;
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    total += ring.dropped;
+  }
+  return total;
+}
+
+}  // namespace educe::obs

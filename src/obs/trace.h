@@ -1,0 +1,135 @@
+#ifndef EDUCE_OBS_TRACE_H_
+#define EDUCE_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace educe::obs {
+
+/// Span taxonomy (DESIGN.md §11). One kind per instrumented layer so a
+/// drained trace reads as the paper's cost model: EDB retrieval
+/// (resolve = fetch + decode + link + cache lookups), page I/O beneath
+/// it, and emulator execution above it.
+enum class SpanKind : uint8_t {
+  kExecute = 0,     // wam::Machine solution pump (Run + Backtrack)
+  kResolve,         // EdbResolver::Resolve, end to end
+  kDecode,          // Loader: payload bytes -> wam::Clause
+  kLink,            // Loader: compiled code -> LinkedCode
+  kCacheLookup,     // CodeCache probe (detail = tier)
+  kClauseFetch,     // ClauseStore rule fetch (pages -> payloads)
+  kFactFetch,       // ClauseStore fact collection
+  kPageRead,        // BufferPool miss -> PagedFile::Read
+  kPageWrite,       // BufferPool writeback -> PagedFile::Write
+};
+inline constexpr size_t kSpanKindCount = 9;
+
+const char* SpanKindName(SpanKind kind);
+
+struct SpanRecord {
+  SpanKind kind = SpanKind::kExecute;
+  uint16_t ring = 0;         // which per-thread ring recorded it
+  uint64_t start_ns = 0;     // relative to the tracer's epoch
+  uint64_t duration_ns = 0;
+  uint64_t detail = 0;       // kind-specific: functor hash, tier, page id
+};
+
+/// Low-overhead span sink. Threads hash to one of a fixed set of ring
+/// buffers (per-thread in the common case: thread ids are assigned
+/// round-robin, so up to kRings concurrent workers never share a ring);
+/// each ring holds a fixed number of spans and overwrites the oldest
+/// once full, counting the drops. Every ring has its own mutex, which
+/// is uncontended unless more than kRings threads trace at once — this
+/// keeps recording TSan-clean without atomics trickery.
+///
+/// The enabled gate is a relaxed atomic bool checked before any other
+/// work; with tracing off the cost at every instrumented site is one
+/// load + branch.
+class Tracer {
+ public:
+  static constexpr size_t kRings = 16;
+  static constexpr size_t kDefaultRingCapacity = 4096;
+
+  explicit Tracer(size_t ring_capacity = kDefaultRingCapacity);
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since tracer construction (steady clock).
+  uint64_t NowNanos() const;
+
+  void Record(SpanKind kind, uint64_t start_ns, uint64_t duration_ns,
+              uint64_t detail = 0);
+  /// For call sites that already timed the work with a Stopwatch:
+  /// records a span ending now.
+  void RecordCompleted(SpanKind kind, uint64_t duration_ns,
+                       uint64_t detail = 0);
+
+  /// Moves out every buffered span, oldest first (by start time), and
+  /// resets the rings. Drop counts survive until Clear().
+  std::vector<SpanRecord> Drain();
+  /// Drain() rendered as a JSON array of span objects.
+  std::string DrainJson();
+  void Clear();
+
+  /// Total spans recorded / overwritten-before-drain since Clear().
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> slots;
+    uint64_t next = 0;      // write index within the current window
+    uint64_t recorded = 0;  // cumulative since Clear(); survives Drain()
+    uint64_t dropped = 0;   // spans overwritten before a Drain() saw them
+  };
+
+  Ring& RingForThread();
+
+  std::atomic<bool> enabled_{false};
+  size_t ring_capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::array<Ring, kRings> rings_;
+};
+
+/// RAII span. Captures the start timestamp only when the tracer exists
+/// and is enabled; otherwise construction is a null check + relaxed
+/// load. `set_detail` lets the scope fill in a result (rows fetched,
+/// bytes decoded) discovered mid-span.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, SpanKind kind, uint64_t detail = 0)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        kind_(kind),
+        detail_(detail) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->NowNanos();
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(kind_, start_ns_, tracer_->NowNanos() - start_ns_,
+                      detail_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  void set_detail(uint64_t detail) { detail_ = detail; }
+
+ private:
+  Tracer* tracer_;
+  SpanKind kind_;
+  uint64_t detail_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace educe::obs
+
+#endif  // EDUCE_OBS_TRACE_H_

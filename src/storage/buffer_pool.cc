@@ -82,6 +82,7 @@ base::Result<uint32_t> BufferPool::GrabFrame() {
   }
   Frame& frame = frames_[victim];
   if (frame.dirty) {
+    obs::ScopedSpan span(tracer_, obs::SpanKind::kPageWrite, frame.page);
     EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
     ++stats_.writebacks;
     frame.dirty = false;
@@ -105,7 +106,10 @@ base::Result<PageHandle> BufferPool::Fetch(PageId id) {
   ++stats_.misses;
   EDUCE_ASSIGN_OR_RETURN(uint32_t idx, GrabFrame());
   Frame& frame = frames_[idx];
-  EDUCE_RETURN_IF_ERROR(file_->Read(id, frame.data.get()));
+  {
+    obs::ScopedSpan span(tracer_, obs::SpanKind::kPageRead, id);
+    EDUCE_RETURN_IF_ERROR(file_->Read(id, frame.data.get()));
+  }
   frame.page = id;
   frame.pin_count = 1;
   frame.dirty = false;
@@ -132,6 +136,7 @@ base::Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page != kInvalidPage && frame.dirty) {
+      obs::ScopedSpan span(tracer_, obs::SpanKind::kPageWrite, frame.page);
       EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
       ++stats_.writebacks;
       frame.dirty = false;

@@ -10,6 +10,7 @@
 #include "base/counter.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 #include "storage/paged_file.h"
 
@@ -108,6 +109,10 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
+  /// Emits kPageRead spans on miss-path reads and kPageWrite spans on
+  /// writebacks (detail = page id). Nullable; off by default.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   friend class PageHandle;
 
@@ -133,6 +138,7 @@ class BufferPool {
   uint64_t tick_ = 0;
   mutable std::mutex mu_;
   BufferPoolStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace educe::storage

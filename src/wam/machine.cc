@@ -75,6 +75,7 @@ void Machine::ResetState() {
   query_failed_ = false;
   builtin_error_ = base::Status::OK();
   pending_functor_ = dict::kInvalidSymbol;
+  profile_.Reset();  // per-query footprint (DESIGN.md §11)
   // Drop retained code except the halt sentinel.
   retained_.resize(1);
   retained_ids_.clear();
@@ -245,6 +246,7 @@ base::Result<bool> Machine::RunGenerator(std::unique_ptr<Generator> generator,
                                          uint32_t arity, bool at_most_one) {
   if (at_most_one) {
     // Deterministic retrieval (paper §3.2.1): no choice point.
+    ++stats_.choice_points_eliminated;
     const size_t mark = TrailMark();
     EDUCE_ASSIGN_OR_RETURN(bool ok, generator->Next(this));
     if (!ok) UndoTo(mark);
@@ -323,6 +325,9 @@ base::Status Machine::CallProcedure(dict::SymbolId functor, uint32_t arity) {
           return base::Status::OK();
         }
         case Kind::kFail: {
+          // Provably empty external: fail without ever pushing the CP a
+          // naive enumeration would have needed (paper §3.2.1).
+          ++stats_.choice_points_eliminated;
           EDUCE_ASSIGN_OR_RETURN(bool resumed, Backtrack());
           if (!resumed) query_failed_ = true;
           return base::Status::OK();
@@ -410,6 +415,9 @@ base::Result<bool> Machine::NextSolution() {
     // CallProcedure already exhausted the query during setup.
     return false;
   }
+  // One execute span per solution pump; resolver time shows up as nested
+  // kResolve spans, so execute-minus-resolve is pure emulation.
+  obs::ScopedSpan span(tracer_, obs::SpanKind::kExecute);
   if (query_started_) {
     EDUCE_ASSIGN_OR_RETURN(bool resumed, Backtrack());
     if (!resumed) return false;
@@ -417,6 +425,32 @@ base::Result<bool> Machine::NextSolution() {
   query_started_ = true;
   return Run();
 }
+
+namespace {
+
+/// Opcode -> hot-spot class for the profiling gate. Relies on the enum's
+/// block layout (head / unify / put / control / choice / index blocks in
+/// code.h); kept as explicit range checks so a reordering shows up here.
+obs::OpClass OpClassOf(Opcode op) {
+  if (op >= Opcode::kGetVariableX && op <= Opcode::kGetList) {
+    return obs::OpClass::kGet;
+  }
+  if (op >= Opcode::kUnifyVariableX && op <= Opcode::kUnifyVoid) {
+    return obs::OpClass::kUnify;
+  }
+  if (op >= Opcode::kPutVariableX && op <= Opcode::kPutList) {
+    return obs::OpClass::kPut;
+  }
+  if (op >= Opcode::kTryMeElse && op <= Opcode::kTrust) {
+    return obs::OpClass::kChoice;
+  }
+  if (op >= Opcode::kSwitchOnTerm && op <= Opcode::kSwitchOnStructure) {
+    return obs::OpClass::kIndex;
+  }
+  return obs::OpClass::kControl;  // allocate/call/cut/builtin/jump/halt
+}
+
+}  // namespace
 
 base::Result<bool> Machine::Run() {
   // Convenience: backtrack, returning false from Run() when exhausted.
@@ -429,6 +463,15 @@ base::Result<bool> Machine::Run() {
     }
     const Instruction instr = At(p_);
     ++p_.offset;
+
+    // The profiling gate (DESIGN.md §11): off = this one predictable
+    // branch; on = an array increment + heap high-water check.
+    if (profiling_) {
+      ++profile_.op_class[static_cast<size_t>(OpClassOf(instr.op))];
+      if (heap_.size() > profile_.heap_high_water) {
+        profile_.heap_high_water = heap_.size();
+      }
+    }
 
     switch (instr.op) {
       // ---- head -------------------------------------------------------

@@ -11,6 +11,8 @@
 
 #include "base/result.h"
 #include "base/status.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "term/ast.h"
 #include "term/cell.h"
 #include "wam/code.h"
@@ -83,6 +85,10 @@ struct MachineStats {
   uint64_t instructions = 0;
   uint64_t calls = 0;
   uint64_t choice_points = 0;
+  /// Choice points the resolver proved away (paper §3.2.1): deterministic
+  /// retrievals (at most one match, fully bound key) and provably empty
+  /// externals, both of which run without pushing a choice point.
+  uint64_t choice_points_eliminated = 0;
   uint64_t backtracks = 0;
   uint64_t gc_runs = 0;
   uint64_t cells_collected = 0;
@@ -202,6 +208,19 @@ class Machine {
   const MachineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = MachineStats{}; }
 
+  /// --- Observability (DESIGN.md §11) --------------------------------------
+
+  /// Per-instruction opcode-class accounting and heap high-water marking
+  /// in the dispatch loop. Off (default) = one predictable branch per
+  /// instruction; the profile is reset by StartQuery so it always holds
+  /// the current query's footprint.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+  const obs::EmulatorProfile& profile() const { return profile_; }
+
+  /// Emits an execute span per NextSolution() when the tracer is enabled.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Forces a garbage collection now (normally triggered at call
   /// boundaries when the heap passes the threshold). `live_args`: how many
   /// argument registers are roots.
@@ -307,6 +326,12 @@ class Machine {
   dict::SymbolId nil_symbol_ = 0;
 
   MachineStats stats_;
+
+  // Observability. profiling_ gates the per-instruction work; tracer_
+  // (nullable) receives one kExecute span per solution pump.
+  bool profiling_ = false;
+  obs::EmulatorProfile profile_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace educe::wam

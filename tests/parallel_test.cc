@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <set>
@@ -330,6 +331,79 @@ TEST(ParallelTest, StatsAggregateAcrossSessions) {
   // Residency gauges stay coherent with the cache's own accounting.
   EXPECT_EQ(stats.code_cache.entries.load(),
             engine.loader()->cache()->entry_count());
+}
+
+TEST(ParallelTest, PerWorkerHistogramsMergeToSameTotals) {
+  // DESIGN.md §11: each worker session records query latency into its own
+  // histogram (no engine lock on the hot path) and merges it into the
+  // engine-wide histogram at retirement. Merging is associative, so the
+  // same goal batch run with 1 worker and with 4 workers must land the
+  // same number of samples — and the same solution totals — whatever the
+  // retirement order.
+  Engine engine;
+  constexpr int kRows = 40;
+  ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+  ASSERT_TRUE(engine.StoreFactsExternal(ItemFacts(kRows)).ok());
+
+  std::vector<std::string> goals;
+  for (int i = 0; i < 48; ++i) {
+    goals.push_back("item(" + std::to_string(i % kRows) + ", Y)");
+  }
+
+  engine.ResetStats();
+  auto single = engine.SolveParallel(goals, 1);
+  ASSERT_TRUE(single.ok()) << single.status();
+  const obs::Histogram single_latency = engine.QueryLatencyHistogram();
+  EXPECT_EQ(single_latency.count(), goals.size());
+
+  engine.ResetStats();
+  auto parallel = engine.SolveParallel(goals, 4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  const obs::Histogram merged_latency = engine.QueryLatencyHistogram();
+  EXPECT_EQ(merged_latency.count(), goals.size());
+
+  uint64_t single_solutions = 0, parallel_solutions = 0;
+  for (size_t i = 0; i < goals.size(); ++i) {
+    single_solutions += (*single)[i].count;
+    parallel_solutions += (*parallel)[i].count;
+  }
+  EXPECT_EQ(single_solutions, parallel_solutions);
+  // Sample counts are exact; the recorded durations differ run to run,
+  // but every sample must be accounted for (sum of all buckets == count).
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : merged_latency.buckets()) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, merged_latency.count());
+}
+
+TEST(ParallelTest, ProfilingUnderParallelQueriesIsClean) {
+  // Profiled parallel runs exercise the tracer's thread-striped rings
+  // and the obs mutex from every worker; under TSan this asserts the
+  // recording paths are race-free. Counter-exactness across workers is
+  // not asserted here (subsystem counters interleave), only coherence.
+  EngineOptions options;
+  options.profiling = true;
+  Engine engine(options);
+  constexpr int kRows = 30;
+  ASSERT_TRUE(engine.DeclareRelation("item", 2).ok());
+  ASSERT_TRUE(engine.StoreFactsExternal(ItemFacts(kRows)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("val(Y) :- item(_, Y).").ok());
+  engine.ResetStats();
+
+  std::vector<std::string> goals;
+  for (int i = 0; i < 32; ++i) {
+    goals.push_back(i % 2 == 0
+                        ? "item(" + std::to_string(i % kRows) + ", Y)"
+                        : "val(Y)");
+  }
+  auto result = engine.SolveParallel(goals, 4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(engine.QueryLatencyHistogram().count(), goals.size());
+  EXPECT_EQ(engine.RecentProfiles().size(),
+            std::min<size_t>(goals.size(), 64));
+  EXPECT_GT(engine.tracer()->recorded(), 0u);
+  // The export assembles under the same locks the workers used.
+  const std::string json = engine.ExportMetricsJson();
+  EXPECT_NE(json.find("\"recent_queries\""), std::string::npos);
 }
 
 }  // namespace
