@@ -1,0 +1,416 @@
+// Acceptance harness for the adaptive memory governor (DESIGN.md §12).
+//
+// One budget, two stores, three workload phases:
+//
+//   scan  — Wisconsin-style full scans of fact relations. The working
+//           set is *pages*; a pool smaller than it thrashes and pays the
+//           simulated disc latency on every reread.
+//   rules — repeated queries against many compiled rule procedures. The
+//           working set is *linked code*; a cache smaller than it
+//           re-decodes and re-links every call (the paper's §5.4 cost).
+//   mixed — a subset of both, interleaved.
+//
+// The same phases run under one adaptive budget (the governor) and under
+// three hand-tuned static splits of the identical total: pool-heavy,
+// even, cache-heavy. No static split is right for every phase; the
+// governor must track the phase shift.
+//
+// Measurement: all four configurations hold live engines at once and the
+// phases advance them in lock-step — round i runs back-to-back on every
+// configuration before round i+1 starts anywhere. Machine noise (CPU
+// contention, frequency scaling) is strongly correlated across adjacent
+// rounds, so the acceptance bars compare *paired per-round ratios*
+// (median over the steady rounds), which cancels the noise that makes
+// sequential wall-clock comparisons flaky on shared hosts. The steady
+// state is each phase's second half: the first half absorbs the
+// governor's convergence and every configuration's cold start.
+//
+// Acceptance bars (abort on failure):
+//   1. Solution counts are identical across all four configurations.
+//   2. In each phase's steady state the adaptive run is within 20% of
+//      the best static split (median paired ratio <= 1.2).
+//   3. On the rule phase the adaptive run beats the worst static split
+//      by >= 1.5x (median paired ratio).
+//   4. The governor actually moved bytes (>= 2 rebalances: once toward
+//      the pool in the scan phase, once toward the cache in rules).
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "educe/engine.h"
+
+namespace {
+
+using educe::Engine;
+using educe::EngineOptions;
+using educe::MemoryGovernor;
+using educe::bench::BenchJson;
+using educe::bench::Check;
+using educe::bench::CheckResult;
+using educe::bench::Ms;
+using educe::bench::Num;
+using educe::bench::Table;
+
+// --- workload shape ---------------------------------------------------------
+
+constexpr uint32_t kPageSize = 4096;
+constexpr uint64_t kIoLatencyNs = 50'000;  // 50us per page transfer
+
+// Fact side: kFactRelations relations x kFactsPerRelation rows. Sized so
+// the scan working set is ~100+ pages — resident only when the pool owns
+// most of the budget.
+constexpr int kFactRelations = 10;
+constexpr int kFactsPerRelation = 500;
+
+// Rule side: kRuleProcs procedures x kClausesPerProc clauses, arithmetic
+// bodies (no EDB facts) so the phase cost is decode+link, not page I/O.
+constexpr int kRuleProcs = 12;
+constexpr int kClausesPerProc = 24;
+constexpr int kArithChain = 8;  // body length -> linked-code bytes
+
+// Shared total budget and the static splits it is compared against.
+constexpr uint64_t kBudgetBytes = 512 << 10;
+constexpr uint64_t kPoolFloorBytes = 32 << 10;
+constexpr uint64_t kCacheFloorBytes = 64 << 10;
+constexpr uint32_t kRebalanceInterval = 16;
+
+// Repetitions inside one round. The working sets and steady-state miss
+// counts are unchanged (repeated scans touch the same pages; the rule
+// args cycle over a fixed set, so every pattern-tier key recurs each
+// round) — repetition only multiplies the CPU per round, lifting the
+// per-round timing signal well above timer resolution.
+constexpr int kRoundReps = 8;
+
+constexpr int kScanRounds = 24;
+constexpr int kRuleRounds = 24;
+constexpr int kMixedRounds = 24;
+// Mixed phase touches a subset of each side.
+constexpr int kMixedFactRelations = 3;
+constexpr int kMixedRuleProcs = 6;
+
+struct Config {
+  std::string name;
+  bool adaptive = false;
+  uint32_t pool_frames = 0;   // static splits only
+  uint64_t cache_bytes = 0;   // static splits only
+};
+
+struct PhaseResult {
+  double total_s = 0;   // whole phase
+  double steady_s = 0;  // median steady round x steady rounds
+  std::vector<double> steady_round_s;  // per-round times, steady half
+  uint64_t solutions = 0;
+  uint64_t pages_read = 0;
+  uint64_t cache_misses = 0;
+  uint64_t steady_pages_read = 0;  // pages read during the steady half
+};
+
+struct RunResult {
+  PhaseResult scan, rules, mixed;
+  uint64_t decisions = 0;
+  uint64_t rebalances = 0;
+  uint64_t final_pool_bytes = 0;
+  uint64_t final_cache_bytes = 0;
+};
+
+struct Runner {
+  Config config;
+  std::unique_ptr<Engine> engine;
+  RunResult result;
+};
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  return v.size() % 2 != 0 ? v[mid] : (v[mid - 1] + v[mid]) / 2;
+}
+
+std::string FactRelation(int r) { return "f" + std::to_string(r); }
+std::string RuleProc(int r) { return "r" + std::to_string(r); }
+
+void Populate(Engine* engine) {
+  for (int r = 0; r < kFactRelations; ++r) {
+    Check(engine->DeclareRelation(FactRelation(r), 2), "declare facts");
+    std::string facts;
+    for (int i = 0; i < kFactsPerRelation; ++i) {
+      facts += FactRelation(r) + "(k" + std::to_string(i) + ", v" +
+               std::to_string((i * 7 + r) % kFactsPerRelation) + ").\n";
+    }
+    Check(engine->StoreFactsExternal(facts), "store facts");
+  }
+  for (int p = 0; p < kRuleProcs; ++p) {
+    std::string rules;
+    for (int c = 0; c < kClausesPerProc; ++c) {
+      // r_p(N, M) :- A1 is N + c1, A2 is A1 + c2, ..., M is Ak + ck.
+      // Every clause matches, so one query yields kClausesPerProc
+      // solutions; the chain makes each clause's linked code heavy.
+      std::string body;
+      std::string prev = "N";
+      for (int a = 0; a < kArithChain; ++a) {
+        const std::string var = "A" + std::to_string(a);
+        body += var + " is " + prev + " + " +
+                std::to_string((c * kArithChain + a) % 97 + 1) + ", ";
+        prev = var;
+      }
+      rules += RuleProc(p) + "(N, M) :- " + body + "M is " + prev + " + " +
+               std::to_string(c) + ".\n";
+    }
+    Check(engine->StoreRulesExternal(rules), "store rules");
+  }
+}
+
+uint64_t RunScanRound(Engine* engine, int relations) {
+  uint64_t solutions = 0;
+  for (int rep = 0; rep < kRoundReps; ++rep) {
+    for (int r = 0; r < relations; ++r) {
+      solutions += CheckResult(
+          engine->CountSolutions(FactRelation(r) + "(X, Y)"), "scan query");
+    }
+  }
+  return solutions;
+}
+
+uint64_t RunRuleRound(Engine* engine, int procs) {
+  uint64_t solutions = 0;
+  for (int rep = 0; rep < kRoundReps; ++rep) {
+    for (int p = 0; p < procs; ++p) {
+      solutions += CheckResult(
+          engine->CountSolutions(RuleProc(p) + "(" + std::to_string(3 + rep) +
+                                 ", M)"),
+          "rule query");
+    }
+  }
+  return solutions;
+}
+
+/// Runs one phase across all configurations in lock-step.
+void RunPhaseAll(std::vector<Runner>* runners, int rounds,
+                 const std::function<uint64_t(Engine*)>& round,
+                 PhaseResult RunResult::*slot) {
+  const size_t n = runners->size();
+  std::vector<uint64_t> pages_before(n), misses_before(n), steady_pages(n);
+  for (size_t c = 0; c < n; ++c) {
+    Engine* engine = (*runners)[c].engine.get();
+    pages_before[c] = engine->paged_file()->stats().pages_read;
+    const educe::edb::CodeCacheStats& cc = engine->loader()->cache_stats();
+    misses_before[c] = cc.misses + cc.pattern_misses;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    if (i == rounds / 2) {
+      for (size_t c = 0; c < n; ++c) {
+        steady_pages[c] = (*runners)[c].engine->paged_file()->stats().pages_read;
+      }
+    }
+    for (size_t c = 0; c < n; ++c) {
+      Runner& runner = (*runners)[c];
+      PhaseResult& out = runner.result.*slot;
+      educe::base::Stopwatch one;
+      out.solutions += round(runner.engine.get());
+      const double round_s = one.ElapsedNanos() * 1e-9;
+      out.total_s += round_s;
+      if (i >= rounds / 2) out.steady_round_s.push_back(round_s);
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    Runner& runner = (*runners)[c];
+    PhaseResult& out = runner.result.*slot;
+    Engine* engine = runner.engine.get();
+    out.steady_s =
+        Median(out.steady_round_s) * static_cast<double>(rounds - rounds / 2);
+    out.pages_read = engine->paged_file()->stats().pages_read - pages_before[c];
+    out.steady_pages_read =
+        engine->paged_file()->stats().pages_read - steady_pages[c];
+    const educe::edb::CodeCacheStats& cc = engine->loader()->cache_stats();
+    out.cache_misses = (cc.misses + cc.pattern_misses) - misses_before[c];
+  }
+}
+
+void Bar(bool ok, const std::string& what) {
+  std::printf("%s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  std::fflush(stdout);  // abort() would drop the buffered verdict
+  if (!ok) std::abort();
+}
+
+/// Median over steady rounds of numerator[i] / denominator[i] — the
+/// paired-ratio statistic the bars run on.
+double MedianPairedRatio(const std::vector<double>& numerator,
+                         const std::vector<double>& denominator) {
+  std::vector<double> ratios;
+  const size_t n = std::min(numerator.size(), denominator.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (denominator[i] > 0) ratios.push_back(numerator[i] / denominator[i]);
+  }
+  return Median(std::move(ratios));
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t movable = kBudgetBytes - kPoolFloorBytes - kCacheFloorBytes;
+  const std::vector<Config> configs = {
+      {"adaptive", /*adaptive=*/true, 0, 0},
+      {"pool-heavy", false,
+       static_cast<uint32_t>((kPoolFloorBytes + movable) / kPageSize),
+       kCacheFloorBytes},
+      {"even", false, static_cast<uint32_t>((kBudgetBytes / 2) / kPageSize),
+       kBudgetBytes / 2},
+      {"cache-heavy", false,
+       static_cast<uint32_t>(kPoolFloorBytes / kPageSize),
+       kCacheFloorBytes + movable},
+  };
+
+  std::vector<Runner> runners;
+  for (const Config& config : configs) {
+    std::printf("preparing %s...\n", config.name.c_str());
+    EngineOptions options;
+    options.page_size = kPageSize;
+    options.io_latency_ns = kIoLatencyNs;
+    if (config.adaptive) {
+      options.memory_budget_bytes = kBudgetBytes;
+      options.governor.pool_floor_bytes = kPoolFloorBytes;
+      options.governor.cache_floor_bytes = kCacheFloorBytes;
+      options.governor.rebalance_interval = kRebalanceInterval;
+    } else {
+      options.buffer_frames = config.pool_frames;
+      options.code_cache_bytes = config.cache_bytes;
+      options.code_cache_entries = 1 << 20;  // byte-bounded, like the governor
+    }
+    Runner runner;
+    runner.config = config;
+    runner.engine = std::make_unique<Engine>(options);
+    Populate(runner.engine.get());
+    // Cold caches: setup scanned and compiled everything once.
+    Check(runner.engine->ResetBufferCache(/*drop_code_cache=*/true),
+          "cold start");
+    runner.engine->ResetStats();
+    runners.push_back(std::move(runner));
+  }
+
+  RunPhaseAll(&runners, kScanRounds,
+              [](Engine* e) { return RunScanRound(e, kFactRelations); },
+              &RunResult::scan);
+  RunPhaseAll(&runners, kRuleRounds,
+              [](Engine* e) { return RunRuleRound(e, kRuleProcs); },
+              &RunResult::rules);
+  RunPhaseAll(&runners, kMixedRounds,
+              [](Engine* e) {
+                return RunScanRound(e, kMixedFactRelations) +
+                       RunRuleRound(e, kMixedRuleProcs);
+              },
+              &RunResult::mixed);
+  for (Runner& runner : runners) {
+    if (MemoryGovernor* governor = runner.engine->governor()) {
+      runner.result.decisions = governor->decisions();
+      runner.result.rebalances = governor->rebalances();
+      const MemoryGovernor::Split split = governor->CurrentSplit();
+      runner.result.final_pool_bytes = split.pool_bytes;
+      runner.result.final_cache_bytes = split.cache_bytes;
+    }
+  }
+  const RunResult& adaptive = runners[0].result;
+
+  Table table("Memory governor: phase-shifting workload, one 512 KiB budget");
+  table.Header({"config", "scan ms", "scan steady", "rules ms",
+                "rules steady", "mixed ms", "mixed steady", "pages read",
+                "steady pages", "cache misses"});
+  for (const Runner& runner : runners) {
+    const RunResult& r = runner.result;
+    table.Row({runner.config.name, Ms(r.scan.total_s), Ms(r.scan.steady_s),
+               Ms(r.rules.total_s), Ms(r.rules.steady_s), Ms(r.mixed.total_s),
+               Ms(r.mixed.steady_s),
+               Num(r.scan.pages_read + r.rules.pages_read +
+                   r.mixed.pages_read),
+               Num(r.scan.steady_pages_read + r.rules.steady_pages_read +
+                   r.mixed.steady_pages_read),
+               Num(r.scan.cache_misses + r.rules.cache_misses +
+                   r.mixed.cache_misses)});
+  }
+  table.Print();
+  std::printf(
+      "\nadaptive: %llu decisions, %llu rebalances, final split pool %llu / "
+      "cache %llu bytes\n\n",
+      static_cast<unsigned long long>(adaptive.decisions),
+      static_cast<unsigned long long>(adaptive.rebalances),
+      static_cast<unsigned long long>(adaptive.final_pool_bytes),
+      static_cast<unsigned long long>(adaptive.final_cache_bytes));
+
+  // Bar 1: identical solutions everywhere.
+  bool same = true;
+  for (const Runner& runner : runners) {
+    const RunResult& r = runner.result;
+    same = same && r.scan.solutions == adaptive.scan.solutions &&
+           r.rules.solutions == adaptive.rules.solutions &&
+           r.mixed.solutions == adaptive.mixed.solutions;
+  }
+  Bar(same, "identical solutions across all configurations");
+
+  // Bars 2-3 per phase, on paired steady-round ratios.
+  auto phase_of = [](const RunResult& r, int phase) -> const PhaseResult& {
+    return phase == 0 ? r.scan : phase == 1 ? r.rules : r.mixed;
+  };
+  const char* phase_names[] = {"scan", "rules", "mixed"};
+  double rules_worst_ratio = 0;
+  for (int phase = 0; phase < 3; ++phase) {
+    // Best/worst static by median steady round.
+    size_t best = 1, worst = 1;
+    for (size_t c = 2; c < runners.size(); ++c) {
+      const PhaseResult& p = phase_of(runners[c].result, phase);
+      if (p.steady_s < phase_of(runners[best].result, phase).steady_s)
+        best = c;
+      if (p.steady_s > phase_of(runners[worst].result, phase).steady_s)
+        worst = c;
+    }
+    const PhaseResult& ours = phase_of(adaptive, phase);
+    const double vs_best = MedianPairedRatio(
+        ours.steady_round_s,
+        phase_of(runners[best].result, phase).steady_round_s);
+    const double worst_vs_ours = MedianPairedRatio(
+        phase_of(runners[worst].result, phase).steady_round_s,
+        ours.steady_round_s);
+    if (phase == 1) rules_worst_ratio = worst_vs_ours;
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%s steady: adaptive %.2fx of best static '%s' (<= 1.2x);"
+                  " worst '%s' pays %.2fx of adaptive",
+                  phase_names[phase], vs_best,
+                  runners[best].config.name.c_str(),
+                  runners[worst].config.name.c_str(), worst_vs_ours);
+    Bar(vs_best <= 1.2, line);
+  }
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "rules steady: adaptive beats worst static by %.2fx "
+                  "(>= 1.5x required)",
+                  rules_worst_ratio);
+    Bar(rules_worst_ratio >= 1.5, line);
+  }
+  Bar(adaptive.rebalances >= 2, "governor moved bytes at least twice");
+
+  BenchJson json;
+  json.Add("budget_bytes", kBudgetBytes);
+  json.Add("solutions_scan", adaptive.scan.solutions);
+  json.Add("solutions_rules", adaptive.rules.solutions);
+  json.Add("solutions_mixed", adaptive.mixed.solutions);
+  json.Add("adaptive_decisions", adaptive.decisions);
+  json.Add("adaptive_rebalances", adaptive.rebalances);
+  json.Add("adaptive_final_pool_bytes", adaptive.final_pool_bytes);
+  json.Add("adaptive_final_cache_bytes", adaptive.final_cache_bytes);
+  json.Add("adaptive_pages_read_scan", adaptive.scan.pages_read);
+  json.Add("adaptive_pages_read_rules", adaptive.rules.pages_read);
+  json.Add("adaptive_steady_pages_read", adaptive.scan.steady_pages_read +
+                                             adaptive.rules.steady_pages_read +
+                                             adaptive.mixed.steady_pages_read);
+  json.Add("adaptive_cache_misses_rules", adaptive.rules.cache_misses);
+  json.Add("adaptive_scan_steady_ms", adaptive.scan.steady_s * 1e3);
+  json.Add("adaptive_rules_steady_ms", adaptive.rules.steady_s * 1e3);
+  json.Add("adaptive_mixed_steady_ms", adaptive.mixed.steady_s * 1e3);
+  json.Print();
+  return 0;
+}

@@ -12,16 +12,22 @@
 //   :spans                     drain buffered trace spans as JSON
 //   :metrics                   full metrics document (ExportMetricsJson)
 //   :cold                      drop buffer cache AND code cache
-//   :save                      persist the database image now
+//   :governor [rebalance]      memory-governor state; force a rebalance
+//   :save                      checkpoint the database image now
 //   :halt                      exit
 //
 //   $ printf 'p(1).\np(2).\n?- p(X).\n:halt\n' | ./examples/educe_shell
 //
 // With a path argument the session is persistent: an existing image at
-// the path is attached (catalog, facts, rules, warm code segment) and
-// written back on :save / :halt:
+// the path is attached (catalog, facts, rules, warm code segment),
+// checkpointed on :save and written back on :halt:
 //
 //   $ ./examples/educe_shell /tmp/my.edb
+//
+// A numeric argument sets a shared memory budget (bytes) governed across
+// the buffer pool and code cache (DESIGN.md §12); inspect with :governor:
+//
+//   $ ./examples/educe_shell /tmp/my.edb 4194304
 
 #include <cstdio>
 #include <cstdlib>
@@ -180,16 +186,52 @@ void RunParallel(educe::Engine* engine, const std::string& batch,
   }
 }
 
+/// Prints the governor's budget, current split and recent decisions.
+void PrintGovernor(educe::Engine* engine) {
+  educe::MemoryGovernor* governor = engine->governor();
+  if (governor == nullptr) {
+    std::printf("no memory governor (start with a budget argument)\n");
+    return;
+  }
+  const educe::MemoryGovernor::Split split = governor->CurrentSplit();
+  std::printf(
+      "governor: budget %llu bytes -> pool %llu, cache %llu; %llu "
+      "decision(s), %llu moved bytes\n",
+      static_cast<unsigned long long>(governor->budget_bytes()),
+      static_cast<unsigned long long>(split.pool_bytes),
+      static_cast<unsigned long long>(split.cache_bytes),
+      static_cast<unsigned long long>(governor->decisions()),
+      static_cast<unsigned long long>(governor->rebalances()));
+  for (const educe::GovernorDecision& d : governor->RecentDecisions()) {
+    std::printf("  #%llu: pool %.4f ns/B vs cache %.4f ns/B -> moved %lld "
+                "(pool %llu / cache %llu)\n",
+                static_cast<unsigned long long>(d.seq),
+                d.pool_benefit_ns_per_byte, d.cache_benefit_ns_per_byte,
+                static_cast<long long>(d.bytes_moved),
+                static_cast<unsigned long long>(d.pool_target_bytes),
+                static_cast<unsigned long long>(d.cache_target_bytes));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   educe::EngineOptions options;
-  if (argc > 1) options.db_path = argv[1];
+  for (int i = 1; i < argc; ++i) {
+    // A pure number is a memory budget in bytes; anything else is the
+    // database image path.
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
+      options.memory_budget_bytes = std::strtoull(arg.c_str(), nullptr, 10);
+    } else {
+      options.db_path = arg;
+    }
+  }
   educe::Engine engine(options);
   std::printf("Educe* shell — clauses consult; '?- Goal.' queries; "
               ":facts/:rules store to the EDB; :workers N; :par goals; "
               ":load file; :stats; :profile on|off; :spans; :metrics; "
-              ":cold; :save; :halt\n");
+              ":cold; :governor; :save; :halt\n");
   if (!options.db_path.empty()) {
     if (engine.attached()) {
       const educe::EngineStats s = engine.Stats();
@@ -240,8 +282,15 @@ int main(int argc, char** argv) {
       } else if (command == ":cold") {
         Report(engine.ResetBufferCache(/*drop_code_cache=*/true));
         std::printf("buffer cache and code cache dropped\n");
+      } else if (command == ":governor") {
+        if (Trim(rest) == "rebalance") {
+          if (engine.governor() != nullptr) engine.governor()->ForceRebalance();
+        }
+        PrintGovernor(&engine);
       } else if (command == ":save") {
-        Report(engine.Close());
+        // Checkpoint, not Close: the session stays live and later
+        // mutations are covered by the next :save / :halt.
+        Report(engine.Checkpoint());
       } else if (command == ":facts") {
         Report(engine.StoreFactsExternal(rest));
       } else if (command == ":rules") {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the benches' machine-readable output.
+
+Compares every bench/baselines/BENCH_*.json against the same-named file
+in a results directory produced by scripts/run_benches.sh, and exits
+non-zero when a guarded metric drifts outside its tolerance.
+
+Only *count-based* metrics are guarded (solutions, pages read, clauses
+decoded, cache misses, governor decisions): counts are deterministic
+properties of the engine's algorithms, so a drift is a real behavioural
+regression — more I/O, more decoding, a cache that stopped hitting.
+Wall-clock metrics (*_ms, *_ns, speedups, overhead ratios) are skipped:
+CI hosts are noisy and shared, and the benches already enforce their own
+timing acceptance bars (which are paired-ratio based where the margin is
+tight) by aborting, so a green bench run covers the timing side.
+
+Tolerances are per-metric (see TOLERANCES): exact for solution/row
+counts, a default relative band for page/decode counters whose exact
+values may shift benignly with ordering, and looser bands for metrics
+downstream of scheduling (e.g. the governor's decision counts).
+
+Refreshing baselines after an intentional perf change:
+
+    scripts/run_benches.sh bench-results
+    cp bench-results/BENCH_*.json bench/baselines/
+    git add bench/baselines/ && git commit
+
+Review the diff of the baseline files in the same PR as the change that
+moved them, and say in the commit message why the counts moved.
+
+Usage:
+    scripts/check_bench_regression.py <results-dir> [--baselines <dir>]
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Wall-clock and machine-shape metrics: never guarded.
+SKIP_PATTERNS = [
+    r"_ms$",
+    r"_ns$",
+    r"_s$",
+    r"speedup",
+    r"overhead",
+    r"^cores$",
+]
+
+# Metrics compared exactly: a solution-count change means the engine
+# answered differently, which is a correctness bug, not a perf drift.
+EXACT_PATTERNS = [
+    r"^solutions",
+    r"_rows$",
+    r"_goals$",
+    r"_count$",
+]
+
+# (bench-file pattern, metric pattern) -> (relative tolerance, absolute
+# slack). First match wins; the absolute slack keeps near-zero counters
+# (baseline 0 or 1) from failing on a +1 wobble. Checked before DEFAULT.
+TOLERANCES = [
+    # The governor's decision/rebalance counts and final split depend on
+    # where retirement windows land relative to phase boundaries; small
+    # shifts are benign, halving/doubling is not.
+    (r"governor", r"^adaptive_(decisions|rebalances)$", (0.50, 3)),
+    (r"governor", r"^adaptive_final_(pool|cache)_bytes$", (0.25, 0)),
+    (r"governor", r"pages_read|cache_misses", (0.50, 16)),
+    # Warm-start seeding counts shift by one entry when tiering changes.
+    (r"warmstart", r"^(warm_seeded|stale_rejected)$", (0.25, 1)),
+]
+
+# Everything else numeric: 15% relative, +/-2 absolute.
+DEFAULT_TOLERANCE = (0.15, 2)
+
+
+def matches_any(patterns, key):
+    return any(re.search(p, key) for p in patterns)
+
+
+def tolerance_for(bench_name, key):
+    for bench_pat, key_pat, tol in TOLERANCES:
+        if re.search(bench_pat, bench_name) and re.search(key_pat, key):
+            return tol
+    return DEFAULT_TOLERANCE
+
+
+def check_file(baseline_path, results_path):
+    """Returns a list of failure strings for one bench file."""
+    bench_name = baseline_path.stem
+    failures = []
+    baseline = json.loads(baseline_path.read_text())
+    if not results_path.exists():
+        return [f"{bench_name}: results file missing ({results_path})"]
+    results = json.loads(results_path.read_text())
+
+    for key, expected in baseline.items():
+        if matches_any(SKIP_PATTERNS, key):
+            continue
+        if key not in results:
+            failures.append(f"{bench_name}.{key}: missing from results")
+            continue
+        actual = results[key]
+        if isinstance(expected, str):
+            if actual != expected:
+                failures.append(
+                    f"{bench_name}.{key}: '{actual}' != baseline '{expected}'")
+            continue
+        if matches_any(EXACT_PATTERNS, key):
+            if actual != expected:
+                failures.append(
+                    f"{bench_name}.{key}: {actual} != baseline {expected} "
+                    f"(exact match required)")
+            continue
+        rel, abs_slack = tolerance_for(bench_name, key)
+        allowed = max(abs(expected) * rel, abs_slack)
+        if abs(actual - expected) > allowed:
+            failures.append(
+                f"{bench_name}.{key}: {actual} vs baseline {expected} "
+                f"(allowed drift {allowed:g})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results_dir", type=Path,
+                        help="directory holding BENCH_*.json from run_benches.sh")
+    parser.add_argument("--baselines", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "bench" / "baselines",
+                        help="baseline directory (default: bench/baselines)")
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no baselines under {args.baselines}", file=sys.stderr)
+        return 2
+
+    all_failures = []
+    checked = 0
+    for baseline_path in baseline_files:
+        results_path = args.results_dir / baseline_path.name
+        failures = check_file(baseline_path, results_path)
+        all_failures.extend(failures)
+        checked += 1
+        status = "FAIL" if failures else "ok"
+        print(f"{status:>4}  {baseline_path.name}")
+
+    # New result files without a baseline are fine (a new bench lands
+    # before its first baseline refresh) but worth surfacing.
+    baseline_names = {p.name for p in baseline_files}
+    for results_path in sorted(args.results_dir.glob("BENCH_*.json")):
+        if results_path.name not in baseline_names:
+            print(f"note  {results_path.name} has no baseline "
+                  f"(add one via the refresh procedure in this script)")
+
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s) across "
+              f"{checked} bench file(s):", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} bench files within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,9 +25,12 @@ esac
 
 BUILD_DIR="${BUILD_DIR:-build-sanitize-$MODE}"
 
+# EDUCE_WERROR=ON in the environment turns on warnings-as-errors (CI sets
+# it so the sanitizer builds are held to the same bar as the plain build).
 cmake -B "$BUILD_DIR" -S . \
   -DEDUCE_SANITIZE=ON \
   -DEDUCE_SANITIZE_MODE="$MODE" \
+  -DEDUCE_WERROR="${EDUCE_WERROR:-OFF}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 

@@ -7,6 +7,7 @@
 #   BENCH_wisconsin.json   bench_wisconsin     (relational queries, Table 2)
 #   BENCH_warmstart.json   bench_warm_start    (cross-session warm segments)
 #   BENCH_parallel.json    bench_parallel      (worker sessions, shared EDB)
+#   BENCH_governor.json    bench_governor      (adaptive memory governor)
 #
 # The benches abort loudly if an acceptance bar is missed (e.g. the warm
 # reopen not decoding >=5x fewer clauses than cold, or a 4-worker run on a
@@ -21,10 +22,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${1:-.}"
 
-if [[ ! -x "$BUILD_DIR/bench/bench_parallel" ]]; then
+if [[ ! -x "$BUILD_DIR/bench/bench_governor" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target bench_loader_cache bench_wisconsin bench_warm_start bench_parallel
+    --target bench_loader_cache bench_wisconsin bench_warm_start \
+    bench_parallel bench_governor
 fi
 
 mkdir -p "$OUT_DIR"
@@ -50,5 +52,6 @@ fi
 run_bench bench_wisconsin BENCH_wisconsin.json
 run_bench bench_warm_start BENCH_warmstart.json
 run_bench bench_parallel BENCH_parallel.json
+run_bench bench_governor BENCH_governor.json
 
 echo "All benches passed their acceptance checks."

@@ -1,6 +1,7 @@
 #include "edb/clause_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "base/hash.h"
@@ -437,8 +438,14 @@ base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailed(
     ProcedureInfo* proc, const CallPattern* pattern, bool preunify) {
   obs::ScopedSpan span(tracer_, obs::SpanKind::kClauseFetch,
                        proc->functor_hash);
+  const auto start = std::chrono::steady_clock::now();
   std::shared_lock<std::shared_mutex> latch(latch_);
-  return FetchRulesDetailedLocked(proc, pattern, preunify);
+  auto result = FetchRulesDetailedLocked(proc, pattern, preunify);
+  stats_.rule_fetch_ns +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
 }
 
 base::Result<ClauseStore::RuleFetch> ClauseStore::FetchRulesDetailedLocked(

@@ -94,6 +94,11 @@ struct ClauseStoreStats {
   base::RelaxedCounter rule_rows_scanned;   // candidate rows examined
   base::RelaxedCounter rule_codes_fetched;  // clause codes actually shipped
   base::RelaxedCounter preunify_filtered;   // dropped by pre-unification
+  /// Wall time inside FetchRulesDetailed. The loader calls it only on
+  /// code-cache misses, so this is the page-fetch price of missing the
+  /// cache — the memory governor bills it to the cache side of the
+  /// budget, not to the buffer pool whose read counters it inflates.
+  base::RelaxedCounter rule_fetch_ns;
 };
 
 /// Management of compiled code and facts in the EDB (paper §3.1, §4):

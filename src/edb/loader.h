@@ -112,6 +112,7 @@ class Loader {
   void CollectReferencedSymbols(std::set<dict::SymbolId>* out);
 
   CodeCache* cache() { return &cache_; }
+  const ClauseStore* store() const { return store_; }
 
  private:
   base::Result<std::shared_ptr<const wam::LinkedCode>> DecodeAndLink(

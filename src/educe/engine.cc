@@ -41,6 +41,46 @@ storage::PagedFile::Options FileOptions(const EngineOptions& options) {
 // queries without growing without bound under profiling-on bench loops.
 constexpr size_t kMaxRecentProfiles = 64;
 
+/// Governor options as actually used: the legacy sizing knobs become
+/// optional hard caps under a governed budget, but only when they were
+/// set away from their defaults — an untouched default is "no opinion",
+/// not an 8 MiB cap that would pin the split.
+GovernorOptions GovernorOptionsFor(const EngineOptions& options,
+                                   uint32_t page_size) {
+  GovernorOptions gov = options.governor;
+  if (gov.pool_cap_bytes == 0 &&
+      options.buffer_frames != EngineOptions::kDefaultBufferFrames) {
+    gov.pool_cap_bytes =
+        static_cast<uint64_t>(options.buffer_frames) * page_size;
+  }
+  if (gov.cache_cap_bytes == 0 &&
+      options.code_cache_bytes != EngineOptions::kDefaultCodeCacheBytes) {
+    gov.cache_cap_bytes = options.code_cache_bytes;
+  }
+  return gov;
+}
+
+/// Under a governed budget an untouched code_cache_entries is lifted out
+/// of the way: the byte budget governs residency, and a 256-entry ceiling
+/// would silently dominate it.
+size_t GovernedEntryCap(const EngineOptions& options) {
+  return options.code_cache_entries == EngineOptions::kDefaultCodeCacheEntries
+             ? (size_t{1} << 20)
+             : options.code_cache_entries;
+}
+
+/// Frame count the pool is constructed with. Governed: the budget's even
+/// initial split (the governor itself is constructed later, so this is
+/// the same static InitialSplit it assumes). `page_size` comes from the
+/// paged file, which may have adopted an attached image's page size.
+uint32_t InitialFrames(const EngineOptions& options, uint32_t page_size) {
+  if (options.memory_budget_bytes == 0) return options.buffer_frames;
+  const MemoryGovernor::Split split = MemoryGovernor::InitialSplit(
+      options.memory_budget_bytes, GovernorOptionsFor(options, page_size),
+      page_size);
+  return static_cast<uint32_t>(split.pool_bytes / page_size);
+}
+
 }  // namespace
 
 Engine::AttachState Engine::AttachImage(storage::PagedFile* file,
@@ -143,7 +183,7 @@ Engine::Engine(EngineOptions options)
       program_(&dictionary_),
       file_(FileOptions(options_)),
       attach_(AttachImage(&file_, options_)),
-      pool_(&file_, options_.buffer_frames),
+      pool_(&file_, InitialFrames(options_, file_.page_size())),
       boot_(ReadBoot(&pool_, attach_, options_)),
       external_dictionary_(MakeExternalDictionary(&pool_, &boot_)),
       codec_(&dictionary_, &external_dictionary_, program_.builtins()),
@@ -163,6 +203,14 @@ Engine::Engine(EngineOptions options)
   resolver_.set_tracer(&tracer_);
   clause_store_.set_tracer(&tracer_);
   pool_.set_tracer(&tracer_);
+  if (options_.memory_budget_bytes > 0) {
+    // Before SyncOptions: the governor's constructor applies the initial
+    // cache byte split, which SyncOptions preserves once governor_ is set.
+    governor_ = std::make_unique<MemoryGovernor>(
+        options_.memory_budget_bytes,
+        GovernorOptionsFor(options_, file_.page_size()), &pool_, &file_,
+        &loader_, GovernedEntryCap(options_), &tracer_);
+  }
   SyncOptions();
   warm_segment_bytes_ = boot_.warm_bytes.size();
 
@@ -202,6 +250,19 @@ base::Status Engine::Close() {
   // flushing and saving under it would snapshot a torn image.
   EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("Close"));
   closed_ = true;
+  return WriteImage();
+}
+
+base::Status Engine::Checkpoint() {
+  if (options_.db_path.empty()) {
+    return base::Status::FailedPrecondition(
+        "Checkpoint needs a db_path (no persistence session)");
+  }
+  EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("Checkpoint"));
+  return WriteImage();
+}
+
+base::Status Engine::WriteImage() {
   // Warm segment first: serializing Ensure()s operand symbols into the
   // external dictionary, whose state is captured afterwards.
   storage::PageId warm_root = boot_.warm_root;  // carried over when not saving
@@ -385,8 +446,15 @@ void Engine::SyncOptions() {
   loader_.options().pattern_cache = options_.pattern_cache;
   loader_.options().preunify = options_.preunify;
   loader_.options().indexing = options_.first_arg_indexing;
-  loader_.SetCacheLimits(edb::CodeCache::Limits{
-      options_.code_cache_entries, options_.code_cache_bytes});
+  if (governor_ == nullptr) {
+    loader_.SetCacheLimits(edb::CodeCache::Limits{
+        options_.code_cache_entries, options_.code_cache_bytes});
+  } else {
+    // Governed: the byte limit belongs to the governor's current split;
+    // only the entry cap follows the (lifted) legacy knob.
+    loader_.SetCacheLimits(edb::CodeCache::Limits{
+        GovernedEntryCap(options_), loader_.cache()->limits().max_bytes});
+  }
   resolver_.options().choice_point_elimination =
       options_.choice_point_elimination;
   resolver_.options().loader_cache = options_.loader_cache;
@@ -872,6 +940,9 @@ void Engine::AttachObservation(Solutions* solutions, std::string_view goal,
       std::lock_guard<std::mutex> lock(obs_mu_);
       query_latency_.Record(total_ns);
     }
+    // Governor heartbeat: every Nth retirement (engine or session alike)
+    // runs a rebalance on this thread. No lock is held here.
+    if (governor_ != nullptr) governor_->NoteRetirement();
     if (!collect) return;
     obs::QueryProfile p;
     p.goal = snap->goal;
@@ -1013,6 +1084,8 @@ std::string Engine::ExportMetricsJson() {
   out += ",\"paged_file_bytes\":" + num(stats.memory.paged_file_bytes);
   out += ",\"warm_segment_bytes\":" + num(stats.memory.warm_segment_bytes);
   out += "}";
+  out += ",\"memory_governor\":";
+  out += governor_ != nullptr ? governor_->ToJson() : "{\"enabled\":false}";
   out += ",\"profiles_collected\":" + num(collected);
   out += ",\"recent_queries\":[";
   bool first = true;

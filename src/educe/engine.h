@@ -20,6 +20,7 @@
 #include "edb/external_dictionary.h"
 #include "edb/loader.h"
 #include "edb/resolver.h"
+#include "educe/memory_governor.h"
 #include "obs/histogram.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -38,9 +39,16 @@ namespace educe {
 enum class RuleStorage { kCompiled, kSource };
 
 struct EngineOptions {
+  /// Defaults of the legacy sizing knobs, named so the engine can tell
+  /// "left alone" from "deliberately set" when a governed budget takes
+  /// over (see memory_budget_bytes).
+  static constexpr uint32_t kDefaultBufferFrames = 256;
+  static constexpr uint32_t kDefaultCodeCacheEntries = 256;
+  static constexpr uint64_t kDefaultCodeCacheBytes = 8u << 20;
+
   /// Storage substrate.
   uint32_t page_size = 4096;
-  uint32_t buffer_frames = 256;
+  uint32_t buffer_frames = kDefaultBufferFrames;
   /// Simulated per-page transfer latency (see storage::PagedFile).
   uint64_t io_latency_ns = 0;
 
@@ -69,8 +77,22 @@ struct EngineOptions {
   /// not re-decode every level (DESIGN.md code-cache section).
   bool pattern_cache = true;
   /// EDB code-cache capacity (all tiers share one LRU and budget).
-  uint32_t code_cache_entries = 256;
-  uint64_t code_cache_bytes = 8u << 20;
+  uint32_t code_cache_entries = kDefaultCodeCacheEntries;
+  uint64_t code_cache_bytes = kDefaultCodeCacheBytes;
+
+  /// One shared memory budget for buffer pool + code cache (DESIGN.md
+  /// §12). 0 (the default) keeps the two static knobs above in charge,
+  /// exactly as before. Non-zero enables the MemoryGovernor: the budget
+  /// starts split evenly and is rebalanced toward whichever store's
+  /// misses cost more per byte. Under a governed budget the legacy knobs
+  /// change meaning: `buffer_frames` / `code_cache_bytes` become optional
+  /// *hard caps* — honoured only when set away from their defaults — and
+  /// `code_cache_entries` left at its default is lifted (the byte budget
+  /// governs, not the entry count).
+  uint64_t memory_budget_bytes = 0;
+  /// Governor tuning (floors, hysteresis, rebalance interval); ignored
+  /// while memory_budget_bytes is 0.
+  GovernorOptions governor;
 
   /// Observability (DESIGN.md §11). With profiling on, every query's cost
   /// profile (decode/link/resolve/execute split, opcode-class counts,
@@ -314,6 +336,13 @@ class Engine {
   /// until the next Close().
   base::Status Close();
 
+  /// Mid-session checkpoint: writes the same image Close() writes (warm
+  /// code segment included) without ending the persistence session —
+  /// mutations after it are covered by the next Checkpoint()/Close().
+  /// FailedPrecondition without a db_path or while worker sessions are
+  /// live (the image would be torn under a concurrent query).
+  base::Status Checkpoint();
+
   /// Whether this session attached to an existing on-disk image.
   bool attached() const { return boot_.attached; }
 
@@ -385,6 +414,9 @@ class Engine {
   edb::ClauseStore* clause_store() { return &clause_store_; }
   edb::Loader* loader() { return &loader_; }
   edb::EdbResolver* resolver() { return &resolver_; }
+  /// The adaptive memory governor; nullptr unless
+  /// options.memory_budget_bytes was non-zero at construction.
+  MemoryGovernor* governor() { return governor_.get(); }
 
   /// Applies current ablation options to the subsystems (call after
   /// mutating options()).
@@ -446,6 +478,11 @@ class Engine {
   /// Folds a retiring session's latency histogram into the engine's.
   void MergeSessionLatency(const obs::Histogram& latency);
 
+  /// The shared body of Close() and Checkpoint(): serializes the warm
+  /// segment, dictionary and catalog, writes the superblock, flushes the
+  /// pool and saves the image. Callers hold the no-active-sessions guard.
+  base::Status WriteImage();
+
   EngineOptions options_;
   dict::Dictionary dictionary_;
   wam::Program program_;
@@ -459,6 +496,9 @@ class Engine {
   edb::Loader loader_;
   edb::EdbResolver resolver_;
   std::unique_ptr<wam::Machine> machine_;
+  /// Non-null iff options_.memory_budget_bytes > 0; constructed after the
+  /// subsystems it steers, before the first query can retire.
+  std::unique_ptr<MemoryGovernor> governor_;
   bool closed_ = false;
 
   /// Worker-session registry: count + serial issue, and the resolver

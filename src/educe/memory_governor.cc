@@ -1,0 +1,319 @@
+#include "educe/memory_governor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace educe {
+
+namespace {
+
+// Bound on the recent-decision ring: enough history for a shell session's
+// `:governor` without unbounded growth under bench loops.
+constexpr size_t kMaxRecentDecisions = 32;
+
+// current - previous, saturating at current: engine ResetStats() may zero
+// the underlying counters mid-window, which must read as "a small window",
+// never as an underflowed huge one.
+uint64_t Delta(uint64_t current, uint64_t previous) {
+  return current >= previous ? current - previous : current;
+}
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// Floors as actually enforced: when the budget cannot hold both floors,
+/// they shrink proportionally (integer math, no underflow) so the clamp
+/// is always satisfiable.
+MemoryGovernor::Split EffectiveFloors(uint64_t budget,
+                                      const GovernorOptions& options) {
+  MemoryGovernor::Split floors{options.pool_floor_bytes,
+                               options.cache_floor_bytes};
+  const uint64_t total = floors.pool_bytes + floors.cache_bytes;
+  if (total > budget && total > 0) {
+    floors.pool_bytes =
+        static_cast<uint64_t>(static_cast<double>(budget) *
+                              static_cast<double>(floors.pool_bytes) /
+                              static_cast<double>(total));
+    floors.cache_bytes = budget - floors.pool_bytes;
+  }
+  return floors;
+}
+
+}  // namespace
+
+std::string GovernorDecision::ToJson() const {
+  auto num = [](uint64_t v) { return std::to_string(v); };
+  std::string out = "{\"seq\":" + num(seq);
+  out += ",\"window_retirements\":" + num(window_retirements);
+  out += ",\"pool_hits\":" + num(pool_hits);
+  out += ",\"pool_misses\":" + num(pool_misses);
+  out += ",\"page_read_ns\":" + num(page_read_ns);
+  out += ",\"decode_ns\":" + num(decode_ns);
+  out += ",\"link_ns\":" + num(link_ns);
+  out += ",\"rule_fetch_ns\":" + num(rule_fetch_ns);
+  out += ",\"cache_hits\":" + num(cache_hits);
+  out += ",\"cache_misses\":" + num(cache_misses);
+  out += ",\"cache_evictions\":" + num(cache_evictions);
+  out += ",\"pool_benefit_ns_per_byte\":" + JsonDouble(pool_benefit_ns_per_byte);
+  out +=
+      ",\"cache_benefit_ns_per_byte\":" + JsonDouble(cache_benefit_ns_per_byte);
+  out += ",\"bytes_moved\":" + std::to_string(bytes_moved);
+  out += ",\"pool_target_bytes\":" + num(pool_target_bytes);
+  out += ",\"cache_target_bytes\":" + num(cache_target_bytes);
+  out += "}";
+  return out;
+}
+
+MemoryGovernor::MemoryGovernor(uint64_t budget_bytes, GovernorOptions options,
+                               storage::BufferPool* pool,
+                               storage::PagedFile* file, edb::Loader* loader,
+                               size_t cache_entry_cap, obs::Tracer* tracer)
+    : budget_(budget_bytes),
+      options_(options),
+      pool_(pool),
+      file_(file),
+      loader_(loader),
+      cache_entry_cap_(cache_entry_cap),
+      tracer_(tracer) {
+  const Split initial = InitialSplit(budget_, options_, pool_->page_size());
+  loader_->SetCacheLimits(
+      edb::CodeCache::Limits{cache_entry_cap_, initial.cache_bytes});
+  last_ = ReadCounters(0);
+}
+
+MemoryGovernor::Split MemoryGovernor::InitialSplit(
+    uint64_t budget_bytes, const GovernorOptions& options,
+    uint32_t page_size) {
+  return ClampSplit(budget_bytes / 2, budget_bytes, options, page_size);
+}
+
+MemoryGovernor::Split MemoryGovernor::ClampSplit(uint64_t pool_target_bytes,
+                                                 uint64_t budget_bytes,
+                                                 const GovernorOptions& options,
+                                                 uint32_t page_size) {
+  const Split floors = EffectiveFloors(budget_bytes, options);
+  uint64_t pool = std::max(pool_target_bytes, floors.pool_bytes);
+  // Leave the cache its floor (saturating: floors fit the budget by
+  // construction, but the pool's two-page minimum below may not).
+  const uint64_t pool_ceiling =
+      budget_bytes > floors.cache_bytes ? budget_bytes - floors.cache_bytes : 0;
+  pool = std::min(pool, pool_ceiling);
+  if (options.pool_cap_bytes > 0) {
+    pool = std::min<uint64_t>(pool, options.pool_cap_bytes);
+  }
+  // Page-align and respect the pool's structural two-frame minimum, even
+  // when the budget is smaller than two pages.
+  pool = std::max<uint64_t>(pool / page_size, 2) * page_size;
+  uint64_t cache = budget_bytes > pool ? budget_bytes - pool : 0;
+  if (options.cache_cap_bytes > 0) {
+    cache = std::min<uint64_t>(cache, options.cache_cap_bytes);
+  }
+  return Split{pool, cache};
+}
+
+GovernorDecision MemoryGovernor::Decide(const WindowInputs& in,
+                                        uint64_t budget_bytes,
+                                        const GovernorOptions& options,
+                                        uint32_t page_size) {
+  GovernorDecision d;
+  d.window_retirements = in.window_retirements;
+  d.pool_hits = in.pool_hits;
+  d.pool_misses = in.pool_misses;
+  d.page_read_ns = in.page_read_ns;
+  d.decode_ns = in.decode_ns;
+  d.link_ns = in.link_ns;
+  d.rule_fetch_ns = in.rule_fetch_ns;
+  d.cache_hits = in.cache_hits;
+  d.cache_misses = in.cache_misses;
+  d.cache_evictions = in.cache_evictions;
+
+  // Benefit per byte = window miss cost / store capacity: the gradient of
+  // "ns the workload paid that residency would have saved" per byte of
+  // capacity. A store only has a claim while it shows *capacity
+  // pressure* — misses with its frames full (pool) or entries evicted /
+  // near-full residency (cache). Compulsory first-touch misses on a
+  // half-empty store are not a reason to grow it.
+  const bool pool_pressure =
+      in.pool_misses > 0 && (in.pool_evictions > 0 ||
+                             in.pool_resident_bytes >= in.pool_capacity_bytes);
+  const bool cache_pressure =
+      in.cache_misses > 0 &&
+      (in.cache_evictions > 0 ||
+       in.cache_resident_bytes * 10 >= in.cache_capacity_bytes * 9);
+  // Attribution: code-cache misses refetch clause-payload pages through
+  // the buffer pool, so their read time lands in page_read_ns — but a
+  // bigger pool would not remove those reads, a bigger cache would.
+  // rule_fetch_ns (wall time of the miss-only EDB fetch path, page reads
+  // included) is therefore billed to the cache's claim and deducted from
+  // the pool's; without the deduction the two stores deadlock in
+  // hysteresis while the cache thrashes (each miss inflating the pool's
+  // apparent benefit).
+  const uint64_t pool_read_ns = in.page_read_ns > in.rule_fetch_ns
+                                    ? in.page_read_ns - in.rule_fetch_ns
+                                    : 0;
+  if (pool_pressure) {
+    d.pool_benefit_ns_per_byte =
+        static_cast<double>(pool_read_ns) /
+        static_cast<double>(std::max<uint64_t>(1, in.pool_capacity_bytes));
+  }
+  if (cache_pressure) {
+    d.cache_benefit_ns_per_byte =
+        static_cast<double>(in.decode_ns + in.link_ns + in.rule_fetch_ns) /
+        static_cast<double>(std::max<uint64_t>(1, in.cache_capacity_bytes));
+  }
+
+  // Hysteresis: bytes move only when the winner's claim beats the
+  // loser's by the configured factor. With both benefits zero (idle or
+  // perfectly sized), nothing moves.
+  const Split floors = EffectiveFloors(budget_bytes, options);
+  const uint64_t movable =
+      budget_bytes > floors.pool_bytes + floors.cache_bytes
+          ? budget_bytes - floors.pool_bytes - floors.cache_bytes
+          : 0;
+  const uint64_t step = static_cast<uint64_t>(
+      static_cast<double>(movable) * options.step_fraction);
+  uint64_t pool_target = in.pool_capacity_bytes;
+  if (d.cache_benefit_ns_per_byte >
+      d.pool_benefit_ns_per_byte * options.hysteresis) {
+    pool_target = pool_target > step ? pool_target - step : 0;
+  } else if (d.pool_benefit_ns_per_byte >
+             d.cache_benefit_ns_per_byte * options.hysteresis) {
+    pool_target = pool_target + step;
+  }
+  const Split target =
+      ClampSplit(pool_target, budget_bytes, options, page_size);
+  d.pool_target_bytes = target.pool_bytes;
+  d.cache_target_bytes = target.cache_bytes;
+  // Positive: budget moved pool -> cache. Also non-zero when only the
+  // clamp corrected an off-target capacity (e.g. a previously blocked
+  // shrink), so the gauge tracks every applied change.
+  d.bytes_moved = static_cast<int64_t>(in.pool_capacity_bytes) -
+                  static_cast<int64_t>(target.pool_bytes);
+  return d;
+}
+
+MemoryGovernor::CounterSnapshot MemoryGovernor::ReadCounters(
+    uint64_t retirements) const {
+  CounterSnapshot snap;
+  const storage::BufferPoolStats& pool = pool_->stats();
+  snap.pool_hits = pool.hits;
+  snap.pool_misses = pool.misses;
+  snap.pool_evictions = pool.evictions;
+  const storage::PagedFileStats& file = file_->stats();
+  snap.pages_read = file.pages_read;
+  snap.read_ns = file.read_ns;
+  const edb::LoaderStats& loader = loader_->stats();
+  snap.decode_ns = loader.decode_ns;
+  snap.link_ns = loader.link_ns;
+  snap.rule_fetch_ns = loader_->store()->stats().rule_fetch_ns;
+  const edb::CodeCacheStats& cache = loader_->cache_stats();
+  snap.cache_hits = cache.hits + cache.pattern_hits + cache.selection_hits;
+  snap.cache_misses = cache.misses + cache.pattern_misses;
+  snap.cache_evictions = cache.evictions;
+  snap.retirements = retirements;
+  return snap;
+}
+
+void MemoryGovernor::NoteRetirement() {
+  const uint64_t n = retirements_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.rebalance_interval > 0 &&
+      n % options_.rebalance_interval == 0) {
+    Rebalance();
+  }
+}
+
+void MemoryGovernor::ForceRebalance() { Rebalance(); }
+
+void MemoryGovernor::Rebalance() {
+  obs::ScopedSpan span(tracer_, obs::SpanKind::kGovernor);
+  std::lock_guard<std::mutex> lock(mu_);
+  const CounterSnapshot now =
+      ReadCounters(retirements_.load(std::memory_order_relaxed));
+
+  WindowInputs in;
+  in.window_retirements = Delta(now.retirements, last_.retirements);
+  in.pool_hits = Delta(now.pool_hits, last_.pool_hits);
+  in.pool_misses = Delta(now.pool_misses, last_.pool_misses);
+  in.pool_evictions = Delta(now.pool_evictions, last_.pool_evictions);
+  in.page_read_ns = Delta(now.read_ns, last_.read_ns);
+  in.decode_ns = Delta(now.decode_ns, last_.decode_ns);
+  in.link_ns = Delta(now.link_ns, last_.link_ns);
+  in.rule_fetch_ns = Delta(now.rule_fetch_ns, last_.rule_fetch_ns);
+  in.cache_hits = Delta(now.cache_hits, last_.cache_hits);
+  in.cache_misses = Delta(now.cache_misses, last_.cache_misses);
+  in.cache_evictions = Delta(now.cache_evictions, last_.cache_evictions);
+  last_ = now;
+
+  in.pool_resident_bytes = pool_->resident_bytes();
+  in.pool_capacity_bytes = pool_->capacity_bytes();
+  in.cache_resident_bytes = loader_->cache()->bytes_resident();
+  in.cache_capacity_bytes = loader_->cache()->limits().max_bytes;
+
+  GovernorDecision d = Decide(in, budget_, options_, pool_->page_size());
+  d.seq = next_seq_++;
+  span.set_detail(d.seq);
+
+  if (d.bytes_moved != 0) {
+    // Pool first: a blocked shrink (pinned tail frames) must never let
+    // pool + cache exceed the budget, so the cache's grant is computed
+    // from the capacity the pool actually reached.
+    (void)pool_->Resize(
+        static_cast<uint32_t>(d.pool_target_bytes / pool_->page_size()));
+    const uint64_t actual_pool = pool_->capacity_bytes();
+    uint64_t cache_bytes = d.cache_target_bytes;
+    if (actual_pool > d.pool_target_bytes) {
+      cache_bytes = budget_ > actual_pool ? budget_ - actual_pool : 0;
+      if (options_.cache_cap_bytes > 0) {
+        cache_bytes = std::min<uint64_t>(cache_bytes, options_.cache_cap_bytes);
+      }
+      d.cache_target_bytes = cache_bytes;
+      d.bytes_moved = static_cast<int64_t>(in.pool_capacity_bytes) -
+                      static_cast<int64_t>(actual_pool);
+    }
+    loader_->SetCacheLimits(
+        edb::CodeCache::Limits{cache_entry_cap_, cache_bytes});
+    if (d.bytes_moved != 0) {
+      rebalances_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  recent_.push_back(d);
+  if (recent_.size() > kMaxRecentDecisions) recent_.pop_front();
+}
+
+MemoryGovernor::Split MemoryGovernor::CurrentSplit() const {
+  return Split{pool_->capacity_bytes(), loader_->cache()->limits().max_bytes};
+}
+
+std::vector<GovernorDecision> MemoryGovernor::RecentDecisions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+std::string MemoryGovernor::ToJson() const {
+  const Split split = CurrentSplit();
+  auto num = [](uint64_t v) { return std::to_string(v); };
+  std::string out = "{\"enabled\":true";
+  out += ",\"budget_bytes\":" + num(budget_);
+  out += ",\"pool_bytes\":" + num(split.pool_bytes);
+  out += ",\"cache_bytes\":" + num(split.cache_bytes);
+  out += ",\"pool_floor_bytes\":" + num(options_.pool_floor_bytes);
+  out += ",\"cache_floor_bytes\":" + num(options_.cache_floor_bytes);
+  out += ",\"rebalance_interval\":" + num(options_.rebalance_interval);
+  out += ",\"decisions\":" + num(decisions());
+  out += ",\"rebalances\":" + num(rebalances());
+  out += ",\"recent\":[";
+  bool first = true;
+  for (const GovernorDecision& d : RecentDecisions()) {
+    if (!first) out += ",";
+    first = false;
+    out += d.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace educe

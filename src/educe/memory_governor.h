@@ -1,0 +1,235 @@
+#ifndef EDUCE_EDUCE_MEMORY_GOVERNOR_H_
+#define EDUCE_EDUCE_MEMORY_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "edb/loader.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace educe {
+
+/// Knobs of the adaptive memory governor (DESIGN.md §12). All of these
+/// tune *how* one shared budget (`EngineOptions::memory_budget_bytes`) is
+/// split between the storage buffer pool and the EDB code cache; none of
+/// them matter while the budget is 0 (governor disabled).
+struct GovernorOptions {
+  /// Neither store is ever pushed below its floor, so a workload phase
+  /// that ignores one store cannot starve the other into pathological
+  /// behaviour when the phase shifts back. When the budget is smaller
+  /// than the two floors combined, the floors shrink proportionally to
+  /// fit (never underflowing).
+  uint64_t pool_floor_bytes = 64 << 10;
+  uint64_t cache_floor_bytes = 256 << 10;
+
+  /// Optional hard caps per store (0 = uncapped). The engine wires the
+  /// legacy `buffer_frames` / `code_cache_bytes` knobs in here when they
+  /// were set away from their defaults. Budget a cap refuses is left
+  /// unspent, never given to the other store.
+  uint64_t pool_cap_bytes = 0;
+  uint64_t cache_cap_bytes = 0;
+
+  /// Query retirements per decision window. The governor recomputes the
+  /// split at most once per interval — the structural bound on rebalance
+  /// frequency (no background thread; decisions run on the retiring
+  /// query's thread).
+  uint32_t rebalance_interval = 32;
+
+  /// The winning store's benefit-per-byte must exceed the loser's by
+  /// this factor before any bytes move. Together with the interval this
+  /// is the hysteresis that keeps an oscillating workload from thrashing
+  /// the split.
+  double hysteresis = 1.25;
+
+  /// Fraction of the movable budget (budget minus both floors) shifted
+  /// per decision. Small steps converge over a few windows instead of
+  /// slamming between extremes.
+  double step_fraction = 0.25;
+};
+
+/// One rebalance decision: the window's observed inputs, the cost-model
+/// outputs, and what moved. Kept in a bounded ring for the shell's
+/// `:governor` and the `memory_governor` section of ExportMetricsJson.
+struct GovernorDecision {
+  uint64_t seq = 0;
+  uint64_t window_retirements = 0;
+
+  // Window inputs (deltas since the previous decision).
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t page_read_ns = 0;   // measured miss-path reread time
+  uint64_t decode_ns = 0;      // loader decode time (code-cache miss cost)
+  uint64_t link_ns = 0;
+  uint64_t rule_fetch_ns = 0;  // EDB payload-fetch time (cache misses only)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
+  // Cost model: estimated nanoseconds a store would save per byte of
+  // budget granted (0 when the store shows no capacity pressure).
+  double pool_benefit_ns_per_byte = 0.0;
+  double cache_benefit_ns_per_byte = 0.0;
+
+  // Outcome. bytes_moved > 0 moves budget pool -> cache, < 0 the other
+  // way, 0 records a decision hysteresis (or the floors/caps) held.
+  int64_t bytes_moved = 0;
+  uint64_t pool_target_bytes = 0;
+  uint64_t cache_target_bytes = 0;
+
+  std::string ToJson() const;
+};
+
+/// The adaptive memory governor (DESIGN.md §12): one byte budget shared
+/// by the storage buffer pool and the EDB code cache, periodically
+/// rebalanced toward whichever store's misses are costing more per byte
+/// of capacity. The paper's §5.4 finding — Educe* is CPU-bound on
+/// decode+link, not page I/O — is the asymmetry this closes the loop on:
+/// a byte of code-cache residency is worth far more than a byte of
+/// buffer-pool residency on rule-heavy phases, and worth less on
+/// fact-scan phases; the observability layer's counters say which phase
+/// is live.
+///
+/// Decisions run synchronously on the thread retiring the Nth query
+/// (NoteRetirement), serialized by an internal mutex — no background
+/// thread, so the TSan story stays the engine's existing one. The pool
+/// resize and cache SetLimits it calls are themselves thread-safe, and
+/// neither ever calls back into the governor, so the governor mutex is
+/// one level above two leaf locks.
+class MemoryGovernor {
+ public:
+  struct Split {
+    uint64_t pool_bytes = 0;
+    uint64_t cache_bytes = 0;
+  };
+
+  /// Counter deltas and gauges for one decision window; the pure-model
+  /// input, separated out so tests can drive Decide() deterministically.
+  struct WindowInputs {
+    uint64_t window_retirements = 0;
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t pool_evictions = 0;
+    uint64_t page_read_ns = 0;
+    uint64_t decode_ns = 0;
+    uint64_t link_ns = 0;
+    uint64_t rule_fetch_ns = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t pool_resident_bytes = 0;
+    uint64_t pool_capacity_bytes = 0;
+    uint64_t cache_resident_bytes = 0;
+    uint64_t cache_capacity_bytes = 0;
+  };
+
+  /// `pool`, `file`, and `loader` must outlive the governor. `tracer` is
+  /// nullable. `cache_entry_cap` is carried through to every SetLimits so
+  /// the governor only ever moves the byte budget. The constructor
+  /// applies the initial (even) split to the cache immediately; the pool
+  /// is expected to have been constructed at InitialSplit().pool_bytes.
+  MemoryGovernor(uint64_t budget_bytes, GovernorOptions options,
+                 storage::BufferPool* pool, storage::PagedFile* file,
+                 edb::Loader* loader, size_t cache_entry_cap,
+                 obs::Tracer* tracer);
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  /// The even starting split for `budget_bytes`, floors/caps applied —
+  /// static because the engine sizes the pool before a governor can
+  /// exist.
+  static Split InitialSplit(uint64_t budget_bytes,
+                            const GovernorOptions& options,
+                            uint32_t page_size);
+
+  /// Clamps a desired pool share to the governed invariants: both floors
+  /// respected (scaled down proportionally when the budget cannot hold
+  /// them — never underflowing), pool share page-aligned and at least two
+  /// pages, caps applied, pool + cache <= budget.
+  static Split ClampSplit(uint64_t pool_target_bytes, uint64_t budget_bytes,
+                          const GovernorOptions& options, uint32_t page_size);
+
+  /// The pure cost model: one decision from one window's inputs. Moves
+  /// step_fraction of the movable budget toward the store whose
+  /// benefit-per-byte wins by at least the hysteresis factor; a store
+  /// with no capacity pressure (no evictions and headroom left) has zero
+  /// benefit. Does not touch any subsystem.
+  static GovernorDecision Decide(const WindowInputs& in, uint64_t budget_bytes,
+                                 const GovernorOptions& options,
+                                 uint32_t page_size);
+
+  /// Cheap per-query hook (one relaxed fetch_add); runs a rebalance when
+  /// the retirement counter crosses the interval. Safe from any thread.
+  void NoteRetirement();
+
+  /// Runs one decision window immediately (shell/test hook).
+  void ForceRebalance();
+
+  /// Current targets as applied (pool capacity may transiently exceed its
+  /// target right after a shrink blocked on pinned tail frames; it
+  /// converges on later rebalances).
+  Split CurrentSplit() const;
+
+  uint64_t budget_bytes() const { return budget_; }
+  const GovernorOptions& options() const { return options_; }
+
+  /// Decisions taken / decisions that actually moved bytes.
+  uint64_t decisions() const { return decisions_.load(); }
+  uint64_t rebalances() const { return rebalances_.load(); }
+
+  /// Most recent decisions, oldest first (bounded ring).
+  std::vector<GovernorDecision> RecentDecisions() const;
+
+  /// The `memory_governor` metrics section: budget, current split,
+  /// decision totals, and the recent-decision ring.
+  std::string ToJson() const;
+
+ private:
+  struct CounterSnapshot {
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t pool_evictions = 0;
+    uint64_t pages_read = 0;
+    uint64_t read_ns = 0;
+    uint64_t decode_ns = 0;
+    uint64_t link_ns = 0;
+    uint64_t rule_fetch_ns = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t retirements = 0;
+  };
+
+  CounterSnapshot ReadCounters(uint64_t retirements) const;
+  void Rebalance();
+
+  const uint64_t budget_;
+  const GovernorOptions options_;
+  storage::BufferPool* pool_;
+  storage::PagedFile* file_;
+  edb::Loader* loader_;
+  const size_t cache_entry_cap_;
+  obs::Tracer* tracer_;
+
+  std::atomic<uint64_t> retirements_{0};
+  std::atomic<uint64_t> decisions_{0};
+  std::atomic<uint64_t> rebalances_{0};
+
+  /// Serializes decisions; held across the pool resize and cache
+  /// SetLimits (both leaf-locked, neither calls back here).
+  mutable std::mutex mu_;
+  CounterSnapshot last_;                   // window baseline, under mu_
+  std::deque<GovernorDecision> recent_;    // bounded ring, under mu_
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace educe
+
+#endif  // EDUCE_EDUCE_MEMORY_GOVERNOR_H_

@@ -16,6 +16,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kFactFetch: return "fact_fetch";
     case SpanKind::kPageRead: return "page_read";
     case SpanKind::kPageWrite: return "page_write";
+    case SpanKind::kGovernor: return "governor";
   }
   return "unknown";
 }

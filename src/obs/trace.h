@@ -25,8 +25,9 @@ enum class SpanKind : uint8_t {
   kFactFetch,       // ClauseStore fact collection
   kPageRead,        // BufferPool miss -> PagedFile::Read
   kPageWrite,       // BufferPool writeback -> PagedFile::Write
+  kGovernor,        // MemoryGovernor rebalance decision (detail = seq)
 };
-inline constexpr size_t kSpanKindCount = 9;
+inline constexpr size_t kSpanKindCount = 10;
 
 const char* SpanKindName(SpanKind kind);
 

@@ -5,9 +5,6 @@
 
 namespace educe::storage {
 
-PageHandle::PageHandle(BufferPool* pool, uint32_t frame)
-    : pool_(pool), frame_(frame) {}
-
 PageHandle::~PageHandle() { Release(); }
 
 PageHandle::PageHandle(PageHandle&& other) noexcept
@@ -27,69 +24,74 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(static_cast<BufferPool::Frame*>(frame_));
     pool_ = nullptr;
   }
 }
 
 PageId PageHandle::page_id() const {
   assert(valid());
-  return pool_->frames_[frame_].page;
+  return static_cast<const BufferPool::Frame*>(frame_)->page;
 }
 
 char* PageHandle::data() {
   assert(valid());
-  return pool_->frames_[frame_].data.get();
+  return static_cast<BufferPool::Frame*>(frame_)->data.get();
 }
 
 const char* PageHandle::data() const {
   assert(valid());
-  return pool_->frames_[frame_].data.get();
+  return static_cast<const BufferPool::Frame*>(frame_)->data.get();
 }
 
 void PageHandle::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  static_cast<BufferPool::Frame*>(frame_)->dirty = true;
 }
 
 BufferPool::BufferPool(PagedFile* file, uint32_t num_frames) : file_(file) {
   assert(num_frames >= 2);
-  frames_.resize(num_frames);
-  for (auto& frame : frames_) {
+  for (uint32_t i = 0; i < num_frames; ++i) {
+    Frame& frame = frames_.emplace_back();
     frame.data = std::make_unique<char[]>(file_->page_size());
   }
 }
 
-void BufferPool::Unpin(uint32_t frame) {
+void BufferPool::Unpin(Frame* frame) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(frames_[frame].pin_count > 0);
-  --frames_[frame].pin_count;
+  assert(frame->pin_count > 0);
+  --frame->pin_count;
 }
 
-base::Result<uint32_t> BufferPool::GrabFrame() {
-  uint32_t victim = UINT32_MAX;
+base::Status BufferPool::EvictFrame(Frame* frame) {
+  assert(frame->pin_count == 0);
+  if (frame->page == kInvalidPage) return base::Status::OK();
+  if (frame->dirty) {
+    obs::ScopedSpan span(tracer_, obs::SpanKind::kPageWrite, frame->page);
+    EDUCE_RETURN_IF_ERROR(file_->Write(frame->page, frame->data.get()));
+    ++stats_.writebacks;
+    frame->dirty = false;
+  }
+  resident_.erase(frame->page);
+  frame->page = kInvalidPage;
+  ++stats_.evictions;
+  return base::Status::OK();
+}
+
+base::Result<BufferPool::Frame*> BufferPool::GrabFrame() {
+  Frame* victim = nullptr;
   uint64_t oldest = UINT64_MAX;
-  for (uint32_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (frame.page == kInvalidPage) return i;  // empty frame
+  for (Frame& frame : frames_) {
+    if (frame.page == kInvalidPage) return &frame;  // empty frame
     if (frame.pin_count == 0 && frame.last_used < oldest) {
       oldest = frame.last_used;
-      victim = i;
+      victim = &frame;
     }
   }
-  if (victim == UINT32_MAX) {
+  if (victim == nullptr) {
     return base::Status::ResourceExhausted("all buffer frames pinned");
   }
-  Frame& frame = frames_[victim];
-  if (frame.dirty) {
-    obs::ScopedSpan span(tracer_, obs::SpanKind::kPageWrite, frame.page);
-    EDUCE_RETURN_IF_ERROR(file_->Write(frame.page, frame.data.get()));
-    ++stats_.writebacks;
-    frame.dirty = false;
-  }
-  resident_.erase(frame.page);
-  frame.page = kInvalidPage;
-  ++stats_.evictions;
+  EDUCE_RETURN_IF_ERROR(EvictFrame(victim));
   return victim;
 }
 
@@ -98,38 +100,36 @@ base::Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = resident_.find(id);
   if (it != resident_.end()) {
     ++stats_.hits;
-    Frame& frame = frames_[it->second];
-    ++frame.pin_count;
-    Touch(it->second);
-    return PageHandle(this, it->second);
+    Frame* frame = it->second;
+    ++frame->pin_count;
+    Touch(frame);
+    return PageHandle(this, frame);
   }
   ++stats_.misses;
-  EDUCE_ASSIGN_OR_RETURN(uint32_t idx, GrabFrame());
-  Frame& frame = frames_[idx];
+  EDUCE_ASSIGN_OR_RETURN(Frame * frame, GrabFrame());
   {
     obs::ScopedSpan span(tracer_, obs::SpanKind::kPageRead, id);
-    EDUCE_RETURN_IF_ERROR(file_->Read(id, frame.data.get()));
+    EDUCE_RETURN_IF_ERROR(file_->Read(id, frame->data.get()));
   }
-  frame.page = id;
-  frame.pin_count = 1;
-  frame.dirty = false;
-  resident_[id] = idx;
-  Touch(idx);
-  return PageHandle(this, idx);
+  frame->page = id;
+  frame->pin_count = 1;
+  frame->dirty = false;
+  resident_[id] = frame;
+  Touch(frame);
+  return PageHandle(this, frame);
 }
 
 base::Result<PageHandle> BufferPool::New() {
   std::lock_guard<std::mutex> lock(mu_);
   PageId id = file_->Allocate();
-  EDUCE_ASSIGN_OR_RETURN(uint32_t idx, GrabFrame());
-  Frame& frame = frames_[idx];
-  std::memset(frame.data.get(), 0, file_->page_size());
-  frame.page = id;
-  frame.pin_count = 1;
-  frame.dirty = true;  // must reach the file eventually
-  resident_[id] = idx;
-  Touch(idx);
-  return PageHandle(this, idx);
+  EDUCE_ASSIGN_OR_RETURN(Frame * frame, GrabFrame());
+  std::memset(frame->data.get(), 0, file_->page_size());
+  frame->page = id;
+  frame->pin_count = 1;
+  frame->dirty = true;  // must reach the file eventually
+  resident_[id] = frame;
+  Touch(frame);
+  return PageHandle(this, frame);
 }
 
 base::Status BufferPool::FlushAll() {
@@ -160,6 +160,49 @@ base::Status BufferPool::Invalidate() {
     }
     resident_.erase(frame.page);
     frame.page = kInvalidPage;
+  }
+  return base::Status::OK();
+}
+
+base::Status BufferPool::Resize(uint32_t num_frames) {
+  if (num_frames < 2) num_frames = 2;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (frames_.size() < num_frames) {
+    Frame& frame = frames_.emplace_back();
+    frame.data = std::make_unique<char[]>(file_->page_size());
+  }
+  while (frames_.size() > num_frames) {
+    Frame& back = frames_.back();
+    // A pinned tail frame pins the whole shrink at this size: its buffer
+    // is reachable through a live PageHandle and must not be destroyed.
+    // The governor simply retries on a later rebalance.
+    if (back.pin_count > 0) break;
+    if (back.page != kInvalidPage) {
+      // Drop the globally coldest page (LRU, as a capacity eviction
+      // would); if the tail page itself survives, migrate it into the
+      // frame that just opened up so shrinking costs the *cold* page.
+      Frame* victim = nullptr;
+      uint64_t oldest = UINT64_MAX;
+      for (Frame& frame : frames_) {
+        if (frame.page != kInvalidPage && frame.pin_count == 0 &&
+            frame.last_used < oldest) {
+          oldest = frame.last_used;
+          victim = &frame;
+        }
+      }
+      assert(victim != nullptr);  // `back` itself qualifies
+      EDUCE_RETURN_IF_ERROR(EvictFrame(victim));
+      if (victim != &back && back.page != kInvalidPage) {
+        victim->page = back.page;
+        victim->dirty = back.dirty;
+        victim->last_used = back.last_used;
+        victim->data.swap(back.data);
+        resident_[victim->page] = victim;
+        back.page = kInvalidPage;
+        back.dirty = false;
+      }
+    }
+    frames_.pop_back();
   }
   return base::Status::OK();
 }

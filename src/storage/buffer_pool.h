@@ -2,10 +2,10 @@
 #define EDUCE_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "base/counter.h"
 #include "base/result.h"
@@ -33,7 +33,6 @@ class BufferPool;
 class PageHandle {
  public:
   PageHandle() = default;
-  PageHandle(BufferPool* pool, uint32_t frame);
   ~PageHandle();
 
   PageHandle(const PageHandle&) = delete;
@@ -51,20 +50,31 @@ class PageHandle {
   void Release();
 
  private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, void* frame) : pool_(pool), frame_(frame) {}
+
   BufferPool* pool_ = nullptr;
-  uint32_t frame_ = 0;
+  void* frame_ = nullptr;  // BufferPool::Frame*; opaque to keep Frame private
 };
 
-/// A fixed-frame LRU buffer manager over a PagedFile.
+/// An LRU buffer manager over a PagedFile whose frame count can change at
+/// runtime (the memory governor's lever, DESIGN.md §12).
 ///
 /// Thread safety (DESIGN.md §10): frame bookkeeping (residency map, pins,
-/// LRU ticks, eviction) is guarded by an internal mutex, so concurrent
-/// worker sessions may Fetch pages of one shared pool. Page *data* is not
-/// guarded here: while a page is pinned its frame cannot be recycled, and
-/// callers that mutate data must hold an exclusive latch above the pool
-/// (the ClauseStore write latch) so no reader shares the pin. The mutex
-/// is never held across file I/O initiated by other components, and pool
-/// methods never call out while holding it, so it is a leaf lock.
+/// LRU ticks, eviction, resizing) is guarded by an internal mutex, so
+/// concurrent worker sessions may Fetch pages of one shared pool. Page
+/// *data* is not guarded here: while a page is pinned its frame cannot be
+/// recycled, and callers that mutate data must hold an exclusive latch
+/// above the pool (the ClauseStore write latch) so no reader shares the
+/// pin. The mutex is never held across file I/O initiated by other
+/// components, and pool methods never call out while holding it, so it is
+/// a leaf lock.
+///
+/// Frames live in a deque and handles address them by pointer: growing
+/// appends frames without relocating existing ones, and shrinking only
+/// destroys unpinned tail frames (their hot pages migrate into frames
+/// freed by evicting the globally least-recently-used pages first), so a
+/// pinned page's buffer never moves while a PageHandle can reach it.
 class BufferPool {
  public:
   /// `file` must outlive the pool. `num_frames` >= 2.
@@ -86,7 +96,19 @@ class BufferPool {
   /// buffer cache for first-run benchmarks.
   base::Status Invalidate();
 
-  uint32_t num_frames() const { return static_cast<uint32_t>(frames_.size()); }
+  /// Changes the frame count to `num_frames` (clamped to >= 2). Growing
+  /// takes effect immediately. Shrinking evicts the coldest pages first
+  /// (via the existing LRU order, writing back dirty ones) and migrates
+  /// surviving tail pages inward; it stops early — returning OK with a
+  /// larger pool than asked — if the tail frames still in use are pinned,
+  /// so a resize never blocks on or invalidates a live PageHandle. Check
+  /// num_frames() for the achieved size.
+  base::Status Resize(uint32_t num_frames);
+
+  uint32_t num_frames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(frames_.size());
+  }
   uint32_t page_size() const { return file_->page_size(); }
   PagedFile* file() { return file_; }
 
@@ -103,6 +125,7 @@ class BufferPool {
 
   /// Capacity of the pool in bytes (all frames).
   uint64_t capacity_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint64_t>(frames_.size()) * page_size();
   }
 
@@ -124,17 +147,23 @@ class BufferPool {
     std::unique_ptr<char[]> data;
   };
 
-  void Unpin(uint32_t frame);
-  void Touch(uint32_t frame) { frames_[frame].last_used = ++tick_; }
+  void Unpin(Frame* frame);
+  void Touch(Frame* frame) { frame->last_used = ++tick_; }
 
   // Picks a frame to (re)use: an empty frame or the LRU unpinned frame,
   // writing it back if dirty. Fails if everything is pinned. Requires
   // mu_ held.
-  base::Result<uint32_t> GrabFrame();
+  base::Result<Frame*> GrabFrame();
+
+  // Writes `frame` back if dirty and drops its page (requires mu_ held;
+  // the frame must be unpinned). Counts an eviction when a page was held.
+  base::Status EvictFrame(Frame* frame);
 
   PagedFile* file_;
-  std::vector<Frame> frames_;  // sized once in the ctor, never resized
-  std::unordered_map<PageId, uint32_t> resident_;
+  // Deque: growth never relocates existing frames, so Frame* stays valid
+  // in concurrently held PageHandles; shrink only pops unpinned tails.
+  std::deque<Frame> frames_;
+  std::unordered_map<PageId, Frame*> resident_;
   uint64_t tick_ = 0;
   mutable std::mutex mu_;
   BufferPoolStats stats_;

@@ -54,9 +54,13 @@ base::Status PagedFile::Read(PageId id, char* out) {
     return base::Status::OutOfRange("read of unallocated page " +
                                     std::to_string(id));
   }
+  const auto start = std::chrono::steady_clock::now();
   ChargeLatency();
   std::memcpy(out, pages_[id].get(), options_.page_size);
   ++stats_.pages_read;
+  stats_.read_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
   return base::Status::OK();
 }
 

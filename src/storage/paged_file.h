@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/counter.h"
 #include "base/status.h"
 #include "storage/page.h"
 
@@ -15,10 +16,18 @@ namespace educe::storage {
 /// (§2.2) hinges on "the time needed to read a portion of a block ... is
 /// the same as to read the whole block", so all I/O here is whole pages
 /// and all accounting is in pages.
+/// Relaxed atomics: worker sessions read pages concurrently through the
+/// shared buffer pool, and the memory governor samples these counters
+/// from retiring query threads without any pool lock.
 struct PagedFileStats {
-  uint64_t pages_read = 0;
-  uint64_t pages_written = 0;
-  uint64_t pages_allocated = 0;
+  base::RelaxedCounter pages_read;
+  base::RelaxedCounter pages_written;
+  base::RelaxedCounter pages_allocated;
+  /// Wall time spent inside Read(), simulated latency included. Dividing
+  /// by pages_read gives the measured cost of one page reread — the
+  /// buffer-pool-miss price the memory governor's cost model needs
+  /// (DESIGN.md §12).
+  base::RelaxedCounter read_ns;
 };
 
 /// The "disc": a page-addressed store with whole-page transfer semantics

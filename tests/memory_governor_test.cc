@@ -1,0 +1,237 @@
+// The adaptive memory governor (DESIGN.md §12): clamp math at hostile
+// budgets, the pure cost model's attribution and hysteresis, and the
+// engine-level behaviours — rebalance frequency bounded by the interval,
+// and split changes racing concurrent worker sessions (run under TSan
+// via scripts/check_sanitizers.sh thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "educe/engine.h"
+#include "educe/memory_governor.h"
+
+namespace educe {
+namespace {
+
+constexpr uint32_t kPage = 4096;
+
+GovernorOptions DefaultOptions() { return GovernorOptions{}; }
+
+TEST(GovernorClampTest, ScalesFloorsWhenBudgetBelowTheirSum) {
+  GovernorOptions options = DefaultOptions();
+  options.pool_floor_bytes = 64 << 10;
+  options.cache_floor_bytes = 256 << 10;
+  const uint64_t budget = 96 << 10;  // < 320 KiB of floors
+
+  const auto split = MemoryGovernor::ClampSplit(0, budget, options, kPage);
+  // Floors shrink proportionally: both stores keep a share, nothing
+  // underflows, and the split still honours the pool's two-page minimum.
+  EXPECT_GE(split.pool_bytes, 2u * kPage);
+  EXPECT_EQ(split.pool_bytes % kPage, 0u);
+  EXPECT_GT(split.cache_bytes, 0u);
+  EXPECT_LE(split.pool_bytes + split.cache_bytes, budget + kPage);
+}
+
+TEST(GovernorClampTest, TinyBudgetKeepsStructuralPoolMinimum) {
+  GovernorOptions options = DefaultOptions();
+  const uint64_t budget = 1024;  // below even one page
+
+  const auto split = MemoryGovernor::ClampSplit(0, budget, options, kPage);
+  // The pool cannot function under two frames; the cache absorbs the
+  // shortfall by saturating to zero rather than wrapping around.
+  EXPECT_EQ(split.pool_bytes, 2u * kPage);
+  EXPECT_EQ(split.cache_bytes, 0u);
+}
+
+TEST(GovernorClampTest, CapsBoundEachStore) {
+  GovernorOptions options = DefaultOptions();
+  options.pool_floor_bytes = 8 << 10;
+  options.cache_floor_bytes = 8 << 10;
+  options.pool_cap_bytes = 64 << 10;
+  options.cache_cap_bytes = 128 << 10;
+  const uint64_t budget = 1 << 20;
+
+  // A pool-greedy target stops at the pool cap; the cache's grant stops
+  // at its own cap, leaving the rest of the budget unspent.
+  const auto split = MemoryGovernor::ClampSplit(budget, budget, options, kPage);
+  EXPECT_LE(split.pool_bytes, options.pool_cap_bytes);
+  EXPECT_LE(split.cache_bytes, options.cache_cap_bytes);
+}
+
+MemoryGovernor::WindowInputs IdleWindow(uint64_t budget) {
+  MemoryGovernor::WindowInputs in;
+  in.window_retirements = 32;
+  in.pool_capacity_bytes = budget / 2;
+  in.cache_capacity_bytes = budget - budget / 2;
+  in.pool_resident_bytes = in.pool_capacity_bytes;
+  in.cache_resident_bytes = in.cache_capacity_bytes;
+  return in;
+}
+
+TEST(GovernorDecideTest, NoPressureMovesNothing) {
+  const uint64_t budget = 1 << 20;
+  const auto d = MemoryGovernor::Decide(IdleWindow(budget), budget,
+                                        DefaultOptions(), kPage);
+  EXPECT_EQ(d.pool_benefit_ns_per_byte, 0.0);
+  EXPECT_EQ(d.cache_benefit_ns_per_byte, 0.0);
+  EXPECT_EQ(d.bytes_moved, 0);
+}
+
+TEST(GovernorDecideTest, CacheThrashGrowsCache) {
+  const uint64_t budget = 1 << 20;
+  GovernorOptions options = DefaultOptions();
+  options.pool_floor_bytes = 8 << 10;
+  options.cache_floor_bytes = 8 << 10;
+  auto in = IdleWindow(budget);
+  in.cache_misses = 200;
+  in.cache_evictions = 180;
+  in.decode_ns = 5'000'000;
+  in.link_ns = 2'000'000;
+
+  const auto d = MemoryGovernor::Decide(in, budget, options, kPage);
+  EXPECT_GT(d.cache_benefit_ns_per_byte, 0.0);
+  EXPECT_EQ(d.pool_benefit_ns_per_byte, 0.0);
+  EXPECT_GT(d.bytes_moved, 0);  // pool -> cache
+  EXPECT_LT(d.pool_target_bytes, in.pool_capacity_bytes);
+}
+
+TEST(GovernorDecideTest, RuleFetchTimeIsBilledToTheCache) {
+  // The deadlock case the attribution exists for: every code-cache miss
+  // refetches clause-payload pages, so the pool shows misses, evictions
+  // and a large page_read_ns — but all of that read time happened inside
+  // the EDB rule-fetch path. The cache must win this window; billing the
+  // reads to the pool would stall the split while the cache thrashes.
+  const uint64_t budget = 1 << 20;
+  auto in = IdleWindow(budget);
+  in.pool_misses = 400;
+  in.pool_evictions = 350;
+  in.page_read_ns = 20'000'000;
+  in.rule_fetch_ns = 19'500'000;  // nearly all of it
+  in.cache_misses = 200;
+  in.cache_evictions = 180;
+  in.decode_ns = 3'000'000;
+  in.link_ns = 1'000'000;
+
+  const auto d = MemoryGovernor::Decide(in, budget, DefaultOptions(), kPage);
+  EXPECT_GT(d.cache_benefit_ns_per_byte,
+            d.pool_benefit_ns_per_byte * DefaultOptions().hysteresis);
+  EXPECT_GT(d.bytes_moved, 0);
+}
+
+TEST(GovernorDecideTest, HysteresisHoldsNearTies) {
+  const uint64_t budget = 1 << 20;
+  auto in = IdleWindow(budget);
+  // Both stores under pressure with benefits within the 1.25x band.
+  in.pool_misses = 100;
+  in.pool_evictions = 100;
+  in.page_read_ns = 5'000'000;
+  in.cache_misses = 100;
+  in.cache_evictions = 100;
+  in.decode_ns = 5'500'000;
+
+  const auto d = MemoryGovernor::Decide(in, budget, DefaultOptions(), kPage);
+  EXPECT_GT(d.pool_benefit_ns_per_byte, 0.0);
+  EXPECT_GT(d.cache_benefit_ns_per_byte, 0.0);
+  EXPECT_EQ(d.bytes_moved, 0);
+}
+
+std::string NumFacts(int n) {
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) out << "num(" << i << ", " << i * 3 << ").\n";
+  return out.str();
+}
+
+TEST(GovernorEngineTest, BudgetBelowFloorsStillWorks) {
+  EngineOptions options;
+  options.memory_budget_bytes = 32 << 10;  // under the default floors' sum
+  Engine engine(options);
+  ASSERT_NE(engine.governor(), nullptr);
+
+  ASSERT_TRUE(engine.StoreFactsExternal(NumFacts(50)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("twice(X, Y) :- num(X, Y).").ok());
+  auto count = engine.CountSolutions("twice(X, Y)");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 50u);
+
+  const auto split = engine.governor()->CurrentSplit();
+  EXPECT_GE(split.pool_bytes, 2u * engine.buffer_pool()->page_size());
+  engine.governor()->ForceRebalance();  // must not underflow either store
+  const auto after = engine.governor()->CurrentSplit();
+  EXPECT_GE(after.pool_bytes, 2u * engine.buffer_pool()->page_size());
+}
+
+TEST(GovernorEngineTest, RebalanceFrequencyBoundedByInterval) {
+  EngineOptions options;
+  options.memory_budget_bytes = 256 << 10;
+  options.governor.rebalance_interval = 8;
+  options.governor.pool_floor_bytes = 16 << 10;
+  options.governor.cache_floor_bytes = 16 << 10;
+  Engine engine(options);
+  ASSERT_NE(engine.governor(), nullptr);
+
+  ASSERT_TRUE(engine.StoreFactsExternal(NumFacts(200)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("twice(X, Y) :- num(X, Y).").ok());
+
+  // An oscillating workload: alternate fact-scan and rule queries so the
+  // two stores keep trading pressure.
+  constexpr int kQueries = 64;
+  for (int i = 0; i < kQueries; ++i) {
+    auto count = engine.CountSolutions(i % 2 == 0 ? "num(X, Y)"
+                                                  : "twice(X, Y)");
+    ASSERT_TRUE(count.ok()) << count.status();
+  }
+  MemoryGovernor& gov = *engine.governor();
+  // The structural bound — a decision only when the retirement counter
+  // crosses the interval — holds regardless of what the cost model wants
+  // to do with the oscillation: exactly one crossing per 8 retirements.
+  const uint64_t before = gov.decisions();
+  for (int i = 0; i < 64; ++i) gov.NoteRetirement();
+  EXPECT_EQ(gov.decisions() - before, 64u / 8);
+  EXPECT_LE(gov.rebalances(), gov.decisions());
+}
+
+TEST(GovernorEngineTest, RebalanceRacesWorkerSessionsCleanly) {
+  EngineOptions options;
+  options.memory_budget_bytes = 128 << 10;
+  options.governor.rebalance_interval = 4;  // rebalance often
+  options.governor.pool_floor_bytes = 16 << 10;
+  options.governor.cache_floor_bytes = 16 << 10;
+  Engine engine(options);
+  ASSERT_NE(engine.governor(), nullptr);
+
+  ASSERT_TRUE(engine.StoreFactsExternal(NumFacts(100)).ok());
+  ASSERT_TRUE(engine.StoreRulesExternal("twice(X, Y) :- num(X, Y).").ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    auto session = engine.OpenSession();
+    ASSERT_TRUE(session.ok()) << session.status();
+    threads.emplace_back([&failures, s = std::move(*session)]() mutable {
+      for (int round = 0; round < kRounds; ++round) {
+        auto count = s->CountSolutions(round % 2 == 0 ? "num(X, Y)"
+                                                      : "twice(X, Y)");
+        if (!count.ok() || *count != 100u) ++failures;
+      }
+    });
+  }
+  // Force decision windows from this thread while the workers' own
+  // retirements trigger more: pool resizes and cache SetLimits race
+  // live fetches and loads.
+  for (int i = 0; i < 50; ++i) engine.governor()->ForceRebalance();
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto split = engine.governor()->CurrentSplit();
+  EXPECT_GE(split.pool_bytes, 2u * engine.buffer_pool()->page_size());
+}
+
+}  // namespace
+}  // namespace educe

@@ -85,6 +85,77 @@ TEST(BufferPoolTest, PinnedPagesCannotAllBeEvicted) {
   EXPECT_FALSE(p3.ok());
 }
 
+TEST(BufferPoolTest, ResizeGrowTakesEffectImmediately) {
+  PagedFile file;
+  BufferPool pool(&file, 2);
+  ASSERT_TRUE(pool.Resize(4).ok());
+  EXPECT_EQ(pool.num_frames(), 4u);
+  EXPECT_EQ(pool.capacity_bytes(), 4u * file.page_size());
+
+  // All four frames can be pinned at once now.
+  std::vector<PageHandle> pinned;
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    pinned.push_back(std::move(*page));
+  }
+  EXPECT_FALSE(pool.New().ok());  // the fifth still fails
+}
+
+TEST(BufferPoolTest, ResizeShrinkEvictsColdestAndPreservesData) {
+  PagedFile file;
+  BufferPool pool(&file, 8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    page->data()[0] = static_cast<char>('a' + i);
+    page->MarkDirty();
+    ids.push_back(page->page_id());
+  }
+  ASSERT_TRUE(pool.Resize(2).ok());
+  EXPECT_EQ(pool.num_frames(), 2u);
+  EXPECT_GE(pool.stats().evictions, 6u);  // dirty pages written back
+
+  // Every page survives the shrink via writeback.
+  for (int i = 0; i < 8; ++i) {
+    auto page = pool.Fetch(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->data()[0], static_cast<char>('a' + i));
+  }
+}
+
+TEST(BufferPoolTest, ResizeShrinkStopsAtPinnedTailFrames) {
+  PagedFile file;
+  BufferPool pool(&file, 4);
+  std::vector<PageHandle> pinned;
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    page->data()[0] = static_cast<char>('p' + i);
+    pinned.push_back(std::move(*page));
+  }
+  // Every frame pinned: the shrink must not invalidate a live handle, so
+  // it returns OK having kept all four frames.
+  ASSERT_TRUE(pool.Resize(2).ok());
+  EXPECT_EQ(pool.num_frames(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pinned[i].data()[0], static_cast<char>('p' + i));
+  }
+
+  // Once the pins drop, a later resize completes.
+  for (auto& page : pinned) page.Release();
+  ASSERT_TRUE(pool.Resize(2).ok());
+  EXPECT_EQ(pool.num_frames(), 2u);
+}
+
+TEST(BufferPoolTest, ResizeClampsToTwoFrames) {
+  PagedFile file;
+  BufferPool pool(&file, 4);
+  ASSERT_TRUE(pool.Resize(0).ok());
+  EXPECT_EQ(pool.num_frames(), 2u);
+}
+
 TEST(BufferPoolTest, InvalidateDropsCleanState) {
   PagedFile file;
   BufferPool pool(&file, 4);

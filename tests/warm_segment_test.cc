@@ -83,6 +83,66 @@ TEST(WarmSegmentTest, CrossSessionRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(WarmSegmentTest, CheckpointWritesImageMidSession) {
+  const std::string path = TempDbPath("checkpoint");
+  const std::string copy = TempDbPath("checkpoint_copy");
+  uint64_t checkpoint_solutions = 0;
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    BuildDatabase(&engine);
+    checkpoint_solutions = CountReach(&engine, "n0");
+    ASSERT_TRUE(engine.Checkpoint().ok());
+
+    // Model a crash between checkpoints: preserve the image as of the
+    // checkpoint, then keep mutating the live engine. The copy must
+    // reopen to exactly the checkpointed state.
+    std::filesystem::copy_file(path, copy);
+    ASSERT_TRUE(engine.StoreFactsExternal("edge(n99, n0).").ok());
+    EXPECT_GT(CountReach(&engine, "n99"), 0u);
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  {
+    EngineOptions options;
+    options.db_path = copy;
+    Engine engine(options);
+    EXPECT_TRUE(engine.attached());
+    EXPECT_TRUE(engine.open_status().ok()) << engine.open_status();
+    // State as of the checkpoint: the warm segment seeds, reach/n0
+    // agrees, and the post-checkpoint fact never existed here.
+    EXPECT_GT(engine.Stats().code_cache.warm_seeded, 0u);
+    EXPECT_EQ(CountReach(&engine, "n0"), checkpoint_solutions);
+    EXPECT_EQ(CountReach(&engine, "n99"), 0u);
+    // The checkpointed engine stays usable for further checkpoints.
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    EXPECT_EQ(CountReach(&engine, "n0"), checkpoint_solutions);
+  }
+  std::remove(path.c_str());
+  std::remove(copy.c_str());
+}
+
+TEST(WarmSegmentTest, CheckpointRefusedWhileSessionsActive) {
+  const std::string path = TempDbPath("checkpoint_sessions");
+  EngineOptions options;
+  options.db_path = path;
+  Engine engine(options);
+  BuildDatabase(&engine);
+
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  // A checkpoint under live worker sessions could capture a half-applied
+  // overlay; the engine refuses rather than write a torn image.
+  EXPECT_TRUE(engine.Checkpoint().IsFailedPrecondition());
+  session->reset();
+  EXPECT_TRUE(engine.Checkpoint().ok());
+
+  // A memory-only engine has nothing to checkpoint to.
+  Engine transient;
+  EXPECT_TRUE(transient.Checkpoint().IsFailedPrecondition());
+  std::remove(path.c_str());
+}
+
 TEST(WarmSegmentTest, CatalogPersistsWithoutWarmSegment) {
   const std::string path = TempDbPath("catalog_only");
   uint64_t cold_solutions = 0;
