@@ -394,6 +394,7 @@ int main() {
   Bar(adaptive.rebalances >= 2, "governor moved bytes at least twice");
 
   BenchJson json;
+  json.AddHostCores();
   json.Add("budget_bytes", kBudgetBytes);
   json.Add("solutions_scan", adaptive.scan.solutions);
   json.Add("solutions_rules", adaptive.rules.solutions);

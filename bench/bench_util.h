@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/result.h"
@@ -107,6 +108,16 @@ class BenchJson {
     Add(key + "_p95_ns", h.Percentile(95));
     Add(key + "_p99_ns", h.Percentile(99));
     Add(key + "_max_ns", h.max());
+  }
+
+  /// Records the host's core count under the well-known key
+  /// "host_cores". Every bench that emits BENCH_JSON should call this:
+  /// scripts/check_bench_regression.py uses it to skip core-dependent
+  /// metrics when a baseline recorded on one machine shape is compared
+  /// against results from another.
+  void AddHostCores() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    Add("host_cores", static_cast<uint64_t>(hw == 0 ? 1 : hw));
   }
 
   void Print() const { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }

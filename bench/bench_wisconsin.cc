@@ -173,6 +173,7 @@ int Main() {
 
   bench::BenchJson json;
   json.Add("bench", std::string("wisconsin"));
+  json.AddHostCores();
   int query_index = 0;
   for (const Query& query : queries) {
     // Cold: empty buffer pool.

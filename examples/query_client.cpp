@@ -1,0 +1,127 @@
+// Minimal client for the Educe* query server (DESIGN.md §13): connects,
+// sends one query over the JSON line protocol, and prints bindings as
+// the server streams them — each line arrives as the engine produces
+// the solution, so an infinite goal prints forever until ^C or --limit.
+//
+//   $ ./build/src/server/educe_server --consult examples/family.pl &
+//   $ ./build/examples/query_client --port <port> "ancestor(A, jim)"
+//   $ ./build/examples/query_client --port <port> "nat(X)" --limit 10
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/json.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--limit N] \"goal\"\n",
+               argv0);
+  return 2;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 4994;
+  uint64_t limit = 0;
+  std::string goal;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--limit" && i + 1 < argc) {
+      limit = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] != '-') {
+      goal = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (goal.empty()) return Usage(argv[0]);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  // JsonQuote handles goals containing quotes or backslashes.
+  std::string request = "{\"op\":\"query\",\"goal\":" +
+                        educe::server::JsonQuote(goal) + ",\"id\":1";
+  if (limit > 0) request += ",\"limit\":" + std::to_string(limit);
+  request += "}\n";
+  if (!SendAll(fd, request)) {
+    std::fprintf(stderr, "send failed\n");
+    ::close(fd);
+    return 1;
+  }
+
+  // Print each response line as it streams in; stop at done/error.
+  std::string buf;
+  char chunk[4096];
+  int exit_code = 0;
+  for (bool done = false; !done;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      std::fprintf(stderr, "server closed the connection\n");
+      exit_code = 1;
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while (!done && (nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+      auto doc = educe::server::ParseJson(line);
+      if (!doc.ok()) continue;
+      const std::string type = doc->GetString("type");
+      if (type == "done") done = true;
+      if (type == "error") {
+        done = true;
+        exit_code = 1;
+      }
+    }
+  }
+  ::close(fd);
+  return exit_code;
+}

@@ -46,6 +46,23 @@ SKIP_PATTERNS = [
     r"speedup",
     r"overhead",
     r"^cores$",
+    r"^host_cores$",
+]
+
+# Metrics whose *values* (even count-based ones) are shaped by how many
+# cores the host has: parallel-worker outcomes, admission queueing/shed
+# counts, per-worker splits. When the baseline and the results were
+# recorded on hosts with different host_cores, comparing these is
+# comparing the machines, not the engine — they are skipped with a note.
+# This closes the gating hole of a baseline recorded on a 1-core host
+# silently failing (or vacuously passing) on a many-core CI runner.
+CORE_DEPENDENT_PATTERNS = [
+    r"speedup",
+    r"_w\d+",        # per-worker-count columns (wisc_w4_ms style)
+    r"worker",
+    r"shed",
+    r"waited",
+    r"queue",
 ]
 
 # Metrics compared exactly: a solution-count change means the engine
@@ -86,17 +103,28 @@ def tolerance_for(bench_name, key):
     return DEFAULT_TOLERANCE
 
 
-def check_file(baseline_path, results_path):
-    """Returns a list of failure strings for one bench file."""
-    bench_name = baseline_path.stem
+def core_counts_differ(baseline, results):
+    """True when both sides recorded host_cores and they disagree."""
+    base_cores = baseline.get("host_cores")
+    result_cores = results.get("host_cores")
+    return (base_cores is not None and result_cores is not None
+            and base_cores != result_cores)
+
+
+def check_dicts(bench_name, baseline, results, notes=None):
+    """Compares two parsed bench dicts; returns failure strings."""
     failures = []
-    baseline = json.loads(baseline_path.read_text())
-    if not results_path.exists():
-        return [f"{bench_name}: results file missing ({results_path})"]
-    results = json.loads(results_path.read_text())
+    skip_core_dependent = core_counts_differ(baseline, results)
+    if skip_core_dependent and notes is not None:
+        notes.append(
+            f"{bench_name}: host_cores {baseline['host_cores']} (baseline) != "
+            f"{results['host_cores']} (results); core-dependent metrics "
+            f"skipped")
 
     for key, expected in baseline.items():
         if matches_any(SKIP_PATTERNS, key):
+            continue
+        if skip_core_dependent and matches_any(CORE_DEPENDENT_PATTERNS, key):
             continue
         if key not in results:
             failures.append(f"{bench_name}.{key}: missing from results")
@@ -122,15 +150,97 @@ def check_file(baseline_path, results_path):
     return failures
 
 
+def check_file(baseline_path, results_path, notes=None):
+    """Returns a list of failure strings for one bench file."""
+    bench_name = baseline_path.stem
+    baseline = json.loads(baseline_path.read_text())
+    if not results_path.exists():
+        return [f"{bench_name}: results file missing ({results_path})"]
+    results = json.loads(results_path.read_text())
+    return check_dicts(bench_name, baseline, results, notes)
+
+
+def self_test():
+    """Checks the checker itself — in particular that a host_cores
+    mismatch (injected here) suppresses exactly the core-dependent
+    metrics and nothing else. Run by CI as a test."""
+    base = {
+        "host_cores": 1,
+        "solutions": 100,          # exact
+        "pages_read": 50,          # tolerant count
+        "warm_ms": 12.5,           # wall-clock: never guarded
+        "wisc_speedup_w4": 0.49,   # core-dependent
+        "shed_timeout": 3,         # core-dependent count
+    }
+
+    def run(results):
+        return check_dicts("selftest", base, results)
+
+    failures = []
+
+    def expect(label, got, want_substrings):
+        got_text = "\n".join(got)
+        if len(got) != len(want_substrings):
+            failures.append(f"{label}: expected {len(want_substrings)} "
+                            f"failure(s), got {len(got)}: [{got_text}]")
+            return
+        for want in want_substrings:
+            if want not in got_text:
+                failures.append(f"{label}: missing '{want}' in [{got_text}]")
+
+    # Identical results on the same machine shape: clean.
+    expect("identical", run(dict(base)), [])
+
+    # Same cores: a core-dependent count drift IS flagged...
+    same_cores = dict(base, shed_timeout=30)
+    expect("same-cores drift", run(same_cores), ["selftest.shed_timeout"])
+
+    # ...but with mismatched cores the same drift is skipped, including
+    # the speedup-ish keys, while machine-independent counts still gate.
+    diff_cores = dict(base, host_cores=8, shed_timeout=30,
+                      wisc_speedup_w4=3.1)
+    expect("core-mismatch skip", run(diff_cores), [])
+    diff_cores_real_bug = dict(diff_cores, solutions=99)
+    expect("core-mismatch still gates counts", run(diff_cores_real_bug),
+           ["selftest.solutions"])
+
+    # Wall-clock never gates, whatever the machine shape.
+    expect("wall-clock skip", run(dict(base, warm_ms=9999.0)), [])
+
+    # Exact metrics tolerate nothing.
+    expect("exact", run(dict(base, solutions=101)), ["selftest.solutions"])
+
+    # A missing metric is a failure (a bench silently dropped a gauge).
+    missing = dict(base)
+    del missing["pages_read"]
+    expect("missing key", run(missing), ["selftest.pages_read"])
+
+    if failures:
+        print("self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("self-test passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("results_dir", type=Path,
+    parser.add_argument("results_dir", type=Path, nargs="?",
                         help="directory holding BENCH_*.json from run_benches.sh")
     parser.add_argument("--baselines", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "bench" / "baselines",
                         help="baseline directory (default: bench/baselines)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker's own skip/gate logic "
+                        "(including the host_cores mismatch rules) and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.results_dir is None:
+        parser.error("results_dir is required unless --self-test")
 
     baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
     if not baseline_files:
@@ -141,11 +251,14 @@ def main():
     checked = 0
     for baseline_path in baseline_files:
         results_path = args.results_dir / baseline_path.name
-        failures = check_file(baseline_path, results_path)
+        notes = []
+        failures = check_file(baseline_path, results_path, notes)
         all_failures.extend(failures)
         checked += 1
         status = "FAIL" if failures else "ok"
         print(f"{status:>4}  {baseline_path.name}")
+        for note in notes:
+            print(f"note  {note}")
 
     # New result files without a baseline are fine (a new bench lands
     # before its first baseline refresh) but worth surfacing.

@@ -603,11 +603,18 @@ base::Result<std::unique_ptr<Solutions>> Engine::Query(std::string_view goal) {
   // worker sessions read lock-free; route queries through a Session
   // while any are open.
   EDUCE_RETURN_IF_ERROR(RefuseIfSessionsActive("Engine::Query"));
+  if (query_active_) {
+    return base::Status::FailedPrecondition(
+        "Engine::Query refused: a Solutions from a previous query is still "
+        "active on this machine (at most one per machine; destroy it first)");
+  }
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&dictionary_, goal));
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
   std::unique_ptr<Solutions> solutions(
       new Solutions(machine_.get(), &dictionary_, std::move(read)));
+  query_active_ = true;
+  solutions->query_active_flag_ = &query_active_;
   AttachObservation(solutions.get(), goal, machine_.get(), &resolver_,
                     /*session_latency=*/nullptr);
   return solutions;
@@ -724,11 +731,18 @@ Session::~Session() {
 
 base::Result<std::unique_ptr<Solutions>> Session::Query(
     std::string_view goal) {
+  if (query_active_) {
+    return base::Status::FailedPrecondition(
+        "Session::Query refused: a Solutions from a previous query is still "
+        "active on this machine (at most one per machine; destroy it first)");
+  }
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&engine_->dictionary_, goal));
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
   std::unique_ptr<Solutions> solutions(
       new Solutions(machine_.get(), &engine_->dictionary_, std::move(read)));
+  query_active_ = true;
+  solutions->query_active_flag_ = &query_active_;
   engine_->AttachObservation(solutions.get(), goal, machine_.get(), &resolver_,
                              &latency_);
   return solutions;
@@ -1099,12 +1113,28 @@ std::string Engine::ExportMetricsJson() {
 }
 
 Solutions::~Solutions() {
+  // Free the machine before the observation finalizer runs: the owner
+  // may open its next query from the same thread immediately after.
+  ReleaseMachine();
   if (on_retire_) on_retire_(solutions_seen_);
+}
+
+void Solutions::ReleaseMachine() {
+  if (machine_released_) return;
+  machine_released_ = true;
+  if (query_active_flag_ != nullptr) *query_active_flag_ = false;
 }
 
 base::Result<bool> Solutions::Next() {
   base::Result<bool> more = machine_->NextSolution();
-  if (more.ok() && *more) ++solutions_seen_;
+  if (more.ok() && *more) {
+    ++solutions_seen_;
+  } else {
+    // Exhausted or failed: the enumeration is over, so the machine is
+    // free for the owner's next Query even while this object lives on
+    // (holding a finished Solutions for its bindings is legitimate).
+    ReleaseMachine();
+  }
   return more;
 }
 

@@ -115,7 +115,13 @@ class Session;
 /// One query's solutions, streamed. Obtained from Engine::Query or
 /// Session::Query; at most one Solutions may be active per machine at a
 /// time (each engine/session owns a single machine, per the paper's
-/// one-process-per-session model).
+/// one-process-per-session model). The owner *enforces* this: a second
+/// Query while a Solutions is live returns FailedPrecondition instead of
+/// resetting the machine under the live iterator. "Live" means still
+/// enumerable: a Solutions whose Next returned false (exhausted) or an
+/// error releases the machine immediately, so holding a finished one
+/// does not block the next Query. Destroying a Solutions mid-enumeration
+/// is also fine (the server's disconnect path) and frees the machine.
 class Solutions {
  public:
   /// Retiring the query finalizes its observation: latency lands in the
@@ -142,10 +148,21 @@ class Solutions {
             reader::ReadTerm read)
       : machine_(machine), dictionary_(dictionary), read_(std::move(read)) {}
 
+  /// Clears the owner's query_active flag exactly once — at the first
+  /// terminal Next (exhausted or error) or at destruction, whichever
+  /// comes first. Guarded by machine_released_, so a stale Solutions
+  /// destroyed after the owner opened its next query cannot clobber the
+  /// new query's flag.
+  void ReleaseMachine();
+
   wam::Machine* machine_;
   const dict::Dictionary* dictionary_;
   reader::ReadTerm read_;
   uint64_t solutions_seen_ = 0;
+  /// The owner's one-Solutions-per-machine flag (Engine::query_active_
+  /// or Session::query_active_), cleared via ReleaseMachine.
+  bool* query_active_flag_ = nullptr;
+  bool machine_released_ = false;
   /// Observation finalizer installed by Engine/Session::Query; runs once
   /// at destruction with the solution count.
   std::function<void(uint64_t)> on_retire_;
@@ -171,8 +188,13 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Opens a query on this session's machine.
+  /// Opens a query on this session's machine. FailedPrecondition while a
+  /// previous Solutions from this session is still live — not yet
+  /// exhausted, failed, or destroyed (at most one per machine).
   base::Result<std::unique_ptr<Solutions>> Query(std::string_view goal);
+
+  /// Whether a Solutions from this session is still live.
+  bool query_active() const { return query_active_; }
 
   /// Convenience: run `goal`, return whether it has at least one solution.
   base::Result<bool> Succeeds(std::string_view goal);
@@ -192,6 +214,11 @@ class Session {
   wam::Program overlay_;
   edb::EdbResolver resolver_;
   std::unique_ptr<wam::Machine> machine_;
+  /// True while a Solutions from this session is alive; cleared by its
+  /// retirement finalizer. A session is single-threaded by contract, so
+  /// a plain bool suffices (cross-thread handoff of a session must be
+  /// externally synchronized, as the server's pool is).
+  bool query_active_ = false;
   /// Per-worker query-latency histogram (DESIGN.md §11): recorded without
   /// any engine lock while the session runs, merged into the engine-wide
   /// histogram when the session retires. Merging is associative, so any
@@ -290,7 +317,13 @@ class Engine {
   /// --- queries -------------------------------------------------------------
 
   /// Opens a query. The returned object borrows the engine's machine.
+  /// FailedPrecondition while a previous Solutions is still live — not
+  /// yet exhausted, failed, or destroyed (at most one Solutions per
+  /// machine) — or while worker sessions are open.
   base::Result<std::unique_ptr<Solutions>> Query(std::string_view goal);
+
+  /// Whether a Solutions from Engine::Query is still live.
+  bool query_active() const { return query_active_; }
 
   /// Convenience: run `goal`, return whether it has at least one solution.
   base::Result<bool> Succeeds(std::string_view goal);
@@ -496,6 +529,9 @@ class Engine {
   edb::Loader loader_;
   edb::EdbResolver resolver_;
   std::unique_ptr<wam::Machine> machine_;
+  /// True while a Solutions from Engine::Query is alive (see Session's
+  /// twin flag; the engine's direct-query path is single-threaded).
+  bool query_active_ = false;
   /// Non-null iff options_.memory_budget_bytes > 0; constructed after the
   /// subsystems it steers, before the first query can retire.
   std::unique_ptr<MemoryGovernor> governor_;

@@ -17,6 +17,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kPageRead: return "page_read";
     case SpanKind::kPageWrite: return "page_write";
     case SpanKind::kGovernor: return "governor";
+    case SpanKind::kServerConn: return "server_conn";
+    case SpanKind::kServerQuery: return "server_query";
   }
   return "unknown";
 }

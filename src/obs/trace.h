@@ -26,8 +26,12 @@ enum class SpanKind : uint8_t {
   kPageRead,        // BufferPool miss -> PagedFile::Read
   kPageWrite,       // BufferPool writeback -> PagedFile::Write
   kGovernor,        // MemoryGovernor rebalance decision (detail = seq)
+  kServerConn,      // query server: one client connection, accept -> close
+                    //   (detail = connection id)
+  kServerQuery,     // query server: one request, parse -> final line
+                    //   (detail = connection id)
 };
-inline constexpr size_t kSpanKindCount = 10;
+inline constexpr size_t kSpanKindCount = 12;
 
 const char* SpanKindName(SpanKind kind);
 

@@ -1,0 +1,90 @@
+#ifndef EDUCE_SERVER_ADMISSION_H_
+#define EDUCE_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "server/session_pool.h"
+
+namespace educe::server {
+
+/// Why an admission attempt yielded no session.
+enum class AdmitOutcome : uint8_t {
+  kAdmitted = 0,
+  kShedPressure,  // memory pressure: refused without queueing
+  kShedTimeout,   // queued the full wait and no session freed up
+};
+
+struct AdmissionOptions {
+  /// How long a request may queue for a pooled session before it is
+  /// shed. 0 = never queue (pure try-acquire).
+  uint64_t queue_wait_ms = 2000;
+
+  /// Memory-pressure probe, polled once per admission attempt. While it
+  /// returns true the queue is bypassed entirely: a request either gets
+  /// an idle session right now or is shed immediately. Queueing under
+  /// memory pressure would be exactly backwards — parked requests hold
+  /// their connections while the engine needs queries to *retire* so the
+  /// governor can rebalance. The server wires in a MemoryGovernor-based
+  /// default (see QueryServer); tests inject a deterministic one.
+  std::function<bool()> pressure_fn;
+};
+
+/// Admission control in front of the session pool: the server's
+/// backpressure valve. Degrades in two stages — at capacity requests
+/// queue (bounded wait), under memory pressure they shed — so overload
+/// produces fast, explicit "unavailable" errors instead of an unbounded
+/// convoy of slow ones.
+class AdmissionControl {
+ public:
+  AdmissionControl(SessionPool* pool, AdmissionOptions options)
+      : pool_(pool), options_(std::move(options)) {}
+
+  struct Ticket {
+    Session* session = nullptr;  // non-null iff outcome == kAdmitted
+    AdmitOutcome outcome = AdmitOutcome::kShedTimeout;
+  };
+
+  /// One admission attempt; blocks at most queue_wait_ms.
+  Ticket Admit() {
+    const bool pressured = options_.pressure_fn && options_.pressure_fn();
+    const uint64_t wait_ms = pressured ? 0 : options_.queue_wait_ms;
+    Session* session = pool_->Acquire(wait_ms);
+    if (session != nullptr) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return Ticket{session, AdmitOutcome::kAdmitted};
+    }
+    if (pressured) {
+      shed_pressure_.fetch_add(1, std::memory_order_relaxed);
+      return Ticket{nullptr, AdmitOutcome::kShedPressure};
+    }
+    shed_timeout_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{nullptr, AdmitOutcome::kShedTimeout};
+  }
+
+  void Release(Session* session) { pool_->Release(session); }
+
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_pressure() const {
+    return shed_pressure_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_timeout() const {
+    return shed_timeout_.load(std::memory_order_relaxed);
+  }
+
+  SessionPool* pool() { return pool_; }
+
+ private:
+  SessionPool* pool_;
+  AdmissionOptions options_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_pressure_{0};
+  std::atomic<uint64_t> shed_timeout_{0};
+};
+
+}  // namespace educe::server
+
+#endif  // EDUCE_SERVER_ADMISSION_H_

@@ -1,0 +1,343 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace educe::server {
+
+namespace {
+
+/// Recursive-descent parser over a bounded cursor. Depth is decremented
+/// on every nested container; hitting zero rejects the document.
+class Parser {
+ public:
+  Parser(std::string_view text, uint32_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  base::Result<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue value;
+    EDUCE_RETURN_IF_ERROR(ParseValue(&value, max_depth_));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  base::Status Error(const std::string& what) const {
+    return base::Status::InvalidArgument("JSON parse error at byte " +
+                                         std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  base::Status ParseValue(JsonValue* out, uint32_t depth) {
+    if (depth == 0) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        if (!ConsumeWord("true")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return base::Status::OK();
+      case 'f':
+        if (!ConsumeWord("false")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return base::Status::OK();
+      case 'n':
+        if (!ConsumeWord("null")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kNull;
+        return base::Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  base::Status ParseObject(JsonValue* out, uint32_t depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return base::Status::OK();
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      EDUCE_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      EDUCE_RETURN_IF_ERROR(ParseValue(&value, depth - 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return base::Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  base::Status ParseArray(JsonValue* out, uint32_t depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return base::Status::OK();
+    while (true) {
+      JsonValue value;
+      EDUCE_RETURN_IF_ERROR(ParseValue(&value, depth - 1));
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return base::Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  base::Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        if (!ValidUtf8(*out)) return Error("string is not valid UTF-8");
+        return base::Status::OK();
+      }
+      if (c == '\\') {
+        EDUCE_RETURN_IF_ERROR(ParseEscape(out));
+        continue;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  base::Status ParseEscape(std::string* out) {
+    ++pos_;  // backslash
+    if (pos_ >= text_.size()) return Error("unterminated escape");
+    const char e = text_[pos_++];
+    switch (e) {
+      case '"': out->push_back('"'); return base::Status::OK();
+      case '\\': out->push_back('\\'); return base::Status::OK();
+      case '/': out->push_back('/'); return base::Status::OK();
+      case 'b': out->push_back('\b'); return base::Status::OK();
+      case 'f': out->push_back('\f'); return base::Status::OK();
+      case 'n': out->push_back('\n'); return base::Status::OK();
+      case 'r': out->push_back('\r'); return base::Status::OK();
+      case 't': out->push_back('\t'); return base::Status::OK();
+      case 'u': {
+        uint32_t cp = 0;
+        EDUCE_RETURN_IF_ERROR(ParseHex4(&cp));
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: require the paired low surrogate.
+          if (!Consume('\\') || !Consume('u')) {
+            return Error("unpaired UTF-16 surrogate");
+          }
+          uint32_t low = 0;
+          EDUCE_RETURN_IF_ERROR(ParseHex4(&low));
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return Error("invalid UTF-16 surrogate pair");
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return Error("unpaired UTF-16 surrogate");
+        }
+        AppendUtf8(out, cp);
+        return base::Status::OK();
+      }
+      default:
+        return Error("unknown escape");
+    }
+  }
+
+  base::Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("bad hex digit in \\u escape");
+    }
+    pos_ += 4;
+    *out = value;
+    return base::Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  base::Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size()) {
+      return Error("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return base::Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  uint32_t max_depth_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string : std::string(fallback);
+}
+
+uint64_t JsonValue::GetUint(std::string_view key, uint64_t fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number() || v->number < 0) return fallback;
+  return static_cast<uint64_t>(v->number);
+}
+
+base::Result<JsonValue> ParseJson(std::string_view text, uint32_t max_depth) {
+  return Parser(text, max_depth).Parse();
+}
+
+bool ValidUtf8(std::string_view bytes) {
+  size_t i = 0;
+  const size_t n = bytes.size();
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(bytes[i]);
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    size_t len;
+    uint32_t cp;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1F;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0F;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07;
+    } else {
+      return false;  // stray continuation byte or 0xFE/0xFF
+    }
+    if (i + len > n) return false;
+    for (size_t k = 1; k < len; ++k) {
+      const unsigned char cont = static_cast<unsigned char>(bytes[i + k]);
+      if ((cont & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (cont & 0x3F);
+    }
+    // Overlongs, surrogates, and out-of-range values are all invalid.
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || cp > 0x10FFFF ||
+        (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace educe::server

@@ -1,0 +1,63 @@
+#ifndef EDUCE_SERVER_JSON_H_
+#define EDUCE_SERVER_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace educe::server {
+
+/// Minimal JSON document model for the server's line protocol. The
+/// engine already *writes* JSON by hand everywhere (ExportMetricsJson,
+/// BENCH_JSON, profiles); what the server adds is the read side — a
+/// strict parser for untrusted request lines. Strict means: full UTF-8
+/// validation, bounded nesting depth, bounded input size (enforced by
+/// the caller's line framing), no trailing garbage, and precise errors —
+/// every rejection is an InvalidArgument naming what broke, never UB.
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string;  // decoded (escapes resolved), valid UTF-8
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults, for optional members.
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = "") const;
+  uint64_t GetUint(std::string_view key, uint64_t fallback = 0) const;
+};
+
+/// Parses one complete JSON document from `text`. The whole input must
+/// be consumed (surrounding ASCII whitespace allowed). `max_depth`
+/// bounds object/array nesting so adversarial input cannot blow the
+/// parse stack.
+base::Result<JsonValue> ParseJson(std::string_view text,
+                                  uint32_t max_depth = 32);
+
+/// True iff `bytes` is well-formed UTF-8 (rejects overlongs, surrogates,
+/// and values past U+10FFFF).
+bool ValidUtf8(std::string_view bytes);
+
+/// `s` rendered as a quoted JSON string literal (quotes included),
+/// escaping quotes, backslashes and control characters.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace educe::server
+
+#endif  // EDUCE_SERVER_JSON_H_

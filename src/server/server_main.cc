@@ -1,0 +1,135 @@
+// educe_server: the Educe* query server front-end.
+//
+//   educe_server [--host H] [--port P] [--db image.edb]
+//                [--consult file.pl ...] [--pool N] [--handlers N]
+//                [--budget-mb N] [--profiling] [--queue-wait-ms N]
+//
+// Loads the program (on-disk image and/or consulted source), then serves
+// the JSON line protocol (see server.h) until SIGINT/SIGTERM.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore.h>
+#include <string>
+#include <vector>
+
+#include "educe/engine.h"
+#include "server/server.h"
+
+namespace {
+
+sem_t g_stop_sem;
+
+void HandleSignal(int) { sem_post(&g_stop_sem); }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--db image.edb] [--consult f.pl]...\n"
+      "          [--pool N] [--handlers N] [--budget-mb N] [--profiling]\n"
+      "          [--queue-wait-ms N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  educe::EngineOptions engine_options;
+  educe::server::ServerOptions server_options;
+  std::vector<std::string> consult_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--db") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      engine_options.db_path = v;
+    } else if (arg == "--consult") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      consult_files.push_back(v);
+    } else if (arg == "--pool") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.pool_sessions = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--handlers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.handler_threads = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--budget-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      engine_options.memory_budget_bytes =
+          static_cast<uint64_t>(std::atoll(v)) << 20;
+    } else if (arg == "--queue-wait-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.queue_wait_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--profiling") {
+      engine_options.profiling = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  educe::Engine engine(engine_options);
+  if (!engine.open_status().ok()) {
+    std::fprintf(stderr, "warning: attached image rejected, starting cold: %s\n",
+                 engine.open_status().ToString().c_str());
+  }
+  for (const std::string& file : consult_files) {
+    const educe::base::Status status = engine.ConsultFile(file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "consult %s failed: %s\n", file.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  educe::server::QueryServer server(&engine, server_options);
+  const educe::base::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("educe_server listening on %s:%u (pool=%u)\n",
+              server_options.host.c_str(), server.port(),
+              server_options.pool_sessions);
+  std::fflush(stdout);
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
+  }
+
+  std::printf("shutting down: %s\n", server.StatsJson().c_str());
+  server.Stop();
+  const educe::base::Status closed = engine.Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "engine close failed: %s\n",
+                 closed.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "server/session_pool.h"
+
+#include <chrono>
+
+namespace educe::server {
+
+base::Result<std::unique_ptr<SessionPool>> SessionPool::Create(Engine* engine,
+                                                               uint32_t size) {
+  if (size == 0) {
+    return base::Status::InvalidArgument("session pool size must be > 0");
+  }
+  std::unique_ptr<SessionPool> pool(new SessionPool());
+  pool->sessions_.reserve(size);
+  pool->idle_.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    EDUCE_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                           engine->OpenSession());
+    pool->idle_.push_back(session.get());
+    pool->sessions_.push_back(std::move(session));
+  }
+  return pool;
+}
+
+SessionPool::~SessionPool() { Shutdown(); }
+
+Session* SessionPool::Acquire(uint64_t wait_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (idle_.empty() && !shutdown_ && wait_ms > 0) {
+    ++waited_;
+    available_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                        [this] { return !idle_.empty() || shutdown_; });
+  }
+  if (shutdown_ || idle_.empty()) {
+    ++exhausted_;
+    return nullptr;
+  }
+  Session* session = idle_.back();
+  idle_.pop_back();
+  ++acquired_;
+  return session;
+}
+
+void SessionPool::Release(Session* session) {
+  if (session == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(session);
+  }
+  available_.notify_one();
+}
+
+void SessionPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  available_.notify_all();
+}
+
+uint32_t SessionPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(idle_.size());
+}
+
+uint64_t SessionPool::acquired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquired_;
+}
+
+uint64_t SessionPool::waited() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waited_;
+}
+
+uint64_t SessionPool::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhausted_;
+}
+
+}  // namespace educe::server

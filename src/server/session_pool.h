@@ -1,0 +1,77 @@
+#ifndef EDUCE_SERVER_SESSION_POOL_H_
+#define EDUCE_SERVER_SESSION_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "educe/engine.h"
+
+namespace educe::server {
+
+/// A fixed pool of worker Sessions over one shared Engine. Opening a
+/// session is not free — it pre-links the frozen program and builds a
+/// private Program overlay plus a WAM machine — so the server pays that
+/// once per pool slot at startup and then hands sessions out per
+/// request. A Session is single-threaded by contract; the pool is the
+/// external synchronization that makes handing one machine to many
+/// request threads safe (each holds it exclusively between Acquire and
+/// Release).
+///
+/// The pool keeps the engine frozen for its whole lifetime (sessions
+/// stay open even while idle); destroy the pool to unfreeze.
+class SessionPool {
+ public:
+  /// Opens `size` sessions on `engine` (which must outlive the pool).
+  /// The first open freezes the engine's main-memory program, so call
+  /// this after all Consult/StoreRulesExternal setup.
+  static base::Result<std::unique_ptr<SessionPool>> Create(Engine* engine,
+                                                           uint32_t size);
+
+  ~SessionPool();
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Takes an idle session, waiting up to `wait_ms` for one to be
+  /// released. nullptr on timeout (every slot stayed busy) or after
+  /// Shutdown. wait_ms == 0 is a pure try-acquire.
+  Session* Acquire(uint64_t wait_ms);
+
+  /// Returns a session taken with Acquire. The session must be quiescent
+  /// (no live Solutions) — the caller destroys its Solutions first.
+  void Release(Session* session);
+
+  /// Wakes every waiter with failure; subsequent Acquires return nullptr
+  /// immediately. Used by server Stop so draining handlers cannot block
+  /// on a pool that will never refill.
+  void Shutdown();
+
+  uint32_t size() const { return static_cast<uint32_t>(sessions_.size()); }
+  uint32_t idle() const;
+
+  /// Lifetime counters: successful acquires, acquires that had to wait,
+  /// and acquires that timed out empty-handed.
+  uint64_t acquired() const;
+  uint64_t waited() const;
+  uint64_t exhausted() const;
+
+ private:
+  SessionPool() = default;
+
+  mutable std::mutex mu_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<Session>> sessions_;  // owners, fixed after Create
+  std::vector<Session*> idle_;                      // LIFO: reuse warm machines
+  bool shutdown_ = false;
+  uint64_t acquired_ = 0;
+  uint64_t waited_ = 0;
+  uint64_t exhausted_ = 0;
+};
+
+}  // namespace educe::server
+
+#endif  // EDUCE_SERVER_SESSION_POOL_H_

@@ -1,0 +1,78 @@
+#include "storage/io_util.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace educe::storage {
+
+namespace {
+
+std::string ErrnoText(const char* op, int err) {
+  return std::string(op) + " failed: " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+}  // namespace
+
+base::Result<size_t> ReadFull(int fd, char* out, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, out + done, n - done);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    return base::Status::IOError(ErrnoText("read", errno));
+  }
+  return done;
+}
+
+base::Status WriteFull(int fd, const char* in, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd, in + done, n - done);
+    if (put > 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    // write() returning 0 on a regular file would loop forever; treat it
+    // as the error it is.
+    return base::Status::IOError(
+        put == 0 ? "write made no progress" : ErrnoText("write", errno));
+  }
+  return base::Status::OK();
+}
+
+base::Result<int> OpenFd(const std::string& path, int flags, int mode) {
+  while (true) {
+    const int fd = ::open(path.c_str(), flags, mode);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return base::Status::IOError("open " + path + ": " +
+                                 ErrnoText("open", errno));
+  }
+}
+
+base::Status CloseFd(int fd, const std::string& what) {
+  if (::close(fd) == 0 || errno == EINTR) return base::Status::OK();
+  return base::Status::IOError("close " + what + ": " +
+                               ErrnoText("close", errno));
+}
+
+base::Status SyncFd(int fd, const std::string& what) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    if (errno == EINVAL) return base::Status::OK();  // fd cannot sync (pipe)
+    return base::Status::IOError("fsync " + what + ": " +
+                                 ErrnoText("fsync", errno));
+  }
+  return base::Status::OK();
+}
+
+}  // namespace educe::storage

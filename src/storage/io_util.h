@@ -1,0 +1,44 @@
+#ifndef EDUCE_STORAGE_IO_UTIL_H_
+#define EDUCE_STORAGE_IO_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace educe::storage {
+
+/// POSIX file I/O that survives signals and partial transfers. A server
+/// process fields signals routinely (SIGCHLD, profiling timers, shutdown
+/// notifications), and plain read()/write() may then return short or fail
+/// with EINTR mid-image; treating either as success silently truncates
+/// the database image. These helpers retry interrupted syscalls and loop
+/// until the full count moved, surfacing anything else as an explicit
+/// base::Status.
+
+/// Reads exactly `n` bytes into `out` unless EOF arrives first. Returns
+/// the byte count actually read (== n, or less only at EOF); interrupted
+/// reads are retried transparently. IOError on any other syscall failure.
+base::Result<size_t> ReadFull(int fd, char* out, size_t n);
+
+/// Writes exactly `n` bytes from `in`. Short writes are continued,
+/// EINTR retried; any other failure (ENOSPC, EPIPE, ...) is an IOError
+/// naming the errno. A returned OK means every byte reached the kernel.
+base::Status WriteFull(int fd, const char* in, size_t n);
+
+/// open(2) with EINTR retry. Returns the fd.
+base::Result<int> OpenFd(const std::string& path, int flags, int mode = 0644);
+
+/// close(2). Per POSIX the fd state after EINTR is unspecified and on
+/// Linux the fd is closed regardless, so close is never retried; any
+/// error other than EINTR is surfaced (it can carry a deferred write
+/// failure on some filesystems).
+base::Status CloseFd(int fd, const std::string& what);
+
+/// fsync(2) with EINTR retry.
+base::Status SyncFd(int fd, const std::string& what);
+
+}  // namespace educe::storage
+
+#endif  // EDUCE_STORAGE_IO_UTIL_H_

@@ -3,9 +3,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "base/hash.h"
+#include "storage/io_util.h"
 
 namespace educe::storage {
 
@@ -76,28 +80,40 @@ base::Status PagedFile::Write(PageId id, const char* in) {
 }
 
 base::Status PagedFile::SaveImage(const std::string& path) const {
+  // Raw POSIX I/O through Read/WriteFull: a signal landing mid-image
+  // (EINTR) or a short write must never be mistaken for success — a
+  // truncated temp file renamed into place would destroy the database.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return base::Status::IOError("cannot open " + tmp + " for writing");
-    }
-    const uint32_t page_size = options_.page_size;
-    const uint32_t count = static_cast<uint32_t>(pages_.size());
-    out.write(reinterpret_cast<const char*>(&kImageMagic), sizeof(kImageMagic));
-    out.write(reinterpret_cast<const char*>(&kImageVersion),
-              sizeof(kImageVersion));
-    out.write(reinterpret_cast<const char*>(&page_size), sizeof(page_size));
-    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    for (const auto& page : pages_) {
-      out.write(page.get(), page_size);
-    }
-    const uint64_t checksum = ChecksumPages(page_size, pages_);
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-    if (!out) {
-      return base::Status::IOError("short write to " + tmp);
-    }
+  auto fd = OpenFd(tmp, O_WRONLY | O_CREAT | O_TRUNC);
+  if (!fd.ok()) return fd.status();
+  auto cleanup_tmp = [&](base::Status why) {
+    (void)CloseFd(*fd, tmp);
+    std::remove(tmp.c_str());
+    return why;
+  };
+  const uint32_t page_size = options_.page_size;
+  const uint32_t count = static_cast<uint32_t>(pages_.size());
+  char header[20];
+  std::memcpy(header, &kImageMagic, 8);
+  std::memcpy(header + 8, &kImageVersion, 4);
+  std::memcpy(header + 12, &page_size, 4);
+  std::memcpy(header + 16, &count, 4);
+  base::Status written = WriteFull(*fd, header, sizeof(header));
+  for (const auto& page : pages_) {
+    if (!written.ok()) break;
+    written = WriteFull(*fd, page.get(), page_size);
   }
+  if (written.ok()) {
+    const uint64_t checksum = ChecksumPages(page_size, pages_);
+    written = WriteFull(*fd, reinterpret_cast<const char*>(&checksum),
+                        sizeof(checksum));
+  }
+  if (!written.ok()) return cleanup_tmp(std::move(written));
+  // Durability before visibility: the image must be on stable storage
+  // before the rename makes it the database.
+  base::Status synced = SyncFd(*fd, tmp);
+  if (!synced.ok()) return cleanup_tmp(std::move(synced));
+  EDUCE_RETURN_IF_ERROR(CloseFd(*fd, tmp));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return base::Status::IOError("cannot rename " + tmp + " to " + path);
@@ -106,44 +122,58 @@ base::Status PagedFile::SaveImage(const std::string& path) const {
 }
 
 base::Status PagedFile::LoadImage(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return base::Status::IOError("cannot open " + path);
-  }
+  auto fd = OpenFd(path, O_RDONLY);
+  if (!fd.ok()) return fd.status();
+  auto fail = [&](base::Status why) {
+    (void)CloseFd(*fd, path);
+    return why;
+  };
+  char header[20];
+  auto got = ReadFull(*fd, header, sizeof(header));
+  if (!got.ok()) return fail(got.status());
   uint64_t magic = 0;
   uint32_t version = 0, page_size = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&page_size), sizeof(page_size));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kImageMagic) {
-    return base::Status::Corruption(path + " is not a paged-file image");
+  if (*got == sizeof(header)) {
+    std::memcpy(&magic, header, 8);
+    std::memcpy(&version, header + 8, 4);
+    std::memcpy(&page_size, header + 12, 4);
+    std::memcpy(&count, header + 16, 4);
+  }
+  if (*got != sizeof(header) || magic != kImageMagic) {
+    return fail(
+        base::Status::Corruption(path + " is not a paged-file image"));
   }
   if (version != kImageVersion) {
-    return base::Status::Unsupported("paged-file image version " +
-                                     std::to_string(version));
+    return fail(base::Status::Unsupported("paged-file image version " +
+                                          std::to_string(version)));
   }
   if (page_size < 512 || page_size > (64u << 20)) {
-    return base::Status::Corruption("implausible page size in " + path);
+    return fail(base::Status::Corruption("implausible page size in " + path));
   }
   std::vector<std::unique_ptr<char[]>> pages;
   pages.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     auto page = std::make_unique<char[]>(page_size);
-    in.read(page.get(), page_size);
-    if (!in) {
-      return base::Status::Corruption("truncated paged-file image " + path);
+    got = ReadFull(*fd, page.get(), page_size);
+    if (!got.ok()) return fail(got.status());
+    if (*got != page_size) {
+      return fail(
+          base::Status::Corruption("truncated paged-file image " + path));
     }
     pages.push_back(std::move(page));
   }
   uint64_t stored_checksum = 0;
-  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
-  if (!in) {
-    return base::Status::Corruption("truncated paged-file image " + path);
+  got = ReadFull(*fd, reinterpret_cast<char*>(&stored_checksum),
+                 sizeof(stored_checksum));
+  if (!got.ok()) return fail(got.status());
+  if (*got != sizeof(stored_checksum)) {
+    return fail(
+        base::Status::Corruption("truncated paged-file image " + path));
   }
   if (stored_checksum != ChecksumPages(page_size, pages)) {
-    return base::Status::Corruption("checksum mismatch in " + path);
+    return fail(base::Status::Corruption("checksum mismatch in " + path));
   }
+  EDUCE_RETURN_IF_ERROR(CloseFd(*fd, path));
   options_.page_size = page_size;
   pages_ = std::move(pages);
   return base::Status::OK();

@@ -80,8 +80,11 @@ class PagedFile {
   /// BANG/heap relations, the external dictionary and the warm code
   /// segment all live in these page images).
 
-  /// Writes all page images to `path` (atomic: a temp file is renamed
-  /// into place), with a header and a whole-file checksum.
+  /// Writes all page images to `path` (atomic: a temp file is fsynced,
+  /// then renamed into place), with a header and a whole-file checksum.
+  /// All I/O goes through storage::WriteFull (io_util.h): interrupted
+  /// syscalls are retried and short writes continued, so a signal-heavy
+  /// server process can never persist a silently truncated image.
   base::Status SaveImage(const std::string& path) const;
 
   /// Replaces this file's contents with the image stored at `path`,

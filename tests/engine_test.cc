@@ -427,5 +427,73 @@ TEST(EngineTest, ExternalFactsSurviveDictionaryGc) {
   EXPECT_EQ((*v)["V"], "2");
 }
 
+// At most one Solutions may be active per machine: a second Query while
+// one is live must be refused, not corrupt the machine under the live
+// iterator (the query server's connection handler depends on this being
+// an error).
+TEST(EngineTest, SecondQueryWhileSolutionsActiveIsRefused) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1). p(2). p(3).").ok());
+
+  auto first = engine.Query("p(X)");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(engine.query_active());
+  ASSERT_TRUE(*(*first)->Next());
+  EXPECT_EQ((*first)->Binding("X"), "1");
+
+  auto second = engine.Query("p(Y)");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition()) << second.status();
+
+  // The refused call must not have disturbed the live iterator.
+  ASSERT_TRUE(*(*first)->Next());
+  EXPECT_EQ((*first)->Binding("X"), "2");
+
+  // Destroying the Solutions (even mid-enumeration) frees the machine.
+  first->reset();
+  EXPECT_FALSE(engine.query_active());
+  auto count = engine.CountSolutions("p(X)");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 3u);
+
+  // A *finished* Solutions — Next returned false — releases the machine
+  // while still alive: holding it for its bindings must not block the
+  // next query.
+  auto done = engine.Query("p(X)");
+  ASSERT_TRUE(done.ok()) << done.status();
+  while (*(*done)->Next()) {
+  }
+  EXPECT_FALSE(engine.query_active());
+  auto after = engine.Query("p(Z)");
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_TRUE(*(*after)->Next());
+  EXPECT_EQ((*after)->Binding("Z"), "1");
+  // Destroying the stale finished Solutions now must not clobber the
+  // live query's flag.
+  done->reset();
+  EXPECT_TRUE(engine.query_active());
+}
+
+TEST(EngineTest, SecondSessionQueryWhileSolutionsActiveIsRefused) {
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("p(1). p(2).").ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  auto first = (*session)->Query("p(X)");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(*(*first)->Next());
+
+  auto second = (*session)->Query("p(Y)");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition()) << second.status();
+
+  first->reset();
+  EXPECT_FALSE((*session)->query_active());
+  auto count = (*session)->CountSolutions("p(X)");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, 2u);
+}
+
 }  // namespace
 }  // namespace educe

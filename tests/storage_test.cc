@@ -1,14 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <cstdio>
 #include <cstring>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include "base/rng.h"
 #include "base/stopwatch.h"
+#include "storage/io_util.h"
 #include "storage/bang_file.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -512,6 +521,128 @@ TEST_P(BufferPoolPropertyTest, ContentsMatchModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolPropertyTest,
                          ::testing::Values(3, 33, 333));
+
+// --- io_util: full-transfer I/O under signals and partial syscalls ------
+
+// Writer trickles the payload through a pipe in small chunks: every
+// read() returns short, and ReadFull must keep looping until the full
+// count (or EOF) arrives.
+TEST(IoUtilTest, ReadFullAssemblesPartialPipeReads) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  constexpr size_t kBytes = 64 << 10;
+  std::vector<char> sent(kBytes);
+  for (size_t i = 0; i < kBytes; ++i) sent[i] = static_cast<char>(i * 31 + 7);
+  std::thread writer([&] {
+    size_t off = 0;
+    while (off < kBytes) {
+      const size_t chunk = std::min<size_t>(513, kBytes - off);
+      ASSERT_TRUE(WriteFull(fds[1], sent.data() + off, chunk).ok());
+      off += chunk;
+    }
+    close(fds[1]);
+  });
+  std::vector<char> got(kBytes + 100);
+  auto n = ReadFull(fds[0], got.data(), got.size());
+  writer.join();
+  ASSERT_TRUE(n.ok()) << n.status();
+  // EOF after exactly kBytes: the short return is explicit, not silent.
+  EXPECT_EQ(*n, kBytes);
+  EXPECT_EQ(std::memcmp(got.data(), sent.data(), kBytes), 0);
+  close(fds[0]);
+}
+
+// A signal with a no-SA_RESTART handler makes blocking pipe I/O fail
+// with EINTR (and can leave writes short). Both helpers must retry and
+// still move every byte. The old fstream-based image paths treated this
+// as a stream failure at best and silent truncation at worst.
+TEST(IoUtilTest, FullTransferSurvivesSignalInterruption) {
+  struct sigaction sa = {};
+  struct sigaction old_sa;
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately not SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  constexpr size_t kBytes = 1 << 20;  // far beyond the pipe buffer
+  std::vector<char> sent(kBytes);
+  for (size_t i = 0; i < kBytes; ++i) sent[i] = static_cast<char>(i * 131 + 3);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    // Blocks repeatedly on the full pipe; signals interrupt it mid-write.
+    EXPECT_TRUE(WriteFull(fds[1], sent.data(), kBytes).ok());
+    close(fds[1]);
+    done.store(true);
+  });
+  // Pepper the blocked writer with signals while draining slowly.
+  std::vector<char> got;
+  got.reserve(kBytes);
+  std::vector<char> buf(4096);
+  pthread_t writer_handle = writer.native_handle();
+  int signals_sent = 0;
+  while (true) {
+    if (!done.load() && signals_sent < 64) {
+      pthread_kill(writer_handle, SIGUSR1);
+      ++signals_sent;
+    }
+    auto n = ReadFull(fds[0], buf.data(), buf.size());
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;  // EOF: writer finished and closed
+    got.insert(got.end(), buf.data(), buf.data() + *n);
+  }
+  writer.join();
+  ASSERT_EQ(got.size(), kBytes);
+  EXPECT_EQ(std::memcmp(got.data(), sent.data(), kBytes), 0);
+  close(fds[0]);
+  sigaction(SIGUSR1, &old_sa, nullptr);
+}
+
+TEST(IoUtilTest, ReadFullReportsRealErrors) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[0]);
+  close(fds[1]);
+  char buf[8];
+  auto n = ReadFull(fds[0], buf, sizeof(buf));  // closed fd -> EBADF
+  EXPECT_FALSE(n.ok());
+  auto wrote = WriteFull(fds[1], buf, sizeof(buf));
+  EXPECT_FALSE(wrote.ok());
+}
+
+TEST(PagedFileTest, SaveLoadImageRoundTripsThroughPosixPath) {
+  const std::string path = ::testing::TempDir() + "/io_util_image.educe";
+  PagedFile file;
+  const PageId id = file.Allocate();
+  std::vector<char> page(file.page_size(), 0);
+  std::snprintf(page.data(), page.size(), "hardened image page");
+  ASSERT_TRUE(file.Write(id, page.data()).ok());
+  ASSERT_TRUE(file.SaveImage(path).ok());
+
+  PagedFile reloaded;
+  ASSERT_TRUE(reloaded.LoadImage(path).ok());
+  ASSERT_EQ(reloaded.page_count(), file.page_count());
+  std::vector<char> back(reloaded.page_size());
+  ASSERT_TRUE(reloaded.Read(id, back.data()).ok());
+  EXPECT_STREQ(back.data(), "hardened image page");
+
+  // Truncation is an explicit Corruption, not a short-read success.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+  PagedFile truncated;
+  base::Status st = truncated.LoadImage(path);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
 
 TEST(PagedFileTest, SimulatedLatencyIsCharged) {
   PagedFile::Options options;
