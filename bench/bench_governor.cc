@@ -395,6 +395,7 @@ int main() {
 
   BenchJson json;
   json.AddHostCores();
+  json.AddToolchain();
   json.Add("budget_bytes", kBudgetBytes);
   json.Add("solutions_scan", adaptive.scan.solutions);
   json.Add("solutions_rules", adaptive.rules.solutions);

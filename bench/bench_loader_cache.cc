@@ -291,6 +291,7 @@ int Main() {
   bench::BenchJson json;
   json.Add("bench", std::string("codecache"));
   json.AddHostCores();
+  json.AddToolchain();
   json.Add("solutions", uncached.solutions);
   json.Add("uncached_clauses_decoded", uncached.stats.loader.clauses_decoded);
   json.Add("pattern_clauses_decoded", pattern.stats.loader.clauses_decoded);

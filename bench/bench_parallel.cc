@@ -221,6 +221,7 @@ int Main() {
   BenchJson json;
   json.Add("bench", std::string("parallel"));
   json.AddHostCores();
+  json.AddToolchain();
   json.Add("wisc_goals", static_cast<uint64_t>(wisc_goals.size()));
   json.Add("wisc_direct_ms", direct_seconds * 1e3);
   json.Add("single_worker_overhead", overhead);

@@ -23,6 +23,11 @@ using bench::Num;
 using bench::Table;
 
 int Main() {
+  bench::BenchJson json;
+  json.Add("bench", std::string("preunify"));
+  json.AddHostCores();
+  json.AddToolchain();
+
   Table table("Ablation E: EDB-side pre-unification (per-call loads, cache "
               "off)");
   table.Header({"pre-unification", "calls", "ms total", "clauses decoded",
@@ -61,8 +66,17 @@ int Main() {
                Num(stats.loader.clauses_decoded),
                Num(stats.clause_store.preunify_filtered),
                Num(stats.clause_store.rule_rows_scanned)});
+    const std::string prefix = preunify ? "on" : "off";
+    json.Add(prefix + "_calls_count", static_cast<uint64_t>(kCalls));
+    json.Add(prefix + "_total_ms", seconds * 1e3);
+    json.Add(prefix + "_clauses_decoded", stats.loader.clauses_decoded);
+    json.Add(prefix + "_preunify_filtered",
+             stats.clause_store.preunify_filtered);
+    json.Add(prefix + "_rule_rows_scanned",
+             stats.clause_store.rule_rows_scanned);
   }
   table.Print();
+  json.Print();
   std::printf(
       "\nShape: with the filter on, one clause ships per call instead of "
       "%d — address resolution and linking work drop proportionally "

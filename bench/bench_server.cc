@@ -345,6 +345,7 @@ int Main() {
   BenchJson json;
   json.Add("bench", std::string("server"));
   json.AddHostCores();
+  json.AddToolchain();
   json.Add("client_count", static_cast<uint64_t>(kClients));
   json.Add("burst_rounds", static_cast<uint64_t>(kRounds));
   json.AddHistogram("query", latency);

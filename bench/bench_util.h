@@ -120,6 +120,41 @@ class BenchJson {
     Add("host_cores", static_cast<uint64_t>(hw == 0 ? 1 : hw));
   }
 
+  /// Records build provenance under `toolchain_*` string keys: compiler
+  /// id+version, optimization flags, and the emulator dispatch mode
+  /// (DESIGN.md §14.1). A timing baseline is only comparable against
+  /// results from the same toolchain; check_bench_regression.py prints a
+  /// note (not a failure) when these disagree, so a number moved by a
+  /// compiler upgrade or an -O level change is never mistaken for an
+  /// engine regression.
+  void AddToolchain() {
+    char compiler[64];
+#if defined(__clang__)
+    std::snprintf(compiler, sizeof(compiler), "clang %d.%d.%d",
+                  __clang_major__, __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+    std::snprintf(compiler, sizeof(compiler), "gcc %d.%d.%d", __GNUC__,
+                  __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+    std::snprintf(compiler, sizeof(compiler), "unknown");
+#endif
+    Add("toolchain_compiler", std::string(compiler));
+#if defined(EDUCE_BENCH_OPT_FLAGS)
+    Add("toolchain_opt_flags", std::string(EDUCE_BENCH_OPT_FLAGS));
+#elif defined(__OPTIMIZE__)
+    Add("toolchain_opt_flags", std::string("optimized"));
+#else
+    Add("toolchain_opt_flags", std::string("unoptimized"));
+#endif
+    // Same condition as EDUCE_USE_THREADED in wam/machine.cc: the
+    // computed-goto path needs a GNU-compatible compiler.
+#if defined(EDUCE_THREADED_DISPATCH) && defined(__GNUC__)
+    Add("toolchain_dispatch", std::string("threaded"));
+#else
+    Add("toolchain_dispatch", std::string("switch"));
+#endif
+  }
+
   void Print() const { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }
 
  private:

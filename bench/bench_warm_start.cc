@@ -218,6 +218,7 @@ int Main() {
   bench::BenchJson json;
   json.Add("bench", std::string("warmstart"));
   json.AddHostCores();
+  json.AddToolchain();
   json.Add("solutions", cold.solutions);
   json.Add("cold_clauses_decoded", cold_decodes);
   json.Add("warm_clauses_decoded", warm_decodes);

@@ -17,6 +17,8 @@
 #include <functional>
 
 #include "bench/bench_util.h"
+#include "educe/engine.h"
+#include "obs/profile.h"
 #include "rel/exec.h"
 #include "rel/wisconsin.h"
 #include "storage/buffer_pool.h"
@@ -85,6 +87,90 @@ QueryResult Run(Fixture* fx,
   out.pages_read = fx->file.stats().pages_read;
   out.pages_written = fx->file.stats().pages_written;
   return out;
+}
+
+// The same selections through the WAM (DESIGN.md §14): a 10000-tuple
+// wisc/4 relation consulted as compiled in-memory facts, probed with
+// unbound-scan goals so every call backtracks down the full try chain.
+// The warm execute_ns split is then almost pure emulator dispatch — the
+// number the threaded/fused dispatch work moves.
+int WamSection(bench::BenchJson* json) {
+  std::string facts;
+  facts.reserve(1u << 19);
+  constexpr int kRows = 10000;
+  for (int i = 0; i < kRows; ++i) {
+    // unique1 is a permutation (7001 is prime, coprime to 10000); the
+    // percent columns derive from it as in the Wisconsin generator.
+    const int unique1 = static_cast<int>((static_cast<int64_t>(i) * 7001) %
+                                         kRows);
+    facts += "wisc(" + std::to_string(unique1) + ", " + std::to_string(i) +
+             ", " + std::to_string(unique1 % 100) + ", " +
+             std::to_string(unique1 % 10) + ").\n";
+  }
+  Engine engine;
+  Check(engine.Consult(facts), "wisc consult");
+  engine.SetProfiling(true);
+
+  struct WamQuery {
+    const char* id;
+    const char* goal;
+    uint64_t expect_rows;
+  };
+  const WamQuery queries[] = {
+      {"W1 (1% sel)", "wisc(U1, U2, 50, T)", 100},
+      {"W2 (10% sel)", "wisc(U1, U2, P, 5)", 1000},
+      {"W3 (full scan)", "wisc(U1, U2, P, T)", kRows},
+  };
+
+  Table table("Wisconsin selections through the WAM (unbound scans over "
+              "compiled wisc/4)");
+  table.Header({"query", "rows", "warm p50", "warm p95",
+                "execute p50 (ms)", "instructions"});
+  int index = 0;
+  for (const WamQuery& query : queries) {
+    // First run pays compilation/linking of the 10000-clause procedure;
+    // warm runs execute cached linked code.
+    if (CheckResult(engine.CountSolutions(query.goal), query.id) !=
+        query.expect_rows) {
+      std::fprintf(stderr, "FATAL %s: wrong warm-up row count\n", query.id);
+      return 1;
+    }
+    constexpr int kWarmRuns = 9;
+    obs::Histogram total_ns;
+    obs::Histogram execute_ns;
+    uint64_t instructions = 0;
+    for (int i = 0; i < kWarmRuns; ++i) {
+      const uint64_t rows =
+          CheckResult(engine.CountSolutions(query.goal), query.id);
+      if (rows != query.expect_rows) {
+        std::fprintf(stderr, "FATAL %s: expected %llu rows, got %llu\n",
+                     query.id,
+                     static_cast<unsigned long long>(query.expect_rows),
+                     static_cast<unsigned long long>(rows));
+        return 1;
+      }
+      const auto profiles = engine.RecentProfiles();
+      if (profiles.empty()) {
+        std::fprintf(stderr, "FATAL %s: no query profile\n", query.id);
+        return 1;
+      }
+      const obs::QueryProfile& p = profiles.back();
+      total_ns.Record(p.total_ns);
+      execute_ns.Record(p.execute_ns);
+      instructions = p.instructions;
+    }
+    table.Row({query.id, Num(query.expect_rows),
+               Ms(total_ns.Percentile(50) * 1e-9),
+               Ms(total_ns.Percentile(95) * 1e-9),
+               Ms(execute_ns.Percentile(50) * 1e-9), Num(instructions)});
+    const std::string prefix = "wam_w" + std::to_string(++index);
+    json->Add(prefix + "_rows", query.expect_rows);
+    json->Add(prefix + "_warm_ms", total_ns.Percentile(50) * 1e-6);
+    json->Add(prefix + "_warm_execute_ms", execute_ns.Percentile(50) * 1e-6);
+    json->AddHistogram(prefix + "_execute", execute_ns);
+  }
+  table.Print();
+  return 0;
 }
 
 int Main() {
@@ -174,6 +260,7 @@ int Main() {
   bench::BenchJson json;
   json.Add("bench", std::string("wisconsin"));
   json.AddHostCores();
+  json.AddToolchain();
   int query_index = 0;
   for (const Query& query : queries) {
     // Cold: empty buffer pool.
@@ -217,6 +304,7 @@ int Main() {
       "\nShape checks (paper §5.2): selection cost scales with selectivity; "
       "warm runs re-read far fewer pages; index point lookup beats the "
       "scan by orders of magnitude.\n");
+  if (const int rc = WamSection(&json); rc != 0) return rc;
   json.Print();
   return 0;
 }

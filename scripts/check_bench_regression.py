@@ -132,8 +132,21 @@ def check_dicts(bench_name, baseline, results, notes=None):
         actual = results[key]
         if isinstance(expected, str):
             if actual != expected:
-                failures.append(
-                    f"{bench_name}.{key}: '{actual}' != baseline '{expected}'")
+                if key.startswith("toolchain_"):
+                    # Provenance, not a gauge: a different compiler,
+                    # -O level or dispatch mode makes the *timing*
+                    # baselines incomparable, but is not itself a
+                    # regression. Surface it so a human reading a
+                    # borderline run knows the machines differ.
+                    if notes is not None:
+                        notes.append(
+                            f"{bench_name}.{key}: '{actual}' != baseline "
+                            f"'{expected}' (toolchain mismatch; timing "
+                            f"baselines not comparable)")
+                else:
+                    failures.append(
+                        f"{bench_name}.{key}: '{actual}' != baseline "
+                        f"'{expected}'")
             continue
         if matches_any(EXACT_PATTERNS, key):
             if actual != expected:
@@ -171,6 +184,8 @@ def self_test():
         "warm_ms": 12.5,           # wall-clock: never guarded
         "wisc_speedup_w4": 0.49,   # core-dependent
         "shed_timeout": 3,         # core-dependent count
+        "toolchain_compiler": "gcc 12.2.0",   # provenance: note, not gate
+        "bench": "selftest",                  # other strings still gate
     }
 
     def run(results):
@@ -209,6 +224,19 @@ def self_test():
 
     # Exact metrics tolerate nothing.
     expect("exact", run(dict(base, solutions=101)), ["selftest.solutions"])
+
+    # A toolchain_* mismatch is a note, never a failure...
+    toolchain_notes = []
+    expect("toolchain mismatch is a note",
+           check_dicts("selftest", base,
+                       dict(base, toolchain_compiler="clang 17.0.1"),
+                       toolchain_notes), [])
+    if not any("toolchain_compiler" in n for n in toolchain_notes):
+        failures.append("toolchain mismatch: expected a note, got "
+                        f"{toolchain_notes}")
+    # ...while other string metrics still gate exactly.
+    expect("non-toolchain string gates",
+           run(dict(base, bench="renamed")), ["selftest.bench"])
 
     # A missing metric is a failure (a bench silently dropped a gauge).
     missing = dict(base)

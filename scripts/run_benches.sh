@@ -4,11 +4,13 @@
 # human-readable tables; this script strips the prefix into
 #
 #   BENCH_codecache.json   bench_loader_cache  (in-session code cache)
-#   BENCH_wisconsin.json   bench_wisconsin     (relational queries, Table 2)
+#   BENCH_wisconsin.json   bench_wisconsin     (relational queries, Table 2,
+#                                               plus WAM unbound scans)
 #   BENCH_warmstart.json   bench_warm_start    (cross-session warm segments)
 #   BENCH_parallel.json    bench_parallel      (worker sessions, shared EDB)
 #   BENCH_governor.json    bench_governor      (adaptive memory governor)
 #   BENCH_server.json      bench_server        (query server, 1000 clients)
+#   BENCH_preunify.json    bench_preunify      (EDB pre-unification ablation)
 #
 # The benches abort loudly if an acceptance bar is missed (e.g. the warm
 # reopen not decoding >=5x fewer clauses than cold, or a 4-worker run on a
@@ -27,7 +29,7 @@ if [[ ! -x "$BUILD_DIR/bench/bench_governor" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target bench_loader_cache bench_wisconsin bench_warm_start \
-    bench_parallel bench_governor bench_server
+    bench_parallel bench_governor bench_server bench_preunify
 fi
 
 mkdir -p "$OUT_DIR"
@@ -55,5 +57,6 @@ run_bench bench_warm_start BENCH_warmstart.json
 run_bench bench_parallel BENCH_parallel.json
 run_bench bench_governor BENCH_governor.json
 run_bench bench_server BENCH_server.json
+run_bench bench_preunify BENCH_preunify.json
 
 echo "All benches passed their acceptance checks."

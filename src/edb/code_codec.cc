@@ -59,6 +59,9 @@ OperandKind OperandOf(Opcode op) {
 }
 
 bool IsStorable(Opcode op) {
+  // Stored clause code is pre-link: fusion happens in LinkProcedure, so a
+  // fused opcode in a payload is corruption, same as linker control code.
+  if (wam::IsFusedOp(op)) return false;
   switch (op) {
     case Opcode::kTryMeElse:
     case Opcode::kRetryMeElse:
@@ -214,6 +217,9 @@ base::Result<wam::ClauseCode> CodeCodec::DecodeClause(std::string_view bytes) {
   for (uint32_t i = 0; i < count; ++i) {
     wam::Instruction ins;
     EDUCE_ASSIGN_OR_RETURN(uint8_t op, reader.Get<uint8_t>());
+    if (op >= wam::kOpcodeCount) {
+      return base::Status::Corruption("bad opcode in stored code");
+    }
     ins.op = static_cast<Opcode>(op);
     EDUCE_ASSIGN_OR_RETURN(ins.a, reader.Get<uint8_t>());
     EDUCE_ASSIGN_OR_RETURN(ins.b, reader.Get<uint16_t>());

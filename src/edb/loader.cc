@@ -54,8 +54,8 @@ base::Result<std::shared_ptr<const wam::LinkedCode>> Loader::DecodeAndLink(
   stats_.decode_ns += decode_elapsed;
 
   base::Stopwatch link_watch;
-  auto linked =
-      wam::LinkProcedure(functor, proc.arity, clauses, options_.indexing);
+  auto linked = wam::LinkProcedure(functor, proc.arity, clauses,
+                                   options_.indexing, options_.fuse);
   const uint64_t link_elapsed = link_watch.ElapsedNanos();
   stats_.link_ns += link_elapsed;
 

@@ -58,6 +58,8 @@ class Loader {
     bool preunify = true;
     /// First-argument indexing in the linked code.
     bool indexing = true;
+    /// Link-time superinstruction fusion (DESIGN.md §14).
+    bool fuse = true;
   };
 
   Loader(ClauseStore* store, CodeCodec* codec);

@@ -18,8 +18,13 @@ constexpr uint64_t kWarmMagic = 0x314d525743554445ull;
 enum class RelocKind : uint8_t { kSymbol = 0, kBuiltin = 1 };
 
 /// Whether `op`'s c operand is a dictionary SymbolId (and which arity the
-/// referenced symbol carries is read off the dictionary itself).
+/// referenced symbol carries is read off the dictionary itself). A fused
+/// opcode's slot carries its first component's operands, so it is
+/// classified as that component (the second half of the pair is a
+/// separate, intact instruction walked on its own).
 bool HasSymbolOperand(wam::Opcode op) {
+  wam::Opcode second;
+  (void)wam::FusedComponents(op, &op, &second);
   switch (op) {
     case wam::Opcode::kGetConstant:
     case wam::Opcode::kGetStructure:
@@ -246,7 +251,9 @@ base::Result<bool> LoadEntry(Reader* reader, CodeCache* cache,
   for (uint32_t i = 0; i < code_len; ++i) {
     wam::Instruction instr;
     const uint8_t op = reader->Pod<uint8_t>();
-    if (op > static_cast<uint8_t>(wam::Opcode::kHalt)) instrs_valid = false;
+    // Fused superinstructions sit above kHalt and are valid warm-segment
+    // content: segments store post-fusion LinkedCode.
+    if (op >= wam::kOpcodeCount) instrs_valid = false;
     instr.op = static_cast<wam::Opcode>(op);
     instr.a = reader->Pod<uint8_t>();
     instr.b = reader->Pod<uint16_t>();

@@ -438,14 +438,17 @@ void Engine::RegisterEdbBuiltins() {
 
 void Engine::SyncOptions() {
   program_.SetIndexingEnabled(options_.first_arg_indexing);
-  if (loader_.options().indexing != options_.first_arg_indexing) {
-    // Cached EDB code was linked under the old indexing mode.
+  program_.SetFusionEnabled(options_.superinstructions);
+  if (loader_.options().indexing != options_.first_arg_indexing ||
+      loader_.options().fuse != options_.superinstructions) {
+    // Cached EDB code was linked under the old indexing/fusion mode.
     loader_.cache()->Clear();
   }
   loader_.options().cache = options_.loader_cache;
   loader_.options().pattern_cache = options_.pattern_cache;
   loader_.options().preunify = options_.preunify;
   loader_.options().indexing = options_.first_arg_indexing;
+  loader_.options().fuse = options_.superinstructions;
   if (governor_ == nullptr) {
     loader_.SetCacheLimits(edb::CodeCache::Limits{
         options_.code_cache_entries, options_.code_cache_bytes});
@@ -904,6 +907,7 @@ void Engine::ResetStats() {
     query_latency_.Reset();
     recent_profiles_.clear();
     op_class_totals_.fill(0);
+    digram_totals_.reset();
     profiles_collected_ = 0;
   }
   tracer_.Clear();
@@ -986,16 +990,26 @@ void Engine::AttachObservation(Solutions* solutions, std::string_view goal,
     p.pages_read = file_.stats().pages_read - snap->pages_read;
     p.buffer_hits = pool_.stats().hits - snap->buffer_hits;
     p.execute_ns = total_ns > p.resolve_ns ? total_ns - p.resolve_ns : 0;
-    FileQueryProfile(std::move(p));
+    FileQueryProfile(std::move(p), ep.digrams_dirty ? &ep.digrams : nullptr);
   };
 }
 
-void Engine::FileQueryProfile(obs::QueryProfile profile) {
+void Engine::FileQueryProfile(obs::QueryProfile profile,
+                              const obs::EmulatorProfile::DigramArray* digrams) {
   const bool slow = options_.slow_query_ns != 0 &&
                     profile.total_ns >= options_.slow_query_ns;
   std::lock_guard<std::mutex> lock(obs_mu_);
   for (size_t i = 0; i < obs::kOpClassCount; ++i) {
     op_class_totals_[i] += profile.op_class[i];
+  }
+  if (digrams != nullptr) {
+    if (digram_totals_ == nullptr) {
+      digram_totals_ = std::make_unique<obs::EmulatorProfile::DigramArray>();
+      digram_totals_->fill(0);
+    }
+    for (size_t i = 0; i < digrams->size(); ++i) {
+      (*digram_totals_)[i] += (*digrams)[i];
+    }
   }
   ++profiles_collected_;
   if (slow) {
@@ -1042,12 +1056,17 @@ std::string Engine::ExportMetricsJson() {
   obs::Histogram latency;
   std::deque<obs::QueryProfile> recent;
   std::array<uint64_t, obs::kOpClassCount> op_totals{};
+  std::unique_ptr<obs::EmulatorProfile::DigramArray> digrams;
   uint64_t collected = 0;
   {
     std::lock_guard<std::mutex> lock(obs_mu_);
     latency = query_latency_;
     recent = recent_profiles_;
     op_totals = op_class_totals_;
+    if (digram_totals_ != nullptr) {
+      digrams =
+          std::make_unique<obs::EmulatorProfile::DigramArray>(*digram_totals_);
+    }
     collected = profiles_collected_;
   }
 
@@ -1081,6 +1100,32 @@ std::string Engine::ExportMetricsJson() {
     out += "\":" + num(op_totals[i]);
   }
   out += "}";
+  // Top executed opcode digrams (profiled queries only): the input to the
+  // superinstruction set selection documented in DESIGN.md §14.2.
+  out += ",\"opcode_digrams\":[";
+  if (digrams != nullptr) {
+    constexpr size_t kSlots = obs::EmulatorProfile::kDigramSlots;
+    std::vector<std::pair<uint64_t, size_t>> ranked;
+    for (size_t i = 0; i < digrams->size(); ++i) {
+      if ((*digrams)[i] != 0) ranked.emplace_back((*digrams)[i], i);
+    }
+    const size_t top = std::min<size_t>(ranked.size(), 32);
+    std::partial_sort(ranked.begin(), ranked.begin() + top, ranked.end(),
+                      std::greater<>());
+    for (size_t r = 0; r < top; ++r) {
+      const size_t prev = ranked[r].second / kSlots;
+      const size_t cur = ranked[r].second % kSlots;
+      auto name = [](size_t raw) {
+        return raw < wam::kOpcodeCount
+                   ? wam::OpcodeName(static_cast<wam::Opcode>(raw))
+                   : "?";
+      };
+      if (r != 0) out += ",";
+      out += "{\"digram\":\"" + std::string(name(prev)) + ">" + name(cur) +
+             "\",\"count\":" + num(ranked[r].first) + "}";
+    }
+  }
+  out += "]";
   out += ",\"per_procedure\":[" + procs + "]";
   out += ",\"spans\":{\"recorded\":" + num(tracer_.recorded()) +
          ",\"dropped\":" + num(tracer_.dropped()) + "}";

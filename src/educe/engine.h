@@ -71,6 +71,11 @@ struct EngineOptions {
   /// Inference-engine knobs (ablations; DESIGN.md §5).
   bool first_arg_indexing = true;        // Ablation C
   bool choice_point_elimination = true;  // Ablation B
+  /// Link-time superinstruction fusion (DESIGN.md §14): dominant opcode
+  /// digrams are rewritten into fused handlers at link time, in both the
+  /// compiler/Program path and the EDB loader path. Off = plain opcodes
+  /// only (the differential-test baseline).
+  bool superinstructions = true;
   bool loader_cache = true;              // full-proc cache vs per-call load
   bool preunify = true;                  // Ablation E (per-call loads)
   /// Cache per-call (pattern-filtered) loads too, so recursive rules do
@@ -505,8 +510,12 @@ class Engine {
                          obs::Histogram* session_latency);
 
   /// Files a finished profile under obs_mu_ and appends to the slow-query
-  /// log if the query crossed options_.slow_query_ns.
-  void FileQueryProfile(obs::QueryProfile profile);
+  /// log if the query crossed options_.slow_query_ns. `digrams` (the
+  /// query's executed opcode-pair histogram; nullable) is folded into the
+  /// engine-wide totals rather than stored per query — 32KB per profile
+  /// would swamp the recent-profiles ring.
+  void FileQueryProfile(obs::QueryProfile profile,
+                        const obs::EmulatorProfile::DigramArray* digrams);
 
   /// Folds a retiring session's latency histogram into the engine's.
   void MergeSessionLatency(const obs::Histogram& latency);
@@ -555,6 +564,9 @@ class Engine {
   obs::Histogram query_latency_;
   std::deque<obs::QueryProfile> recent_profiles_;  // bounded ring
   std::array<uint64_t, obs::kOpClassCount> op_class_totals_{};
+  /// Engine-wide executed-digram totals (raw opcode bytes; mapped to
+  /// mnemonics at export). Heap-allocated: 32KB of cold profiling state.
+  std::unique_ptr<obs::EmulatorProfile::DigramArray> digram_totals_;
   uint64_t profiles_collected_ = 0;
 };
 

@@ -29,12 +29,33 @@ const char* OpClassName(OpClass c);
 /// gate in the dispatch loop. Reset by Machine::StartQuery, so after a
 /// query drains it holds exactly that query's footprint.
 struct EmulatorProfile {
+  /// Digram (executed opcode-pair) histogram side length. Must be >= the
+  /// WAM opcode count (static_asserted in machine.cc); obs stays
+  /// independent of wam headers by keying on raw opcode bytes — the
+  /// engine maps them back to mnemonics when exporting.
+  static constexpr size_t kDigramSlots = 64;
+  using DigramArray = std::array<uint64_t, kDigramSlots * kDigramSlots>;
+
   std::array<uint64_t, kOpClassCount> op_class{};
   uint64_t heap_high_water = 0;  // max live heap cells during the query
+  /// digrams[prev * kDigramSlots + cur] = times `cur` executed right
+  /// after `prev`. 32KB, but only swept on Reset when actually written
+  /// (digrams_dirty), so queries with profiling off never touch it.
+  DigramArray digrams{};
+  bool digrams_dirty = false;
+
+  void RecordDigram(uint8_t prev, uint8_t cur) {
+    ++digrams[static_cast<size_t>(prev) * kDigramSlots + cur];
+    digrams_dirty = true;
+  }
 
   void Reset() {
     op_class.fill(0);
     heap_high_water = 0;
+    if (digrams_dirty) {
+      digrams.fill(0);
+      digrams_dirty = false;
+    }
   }
 };
 

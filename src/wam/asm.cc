@@ -1,0 +1,848 @@
+#include "wam/asm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace educe::wam {
+
+namespace {
+
+/// Operand layout classes. Fused opcodes take their FIRST component's
+/// layout (the second component is the next instruction in the stream).
+enum class Layout {
+  kRegXA,    // X<b>, A<a>
+  kRegYA,    // Y<b>, A<a>
+  kSymA,     // 'f'/n, A<a>     (c = symbol)
+  kStructA,  // 'f'/n, A<a>     (c = functor, b = arity)
+  kIntA,     // <imm>, A<a>
+  kFloatA,   // 0x<bits>, A<a>
+  kA,        // A<a>
+  kRegX,     // X<b>
+  kRegY,     // Y<b>
+  kSym,      // 'f'/n           (c = symbol)
+  kInt,      // <imm>
+  kFloat,    // 0x<bits>
+  kCount,    // <b>
+  kNone,     //
+  kCallSym,  // 'f'/n           (c = functor, b = arity)
+  kBuiltin,  // 'name'/n        (c = builtin id, b = arity)
+  kTarget,   // @<c>
+  kTable,    // T<c>
+};
+
+Layout LayoutOf(Opcode op) {
+  // Classify by the first component: a fused slot carries exactly the
+  // first component's operands.
+  Opcode second;
+  (void)FusedComponents(op, &op, &second);
+  switch (op) {
+    case Opcode::kGetVariableX:
+    case Opcode::kGetValueX:
+    case Opcode::kPutVariableX:
+    case Opcode::kPutValueX:
+      return Layout::kRegXA;
+    case Opcode::kGetVariableY:
+    case Opcode::kGetValueY:
+    case Opcode::kPutVariableY:
+    case Opcode::kPutValueY:
+      return Layout::kRegYA;
+    case Opcode::kGetConstant:
+    case Opcode::kPutConstant:
+      return Layout::kSymA;
+    case Opcode::kGetStructure:
+    case Opcode::kPutStructure:
+      return Layout::kStructA;
+    case Opcode::kGetInteger:
+    case Opcode::kPutInteger:
+      return Layout::kIntA;
+    case Opcode::kGetFloat:
+    case Opcode::kPutFloat:
+      return Layout::kFloatA;
+    case Opcode::kGetList:
+    case Opcode::kPutList:
+      return Layout::kA;
+    case Opcode::kUnifyVariableX:
+    case Opcode::kUnifyValueX:
+      return Layout::kRegX;
+    case Opcode::kUnifyVariableY:
+    case Opcode::kUnifyValueY:
+    case Opcode::kGetLevel:
+    case Opcode::kCut:
+      return Layout::kRegY;
+    case Opcode::kUnifyConstant:
+      return Layout::kSym;
+    case Opcode::kUnifyInteger:
+      return Layout::kInt;
+    case Opcode::kUnifyFloat:
+      return Layout::kFloat;
+    case Opcode::kUnifyVoid:
+    case Opcode::kAllocate:
+      return Layout::kCount;
+    case Opcode::kCall:
+    case Opcode::kExecute:
+      return Layout::kCallSym;
+    case Opcode::kBuiltin:
+      return Layout::kBuiltin;
+    case Opcode::kTryMeElse:
+    case Opcode::kRetryMeElse:
+    case Opcode::kTry:
+    case Opcode::kRetry:
+    case Opcode::kTrust:
+    case Opcode::kJump:
+      return Layout::kTarget;
+    case Opcode::kSwitchOnTerm:
+    case Opcode::kSwitchOnConstant:
+    case Opcode::kSwitchOnInteger:
+    case Opcode::kSwitchOnStructure:
+      return Layout::kTable;
+    default:
+      return Layout::kNone;  // deallocate, proceed, trust_me, fail, halt
+  }
+}
+
+std::string QuoteAtom(std::string_view name) {
+  std::string out = "'";
+  for (unsigned char ch : name) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '\'': out += "\\'"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string HexBits(uint64_t bits) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+/// `'name'/arity` for a live symbol, `#id` otherwise.
+std::string SymRef(const dict::Dictionary& dictionary, uint32_t id) {
+  if (!dictionary.IsLive(id)) return "#" + std::to_string(id);
+  return QuoteAtom(dictionary.NameOf(id)) + "/" +
+         std::to_string(dictionary.ArityOf(id));
+}
+
+std::string Target(uint32_t offset) {
+  return offset == kFailTarget ? "@fail" : "@" + std::to_string(offset);
+}
+
+/// Per-process mnemonic -> opcode map, built once from the X-macro list.
+const std::unordered_map<std::string, Opcode>& MnemonicMap() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, Opcode>();
+#define EDUCE_ASM_NAME(name) \
+  m->emplace(OpcodeName(Opcode::name), Opcode::name);
+    EDUCE_OPCODE_LIST(EDUCE_ASM_NAME)
+#undef EDUCE_ASM_NAME
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+std::string DisassembleLinked(const dict::Dictionary& dictionary,
+                              const LinkedCode& linked,
+                              const BuiltinTable* builtins) {
+  std::string out = ".procedure ";
+  if (dictionary.IsLive(linked.functor)) {
+    // The declared arity is authoritative (it is what CallProcedure
+    // checks); the functor symbol normally agrees.
+    out += QuoteAtom(dictionary.NameOf(linked.functor));
+    out += "/" + std::to_string(linked.arity);
+  } else {
+    out += "#" + std::to_string(linked.functor) + "/" +
+           std::to_string(linked.arity);
+  }
+  out += "\n";
+  for (uint32_t off : linked.clause_offsets) {
+    out += ".clause " + std::to_string(off) + "\n";
+  }
+  for (size_t t = 0; t < linked.tables.size(); ++t) {
+    const SwitchTable& table = linked.tables[t];
+    out += ".table T" + std::to_string(t);
+    out += " var=" + Target(table.on_var);
+    out += " atom=" + Target(table.on_atom);
+    out += " num=" + Target(table.on_number);
+    out += " lis=" + Target(table.on_list);
+    out += " str=" + Target(table.on_struct);
+    out += " default=" + Target(table.default_target);
+    std::vector<std::pair<uint64_t, uint32_t>> entries(table.entries.begin(),
+                                                       table.entries.end());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [key, target] : entries) {
+      out += " " + HexBits(key) + "=" + Target(target);
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < linked.code.size(); ++i) {
+    const Instruction& ins = linked.code[i];
+    out += std::to_string(i) + ": ";
+    out += OpcodeName(ins.op);
+    const std::string a = "A" + std::to_string(ins.a);
+    const std::string xb = "X" + std::to_string(ins.b);
+    const std::string yb = "Y" + std::to_string(ins.b);
+    switch (LayoutOf(ins.op)) {
+      case Layout::kRegXA: out += " " + xb + ", " + a; break;
+      case Layout::kRegYA: out += " " + yb + ", " + a; break;
+      case Layout::kSymA:
+        out += " " + SymRef(dictionary, ins.c) + ", " + a;
+        break;
+      case Layout::kStructA:
+        // Structures keep the arity in b; like kCallSym, the symbolic
+        // form is used only when re-interning reproduces both fields.
+        if (dictionary.IsLive(ins.c) && dictionary.ArityOf(ins.c) == ins.b) {
+          out += " " + QuoteAtom(dictionary.NameOf(ins.c)) + "/" +
+                 std::to_string(ins.b);
+        } else {
+          out += " #" + std::to_string(ins.c) + "/" + std::to_string(ins.b);
+        }
+        out += ", " + a;
+        break;
+      case Layout::kIntA:
+        out += " " + std::to_string(static_cast<int64_t>(ins.imm)) + ", " + a;
+        break;
+      case Layout::kFloatA: out += " " + HexBits(ins.imm) + ", " + a; break;
+      case Layout::kA: out += " " + a; break;
+      case Layout::kRegX: out += " " + xb; break;
+      case Layout::kRegY: out += " " + yb; break;
+      case Layout::kSym: out += " " + SymRef(dictionary, ins.c); break;
+      case Layout::kInt:
+        out += " " + std::to_string(static_cast<int64_t>(ins.imm));
+        break;
+      case Layout::kFloat: out += " " + HexBits(ins.imm); break;
+      case Layout::kCount: out += " " + std::to_string(ins.b); break;
+      case Layout::kNone: break;
+      case Layout::kCallSym:
+        // The b operand must survive exactly; print the symbolic form
+        // only when re-interning it reproduces both fields.
+        if (dictionary.IsLive(ins.c) && dictionary.ArityOf(ins.c) == ins.b) {
+          out += " " + QuoteAtom(dictionary.NameOf(ins.c)) + "/" +
+                 std::to_string(ins.b);
+        } else {
+          out += " #" + std::to_string(ins.c) + "/" + std::to_string(ins.b);
+        }
+        break;
+      case Layout::kBuiltin:
+        if (builtins != nullptr && ins.c < builtins->size() &&
+            builtins->arity(ins.c) == ins.b) {
+          out += " " + QuoteAtom(builtins->name(ins.c)) + "/" +
+                 std::to_string(ins.b);
+        } else {
+          out += " #" + std::to_string(ins.c) + "/" + std::to_string(ins.b);
+        }
+        break;
+      case Layout::kTarget: out += " " + Target(ins.c); break;
+      case Layout::kTable: out += " T" + std::to_string(ins.c); break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Line-oriented recursive-descent parser. Fails fast with a Corruption
+/// status naming the line number.
+class AsmParser {
+ public:
+  AsmParser(dict::Dictionary* dictionary, const BuiltinTable* builtins)
+      : dictionary_(dictionary), builtins_(builtins) {}
+
+  base::Result<std::shared_ptr<LinkedCode>> Parse(std::string_view text);
+
+ private:
+  base::Status Err(const std::string& what) {
+    return base::Status::Corruption("educe-asm line " + std::to_string(line_) +
+                                    ": " + what);
+  }
+
+  /// Strips `;` comments (quote-aware) and surrounding whitespace.
+  static std::string_view StripLine(std::string_view line);
+
+  base::Status ParseLine(std::string_view line);
+  base::Status ParseProcedure(std::string_view rest);
+  base::Status ParseClause(std::string_view rest);
+  base::Status ParseTable(std::string_view rest);
+  base::Status ParseInstruction(size_t index, std::string_view rest);
+  base::Status Finish();
+
+  /// Splits `text` on top-level commas, trimming each piece.
+  static std::vector<std::string_view> SplitOperands(std::string_view text);
+
+  bool ParseQuoted(std::string_view token, std::string* name,
+                   uint32_t* arity) const;
+  bool ParseTarget(std::string_view token, uint32_t* out) const;
+  bool ParseUint(std::string_view token, uint64_t* out, int base = 10) const;
+  bool ParseReg(std::string_view token, char kind, uint16_t* out) const;
+
+  dict::Dictionary* dictionary_;
+  const BuiltinTable* builtins_;
+  std::shared_ptr<LinkedCode> linked_ = std::make_shared<LinkedCode>();
+  bool saw_procedure_ = false;
+  size_t line_ = 0;
+};
+
+std::string_view AsmParser::StripLine(std::string_view line) {
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '\'') {
+        quoted = false;
+      }
+    } else if (ch == '\'') {
+      quoted = true;
+    } else if (ch == ';') {
+      line = line.substr(0, i);
+      break;
+    }
+  }
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front())))
+    line.remove_prefix(1);
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+    line.remove_suffix(1);
+  return line;
+}
+
+std::vector<std::string_view> AsmParser::SplitOperands(std::string_view text) {
+  std::vector<std::string_view> out;
+  bool quoted = false;
+  size_t start = 0;
+  auto push = [&](size_t end) {
+    std::string_view piece = text.substr(start, end - start);
+    while (!piece.empty() &&
+           std::isspace(static_cast<unsigned char>(piece.front())))
+      piece.remove_prefix(1);
+    while (!piece.empty() &&
+           std::isspace(static_cast<unsigned char>(piece.back())))
+      piece.remove_suffix(1);
+    out.push_back(piece);
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '\'') {
+        quoted = false;
+      }
+    } else if (ch == '\'') {
+      quoted = true;
+    } else if (ch == ',') {
+      push(i);
+      start = i + 1;
+    }
+  }
+  push(text.size());
+  if (out.size() == 1 && out[0].empty()) out.clear();
+  return out;
+}
+
+bool AsmParser::ParseQuoted(std::string_view token, std::string* name,
+                            uint32_t* arity) const {
+  // 'name'/arity — unescape the quoted part, then a mandatory /arity.
+  if (token.size() < 2 || token.front() != '\'') return false;
+  std::string out;
+  size_t i = 1;
+  for (; i < token.size(); ++i) {
+    const char ch = token[i];
+    if (ch == '\'') break;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (++i >= token.size()) return false;
+    switch (token[i]) {
+      case '\\': out += '\\'; break;
+      case '\'': out += '\''; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'x': {
+        if (i + 2 >= token.size()) return false;
+        const std::string hex(token.substr(i + 1, 2));
+        char* end = nullptr;
+        out += static_cast<char>(std::strtoul(hex.c_str(), &end, 16));
+        if (end == nullptr || *end != '\0') return false;
+        i += 2;
+        break;
+      }
+      default: return false;
+    }
+  }
+  if (i >= token.size() || token[i] != '\'') return false;
+  std::string_view rest = token.substr(i + 1);
+  if (rest.size() < 2 || rest.front() != '/') return false;
+  uint64_t n = 0;
+  if (!ParseUint(rest.substr(1), &n) || n > 0xFFFF) return false;
+  *name = std::move(out);
+  *arity = static_cast<uint32_t>(n);
+  return true;
+}
+
+bool AsmParser::ParseTarget(std::string_view token, uint32_t* out) const {
+  if (token.empty() || token.front() != '@') return false;
+  if (token == "@fail") {
+    *out = kFailTarget;
+    return true;
+  }
+  uint64_t v = 0;
+  if (!ParseUint(token.substr(1), &v) || v >= kFailTarget) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool AsmParser::ParseUint(std::string_view token, uint64_t* out,
+                          int base) const {
+  // strtoull would silently wrap a leading '-'; only digits are valid.
+  if (token.empty() ||
+      !std::isxdigit(static_cast<unsigned char>(token.front()))) {
+    return false;
+  }
+  const std::string s(token);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, base);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool AsmParser::ParseReg(std::string_view token, char kind,
+                         uint16_t* out) const {
+  if (token.size() < 2 || token.front() != kind) return false;
+  uint64_t v = 0;
+  if (!ParseUint(token.substr(1), &v) || v > 0xFFFF) return false;
+  *out = static_cast<uint16_t>(v);
+  return true;
+}
+
+base::Status AsmParser::ParseProcedure(std::string_view rest) {
+  if (saw_procedure_) return Err("duplicate .procedure");
+  saw_procedure_ = true;
+  std::string name;
+  uint32_t arity = 0;
+  if (ParseQuoted(rest, &name, &arity)) {
+    EDUCE_ASSIGN_OR_RETURN(linked_->functor, dictionary_->Intern(name, arity));
+    linked_->arity = arity;
+    return base::Status::OK();
+  }
+  // #id/arity — a functor that is not (or no longer) in the dictionary.
+  if (!rest.empty() && rest.front() == '#') {
+    const size_t slash = rest.rfind('/');
+    uint64_t id = 0;
+    uint64_t n = 0;
+    if (slash != std::string_view::npos &&
+        ParseUint(rest.substr(1, slash - 1), &id) && id <= 0xFFFFFFFFu &&
+        ParseUint(rest.substr(slash + 1), &n) && n <= 0xFFFF) {
+      linked_->functor = static_cast<dict::SymbolId>(id);
+      linked_->arity = static_cast<uint32_t>(n);
+      return base::Status::OK();
+    }
+  }
+  return Err("bad .procedure operand");
+}
+
+base::Status AsmParser::ParseClause(std::string_view rest) {
+  uint64_t off = 0;
+  if (!ParseUint(rest, &off) || off >= kFailTarget) {
+    return Err("bad .clause offset");
+  }
+  if (!linked_->clause_offsets.empty() &&
+      linked_->clause_offsets.back() >= off) {
+    return Err(".clause offsets must be strictly ascending");
+  }
+  linked_->clause_offsets.push_back(static_cast<uint32_t>(off));
+  return base::Status::OK();
+}
+
+base::Status AsmParser::ParseTable(std::string_view rest) {
+  // .table T<id> var=@.. atom=@.. num=@.. lis=@.. str=@.. default=@..
+  //        [<hexkey>=@.. ...]
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= rest.size(); ++i) {
+    if (i == rest.size() ||
+        std::isspace(static_cast<unsigned char>(rest[i]))) {
+      if (i > start) fields.push_back(rest.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (fields.empty()) return Err("bad .table line");
+  uint64_t id = 0;
+  if (fields[0].size() < 2 || fields[0][0] != 'T' ||
+      !ParseUint(fields[0].substr(1), &id) || id != linked_->tables.size()) {
+    return Err(".table ids must be T0, T1, ... in order");
+  }
+  linked_->tables.emplace_back();
+  SwitchTable& table = linked_->tables.back();
+  for (size_t f = 1; f < fields.size(); ++f) {
+    const std::string_view field = fields[f];
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return Err("bad .table field");
+    const std::string_view key = field.substr(0, eq);
+    uint32_t target = 0;
+    if (!ParseTarget(field.substr(eq + 1), &target)) {
+      return Err("bad .table target in '" + std::string(field) + "'");
+    }
+    if (key == "var") {
+      table.on_var = target;
+    } else if (key == "atom") {
+      table.on_atom = target;
+    } else if (key == "num") {
+      table.on_number = target;
+    } else if (key == "lis") {
+      table.on_list = target;
+    } else if (key == "str") {
+      table.on_struct = target;
+    } else if (key == "default") {
+      table.default_target = target;
+    } else {
+      uint64_t value = 0;
+      if (key.size() <= 2 || key.substr(0, 2) != "0x" ||
+          !ParseUint(key.substr(2), &value, 16)) {
+        return Err("bad .table key '" + std::string(key) + "'");
+      }
+      if (!table.entries.emplace(value, target).second) {
+        return Err("duplicate .table key '" + std::string(key) + "'");
+      }
+    }
+  }
+  return base::Status::OK();
+}
+
+base::Status AsmParser::ParseInstruction(size_t index, std::string_view rest) {
+  if (index != linked_->code.size()) {
+    return Err("instruction numbering is not sequential");
+  }
+  // mnemonic [operands]
+  size_t sp = 0;
+  while (sp < rest.size() &&
+         !std::isspace(static_cast<unsigned char>(rest[sp])))
+    ++sp;
+  const std::string mnemonic(rest.substr(0, sp));
+  const auto& map = MnemonicMap();
+  const auto it = map.find(mnemonic);
+  if (it == map.end()) return Err("unknown mnemonic '" + mnemonic + "'");
+  Instruction ins = Instruction::Make(it->second);
+  const std::vector<std::string_view> ops = SplitOperands(rest.substr(sp));
+
+  auto want = [&](size_t n) -> base::Status {
+    if (ops.size() != n) {
+      return Err(mnemonic + " takes " + std::to_string(n) + " operand(s), got " +
+                 std::to_string(ops.size()));
+    }
+    return base::Status::OK();
+  };
+  auto parse_a = [&](std::string_view token) -> base::Status {
+    uint16_t v = 0;
+    if (!ParseReg(token, 'A', &v) || v > 0xFF) {
+      return Err("bad argument register '" + std::string(token) + "'");
+    }
+    ins.a = static_cast<uint8_t>(v);
+    return base::Status::OK();
+  };
+  auto parse_breg = [&](std::string_view token, char kind) -> base::Status {
+    if (!ParseReg(token, kind, &ins.b)) {
+      return Err("bad register '" + std::string(token) + "'");
+    }
+    return base::Status::OK();
+  };
+  auto parse_sym = [&](std::string_view token) -> base::Status {
+    std::string name;
+    uint32_t arity = 0;
+    if (ParseQuoted(token, &name, &arity)) {
+      EDUCE_ASSIGN_OR_RETURN(dict::SymbolId id,
+                             dictionary_->Intern(name, arity));
+      ins.c = id;
+      return base::Status::OK();
+    }
+    uint64_t id = 0;
+    if (!token.empty() && token.front() == '#' &&
+        ParseUint(token.substr(1), &id) && id <= 0xFFFFFFFFu) {
+      ins.c = static_cast<uint32_t>(id);
+      return base::Status::OK();
+    }
+    return Err("bad symbol '" + std::string(token) + "'");
+  };
+  auto parse_int = [&](std::string_view token) -> base::Status {
+    const std::string s(token);
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (s.empty() || errno != 0 || end != s.c_str() + s.size()) {
+      return Err("bad integer '" + s + "'");
+    }
+    ins.imm = static_cast<uint64_t>(v);
+    return base::Status::OK();
+  };
+  auto parse_bits = [&](std::string_view token) -> base::Status {
+    uint64_t bits = 0;
+    if (token.size() <= 2 || token.substr(0, 2) != "0x" ||
+        !ParseUint(token.substr(2), &bits, 16)) {
+      return Err("bad float bits '" + std::string(token) + "'");
+    }
+    ins.imm = bits;
+    return base::Status::OK();
+  };
+  auto parse_slashed = [&](std::string_view token, bool builtin) -> base::Status {
+    // 'name'/arity or #id/arity, filling c and b.
+    std::string name;
+    uint32_t arity = 0;
+    if (ParseQuoted(token, &name, &arity)) {
+      ins.b = static_cast<uint16_t>(arity);
+      if (builtin) {
+        if (builtins_ == nullptr) {
+          return Err("no builtin table to resolve '" + name + "'");
+        }
+        const auto id = builtins_->FindByName(name, arity);
+        if (!id.has_value()) {
+          return Err("unknown builtin '" + name + "'/" +
+                     std::to_string(arity));
+        }
+        ins.c = *id;
+      } else {
+        EDUCE_ASSIGN_OR_RETURN(dict::SymbolId id,
+                               dictionary_->Intern(name, arity));
+        ins.c = id;
+      }
+      return base::Status::OK();
+    }
+    const size_t slash = token.rfind('/');
+    uint64_t id = 0;
+    uint64_t n = 0;
+    if (!token.empty() && token.front() == '#' &&
+        slash != std::string_view::npos &&
+        ParseUint(token.substr(1, slash - 1), &id) && id <= 0xFFFFFFFFu &&
+        ParseUint(token.substr(slash + 1), &n) && n <= 0xFFFF) {
+      ins.c = static_cast<uint32_t>(id);
+      ins.b = static_cast<uint16_t>(n);
+      return base::Status::OK();
+    }
+    return Err("bad callee '" + std::string(token) + "'");
+  };
+
+  switch (LayoutOf(ins.op)) {
+    case Layout::kRegXA:
+      EDUCE_RETURN_IF_ERROR(want(2));
+      EDUCE_RETURN_IF_ERROR(parse_breg(ops[0], 'X'));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[1]));
+      break;
+    case Layout::kRegYA:
+      EDUCE_RETURN_IF_ERROR(want(2));
+      EDUCE_RETURN_IF_ERROR(parse_breg(ops[0], 'Y'));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[1]));
+      break;
+    case Layout::kSymA:
+      EDUCE_RETURN_IF_ERROR(want(2));
+      EDUCE_RETURN_IF_ERROR(parse_sym(ops[0]));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[1]));
+      break;
+    case Layout::kStructA:
+      EDUCE_RETURN_IF_ERROR(want(2));
+      EDUCE_RETURN_IF_ERROR(parse_slashed(ops[0], /*builtin=*/false));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[1]));
+      break;
+    case Layout::kIntA:
+      EDUCE_RETURN_IF_ERROR(want(2));
+      EDUCE_RETURN_IF_ERROR(parse_int(ops[0]));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[1]));
+      break;
+    case Layout::kFloatA:
+      EDUCE_RETURN_IF_ERROR(want(2));
+      EDUCE_RETURN_IF_ERROR(parse_bits(ops[0]));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[1]));
+      break;
+    case Layout::kA:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_a(ops[0]));
+      break;
+    case Layout::kRegX:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_breg(ops[0], 'X'));
+      break;
+    case Layout::kRegY:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_breg(ops[0], 'Y'));
+      break;
+    case Layout::kSym:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_sym(ops[0]));
+      break;
+    case Layout::kInt:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_int(ops[0]));
+      break;
+    case Layout::kFloat:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_bits(ops[0]));
+      break;
+    case Layout::kCount: {
+      EDUCE_RETURN_IF_ERROR(want(1));
+      uint64_t v = 0;
+      if (!ParseUint(ops[0], &v) || v > 0xFFFF) {
+        return Err("bad count '" + std::string(ops[0]) + "'");
+      }
+      ins.b = static_cast<uint16_t>(v);
+      break;
+    }
+    case Layout::kNone:
+      EDUCE_RETURN_IF_ERROR(want(0));
+      break;
+    case Layout::kCallSym:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_slashed(ops[0], /*builtin=*/false));
+      break;
+    case Layout::kBuiltin:
+      EDUCE_RETURN_IF_ERROR(want(1));
+      EDUCE_RETURN_IF_ERROR(parse_slashed(ops[0], /*builtin=*/true));
+      break;
+    case Layout::kTarget: {
+      EDUCE_RETURN_IF_ERROR(want(1));
+      uint32_t target = 0;
+      if (!ParseTarget(ops[0], &target) || target == kFailTarget) {
+        return Err("bad code target '" + std::string(ops[0]) + "'");
+      }
+      ins.c = target;
+      break;
+    }
+    case Layout::kTable: {
+      EDUCE_RETURN_IF_ERROR(want(1));
+      uint64_t id = 0;
+      if (ops[0].size() < 2 || ops[0][0] != 'T' ||
+          !ParseUint(ops[0].substr(1), &id) || id > 0xFFFFFFFFu) {
+        return Err("bad table reference '" + std::string(ops[0]) + "'");
+      }
+      ins.c = static_cast<uint32_t>(id);
+      break;
+    }
+  }
+  linked_->code.push_back(ins);
+  return base::Status::OK();
+}
+
+base::Status AsmParser::Finish() {
+  if (!saw_procedure_) return Err("missing .procedure header");
+  if (linked_->code.empty()) return Err("no instructions");
+  const uint32_t size = static_cast<uint32_t>(linked_->code.size());
+  auto check_target = [&](uint32_t target, const char* what) -> base::Status {
+    if (target != kFailTarget && target >= size) {
+      return Err(std::string(what) + " target @" + std::to_string(target) +
+                 " out of bounds (code size " + std::to_string(size) + ")");
+    }
+    return base::Status::OK();
+  };
+  for (uint32_t off : linked_->clause_offsets) {
+    if (off >= size) return Err(".clause offset out of bounds");
+  }
+  for (const SwitchTable& table : linked_->tables) {
+    EDUCE_RETURN_IF_ERROR(check_target(table.on_var, "table"));
+    EDUCE_RETURN_IF_ERROR(check_target(table.on_atom, "table"));
+    EDUCE_RETURN_IF_ERROR(check_target(table.on_number, "table"));
+    EDUCE_RETURN_IF_ERROR(check_target(table.on_list, "table"));
+    EDUCE_RETURN_IF_ERROR(check_target(table.on_struct, "table"));
+    EDUCE_RETURN_IF_ERROR(check_target(table.default_target, "table"));
+    for (const auto& [key, target] : table.entries) {
+      EDUCE_RETURN_IF_ERROR(check_target(target, "table entry"));
+    }
+  }
+  for (size_t i = 0; i < linked_->code.size(); ++i) {
+    const Instruction& ins = linked_->code[i];
+    if (LayoutOf(ins.op) == Layout::kTarget && ins.c >= size) {
+      return Err("instruction " + std::to_string(i) + " jumps out of bounds");
+    }
+    if (LayoutOf(ins.op) == Layout::kTable &&
+        ins.c >= linked_->tables.size()) {
+      return Err("instruction " + std::to_string(i) +
+                 " references missing table T" + std::to_string(ins.c));
+    }
+    Opcode first, second;
+    if (FusedComponents(ins.op, &first, &second)) {
+      // The fused handler executes the *declared* second component with
+      // the next slot's operands; the stream must actually carry it.
+      if (i + 1 >= linked_->code.size()) {
+        return Err("fused instruction " + std::to_string(i) +
+                   " has no second slot");
+      }
+      Opcode next = linked_->code[i + 1].op;
+      Opcode next_second;
+      (void)FusedComponents(next, &next, &next_second);
+      if (next != second) {
+        return Err("fused instruction " + std::to_string(i) +
+                   " expects '" + OpcodeName(second) + "' next, found '" +
+                   OpcodeName(linked_->code[i + 1].op) + "'");
+      }
+    }
+  }
+  return base::Status::OK();
+}
+
+base::Status AsmParser::ParseLine(std::string_view line) {
+  if (line.empty()) return base::Status::OK();
+  if (line[0] == '.') {
+    const size_t sp = line.find(' ');
+    const std::string_view directive = line.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{}
+                                     : StripLine(line.substr(sp + 1));
+    if (directive == ".procedure") return ParseProcedure(rest);
+    if (directive == ".clause") return ParseClause(rest);
+    if (directive == ".table") return ParseTable(rest);
+    return Err("unknown directive '" + std::string(directive) + "'");
+  }
+  const size_t colon = line.find(':');
+  uint64_t index = 0;
+  if (colon == std::string_view::npos ||
+      !ParseUint(line.substr(0, colon), &index)) {
+    return Err("expected '<offset>: <mnemonic>'");
+  }
+  return ParseInstruction(index, StripLine(line.substr(colon + 1)));
+}
+
+base::Result<std::shared_ptr<LinkedCode>> AsmParser::Parse(
+    std::string_view text) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_;
+    EDUCE_RETURN_IF_ERROR(ParseLine(StripLine(text.substr(start, end - start))));
+    start = end + 1;
+  }
+  EDUCE_RETURN_IF_ERROR(Finish());
+  return linked_;
+}
+
+}  // namespace
+
+base::Result<std::shared_ptr<LinkedCode>> ParseAsm(
+    dict::Dictionary* dictionary, std::string_view text,
+    const BuiltinTable* builtins) {
+  return AsmParser(dictionary, builtins).Parse(text);
+}
+
+}  // namespace educe::wam

@@ -1,0 +1,62 @@
+#ifndef EDUCE_WAM_ASM_H_
+#define EDUCE_WAM_ASM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "dict/dictionary.h"
+#include "wam/code.h"
+#include "wam/program.h"
+
+namespace educe::wam {
+
+/// Textual WAM assembly (DESIGN.md §14.3). The format is canonical: the
+/// serializer always produces the same text for the same LinkedCode, and
+/// ParseAsm(DisassembleLinked(x)) reconstructs x field-for-field — the
+/// round-trip fixpoint the differential tests and the loader fuzzer rely
+/// on. One procedure per document:
+///
+///   .procedure 'append'/3
+///   .clause 4
+///   .clause 9
+///   .table T0 var=@1 atom=@2 num=@fail lis=@3 str=@fail default=@fail
+///   .table T1 var=@fail ... default=@4 0x0000000000000007=@6
+///   0: switch_on_term T0
+///   1: try @4
+///   ...
+///
+/// Mnemonics are the unique per-opcode names from OpcodeName() — fused
+/// superinstructions appear under their own fused_* mnemonic with the
+/// first component's operand layout (the second component is the next
+/// instruction line, exactly as in the executable stream). Symbols are
+/// quoted `'name'/arity` and re-interned on parse; a dead dictionary id
+/// degrades to `#id` (and `#id/arity` where an arity operand exists) so
+/// corrupt streams still round-trip. Float immediates are raw IEEE bits
+/// (`0x` + 16 hex digits); integers are signed decimal. Code targets are
+/// `@offset` (`@fail` for the backtrack sentinel in tables), switch
+/// tables are referenced as `T<id>` and serialized with their five
+/// type targets, default, and value entries sorted ascending by key.
+/// `;` starts a comment (outside quotes) and blank lines are ignored.
+
+/// Serializes `linked` to canonical educe-asm text. `builtins` (nullable)
+/// resolves builtin ids to `'name'/arity`; without it they print as
+/// `#id/arity`.
+std::string DisassembleLinked(const dict::Dictionary& dictionary,
+                              const LinkedCode& linked,
+                              const BuiltinTable* builtins = nullptr);
+
+/// Parses educe-asm text back into a LinkedCode, interning symbols into
+/// `dictionary` and resolving builtin names through `builtins` (nullable;
+/// then only `#id/arity` builtins parse). Validates structure: in-bounds
+/// code targets and table ids, ascending in-bounds clause offsets,
+/// sequential instruction numbering, known mnemonics, fused mnemonics
+/// whose second component matches the following instruction line.
+base::Result<std::shared_ptr<LinkedCode>> ParseAsm(
+    dict::Dictionary* dictionary, std::string_view text,
+    const BuiltinTable* builtins = nullptr);
+
+}  // namespace educe::wam
+
+#endif  // EDUCE_WAM_ASM_H_

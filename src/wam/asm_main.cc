@@ -1,0 +1,182 @@
+// educe-asm: textual WAM assembler / disassembler (DESIGN.md §14.3).
+//
+//   educe-asm dump <file.pl|-> [name/arity ...]   compile+link, print asm
+//   educe-asm check <file.asm|->                  parse + validate
+//   educe-asm roundtrip <file.asm|->              parse, reprint, reparse;
+//                                                 fails unless the text is a
+//                                                 fixpoint
+//
+// Flags for dump: --no-fuse (plain opcodes), --no-index (no first-argument
+// indexing). "-" reads stdin.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reader/parser.h"
+#include "wam/asm.h"
+#include "wam/builtins.h"
+#include "wam/program.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: educe-asm dump [--no-fuse] [--no-index] <file.pl|-> "
+         "[name/arity ...]\n"
+         "       educe-asm check <file.asm|->\n"
+         "       educe-asm roundtrip <file.asm|->\n";
+  return 2;
+}
+
+bool ReadInput(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "educe-asm: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Dump(const std::vector<std::string>& args) {
+  bool fuse = true;
+  bool index = true;
+  std::string path;
+  std::vector<std::string> filters;
+  for (const std::string& arg : args) {
+    if (arg == "--no-fuse") {
+      fuse = false;
+    } else if (arg == "--no-index") {
+      index = false;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      filters.push_back(arg);
+    }
+  }
+  if (path.empty()) return Usage();
+  std::string source;
+  if (!ReadInput(path, &source)) return 1;
+
+  educe::dict::Dictionary dictionary;
+  educe::wam::Program program(&dictionary);
+  if (auto s = educe::wam::InstallStandardLibrary(&program); !s.ok()) {
+    std::cerr << "educe-asm: " << s << "\n";
+    return 1;
+  }
+  program.SetFusionEnabled(fuse);
+  program.SetIndexingEnabled(index);
+  // Snapshot the standard library's procedures so an unfiltered dump
+  // prints only what the consulted file defined.
+  std::set<educe::dict::SymbolId> library;
+  program.ForEachProc([&](const educe::wam::Program::Proc& proc) {
+    library.insert(proc.functor);
+  });
+
+  auto clauses = educe::reader::ParseProgram(&dictionary, source);
+  if (!clauses.ok()) {
+    std::cerr << "educe-asm: " << clauses.status() << "\n";
+    return 1;
+  }
+  for (const auto& clause : *clauses) {
+    if (auto s = program.AddClause(clause.term); !s.ok()) {
+      std::cerr << "educe-asm: " << s << "\n";
+      return 1;
+    }
+  }
+
+  // Stable output order: procedures sorted by name/arity.
+  std::vector<std::pair<std::string, educe::dict::SymbolId>> procs;
+  program.ForEachProc([&](const educe::wam::Program::Proc& proc) {
+    if (!dictionary.IsLive(proc.functor)) return;
+    std::string name(dictionary.NameOf(proc.functor));
+    name += "/" + std::to_string(proc.arity);
+    if (filters.empty()) {
+      if (library.count(proc.functor) != 0) return;
+    } else if (std::find(filters.begin(), filters.end(), name) ==
+               filters.end()) {
+      return;
+    }
+    procs.emplace_back(std::move(name), proc.functor);
+  });
+  std::sort(procs.begin(), procs.end());
+
+  bool first = true;
+  for (const auto& [name, functor] : procs) {
+    auto linked = program.Linked(functor);
+    if (!linked.ok()) {
+      std::cerr << "educe-asm: " << name << ": " << linked.status() << "\n";
+      return 1;
+    }
+    if (!first) std::cout << "\n";
+    first = false;
+    std::cout << educe::wam::DisassembleLinked(dictionary, **linked,
+                                               program.builtins());
+  }
+  return 0;
+}
+
+int Check(const std::string& path, bool roundtrip) {
+  std::string text;
+  if (!ReadInput(path, &text)) return 1;
+  educe::dict::Dictionary dictionary;
+  educe::wam::Program program(&dictionary);
+  if (auto s = educe::wam::InstallStandardLibrary(&program); !s.ok()) {
+    std::cerr << "educe-asm: " << s << "\n";
+    return 1;
+  }
+  auto parsed =
+      educe::wam::ParseAsm(&dictionary, text, program.builtins());
+  if (!parsed.ok()) {
+    std::cerr << "educe-asm: " << parsed.status() << "\n";
+    return 1;
+  }
+  const std::string printed = educe::wam::DisassembleLinked(
+      dictionary, **parsed, program.builtins());
+  if (roundtrip) {
+    auto reparsed =
+        educe::wam::ParseAsm(&dictionary, printed, program.builtins());
+    if (!reparsed.ok()) {
+      std::cerr << "educe-asm: reprint does not parse: " << reparsed.status()
+                << "\n";
+      return 1;
+    }
+    const std::string reprinted = educe::wam::DisassembleLinked(
+        dictionary, **reparsed, program.builtins());
+    if (printed != reprinted) {
+      std::cerr << "educe-asm: round-trip is not a fixpoint\n";
+      return 1;
+    }
+    std::cout << printed;
+    return 0;
+  }
+  std::cerr << "ok: " << (*parsed)->code.size() << " instructions, "
+            << (*parsed)->tables.size() << " tables, "
+            << (*parsed)->clause_offsets.size() << " clauses\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string mode = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (mode == "dump") return Dump(args);
+  if (mode == "check" && args.size() == 1) return Check(args[0], false);
+  if (mode == "roundtrip" && args.size() == 1) return Check(args[0], true);
+  return Usage();
+}

@@ -6,6 +6,187 @@
 
 namespace educe::wam {
 
+// The X-macro list must mirror the enum exactly: the dispatch table in
+// machine.cc and the mnemonic table below are both indexed by opcode value.
+namespace {
+constexpr Opcode kOpcodeOrder[] = {
+#define EDUCE_OP_VALUE(name) Opcode::name,
+    EDUCE_OPCODE_LIST(EDUCE_OP_VALUE)
+#undef EDUCE_OP_VALUE
+};
+constexpr bool OpcodeListMatchesEnum() {
+  for (size_t i = 0; i < kOpcodeCount; ++i) {
+    if (static_cast<size_t>(kOpcodeOrder[i]) != i) return false;
+  }
+  return true;
+}
+static_assert(sizeof(kOpcodeOrder) / sizeof(kOpcodeOrder[0]) == kOpcodeCount);
+static_assert(OpcodeListMatchesEnum(),
+              "EDUCE_OPCODE_LIST is out of sync with the Opcode enum");
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kGetVariableX: return "get_variable_x";
+    case Opcode::kGetVariableY: return "get_variable_y";
+    case Opcode::kGetValueX: return "get_value_x";
+    case Opcode::kGetValueY: return "get_value_y";
+    case Opcode::kGetConstant: return "get_constant";
+    case Opcode::kGetInteger: return "get_integer";
+    case Opcode::kGetFloat: return "get_float";
+    case Opcode::kGetStructure: return "get_structure";
+    case Opcode::kGetList: return "get_list";
+    case Opcode::kUnifyVariableX: return "unify_variable_x";
+    case Opcode::kUnifyVariableY: return "unify_variable_y";
+    case Opcode::kUnifyValueX: return "unify_value_x";
+    case Opcode::kUnifyValueY: return "unify_value_y";
+    case Opcode::kUnifyConstant: return "unify_constant";
+    case Opcode::kUnifyInteger: return "unify_integer";
+    case Opcode::kUnifyFloat: return "unify_float";
+    case Opcode::kUnifyVoid: return "unify_void";
+    case Opcode::kPutVariableX: return "put_variable_x";
+    case Opcode::kPutVariableY: return "put_variable_y";
+    case Opcode::kPutValueX: return "put_value_x";
+    case Opcode::kPutValueY: return "put_value_y";
+    case Opcode::kPutConstant: return "put_constant";
+    case Opcode::kPutInteger: return "put_integer";
+    case Opcode::kPutFloat: return "put_float";
+    case Opcode::kPutStructure: return "put_structure";
+    case Opcode::kPutList: return "put_list";
+    case Opcode::kAllocate: return "allocate";
+    case Opcode::kDeallocate: return "deallocate";
+    case Opcode::kCall: return "call";
+    case Opcode::kExecute: return "execute";
+    case Opcode::kProceed: return "proceed";
+    case Opcode::kGetLevel: return "get_level";
+    case Opcode::kCut: return "cut";
+    case Opcode::kBuiltin: return "builtin";
+    case Opcode::kFail: return "fail";
+    case Opcode::kTryMeElse: return "try_me_else";
+    case Opcode::kRetryMeElse: return "retry_me_else";
+    case Opcode::kTrustMe: return "trust_me";
+    case Opcode::kTry: return "try";
+    case Opcode::kRetry: return "retry";
+    case Opcode::kTrust: return "trust";
+    case Opcode::kSwitchOnTerm: return "switch_on_term";
+    case Opcode::kSwitchOnConstant: return "switch_on_constant";
+    case Opcode::kSwitchOnInteger: return "switch_on_integer";
+    case Opcode::kSwitchOnStructure: return "switch_on_structure";
+    case Opcode::kJump: return "jump";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kFusedGetConstantGetConstant:
+      return "fused_get_constant_get_constant";
+    case Opcode::kFusedGetIntegerGetInteger:
+      return "fused_get_integer_get_integer";
+    case Opcode::kFusedGetConstantGetInteger:
+      return "fused_get_constant_get_integer";
+    case Opcode::kFusedGetIntegerGetConstant:
+      return "fused_get_integer_get_constant";
+    case Opcode::kFusedGetConstantProceed:
+      return "fused_get_constant_proceed";
+    case Opcode::kFusedGetIntegerProceed:
+      return "fused_get_integer_proceed";
+    case Opcode::kFusedGetStructureUnifyVariableX:
+      return "fused_get_structure_unify_variable_x";
+    case Opcode::kFusedGetListUnifyVariableX:
+      return "fused_get_list_unify_variable_x";
+    case Opcode::kFusedUnifyVariableXUnifyVariableX:
+      return "fused_unify_variable_x_unify_variable_x";
+    case Opcode::kFusedPutValueYPutValueY:
+      return "fused_put_value_y_put_value_y";
+    case Opcode::kFusedPutValueXCall: return "fused_put_value_x_call";
+    case Opcode::kFusedPutValueYCall: return "fused_put_value_y_call";
+  }
+  return "bad_opcode";
+}
+
+namespace {
+
+/// The fused set. Chosen from the profiled digram histogram of the
+/// Wisconsin and preunify workloads (re-derivation procedure:
+/// DESIGN.md §14.2 — run with profiling on and superinstructions off,
+/// read `opcode_digrams` from ExportMetricsJson).
+struct FusionRule {
+  Opcode first;
+  Opcode second;
+  Opcode fused;
+};
+constexpr FusionRule kFusionRules[] = {
+    {Opcode::kGetConstant, Opcode::kGetConstant,
+     Opcode::kFusedGetConstantGetConstant},
+    {Opcode::kGetInteger, Opcode::kGetInteger,
+     Opcode::kFusedGetIntegerGetInteger},
+    {Opcode::kGetConstant, Opcode::kGetInteger,
+     Opcode::kFusedGetConstantGetInteger},
+    {Opcode::kGetInteger, Opcode::kGetConstant,
+     Opcode::kFusedGetIntegerGetConstant},
+    {Opcode::kGetConstant, Opcode::kProceed,
+     Opcode::kFusedGetConstantProceed},
+    {Opcode::kGetInteger, Opcode::kProceed, Opcode::kFusedGetIntegerProceed},
+    {Opcode::kGetStructure, Opcode::kUnifyVariableX,
+     Opcode::kFusedGetStructureUnifyVariableX},
+    {Opcode::kGetList, Opcode::kUnifyVariableX,
+     Opcode::kFusedGetListUnifyVariableX},
+    {Opcode::kUnifyVariableX, Opcode::kUnifyVariableX,
+     Opcode::kFusedUnifyVariableXUnifyVariableX},
+    {Opcode::kPutValueY, Opcode::kPutValueY,
+     Opcode::kFusedPutValueYPutValueY},
+    {Opcode::kPutValueX, Opcode::kCall, Opcode::kFusedPutValueXCall},
+    {Opcode::kPutValueY, Opcode::kCall, Opcode::kFusedPutValueYCall},
+};
+
+}  // namespace
+
+bool IsFusedOp(Opcode op) {
+  return static_cast<uint8_t>(op) > static_cast<uint8_t>(Opcode::kHalt) &&
+         static_cast<size_t>(op) < kOpcodeCount;
+}
+
+bool FusedComponents(Opcode op, Opcode* first, Opcode* second) {
+  for (const FusionRule& rule : kFusionRules) {
+    if (rule.fused == op) {
+      *first = rule.first;
+      *second = rule.second;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LookupFusion(Opcode first, Opcode second, Opcode* fused) {
+  for (const FusionRule& rule : kFusionRules) {
+    if (rule.first == first && rule.second == second) {
+      *fused = rule.fused;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t FuseSuperinstructions(std::vector<Instruction>* code,
+                             const std::vector<uint32_t>& clause_offsets) {
+  if (code->size() < 2) return 0;
+  // is_start[i]: instruction i begins a clause — a pair must not straddle
+  // it, so a fused pair always disassembles inside one clause.
+  std::vector<uint8_t> is_start(code->size(), 0);
+  for (uint32_t off : clause_offsets) {
+    if (off < is_start.size()) is_start[off] = 1;
+  }
+  size_t fused_pairs = 0;
+  // Greedy non-overlapping left-to-right: after fusing (i, i+1), the pair
+  // starting at i+1 is taken (its slot already executes via the fused
+  // handler on the fall-through path).
+  for (size_t i = 0; i + 1 < code->size(); ++i) {
+    if (is_start[i + 1]) continue;
+    Opcode fused;
+    if (!LookupFusion((*code)[i].op, (*code)[i + 1].op, &fused)) continue;
+    (*code)[i].op = fused;
+    ++fused_pairs;
+    ++i;  // leave the second slot untouched (it stays a valid entry point)
+  }
+  return fused_pairs;
+}
+
 namespace {
 
 std::string SymbolName(const dict::Dictionary& dictionary, uint32_t id) {
@@ -27,11 +208,23 @@ std::string Disassemble(const dict::Dictionary& dictionary,
                         const std::vector<Instruction>& code,
                         const std::vector<SwitchTable>* tables) {
   std::string out;
-  auto line = [&](size_t i, const std::string& text) {
+  bool mark_fused = false;
+  auto line = [&](size_t i, std::string text) {
+    if (mark_fused) {
+      // '*' after the mnemonic: this slot is fused with the next one.
+      const size_t space = text.find(' ');
+      if (space == std::string::npos) {
+        text += '*';
+      } else {
+        text.insert(space, "*");
+      }
+    }
     out += std::to_string(i) + ":\t" + text + "\n";
   };
   for (size_t i = 0; i < code.size(); ++i) {
-    const Instruction& ins = code[i];
+    Instruction ins = code[i];
+    Opcode second;
+    mark_fused = FusedComponents(ins.op, &ins.op, &second);
     const std::string a = "A" + std::to_string(ins.a);
     const std::string xb = "X" + std::to_string(ins.b);
     const std::string yb = "Y" + std::to_string(ins.b);
@@ -133,6 +326,9 @@ std::string Disassemble(const dict::Dictionary& dictionary,
         break;
       case Opcode::kJump: line(i, "jump " + std::to_string(ins.c)); break;
       case Opcode::kHalt: line(i, "halt"); break;
+      default:  // fused ops were mapped to their first component above
+        line(i, OpcodeName(ins.op));
+        break;
     }
   }
   return out;
@@ -141,7 +337,13 @@ std::string Disassemble(const dict::Dictionary& dictionary,
 void CollectSymbols(const std::vector<Instruction>& code,
                     std::set<dict::SymbolId>* out) {
   for (const Instruction& ins : code) {
-    switch (ins.op) {
+    // A fused slot's operands belong to its first component; the second
+    // component's instruction is still present in the stream and is
+    // walked on its own.
+    Opcode op = ins.op;
+    Opcode second;
+    (void)FusedComponents(ins.op, &op, &second);
+    switch (op) {
       case Opcode::kGetConstant:
       case Opcode::kGetStructure:
       case Opcode::kUnifyConstant:

@@ -78,7 +78,76 @@ enum class Opcode : uint8_t {
 
   kJump,           // c=target (within the same code object)
   kHalt,           // top-level sentinel: a solution has been derived
+
+  // Superinstructions (link-time fusion, DESIGN.md §14). A fused opcode
+  // replaces the FIRST instruction of a dominant digram; the second
+  // instruction stays in the stream unmodified, so every jump target and
+  // switch-table entry stays valid without relocation (entering at the
+  // second instruction executes it plainly). The fused handler executes
+  // both halves in one dispatch: slot 1 carries the first component's
+  // operands under the fused opcode, slot 2 is the untouched original.
+  kFusedGetConstantGetConstant,
+  kFusedGetIntegerGetInteger,
+  kFusedGetConstantGetInteger,
+  kFusedGetIntegerGetConstant,
+  kFusedGetConstantProceed,
+  kFusedGetIntegerProceed,
+  kFusedGetStructureUnifyVariableX,
+  kFusedGetListUnifyVariableX,
+  kFusedUnifyVariableXUnifyVariableX,
+  kFusedPutValueYPutValueY,
+  kFusedPutValueXCall,
+  kFusedPutValueYCall,
 };
+
+/// X-macro over every opcode, in enum order (static_assert-checked in
+/// code.cc). Drives the computed-goto dispatch table, the mnemonic table
+/// (OpcodeName, educe-asm), and the digram histogram export — one list,
+/// so adding an opcode without updating every consumer fails to compile.
+#define EDUCE_OPCODE_LIST(X)                                                 \
+  X(kGetVariableX) X(kGetVariableY) X(kGetValueX) X(kGetValueY)              \
+  X(kGetConstant) X(kGetInteger) X(kGetFloat) X(kGetStructure) X(kGetList)   \
+  X(kUnifyVariableX) X(kUnifyVariableY) X(kUnifyValueX) X(kUnifyValueY)      \
+  X(kUnifyConstant) X(kUnifyInteger) X(kUnifyFloat) X(kUnifyVoid)            \
+  X(kPutVariableX) X(kPutVariableY) X(kPutValueX) X(kPutValueY)              \
+  X(kPutConstant) X(kPutInteger) X(kPutFloat) X(kPutStructure) X(kPutList)   \
+  X(kAllocate) X(kDeallocate) X(kCall) X(kExecute) X(kProceed)               \
+  X(kGetLevel) X(kCut) X(kBuiltin) X(kFail)                                  \
+  X(kTryMeElse) X(kRetryMeElse) X(kTrustMe) X(kTry) X(kRetry) X(kTrust)      \
+  X(kSwitchOnTerm) X(kSwitchOnConstant) X(kSwitchOnInteger)                  \
+  X(kSwitchOnStructure) X(kJump) X(kHalt)                                    \
+  X(kFusedGetConstantGetConstant) X(kFusedGetIntegerGetInteger)              \
+  X(kFusedGetConstantGetInteger) X(kFusedGetIntegerGetConstant)              \
+  X(kFusedGetConstantProceed) X(kFusedGetIntegerProceed)                     \
+  X(kFusedGetStructureUnifyVariableX) X(kFusedGetListUnifyVariableX)         \
+  X(kFusedUnifyVariableXUnifyVariableX) X(kFusedPutValueYPutValueY)          \
+  X(kFusedPutValueXCall) X(kFusedPutValueYCall)
+
+/// Number of opcodes (fused included).
+inline constexpr size_t kOpcodeCount = []() constexpr {
+  size_t n = 0;
+#define EDUCE_COUNT_OP(name) ++n;
+  EDUCE_OPCODE_LIST(EDUCE_COUNT_OP)
+#undef EDUCE_COUNT_OP
+  return n;
+}();
+
+/// Canonical lowercase mnemonic ("get_constant", "fused_get_constant_x2"
+/// style names are spelled out); the educe-asm surface syntax and the
+/// digram histogram both use these.
+const char* OpcodeName(Opcode op);
+
+/// True for link-time superinstructions.
+bool IsFusedOp(Opcode op);
+
+/// Components of a fused opcode. The first component also defines the
+/// fused instruction's slot-1 operand layout (symbol/immediate walkers
+/// must classify fused ops by their first component). False for plain
+/// opcodes.
+bool FusedComponents(Opcode op, Opcode* first, Opcode* second);
+
+/// The fused opcode for digram (first, second), if one exists.
+bool LookupFusion(Opcode first, Opcode second, Opcode* fused);
 
 /// Jump target meaning "backtrack" in switch tables.
 inline constexpr uint32_t kFailTarget = 0xFFFFFFFFu;
@@ -96,6 +165,15 @@ struct Instruction {
     return Instruction{op, a, b, c, imm};
   }
 };
+
+/// Link-time superinstruction pass: rewrites every fusable digram in
+/// `code` in place (first slot gets the fused opcode, second slot is left
+/// untouched — see the enum comment for why no relocation is needed).
+/// Pairs are never fused across `clause_offsets` boundaries, so each
+/// fused pair sits inside one clause and disassembly stays per-clause.
+/// Returns the number of pairs fused.
+size_t FuseSuperinstructions(std::vector<Instruction>* code,
+                             const std::vector<uint32_t>& clause_offsets);
 
 /// Dispatch table of switch instructions.
 struct SwitchTable {

@@ -431,7 +431,7 @@ namespace {
 /// Opcode -> hot-spot class for the profiling gate. Relies on the enum's
 /// block layout (head / unify / put / control / choice / index blocks in
 /// code.h); kept as explicit range checks so a reordering shows up here.
-obs::OpClass OpClassOf(Opcode op) {
+constexpr obs::OpClass OpClassOf(Opcode op) {
   if (op >= Opcode::kGetVariableX && op <= Opcode::kGetList) {
     return obs::OpClass::kGet;
   }
@@ -450,369 +450,652 @@ obs::OpClass OpClassOf(Opcode op) {
   return obs::OpClass::kControl;  // allocate/call/cut/builtin/jump/halt
 }
 
+/// Profiling classes per opcode: a fused opcode accounts for both of its
+/// components, so op-class profiles are invariant under fusion.
+struct OpClassInfo {
+  static constexpr uint8_t kNoClass = 0xFF;
+  uint8_t first = 0;
+  uint8_t second = kNoClass;
+};
+
+constexpr OpClassInfo OpClassInfoOf(Opcode op) {
+  Opcode a = op;
+  Opcode b = op;
+  bool fused = true;
+  switch (op) {
+    case Opcode::kFusedGetConstantGetConstant:
+      a = Opcode::kGetConstant; b = Opcode::kGetConstant; break;
+    case Opcode::kFusedGetIntegerGetInteger:
+      a = Opcode::kGetInteger; b = Opcode::kGetInteger; break;
+    case Opcode::kFusedGetConstantGetInteger:
+      a = Opcode::kGetConstant; b = Opcode::kGetInteger; break;
+    case Opcode::kFusedGetIntegerGetConstant:
+      a = Opcode::kGetInteger; b = Opcode::kGetConstant; break;
+    case Opcode::kFusedGetConstantProceed:
+      a = Opcode::kGetConstant; b = Opcode::kProceed; break;
+    case Opcode::kFusedGetIntegerProceed:
+      a = Opcode::kGetInteger; b = Opcode::kProceed; break;
+    case Opcode::kFusedGetStructureUnifyVariableX:
+      a = Opcode::kGetStructure; b = Opcode::kUnifyVariableX; break;
+    case Opcode::kFusedGetListUnifyVariableX:
+      a = Opcode::kGetList; b = Opcode::kUnifyVariableX; break;
+    case Opcode::kFusedUnifyVariableXUnifyVariableX:
+      a = Opcode::kUnifyVariableX; b = Opcode::kUnifyVariableX; break;
+    case Opcode::kFusedPutValueYPutValueY:
+      a = Opcode::kPutValueY; b = Opcode::kPutValueY; break;
+    case Opcode::kFusedPutValueXCall:
+      a = Opcode::kPutValueX; b = Opcode::kCall; break;
+    case Opcode::kFusedPutValueYCall:
+      a = Opcode::kPutValueY; b = Opcode::kCall; break;
+    default:
+      fused = false;
+      break;
+  }
+  OpClassInfo info;
+  info.first = static_cast<uint8_t>(OpClassOf(a));
+  info.second = fused ? static_cast<uint8_t>(OpClassOf(b))
+                      : OpClassInfo::kNoClass;
+  return info;
+}
+
+/// Sized to the dispatch-table mask so a corrupt opcode byte indexes a
+/// real (if meaningless) entry instead of out of bounds.
+constexpr size_t kDispatchSlots = 64;
+static_assert(kOpcodeCount <= kDispatchSlots);
+static_assert(kDispatchSlots <= obs::EmulatorProfile::kDigramSlots);
+
+constexpr auto kOpClassTable = [] {
+  std::array<OpClassInfo, kDispatchSlots> t{};
+  size_t i = 0;
+#define EDUCE_CLASS_ENTRY(name) t[i++] = OpClassInfoOf(Opcode::name);
+  EDUCE_OPCODE_LIST(EDUCE_CLASS_ENTRY)
+#undef EDUCE_CLASS_ENTRY
+  for (; i < kDispatchSlots; ++i) {
+    t[i] = OpClassInfo{};  // bad opcodes: counted as kGet, never executed
+  }
+  return t;
+}();
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Dispatch loop.
+//
+// Two dispatch strategies share the handler bodies below verbatim
+// (DESIGN.md §14): portably they compile as `case` labels of a single
+// switch; with EDUCE_THREADED_DISPATCH on a GNU-compatible compiler they
+// become plain labels and every handler jumps through a computed-goto
+// table, giving each opcode its own indirect branch for the predictor.
+// EDUCE_CASE / EDUCE_BAD_OP / the table jump are the only seam.
+// ---------------------------------------------------------------------------
+
+#if defined(EDUCE_THREADED_DISPATCH) && defined(__GNUC__)
+#define EDUCE_USE_THREADED 1
+#else
+#define EDUCE_USE_THREADED 0
+#endif
+
+#if EDUCE_USE_THREADED
+#define EDUCE_CASE(name) L_##name:
+#define EDUCE_BAD_OP L_badop:
+#else
+#define EDUCE_CASE(name) case Opcode::name:
+#define EDUCE_BAD_OP default:
+#endif
+
+/// Jump to the fetch/dispatch prologue for the next instruction.
+#define EDUCE_NEXT goto dispatch
+
+/// Unification failure: backtrack, finishing Run() when exhausted. Also
+/// how a fused handler aborts before its second half: Backtrack() rewrote
+/// p_, so the half-consumed pair is simply abandoned.
+#define EDUCE_FAIL()                               \
+  do {                                             \
+    EDUCE_ASSIGN_OR_RETURN(bool ok_, Backtrack()); \
+    if (!ok_) return false;                        \
+    goto dispatch;                                 \
+  } while (0)
+
+/// Fetch the second half of a fused pair (always in the same code object:
+/// fusion never crosses clause or procedure boundaries) and account for
+/// it so instruction counts are invariant under fusion.
+#define EDUCE_FETCH_SECOND()              \
+  do {                                    \
+    instr2 = fetch_code->code[p_.offset]; \
+    ++p_.offset;                          \
+    ++stats_.instructions;                \
+  } while (0)
+
+// Opcode bodies shared between plain and fused handlers — the single
+// source of truth for each fusion participant's semantics. `ins` names
+// the instruction supplying the operands.
+#define EDUCE_OP_GET_ATOMIC(ins, want_expr) \
+  do {                                      \
+    const Cell want_ = (want_expr);         \
+    const Cell d_ = Deref(x_[(ins).a]);     \
+    if (d_.tag() == Tag::kRef) {            \
+      Bind(d_.addr(), want_);               \
+    } else if (d_ != want_) {               \
+      EDUCE_FAIL();                         \
+    }                                       \
+  } while (0)
+
+#define EDUCE_OP_UNIFY_ATOMIC(want_expr)  \
+  do {                                    \
+    const Cell want_ = (want_expr);       \
+    if (write_mode_) {                    \
+      PushHeap(want_);                    \
+    } else {                              \
+      const Cell d_ = Deref(heap_[s_++]); \
+      if (d_.tag() == Tag::kRef) {        \
+        Bind(d_.addr(), want_);           \
+      } else if (d_ != want_) {           \
+        EDUCE_FAIL();                     \
+      }                                   \
+    }                                     \
+  } while (0)
+
+#define EDUCE_OP_GET_STRUCTURE(ins)                      \
+  do {                                                   \
+    const Cell d_ = Deref(x_[(ins).a]);                  \
+    if (d_.tag() == Tag::kRef) {                         \
+      const uint64_t base_ = PushHeap(Cell::Fun((ins).c)); \
+      Bind(d_.addr(), Cell::Str(base_));                 \
+      write_mode_ = true;                                \
+    } else if (d_.tag() == Tag::kStr &&                  \
+               heap_[d_.addr()] == Cell::Fun((ins).c)) { \
+      s_ = d_.addr() + 1;                                \
+      write_mode_ = false;                               \
+    } else {                                             \
+      EDUCE_FAIL();                                      \
+    }                                                    \
+  } while (0)
+
+#define EDUCE_OP_GET_LIST(ins)                  \
+  do {                                          \
+    const Cell d_ = Deref(x_[(ins).a]);         \
+    if (d_.tag() == Tag::kRef) {                \
+      Bind(d_.addr(), Cell::Lis(heap_.size())); \
+      write_mode_ = true;                       \
+    } else if (d_.tag() == Tag::kLis) {         \
+      s_ = d_.addr();                           \
+      write_mode_ = false;                      \
+    } else {                                    \
+      EDUCE_FAIL();                             \
+    }                                           \
+  } while (0)
+
+#define EDUCE_OP_UNIFY_VARIABLE_X(ins) \
+  do {                                 \
+    if (write_mode_) {                 \
+      x_[(ins).b] = NewVar();          \
+    } else {                           \
+      x_[(ins).b] = heap_[s_++];       \
+    }                                  \
+  } while (0)
+
+#define EDUCE_OP_PUT_VALUE_X(ins) x_[(ins).a] = x_[(ins).b]
+#define EDUCE_OP_PUT_VALUE_Y(ins) x_[(ins).a] = YSlot((ins).b)
+#define EDUCE_OP_PROCEED() p_ = cp_
+
+#define EDUCE_OP_CALL(ins)                                  \
+  do {                                                      \
+    cp_ = p_;                                               \
+    EDUCE_RETURN_IF_ERROR(CallProcedure((ins).c, (ins).b)); \
+    if (query_failed_) return false;                        \
+  } while (0)
+
 base::Result<bool> Machine::Run() {
-  // Convenience: backtrack, returning false from Run() when exhausted.
-  auto fail = [&]() -> base::Result<bool> { return Backtrack(); };
+#if EDUCE_USE_THREADED
+  // Direct-threaded dispatch table, indexed by opcode value masked to the
+  // table size so corrupt bytes land on the bad-op handler, never OOB.
+  static const void* const kDispatch[kDispatchSlots] = {
+#define EDUCE_LABEL_ADDR(name) &&L_##name,
+      EDUCE_OPCODE_LIST(EDUCE_LABEL_ADDR)
+#undef EDUCE_LABEL_ADDR
+      &&L_badop, &&L_badop, &&L_badop, &&L_badop, &&L_badop,
+  };
+  static_assert(kOpcodeCount + 5 == kDispatchSlots,
+                "adjust the dispatch-table bad-op padding");
+#endif
 
-  while (true) {
-    ++stats_.instructions;
-    if (options_.max_steps != 0 && stats_.instructions > options_.max_steps) {
-      return base::Status::ResourceExhausted("step budget exceeded");
+  // Instruction fetch goes through a raw pointer refreshed only when
+  // control moves to another code object; retained_ entries are stable
+  // shared_ptrs to immutable LinkedCode, so the pointer cannot dangle.
+  uint32_t fetch_id = p_.code_id;
+  const LinkedCode* fetch_code = retained_[fetch_id].get();
+  Instruction instr;   // current instruction (slot 1 of a fused pair)
+  Instruction instr2;  // slot 2 of a fused pair
+  uint32_t prev_op = UINT32_MAX;  // digram predecessor (profiling only)
+
+dispatch:
+  ++stats_.instructions;
+  if (options_.max_steps != 0 && stats_.instructions > options_.max_steps) {
+    return base::Status::ResourceExhausted("step budget exceeded");
+  }
+  if (p_.code_id != fetch_id) {
+    fetch_id = p_.code_id;
+    fetch_code = retained_[fetch_id].get();
+  }
+  instr = fetch_code->code[p_.offset];
+  ++p_.offset;
+
+  // The profiling gate (DESIGN.md §11): off = this one predictable
+  // branch; on = class counters (both halves of a fused pair), the
+  // digram histogram, and the heap high-water check.
+  if (profiling_) {
+    const uint8_t op = static_cast<uint8_t>(instr.op) &
+                       static_cast<uint8_t>(kDispatchSlots - 1);
+    const OpClassInfo ci = kOpClassTable[op];
+    ++profile_.op_class[ci.first];
+    if (ci.second != OpClassInfo::kNoClass) ++profile_.op_class[ci.second];
+    if (prev_op != UINT32_MAX) {
+      profile_.RecordDigram(static_cast<uint8_t>(prev_op), op);
     }
-    const Instruction instr = At(p_);
-    ++p_.offset;
-
-    // The profiling gate (DESIGN.md §11): off = this one predictable
-    // branch; on = an array increment + heap high-water check.
-    if (profiling_) {
-      ++profile_.op_class[static_cast<size_t>(OpClassOf(instr.op))];
-      if (heap_.size() > profile_.heap_high_water) {
-        profile_.heap_high_water = heap_.size();
-      }
-    }
-
-    switch (instr.op) {
-      // ---- head -------------------------------------------------------
-      case Opcode::kGetVariableX:
-        x_[instr.b] = x_[instr.a];
-        break;
-      case Opcode::kGetVariableY:
-        YSlot(instr.b) = x_[instr.a];
-        break;
-      case Opcode::kGetValueX:
-        if (!Unify(x_[instr.b], x_[instr.a])) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      case Opcode::kGetValueY:
-        if (!Unify(YSlot(instr.b), x_[instr.a])) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      case Opcode::kGetConstant:
-      case Opcode::kGetInteger:
-      case Opcode::kGetFloat: {
-        Cell want;
-        if (instr.op == Opcode::kGetConstant) {
-          want = Cell::Con(instr.c);
-        } else if (instr.op == Opcode::kGetInteger) {
-          want = Cell::Int(static_cast<int64_t>(instr.imm));
-        } else {
-          want = Cell::FltFromBits(instr.imm);
-        }
-        const Cell d = Deref(x_[instr.a]);
-        if (d.tag() == Tag::kRef) {
-          Bind(d.addr(), want);
-        } else if (d != want) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      }
-      case Opcode::kGetStructure: {
-        const Cell d = Deref(x_[instr.a]);
-        if (d.tag() == Tag::kRef) {
-          const uint64_t base = PushHeap(Cell::Fun(instr.c));
-          Bind(d.addr(), Cell::Str(base));
-          write_mode_ = true;
-        } else if (d.tag() == Tag::kStr &&
-                   heap_[d.addr()] == Cell::Fun(instr.c)) {
-          s_ = d.addr() + 1;
-          write_mode_ = false;
-        } else {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      }
-      case Opcode::kGetList: {
-        const Cell d = Deref(x_[instr.a]);
-        if (d.tag() == Tag::kRef) {
-          Bind(d.addr(), Cell::Lis(heap_.size()));
-          write_mode_ = true;
-        } else if (d.tag() == Tag::kLis) {
-          s_ = d.addr();
-          write_mode_ = false;
-        } else {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      }
-
-      // ---- unify ------------------------------------------------------
-      case Opcode::kUnifyVariableX:
-        if (write_mode_) {
-          x_[instr.b] = NewVar();
-        } else {
-          x_[instr.b] = heap_[s_++];
-        }
-        break;
-      case Opcode::kUnifyVariableY:
-        if (write_mode_) {
-          YSlot(instr.b) = NewVar();
-        } else {
-          YSlot(instr.b) = heap_[s_++];
-        }
-        break;
-      case Opcode::kUnifyValueX:
-        if (write_mode_) {
-          PushHeap(x_[instr.b]);
-        } else if (!Unify(x_[instr.b], heap_[s_++])) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      case Opcode::kUnifyValueY:
-        if (write_mode_) {
-          PushHeap(YSlot(instr.b));
-        } else if (!Unify(YSlot(instr.b), heap_[s_++])) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        }
-        break;
-      case Opcode::kUnifyConstant:
-      case Opcode::kUnifyInteger:
-      case Opcode::kUnifyFloat: {
-        Cell want;
-        if (instr.op == Opcode::kUnifyConstant) {
-          want = Cell::Con(instr.c);
-        } else if (instr.op == Opcode::kUnifyInteger) {
-          want = Cell::Int(static_cast<int64_t>(instr.imm));
-        } else {
-          want = Cell::FltFromBits(instr.imm);
-        }
-        if (write_mode_) {
-          PushHeap(want);
-        } else {
-          const Cell d = Deref(heap_[s_++]);
-          if (d.tag() == Tag::kRef) {
-            Bind(d.addr(), want);
-          } else if (d != want) {
-            EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-            if (!ok) return false;
-          }
-        }
-        break;
-      }
-      case Opcode::kUnifyVoid:
-        if (write_mode_) {
-          for (uint16_t i = 0; i < instr.b; ++i) NewVar();
-        } else {
-          s_ += instr.b;
-        }
-        break;
-
-      // ---- body -------------------------------------------------------
-      case Opcode::kPutVariableX: {
-        const Cell var = NewVar();
-        x_[instr.b] = var;
-        x_[instr.a] = var;
-        break;
-      }
-      case Opcode::kPutVariableY: {
-        const Cell var = NewVar();
-        YSlot(instr.b) = var;
-        x_[instr.a] = var;
-        break;
-      }
-      case Opcode::kPutValueX:
-        x_[instr.a] = x_[instr.b];
-        break;
-      case Opcode::kPutValueY:
-        x_[instr.a] = YSlot(instr.b);
-        break;
-      case Opcode::kPutConstant:
-        x_[instr.a] = Cell::Con(instr.c);
-        break;
-      case Opcode::kPutInteger:
-        x_[instr.a] = Cell::Int(static_cast<int64_t>(instr.imm));
-        break;
-      case Opcode::kPutFloat:
-        x_[instr.a] = Cell::FltFromBits(instr.imm);
-        break;
-      case Opcode::kPutStructure: {
-        const uint64_t base = PushHeap(Cell::Fun(instr.c));
-        x_[instr.a] = Cell::Str(base);
-        write_mode_ = true;
-        break;
-      }
-      case Opcode::kPutList:
-        x_[instr.a] = Cell::Lis(heap_.size());
-        write_mode_ = true;
-        break;
-
-      // ---- control ----------------------------------------------------
-      case Opcode::kAllocate: {
-        const size_t protect =
-            or_stack_.empty() ? 0 : or_stack_.back().protect;
-        const size_t base = std::max(stack_top_, protect);
-        const size_t need = base + kFrameHeader + instr.b;
-        if (stack_.size() < need) stack_.resize(need + 64);
-        stack_[base] = Cell{e_};
-        stack_[base + 1] =
-            Cell{(static_cast<uint64_t>(cp_.code_id) << 32) | cp_.offset};
-        stack_[base + 2] = Cell{static_cast<uint64_t>(instr.b)};
-        for (uint16_t i = 0; i < instr.b; ++i) {
-          stack_[base + kFrameHeader + i] = Cell::Int(0);
-        }
-        e_ = base;
-        stack_top_ = need;
-        break;
-      }
-      case Opcode::kDeallocate: {
-        const uint64_t saved_cp = stack_[e_ + 1].raw;
-        cp_ = CodePtr{static_cast<uint32_t>(saved_cp >> 32),
-                      static_cast<uint32_t>(saved_cp)};
-        stack_top_ = e_;
-        e_ = stack_[e_].raw;
-        break;
-      }
-      case Opcode::kCall:
-        cp_ = p_;
-        EDUCE_RETURN_IF_ERROR(CallProcedure(instr.c, instr.b));
-        if (query_failed_) return false;
-        break;
-      case Opcode::kExecute:
-        EDUCE_RETURN_IF_ERROR(CallProcedure(instr.c, instr.b));
-        if (query_failed_) return false;
-        break;
-      case Opcode::kProceed:
-        p_ = cp_;
-        break;
-      case Opcode::kGetLevel:
-        YSlot(instr.b) = Cell::Int(static_cast<int64_t>(b0_));
-        break;
-      case Opcode::kCut: {
-        const size_t level =
-            static_cast<size_t>(YSlot(instr.b).int_value());
-        if (or_stack_.size() > level) or_stack_.resize(level);
-        break;
-      }
-      case Opcode::kBuiltin: {
-        const BuiltinFn& fn = program_->builtins()->fn(instr.c);
-        BuiltinResult r = fn(this, instr.b);
-        bool failed = false;
-        EDUCE_ASSIGN_OR_RETURN(bool tail, HandleBuiltinResult(r, &failed));
-        if (failed) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-          break;
-        }
-        if (tail) {
-          // A metacall in last position (next instruction is the clause's
-          // kProceed) is a true tail transfer: the callee returns straight
-          // to our caller. Setting cp_ to the kProceed would make that
-          // kProceed its own continuation — an infinite loop.
-          if (At(p_).op != Opcode::kProceed) cp_ = p_;
-          EDUCE_RETURN_IF_ERROR(
-              CallProcedure(pending_functor_, pending_arity_));
-          if (query_failed_) return false;
-        }
-        break;
-      }
-      case Opcode::kFail: {
-        EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-        if (!ok) return false;
-        break;
-      }
-
-      // ---- choice -----------------------------------------------------
-      case Opcode::kTryMeElse:
-        PushChoicePoint(retained_[p_.code_id]->arity,
-                        CodePtr{p_.code_id, instr.c}, nullptr, CodePtr{});
-        break;
-      case Opcode::kRetryMeElse:
-        or_stack_.back().resume = CodePtr{p_.code_id, instr.c};
-        break;
-      case Opcode::kTrustMe:
-        or_stack_.pop_back();
-        break;
-      case Opcode::kTry: {
-        const uint32_t arity = retained_[p_.code_id]->arity;
-        PushChoicePoint(arity, p_, nullptr, CodePtr{});
-        p_.offset = instr.c;
-        break;
-      }
-      case Opcode::kRetry:
-        or_stack_.back().resume = p_;
-        p_.offset = instr.c;
-        break;
-      case Opcode::kTrust:
-        or_stack_.pop_back();
-        p_.offset = instr.c;
-        break;
-
-      // ---- indexing ---------------------------------------------------
-      case Opcode::kSwitchOnTerm: {
-        const SwitchTable& table = retained_[p_.code_id]->tables[instr.c];
-        const Cell d = Deref(x_[0]);
-        uint32_t target = kFailTarget;
-        switch (d.tag()) {
-          case Tag::kRef: target = table.on_var; break;
-          case Tag::kCon: target = table.on_atom; break;
-          case Tag::kInt:
-          case Tag::kFlt: target = table.on_number; break;
-          case Tag::kLis: target = table.on_list; break;
-          case Tag::kStr: target = table.on_struct; break;
-          default: break;
-        }
-        if (target == kFailTarget) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        } else {
-          p_.offset = target;
-        }
-        break;
-      }
-      case Opcode::kSwitchOnConstant:
-      case Opcode::kSwitchOnInteger:
-      case Opcode::kSwitchOnStructure: {
-        const SwitchTable& table = retained_[p_.code_id]->tables[instr.c];
-        const Cell d = Deref(x_[0]);
-        uint64_t key = 0;
-        switch (instr.op) {
-          case Opcode::kSwitchOnConstant:
-            key = d.symbol();
-            break;
-          case Opcode::kSwitchOnInteger:
-            key = d.tag() == Tag::kInt
-                      ? static_cast<uint64_t>(d.int_value())
-                      : d.float_bits();
-            break;
-          default:
-            key = heap_[d.addr()].symbol();  // functor cell of the struct
-            break;
-        }
-        auto it = table.entries.find(key);
-        const uint32_t target =
-            it != table.entries.end() ? it->second : table.default_target;
-        if (target == kFailTarget) {
-          EDUCE_ASSIGN_OR_RETURN(bool ok, fail());
-          if (!ok) return false;
-        } else {
-          p_.offset = target;
-        }
-        break;
-      }
-
-      case Opcode::kJump:
-        p_.offset = instr.c;
-        break;
-      case Opcode::kHalt:
-        return true;
-
-      default:
-        return base::Status::Internal(
-            "unimplemented opcode " +
-            std::to_string(static_cast<int>(instr.op)));
+    prev_op = op;
+    if (heap_.size() > profile_.heap_high_water) {
+      profile_.heap_high_water = heap_.size();
     }
   }
+
+#if EDUCE_USE_THREADED
+  goto* kDispatch[static_cast<uint8_t>(instr.op) &
+                  static_cast<uint8_t>(kDispatchSlots - 1)];
+#else
+  switch (instr.op) {
+#endif
+
+  // ---- head ---------------------------------------------------------
+  EDUCE_CASE(kGetVariableX) {
+    x_[instr.b] = x_[instr.a];
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetVariableY) {
+    YSlot(instr.b) = x_[instr.a];
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetValueX) {
+    if (!Unify(x_[instr.b], x_[instr.a])) EDUCE_FAIL();
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetValueY) {
+    if (!Unify(YSlot(instr.b), x_[instr.a])) EDUCE_FAIL();
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetConstant) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Con(instr.c));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetInteger) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Int(static_cast<int64_t>(instr.imm)));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetFloat) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::FltFromBits(instr.imm));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetStructure) {
+    EDUCE_OP_GET_STRUCTURE(instr);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetList) {
+    EDUCE_OP_GET_LIST(instr);
+    EDUCE_NEXT;
+  }
+
+  // ---- unify --------------------------------------------------------
+  EDUCE_CASE(kUnifyVariableX) {
+    EDUCE_OP_UNIFY_VARIABLE_X(instr);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyVariableY) {
+    if (write_mode_) {
+      YSlot(instr.b) = NewVar();
+    } else {
+      YSlot(instr.b) = heap_[s_++];
+    }
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyValueX) {
+    if (write_mode_) {
+      PushHeap(x_[instr.b]);
+    } else if (!Unify(x_[instr.b], heap_[s_++])) {
+      EDUCE_FAIL();
+    }
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyValueY) {
+    if (write_mode_) {
+      PushHeap(YSlot(instr.b));
+    } else if (!Unify(YSlot(instr.b), heap_[s_++])) {
+      EDUCE_FAIL();
+    }
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyConstant) {
+    EDUCE_OP_UNIFY_ATOMIC(Cell::Con(instr.c));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyInteger) {
+    EDUCE_OP_UNIFY_ATOMIC(Cell::Int(static_cast<int64_t>(instr.imm)));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyFloat) {
+    EDUCE_OP_UNIFY_ATOMIC(Cell::FltFromBits(instr.imm));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kUnifyVoid) {
+    if (write_mode_) {
+      for (uint16_t i = 0; i < instr.b; ++i) NewVar();
+    } else {
+      s_ += instr.b;
+    }
+    EDUCE_NEXT;
+  }
+
+  // ---- body ---------------------------------------------------------
+  EDUCE_CASE(kPutVariableX) {
+    const Cell var = NewVar();
+    x_[instr.b] = var;
+    x_[instr.a] = var;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutVariableY) {
+    const Cell var = NewVar();
+    YSlot(instr.b) = var;
+    x_[instr.a] = var;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutValueX) {
+    EDUCE_OP_PUT_VALUE_X(instr);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutValueY) {
+    EDUCE_OP_PUT_VALUE_Y(instr);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutConstant) {
+    x_[instr.a] = Cell::Con(instr.c);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutInteger) {
+    x_[instr.a] = Cell::Int(static_cast<int64_t>(instr.imm));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutFloat) {
+    x_[instr.a] = Cell::FltFromBits(instr.imm);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutStructure) {
+    const uint64_t base = PushHeap(Cell::Fun(instr.c));
+    x_[instr.a] = Cell::Str(base);
+    write_mode_ = true;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kPutList) {
+    x_[instr.a] = Cell::Lis(heap_.size());
+    write_mode_ = true;
+    EDUCE_NEXT;
+  }
+
+  // ---- control ------------------------------------------------------
+  EDUCE_CASE(kAllocate) {
+    const size_t protect = or_stack_.empty() ? 0 : or_stack_.back().protect;
+    const size_t base = std::max(stack_top_, protect);
+    const size_t need = base + kFrameHeader + instr.b;
+    if (stack_.size() < need) stack_.resize(need + 64);
+    stack_[base] = Cell{e_};
+    stack_[base + 1] =
+        Cell{(static_cast<uint64_t>(cp_.code_id) << 32) | cp_.offset};
+    stack_[base + 2] = Cell{static_cast<uint64_t>(instr.b)};
+    for (uint16_t i = 0; i < instr.b; ++i) {
+      stack_[base + kFrameHeader + i] = Cell::Int(0);
+    }
+    e_ = base;
+    stack_top_ = need;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kDeallocate) {
+    const uint64_t saved_cp = stack_[e_ + 1].raw;
+    cp_ = CodePtr{static_cast<uint32_t>(saved_cp >> 32),
+                  static_cast<uint32_t>(saved_cp)};
+    stack_top_ = e_;
+    e_ = stack_[e_].raw;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kCall) {
+    EDUCE_OP_CALL(instr);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kExecute) {
+    EDUCE_RETURN_IF_ERROR(CallProcedure(instr.c, instr.b));
+    if (query_failed_) return false;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kProceed) {
+    EDUCE_OP_PROCEED();
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kGetLevel) {
+    YSlot(instr.b) = Cell::Int(static_cast<int64_t>(b0_));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kCut) {
+    const size_t level = static_cast<size_t>(YSlot(instr.b).int_value());
+    if (or_stack_.size() > level) or_stack_.resize(level);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kBuiltin) {
+    const BuiltinFn& fn = program_->builtins()->fn(instr.c);
+    BuiltinResult r = fn(this, instr.b);
+    bool failed = false;
+    EDUCE_ASSIGN_OR_RETURN(bool tail, HandleBuiltinResult(r, &failed));
+    if (failed) EDUCE_FAIL();
+    if (tail) {
+      // A metacall in last position (next instruction is the clause's
+      // kProceed) is a true tail transfer: the callee returns straight
+      // to our caller. Setting cp_ to the kProceed would make that
+      // kProceed its own continuation — an infinite loop.
+      if (At(p_).op != Opcode::kProceed) cp_ = p_;
+      EDUCE_RETURN_IF_ERROR(CallProcedure(pending_functor_, pending_arity_));
+      if (query_failed_) return false;
+    }
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFail) {
+    EDUCE_FAIL();
+  }
+
+  // ---- choice -------------------------------------------------------
+  EDUCE_CASE(kTryMeElse) {
+    PushChoicePoint(fetch_code->arity, CodePtr{p_.code_id, instr.c}, nullptr,
+                    CodePtr{});
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kRetryMeElse) {
+    or_stack_.back().resume = CodePtr{p_.code_id, instr.c};
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kTrustMe) {
+    or_stack_.pop_back();
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kTry) {
+    PushChoicePoint(fetch_code->arity, p_, nullptr, CodePtr{});
+    p_.offset = instr.c;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kRetry) {
+    or_stack_.back().resume = p_;
+    p_.offset = instr.c;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kTrust) {
+    or_stack_.pop_back();
+    p_.offset = instr.c;
+    EDUCE_NEXT;
+  }
+
+  // ---- indexing -----------------------------------------------------
+  EDUCE_CASE(kSwitchOnTerm) {
+    const SwitchTable& table = fetch_code->tables[instr.c];
+    const Cell d = Deref(x_[0]);
+    uint32_t target = kFailTarget;
+    switch (d.tag()) {
+      case Tag::kRef: target = table.on_var; break;
+      case Tag::kCon: target = table.on_atom; break;
+      case Tag::kInt:
+      case Tag::kFlt: target = table.on_number; break;
+      case Tag::kLis: target = table.on_list; break;
+      case Tag::kStr: target = table.on_struct; break;
+      default: break;
+    }
+    if (target == kFailTarget) EDUCE_FAIL();
+    p_.offset = target;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kSwitchOnConstant) {
+    const SwitchTable& table = fetch_code->tables[instr.c];
+    const Cell d = Deref(x_[0]);
+    auto it = table.entries.find(d.symbol());
+    const uint32_t target =
+        it != table.entries.end() ? it->second : table.default_target;
+    if (target == kFailTarget) EDUCE_FAIL();
+    p_.offset = target;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kSwitchOnInteger) {
+    const SwitchTable& table = fetch_code->tables[instr.c];
+    const Cell d = Deref(x_[0]);
+    const uint64_t key = d.tag() == Tag::kInt
+                             ? static_cast<uint64_t>(d.int_value())
+                             : d.float_bits();
+    auto it = table.entries.find(key);
+    const uint32_t target =
+        it != table.entries.end() ? it->second : table.default_target;
+    if (target == kFailTarget) EDUCE_FAIL();
+    p_.offset = target;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kSwitchOnStructure) {
+    const SwitchTable& table = fetch_code->tables[instr.c];
+    const Cell d = Deref(x_[0]);
+    // The functor cell of the struct.
+    auto it = table.entries.find(heap_[d.addr()].symbol());
+    const uint32_t target =
+        it != table.entries.end() ? it->second : table.default_target;
+    if (target == kFailTarget) EDUCE_FAIL();
+    p_.offset = target;
+    EDUCE_NEXT;
+  }
+
+  EDUCE_CASE(kJump) {
+    p_.offset = instr.c;
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kHalt) {
+    return true;
+  }
+
+  // ---- superinstructions (link-time fusion, DESIGN.md §14) ----------
+  EDUCE_CASE(kFusedGetConstantGetConstant) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Con(instr.c));
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_GET_ATOMIC(instr2, Cell::Con(instr2.c));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetIntegerGetInteger) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Int(static_cast<int64_t>(instr.imm)));
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_GET_ATOMIC(instr2, Cell::Int(static_cast<int64_t>(instr2.imm)));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetConstantGetInteger) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Con(instr.c));
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_GET_ATOMIC(instr2, Cell::Int(static_cast<int64_t>(instr2.imm)));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetIntegerGetConstant) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Int(static_cast<int64_t>(instr.imm)));
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_GET_ATOMIC(instr2, Cell::Con(instr2.c));
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetConstantProceed) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Con(instr.c));
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_PROCEED();
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetIntegerProceed) {
+    EDUCE_OP_GET_ATOMIC(instr, Cell::Int(static_cast<int64_t>(instr.imm)));
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_PROCEED();
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetStructureUnifyVariableX) {
+    EDUCE_OP_GET_STRUCTURE(instr);
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_UNIFY_VARIABLE_X(instr2);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedGetListUnifyVariableX) {
+    EDUCE_OP_GET_LIST(instr);
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_UNIFY_VARIABLE_X(instr2);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedUnifyVariableXUnifyVariableX) {
+    EDUCE_OP_UNIFY_VARIABLE_X(instr);
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_UNIFY_VARIABLE_X(instr2);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedPutValueYPutValueY) {
+    EDUCE_OP_PUT_VALUE_Y(instr);
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_PUT_VALUE_Y(instr2);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedPutValueXCall) {
+    EDUCE_OP_PUT_VALUE_X(instr);
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_CALL(instr2);
+    EDUCE_NEXT;
+  }
+  EDUCE_CASE(kFusedPutValueYCall) {
+    EDUCE_OP_PUT_VALUE_Y(instr);
+    EDUCE_FETCH_SECOND();
+    EDUCE_OP_CALL(instr2);
+    EDUCE_NEXT;
+  }
+
+  EDUCE_BAD_OP {
+    return base::Status::Internal(
+        "unimplemented opcode " + std::to_string(static_cast<int>(instr.op)));
+  }
+
+#if !EDUCE_USE_THREADED
+  }  // switch
+#endif
+  return base::Status::Internal("dispatch fell through");
 }
+
+#undef EDUCE_OP_CALL
+#undef EDUCE_OP_PROCEED
+#undef EDUCE_OP_PUT_VALUE_Y
+#undef EDUCE_OP_PUT_VALUE_X
+#undef EDUCE_OP_UNIFY_VARIABLE_X
+#undef EDUCE_OP_GET_LIST
+#undef EDUCE_OP_GET_STRUCTURE
+#undef EDUCE_OP_UNIFY_ATOMIC
+#undef EDUCE_OP_GET_ATOMIC
+#undef EDUCE_FETCH_SECOND
+#undef EDUCE_FAIL
+#undef EDUCE_NEXT
+#undef EDUCE_BAD_OP
+#undef EDUCE_CASE
 
 // ---------------------------------------------------------------------------
 // Term import/export

@@ -25,10 +25,21 @@ std::optional<uint32_t> BuiltinTable::Find(dict::SymbolId functor) const {
   return it->second;
 }
 
+std::optional<uint32_t> BuiltinTable::FindByName(std::string_view name,
+                                                uint32_t arity) const {
+  // Linear scan: only tooling (educe-asm) resolves builtins by name.
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].arity == arity && entries_[id].name == name) {
+      return static_cast<uint32_t>(id);
+    }
+  }
+  return std::nullopt;
+}
+
 std::shared_ptr<const LinkedCode> LinkProcedure(
     dict::SymbolId functor, uint32_t arity,
     const std::vector<std::shared_ptr<const ClauseCode>>& clauses,
-    bool indexing) {
+    bool indexing, bool fuse) {
   auto linked = std::make_shared<LinkedCode>();
   linked->functor = functor;
   linked->arity = arity;
@@ -200,6 +211,11 @@ std::shared_ptr<const LinkedCode> LinkProcedure(
   // Patch switch-table targets that reference dispatch-region entries: all
   // were emitted before clause code, so only fixups needed the patch.
 
+  // Superinstruction pass last, over the fully patched stream: it only
+  // rewrites opcode bytes in place (the second slot of each pair stays
+  // intact), so every table target and fixup above remains valid.
+  if (fuse) FuseSuperinstructions(&linked->code, linked->clause_offsets);
+
   return linked;
 }
 
@@ -214,7 +230,8 @@ Program::Program(dict::Dictionary* dictionary, Program* base)
       base_(base),
       builtins_(base->builtins_),
       compiler_(dictionary, builtins_, &aux_counter_),
-      indexing_enabled_(base->indexing_enabled_) {}
+      indexing_enabled_(base->indexing_enabled_),
+      fusion_enabled_(base->fusion_enabled_) {}
 
 base::Status Program::AddClause(const term::AstPtr& clause, bool front) {
   EDUCE_ASSIGN_OR_RETURN(std::vector<CompiledClause> compiled,
@@ -315,6 +332,10 @@ void Program::DeclareDynamic(dict::SymbolId functor) {
   proc.is_dynamic = true;
 }
 
+void Program::ForEachProc(const std::function<void(const Proc&)>& fn) const {
+  for (const auto& [functor, proc] : procs_) fn(proc);
+}
+
 const Program::Proc* Program::Find(dict::SymbolId functor) const {
   auto it = procs_.find(functor);
   if (it != procs_.end()) return &it->second;
@@ -344,8 +365,8 @@ base::Result<std::shared_ptr<const LinkedCode>> Program::Linked(
     std::vector<std::shared_ptr<const ClauseCode>> codes;
     codes.reserve(proc->clauses.size());
     for (const auto& clause : proc->clauses) codes.push_back(clause.code);
-    proc->linked =
-        LinkProcedure(functor, proc->arity, codes, indexing_enabled_);
+    proc->linked = LinkProcedure(functor, proc->arity, codes,
+                                 indexing_enabled_, fusion_enabled_);
     ++stats_.links_performed;
   }
   return proc->linked;
@@ -357,7 +378,8 @@ void Program::LinkAll() {
     std::vector<std::shared_ptr<const ClauseCode>> codes;
     codes.reserve(proc.clauses.size());
     for (const auto& clause : proc.clauses) codes.push_back(clause.code);
-    proc.linked = LinkProcedure(functor, proc.arity, codes, indexing_enabled_);
+    proc.linked = LinkProcedure(functor, proc.arity, codes, indexing_enabled_,
+                                fusion_enabled_);
     ++stats_.links_performed;
   }
 }
@@ -365,6 +387,12 @@ void Program::LinkAll() {
 void Program::SetIndexingEnabled(bool enabled) {
   if (enabled == indexing_enabled_) return;
   indexing_enabled_ = enabled;
+  for (auto& [functor, proc] : procs_) proc.linked = nullptr;
+}
+
+void Program::SetFusionEnabled(bool enabled) {
+  if (enabled == fusion_enabled_) return;
+  fusion_enabled_ = enabled;
   for (auto& [functor, proc] : procs_) proc.linked = nullptr;
 }
 

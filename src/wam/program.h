@@ -49,6 +49,12 @@ class BuiltinTable {
   const BuiltinFn& fn(uint32_t id) const { return entries_[id].fn; }
   const std::string& name(uint32_t id) const { return entries_[id].name; }
   uint32_t arity(uint32_t id) const { return entries_[id].arity; }
+  /// Number of registered builtins (ids are dense: [0, size)).
+  size_t size() const { return entries_.size(); }
+
+  /// Id of the builtin registered as `name`/`arity`, if any.
+  std::optional<uint32_t> FindByName(std::string_view name,
+                                     uint32_t arity) const;
 
   /// Every functor with a registered builtin (dictionary GC roots).
   std::vector<dict::SymbolId> RegisteredFunctors() const {
@@ -73,11 +79,14 @@ class BuiltinTable {
 /// control and (optionally) first-argument type+value indexing — the
 /// main-memory half of the paper's dynamic loader (§3.1 component 2,
 /// §3.2.2). With `indexing` false a plain try/retry/trust chain over all
-/// clauses is produced (the Ablation C baseline).
+/// clauses is produced (the Ablation C baseline). With `fuse` true the
+/// link-time superinstruction pass (FuseSuperinstructions, DESIGN.md §14)
+/// runs over the finished code so fused opcodes flow into the code cache
+/// and warm segments transparently.
 std::shared_ptr<const LinkedCode> LinkProcedure(
     dict::SymbolId functor, uint32_t arity,
     const std::vector<std::shared_ptr<const ClauseCode>>& clauses,
-    bool indexing);
+    bool indexing, bool fuse = true);
 
 /// Adds every dictionary symbol a *linked* procedure keeps alive to `out`:
 /// the functor label, all instruction operands, and the keys of
@@ -172,6 +181,11 @@ class Program {
   const Proc* Find(dict::SymbolId functor) const;
   Proc* FindMutable(dict::SymbolId functor);
 
+  /// Visits every procedure stored in this program (an overlay visits its
+  /// local shadow copies only, not the base). Iteration order is
+  /// unspecified. Tooling/debugging aid (educe-asm).
+  void ForEachProc(const std::function<void(const Proc&)>& fn) const;
+
   /// Executable code for `functor`, linking if dirty. NotFound if the
   /// procedure does not exist. On an overlay, a base-resident procedure
   /// that is already linked is served from the base; a dirty base
@@ -191,6 +205,11 @@ class Program {
   /// Invalidates existing linked code.
   void SetIndexingEnabled(bool enabled);
   bool indexing_enabled() const { return indexing_enabled_; }
+
+  /// Enables/disables the link-time superinstruction pass. Invalidates
+  /// existing linked code.
+  void SetFusionEnabled(bool enabled);
+  bool fusion_enabled() const { return fusion_enabled_; }
 
   /// Interns and returns a fresh auxiliary/query functor id.
   base::Result<dict::SymbolId> FreshFunctor(std::string_view prefix,
@@ -224,6 +243,7 @@ class Program {
   Compiler compiler_;
   std::unordered_map<dict::SymbolId, Proc> procs_;
   bool indexing_enabled_ = true;
+  bool fusion_enabled_ = true;
   ProgramStats stats_;
 };
 

@@ -1,0 +1,319 @@
+// educe-asm round-trip: DisassembleLinked must be a canonical text form —
+// parsing it reconstructs the LinkedCode field-for-field and reprinting
+// reproduces the text byte-for-byte (fixpoint). Exercised over every
+// procedure the compiler+linker emit for a varied corpus (fusion on and
+// off), over warm-segment-reloaded code, and against a battery of
+// malformed inputs the parser must reject.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "edb/code_cache.h"
+#include "educe/engine.h"
+#include "reader/parser.h"
+#include "wam/asm.h"
+#include "wam/builtins.h"
+#include "wam/machine.h"
+#include "wam/program.h"
+
+namespace educe::wam {
+namespace {
+
+// A corpus touching every operand layout: constants, integers, floats,
+// structures, lists, Y registers, cut, builtins, recursion (call/execute),
+// multi-clause indexing (switch tables), and digrams the fusion pass
+// rewrites (adjacent get_constant/get_integer, get_list+unify_variable_x,
+// put_value+call).
+constexpr const char* kCorpus = R"(
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+fact(0, 1).
+fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+pi(3.14159).
+twice(X, Y) :- pi(P), Y is X * P * 2.
+color(red). color(green). color(blue).
+mix(red, green, yellow).
+mix(red, blue, purple).
+mixnum(1, 2, 3).
+mixnum(4, 5, 9).
+point(p(X, Y), X, Y).
+last([X], X).
+last([_|T], X) :- last(T, X).
+ifzero(0, yes) :- !.
+ifzero(_, no).
+)";
+
+void ExpectSameLinked(const LinkedCode& a, const LinkedCode& b) {
+  EXPECT_EQ(a.functor, b.functor);
+  EXPECT_EQ(a.arity, b.arity);
+  EXPECT_EQ(a.clause_offsets, b.clause_offsets);
+  ASSERT_EQ(a.code.size(), b.code.size());
+  for (size_t i = 0; i < a.code.size(); ++i) {
+    EXPECT_EQ(a.code[i].op, b.code[i].op) << "instruction " << i;
+    EXPECT_EQ(a.code[i].a, b.code[i].a) << "instruction " << i;
+    EXPECT_EQ(a.code[i].b, b.code[i].b) << "instruction " << i;
+    EXPECT_EQ(a.code[i].c, b.code[i].c) << "instruction " << i;
+    EXPECT_EQ(a.code[i].imm, b.code[i].imm) << "instruction " << i;
+  }
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t t = 0; t < a.tables.size(); ++t) {
+    EXPECT_EQ(a.tables[t].on_var, b.tables[t].on_var);
+    EXPECT_EQ(a.tables[t].on_atom, b.tables[t].on_atom);
+    EXPECT_EQ(a.tables[t].on_number, b.tables[t].on_number);
+    EXPECT_EQ(a.tables[t].on_list, b.tables[t].on_list);
+    EXPECT_EQ(a.tables[t].on_struct, b.tables[t].on_struct);
+    EXPECT_EQ(a.tables[t].default_target, b.tables[t].default_target);
+    EXPECT_EQ(a.tables[t].entries, b.tables[t].entries);
+  }
+}
+
+/// Round-trips every procedure in `program` (standard library included)
+/// and returns how many were checked.
+size_t RoundTripAll(dict::Dictionary* dict, Program* program) {
+  std::vector<dict::SymbolId> functors;
+  program->ForEachProc([&](const Program::Proc& proc) {
+    functors.push_back(proc.functor);
+  });
+  size_t checked = 0;
+  for (dict::SymbolId functor : functors) {
+    auto linked = program->Linked(functor);
+    EXPECT_TRUE(linked.ok()) << linked.status();
+    if (!linked.ok()) continue;
+    const std::string text =
+        DisassembleLinked(*dict, **linked, program->builtins());
+    auto parsed = ParseAsm(dict, text, program->builtins());
+    EXPECT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    if (!parsed.ok()) continue;
+    ExpectSameLinked(**linked, **parsed);
+    const std::string reprinted =
+        DisassembleLinked(*dict, **parsed, program->builtins());
+    EXPECT_EQ(text, reprinted) << "not a fixpoint";
+    ++checked;
+  }
+  return checked;
+}
+
+size_t RoundTripAll(dict::Dictionary* dict, Program* program, bool fuse) {
+  program->SetFusionEnabled(fuse);
+  return RoundTripAll(dict, program);
+}
+
+TEST(AsmTest, RoundTripsCompiledCorpusFused) {
+  dict::Dictionary dict;
+  Program program(&dict);
+  ASSERT_TRUE(InstallStandardLibrary(&program).ok());
+  auto clauses = reader::ParseProgram(&dict, kCorpus);
+  ASSERT_TRUE(clauses.ok()) << clauses.status();
+  for (const auto& clause : *clauses) {
+    ASSERT_TRUE(program.AddClause(clause.term).ok());
+  }
+  // Fused streams must round-trip (fused_* mnemonics)...
+  EXPECT_GT(RoundTripAll(&dict, &program, /*fuse=*/true), 20u);
+  // ...and so must plain streams.
+  EXPECT_GT(RoundTripAll(&dict, &program, /*fuse=*/false), 20u);
+  // ...and unindexed linking (no switch tables, different control).
+  program.SetIndexingEnabled(false);
+  EXPECT_GT(RoundTripAll(&dict, &program, /*fuse=*/true), 20u);
+}
+
+TEST(AsmTest, FusedMnemonicsAppearInCorpusDisassembly) {
+  dict::Dictionary dict;
+  Program program(&dict);
+  ASSERT_TRUE(InstallStandardLibrary(&program).ok());
+  auto clauses = reader::ParseProgram(&dict, kCorpus);
+  ASSERT_TRUE(clauses.ok());
+  for (const auto& clause : *clauses) {
+    ASSERT_TRUE(program.AddClause(clause.term).ok());
+  }
+  std::string all;
+  std::vector<dict::SymbolId> functors;
+  program.ForEachProc(
+      [&](const Program::Proc& proc) { functors.push_back(proc.functor); });
+  for (dict::SymbolId functor : functors) {
+    auto linked = program.Linked(functor);
+    ASSERT_TRUE(linked.ok());
+    all += DisassembleLinked(dict, **linked, program.builtins());
+  }
+  // The corpus was chosen to trigger the fusion pass; if none of these
+  // appear the pass is dead and the perf claim with it.
+  EXPECT_NE(all.find("fused_"), std::string::npos);
+  EXPECT_NE(all.find("fused_get_list_unify_variable_x"), std::string::npos);
+}
+
+TEST(AsmTest, RoundTripsWarmSegmentCode) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "educe_asm_warm.edb").string();
+  std::remove(path.c_str());
+  uint64_t checked = 0;
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    ASSERT_TRUE(engine.StoreFactsExternal("edge(a, b). edge(b, c). "
+                                          "edge(c, d). edge(a, d).")
+                    .ok());
+    ASSERT_TRUE(engine
+                    .StoreRulesExternal(
+                        "reach(X, Y) :- edge(X, Y).\n"
+                        "reach(X, Z) :- edge(X, Y), reach(Y, Z).")
+                    .ok());
+    auto count = engine.CountSolutions("reach(a, X)");
+    ASSERT_TRUE(count.ok());
+    ASSERT_TRUE(engine.Close().ok());
+  }
+  {
+    EngineOptions options;
+    options.db_path = path;
+    Engine engine(options);
+    ASSERT_TRUE(engine.attached());
+    ASSERT_GT(engine.Stats().code_cache.warm_seeded, 0u);
+    // Warm-segment-reloaded entries are post-fusion linked code; they
+    // must round-trip like freshly linked code. Builtin ids print as
+    // raw #id/arity here — still exact.
+    engine.loader()->cache()->ForEachEntry(
+        [&](const edb::CodeCache::EntryView& entry) {
+          const std::string text =
+              DisassembleLinked(*engine.dictionary(), entry.code);
+          auto parsed = ParseAsm(engine.dictionary(), text);
+          ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+          ExpectSameLinked(entry.code, **parsed);
+          EXPECT_EQ(text,
+                    DisassembleLinked(*engine.dictionary(), **parsed));
+          ++checked;
+        });
+  }
+  EXPECT_GT(checked, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(AsmTest, ParsedCodeExecutes) {
+  // asm-round-tripped code must not just compare equal — it must run.
+  // Serve the parsed LinkedCode through an ExternalResolver to a machine
+  // whose program has no app/3 of its own.
+  dict::Dictionary dict;
+  Program compiled(&dict);
+  ASSERT_TRUE(InstallStandardLibrary(&compiled).ok());
+  auto clauses = reader::ParseProgram(
+      &dict, "app([], L, L).\napp([H|T], L, [H|R]) :- app(T, L, R).\n");
+  ASSERT_TRUE(clauses.ok());
+  for (const auto& clause : *clauses) {
+    ASSERT_TRUE(compiled.AddClause(clause.term).ok());
+  }
+  auto functor = dict.Intern("app", 3);
+  ASSERT_TRUE(functor.ok());
+  auto linked = compiled.Linked(*functor);
+  ASSERT_TRUE(linked.ok());
+  const std::string text =
+      DisassembleLinked(dict, **linked, compiled.builtins());
+  auto parsed = ParseAsm(&dict, text, compiled.builtins());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  class AsmResolver : public ExternalResolver {
+   public:
+    AsmResolver(dict::SymbolId functor, std::shared_ptr<LinkedCode> code)
+        : functor_(functor), code_(std::move(code)) {}
+    base::Result<Resolution> Resolve(dict::SymbolId functor, uint32_t,
+                                     Machine*) override {
+      Resolution r;
+      if (functor == functor_) {
+        r.kind = Resolution::Kind::kCode;
+        r.code = code_;
+      }
+      return r;
+    }
+
+   private:
+    dict::SymbolId functor_;
+    std::shared_ptr<LinkedCode> code_;
+  };
+
+  Program empty(&dict);
+  ASSERT_TRUE(InstallStandardLibrary(&empty).ok());
+  AsmResolver resolver(*functor, *parsed);
+  Machine machine(&empty, {});
+  machine.set_resolver(&resolver);
+  auto read = reader::ParseTerm(&dict, "app(X, Y, [1,2])");
+  ASSERT_TRUE(read.ok());
+  ASSERT_TRUE(machine.StartQuery(read->term, read->num_vars).ok());
+  int solutions = 0;
+  while (true) {
+    auto more = machine.NextSolution();
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    ++solutions;
+  }
+  EXPECT_EQ(solutions, 3);  // []/[1,2], [1]/[2], [1,2]/[]
+}
+
+TEST(AsmTest, ParserRejectsMalformedInput) {
+  dict::Dictionary dict;
+  const char* cases[] = {
+      // Unknown mnemonic.
+      ".procedure 'p'/0\n0: frobnicate\n",
+      // Missing .procedure header.
+      "0: proceed\n",
+      // Non-sequential numbering.
+      ".procedure 'p'/0\n0: proceed\n2: proceed\n",
+      // Jump out of bounds.
+      ".procedure 'p'/0\n0: jump @7\n",
+      // Table reference without a table.
+      ".procedure 'p'/1\n0: switch_on_term T0\n",
+      // Table target out of bounds.
+      ".procedure 'p'/1\n.table T0 var=@9 atom=@fail num=@fail lis=@fail "
+      "str=@fail default=@fail\n0: switch_on_term T0\n1: proceed\n",
+      // Clause offsets not ascending.
+      ".procedure 'p'/0\n.clause 1\n.clause 1\n0: proceed\n1: proceed\n",
+      // Clause offset out of bounds.
+      ".procedure 'p'/0\n.clause 5\n0: proceed\n",
+      // Fused opcode with the wrong second component.
+      ".procedure 'p'/2\n0: fused_get_constant_get_constant 'a'/0, A0\n"
+      "1: proceed\n",
+      // Fused opcode with no second slot at all.
+      ".procedure 'p'/1\n0: fused_get_constant_proceed 'a'/0, A0\n",
+      // Operand arity mismatch.
+      ".procedure 'p'/0\n0: allocate\n",
+      // Duplicate table key.
+      ".procedure 'p'/1\n.table T0 var=@fail atom=@fail num=@fail lis=@fail "
+      "str=@fail default=@fail 0x01=@0 0x01=@0\n0: proceed\n",
+      // Table ids out of order.
+      ".procedure 'p'/1\n.table T1 var=@fail atom=@fail num=@fail lis=@fail "
+      "str=@fail default=@fail\n0: proceed\n",
+  };
+  for (const char* text : cases) {
+    auto parsed = ParseAsm(&dict, text);
+    EXPECT_FALSE(parsed.ok()) << "accepted malformed input:\n" << text;
+  }
+}
+
+TEST(AsmTest, ParserAcceptsCommentsAndBlankLines) {
+  dict::Dictionary dict;
+  const char* text =
+      "; leading comment\n"
+      ".procedure 'p'/1  ; trailing\n"
+      "\n"
+      "0: get_constant 'it''s'/0, A0 ; quoted semicolon stays\n"
+      "1: proceed\n";
+  // Note: the quote inside the atom uses backslash escaping in canonical
+  // form; here it is split across the comment test only.
+  (void)text;
+  const char* simple =
+      "; comment\n"
+      ".procedure 'p'/1\n"
+      "\n"
+      "0: get_constant 'a;b'/0, A0  ; ; ; semicolons inside quotes survive\n"
+      "1: proceed\n";
+  auto parsed = ParseAsm(&dict, simple);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->code.size(), 2u);
+  const std::string reprinted = DisassembleLinked(dict, **parsed);
+  auto again = ParseAsm(&dict, reprinted);
+  ASSERT_TRUE(again.ok()) << again.status();
+  ExpectSameLinked(**parsed, **again);
+}
+
+}  // namespace
+}  // namespace educe::wam

@@ -1,0 +1,347 @@
+// Dispatch differential fuzzing (DESIGN.md §14): superinstruction fusion
+// must be invisible — identical solution lists AND identical machine
+// counters (instructions, calls, choice points, backtracks, trail) with
+// fusion on vs off, over randomly generated stratified programs and over
+// builtin/arithmetic/cut-heavy fixtures that hit every fused pair. The
+// threaded-vs-switch axis is compile-time: CI runs this same binary in
+// both EDUCE_THREADED_DISPATCH modes, so agreement across those runs is
+// the cross-dispatch half of the differential.
+//
+// The second half fuzzes the stored-code decode path: an opcode byte
+// rewritten to out-of-range, fused, or control values must be rejected
+// as Corruption (fused opcodes are a link-time artifact and must never
+// enter — or leave — the EDB).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "edb/code_codec.h"
+#include "edb/external_dictionary.h"
+#include "educe/engine.h"
+#include "reader/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+#include "wam/builtins.h"
+#include "wam/code.h"
+#include "wam/program.h"
+
+namespace educe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random stratified program generator (same scheme as differential_test:
+// facts with occasional structured arguments, rules calling strictly
+// lower predicates, queries with random boundness patterns).
+// ---------------------------------------------------------------------------
+
+struct GeneratedProgram {
+  std::string text;
+  std::vector<std::string> queries;
+};
+
+GeneratedProgram GenerateProgram(uint64_t seed) {
+  base::Rng rng(seed);
+  GeneratedProgram out;
+  const int num_preds = 5;
+  const int num_consts = 4;
+  std::vector<int> arities;
+
+  auto constant = [&](int c) { return "c" + std::to_string(c); };
+  auto random_const = [&] {
+    return constant(static_cast<int>(rng.Below(num_consts)));
+  };
+
+  for (int p = 0; p < num_preds; ++p) {
+    const int arity = 1 + static_cast<int>(rng.Below(3));
+    arities.push_back(arity);
+    const std::string name = "p" + std::to_string(p);
+
+    const int facts = 2 + static_cast<int>(rng.Below(5));
+    for (int f = 0; f < facts; ++f) {
+      out.text += name + "(";
+      for (int a = 0; a < arity; ++a) {
+        if (a) out.text += ", ";
+        // Integers and structures alongside atoms: multi-constant heads
+        // are what the get_constant/get_integer fusion pairs rewrite.
+        const uint64_t kind = rng.Below(6);
+        if (kind == 0) {
+          out.text += "s(" + random_const() + ")";
+        } else if (kind == 1) {
+          out.text += std::to_string(rng.Below(5));
+        } else {
+          out.text += random_const();
+        }
+      }
+      out.text += ").\n";
+    }
+
+    if (p > 0) {
+      const int rules = 1 + static_cast<int>(rng.Below(2));
+      for (int r = 0; r < rules; ++r) {
+        const int body_len = 1 + static_cast<int>(rng.Below(2));
+        std::vector<std::string> vars = {"X", "Y", "Z"};
+        out.text += name + "(";
+        for (int a = 0; a < arity; ++a) {
+          if (a) out.text += ", ";
+          out.text += rng.Below(3) == 0 ? random_const()
+                                        : vars[rng.Below(vars.size())];
+        }
+        out.text += ") :- ";
+        for (int b = 0; b < body_len; ++b) {
+          if (b) out.text += ", ";
+          const int callee = static_cast<int>(rng.Below(p));
+          out.text += "p" + std::to_string(callee) + "(";
+          for (int a = 0; a < arities[callee]; ++a) {
+            if (a) out.text += ", ";
+            out.text += rng.Below(4) == 0 ? random_const()
+                                          : vars[rng.Below(vars.size())];
+          }
+          out.text += ")";
+        }
+        out.text += ".\n";
+      }
+    }
+  }
+
+  for (int p = 0; p < num_preds; ++p) {
+    for (int q = 0; q < 3; ++q) {
+      std::string query = "p" + std::to_string(p) + "(";
+      const char* vars[] = {"A", "B", "C"};
+      for (int a = 0; a < arities[p]; ++a) {
+        if (a) query += ", ";
+        query += rng.Below(2) == 0 ? vars[a] : random_const();
+      }
+      query += ")";
+      out.queries.push_back(std::move(query));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> EngineSolutions(Engine* engine,
+                                         const std::string& query,
+                                         int max_solutions) {
+  auto q = engine->Query(query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  std::vector<std::string> out;
+  if (!q.ok()) return out;
+  auto parsed = reader::ParseTerm(engine->dictionary(), query);
+  while (static_cast<int>(out.size()) < max_solutions) {
+    auto more = (*q)->Next();
+    EXPECT_TRUE(more.ok()) << more.status() << " for " << query;
+    if (!more.ok() || !*more) break;
+    std::string rendered;
+    for (const auto& [name, index] : parsed->var_names) {
+      std::string b = (*q)->Binding(name);
+      if (b.rfind("_G", 0) == 0) b = "_";
+      rendered += b + "; ";
+    }
+    out.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+/// The counters fusion must leave untouched. `instructions` is included
+/// deliberately: fused handlers account for both halves (and a first-half
+/// failure counts exactly one), so the count is invariant, not just the
+/// solutions.
+void ExpectSameMachineCounters(Engine* fused, Engine* plain,
+                               const std::string& context) {
+  const wam::MachineStats a = fused->Stats().machine;
+  const wam::MachineStats b = plain->Stats().machine;
+  EXPECT_EQ(a.instructions, b.instructions) << context;
+  EXPECT_EQ(a.calls, b.calls) << context;
+  EXPECT_EQ(a.choice_points, b.choice_points) << context;
+  EXPECT_EQ(a.backtracks, b.backtracks) << context;
+  EXPECT_EQ(a.trail_entries, b.trail_entries) << context;
+}
+
+class DispatchDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DispatchDifferentialTest, FusionIsInvisible) {
+  const GeneratedProgram program = GenerateProgram(GetParam());
+  constexpr int kMaxSolutions = 5000;
+
+  Engine fused;  // superinstructions default on
+  ASSERT_TRUE(fused.Consult(program.text).ok());
+  EngineOptions plain_options;
+  plain_options.superinstructions = false;
+  Engine plain(plain_options);
+  ASSERT_TRUE(plain.Consult(program.text).ok());
+
+  // Same programs through the EDB: loader-linked compiled relative code,
+  // fused vs not.
+  EngineOptions edb_fused_options;
+  edb_fused_options.rule_storage = RuleStorage::kCompiled;
+  Engine edb_fused(edb_fused_options);
+  ASSERT_TRUE(edb_fused.StoreRulesExternal(program.text).ok());
+  EngineOptions edb_plain_options;
+  edb_plain_options.rule_storage = RuleStorage::kCompiled;
+  edb_plain_options.superinstructions = false;
+  Engine edb_plain(edb_plain_options);
+  ASSERT_TRUE(edb_plain.StoreRulesExternal(program.text).ok());
+
+  for (const std::string& query : program.queries) {
+    const std::vector<std::string> expected =
+        EngineSolutions(&plain, query, kMaxSolutions);
+    EXPECT_EQ(EngineSolutions(&fused, query, kMaxSolutions), expected)
+        << "fused engine diverged on " << query << "\nprogram:\n"
+        << program.text;
+    EXPECT_EQ(EngineSolutions(&edb_plain, query, kMaxSolutions), expected)
+        << "EDB unfused engine diverged on " << query;
+    EXPECT_EQ(EngineSolutions(&edb_fused, query, kMaxSolutions), expected)
+        << "EDB fused engine diverged on " << query;
+  }
+  ExpectSameMachineCounters(&fused, &plain, "in-memory, seed " +
+                                                std::to_string(GetParam()));
+  ExpectSameMachineCounters(&edb_fused, &edb_plain,
+                            "EDB, seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchDifferentialTest,
+                         ::testing::Values(11, 23, 37, 41, 59, 61, 73, 89,
+                                           97, 1013));
+
+TEST(DispatchDifferentialTest, FusedPairFixturesAgree) {
+  // Hand-picked programs whose hot paths run every fused pair, including
+  // first-half failures (backtracking over multi-integer facts), cut,
+  // arithmetic builtins, floats, and deep list recursion.
+  const char* kPrograms[] = {
+      // get_integer/get_constant pairs + first-half failure on backtrack.
+      "mix(1, 2, a). mix(1, 3, b). mix(4, 2, c). mix(red, 2, d).\n"
+      "probe(X, Y) :- mix(X, 2, Y).\n",
+      // get_list+unify_variable_x, unify pairs, recursion.
+      "app([], L, L).\napp([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "rev([], []).\nrev([H|T], R) :- rev(T, S), app(S, [H], R).\n",
+      // put_value+call pairs, environments, arithmetic, cut.
+      "fact(0, 1) :- !.\nfact(N, F) :- N > 0, M is N - 1, fact(M, G), "
+      "F is N * G.\n"
+      "both(A, B, FA, FB) :- fact(A, FA), fact(B, FB).\n",
+      // Floats (imm operands) and comparison builtins.
+      "w(1.5). w(2.25). w(0.125).\n"
+      "heavy(X) :- w(X), X > 1.0.\n",
+  };
+  const char* kQueries[] = {
+      "probe(A, B)",
+      "rev([a, b, c, d, e], R)",
+      "both(5, 6, FA, FB)",
+      "heavy(X)",
+  };
+  for (size_t i = 0; i < std::size(kPrograms); ++i) {
+    Engine fused;
+    ASSERT_TRUE(fused.Consult(kPrograms[i]).ok());
+    EngineOptions plain_options;
+    plain_options.superinstructions = false;
+    Engine plain(plain_options);
+    ASSERT_TRUE(plain.Consult(kPrograms[i]).ok());
+    const std::vector<std::string> expected =
+        EngineSolutions(&plain, kQueries[i], 1000);
+    EXPECT_FALSE(expected.empty()) << kQueries[i];
+    EXPECT_EQ(EngineSolutions(&fused, kQueries[i], 1000), expected)
+        << kQueries[i];
+    ExpectSameMachineCounters(&fused, &plain, kQueries[i]);
+  }
+}
+
+TEST(DispatchDifferentialTest, FusionToggleMidSessionIsConsistent) {
+  // Flipping EngineOptions::superinstructions on a live engine must
+  // relink/invalidate cached code, never run stale streams.
+  Engine engine;
+  ASSERT_TRUE(engine.Consult("mix(1, 2). mix(1, 3). mix(4, 2).\n").ok());
+  const std::vector<std::string> before =
+      EngineSolutions(&engine, "mix(X, 2)", 100);
+  engine.options().superinstructions = false;
+  engine.SyncOptions();
+  EXPECT_EQ(EngineSolutions(&engine, "mix(X, 2)", 100), before);
+  engine.options().superinstructions = true;
+  engine.SyncOptions();
+  EXPECT_EQ(EngineSolutions(&engine, "mix(X, 2)", 100), before);
+}
+
+// ---------------------------------------------------------------------------
+// Stored-code decode fuzzing: fused and control opcodes, out-of-range
+// bytes, and truncation must all be rejected as Corruption.
+// ---------------------------------------------------------------------------
+
+class StoredCodeFuzzTest : public ::testing::Test {
+ protected:
+  StoredCodeFuzzTest()
+      : pool_(&file_, 128),
+        program_(&dict_),
+        external_(std::move(edb::ExternalDictionary::Create(&pool_)).value()),
+        codec_(&dict_, &external_, program_.builtins()) {
+    EXPECT_TRUE(wam::InstallStandardLibrary(&program_).ok());
+  }
+
+  std::string EncodeOne(std::string_view clause_text) {
+    auto read = reader::ParseTerm(&dict_, clause_text);
+    EXPECT_TRUE(read.ok()) << read.status();
+    auto compiled = program_.compiler()->Compile(read->term);
+    EXPECT_TRUE(compiled.ok()) << compiled.status();
+    auto bytes = codec_.EncodeClause((*compiled)[0].code);
+    EXPECT_TRUE(bytes.ok()) << bytes.status();
+    return *bytes;
+  }
+
+  storage::PagedFile file_;
+  storage::BufferPool pool_;
+  dict::Dictionary dict_;
+  wam::Program program_;
+  edb::ExternalDictionary external_;
+  edb::CodeCodec codec_;
+};
+
+TEST_F(StoredCodeFuzzTest, RejectsEveryIllegalOpcodeByte) {
+  const std::string bytes = EncodeOne("p(a, 1, X) :- q(X).");
+  // Layout: 18-byte header, then 12 bytes per instruction, opcode first.
+  constexpr size_t kHeader = 18;
+  constexpr size_t kStride = 12;
+  ASSERT_EQ((bytes.size() - kHeader) % kStride, 0u);
+  const size_t count = (bytes.size() - kHeader) / kStride;
+  ASSERT_GT(count, 0u);
+  size_t rejected = 0;
+  for (size_t slot = 0; slot < count; ++slot) {
+    for (int v = 0; v < 256; ++v) {
+      std::string mutated = bytes;
+      mutated[kHeader + slot * kStride] = static_cast<char>(v);
+      auto decoded = codec_.DecodeClause(mutated);
+      const bool out_of_range = v >= static_cast<int>(wam::kOpcodeCount);
+      const bool fused =
+          !out_of_range && wam::IsFusedOp(static_cast<wam::Opcode>(v));
+      if (out_of_range || fused) {
+        EXPECT_FALSE(decoded.ok())
+            << "opcode byte " << v << " in slot " << slot << " accepted";
+        ++rejected;
+      }
+      // Storable plain opcodes may or may not decode depending on the
+      // operand reinterpretation — the requirement is only: no crash,
+      // and never a fused/out-of-range op in the result.
+      if (decoded.ok()) {
+        for (const wam::Instruction& ins : decoded->code) {
+          EXPECT_LT(static_cast<int>(ins.op),
+                    static_cast<int>(wam::kOpcodeCount));
+          EXPECT_FALSE(wam::IsFusedOp(ins.op));
+        }
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(StoredCodeFuzzTest, RejectsTruncationAndLengthLies) {
+  const std::string bytes = EncodeOne("p(a, b).");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = codec_.DecodeClause(bytes.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes accepted";
+  }
+  // Appending garbage also breaks the declared-count/length equation.
+  auto decoded = codec_.DecodeClause(bytes + std::string(7, '\xEE'));
+  EXPECT_FALSE(decoded.ok());
+  ASSERT_TRUE(codec_.DecodeClause(bytes).ok());
+}
+
+}  // namespace
+}  // namespace educe

@@ -452,8 +452,10 @@ TEST(ServerTest, MemoryPressureShedsImmediately) {
 
   // Stage 2: pressure on and the pool drained (simulated by acquiring
   // the only session out from under the server) -> immediate shed, no
-  // 10-second queue wait.
-  Session* hog = server.pool()->Acquire(0);
+  // 10-second queue wait. The handler thread releases the session
+  // asynchronously after writing "done", so wait for it rather than
+  // try-acquire (which races the release on slow hosts).
+  Session* hog = server.pool()->Acquire(2000);
   ASSERT_NE(hog, nullptr);
   const auto before = std::chrono::steady_clock::now();
   ASSERT_TRUE(client.SendLine(R"json({"op":"query","goal":"p(X)","id":2})json"));
