@@ -11,6 +11,8 @@
 //   :profile on|off            toggle tracing + per-query cost profiles
 //   :spans                     drain buffered trace spans as JSON
 //   :metrics                   full metrics document (ExportMetricsJson)
+//   :strategy p/2 [mode]       inspect / force bottom-up Datalog per
+//                              procedure (auto | wam | bottom-up)
 //   :cold                      drop buffer cache AND code cache
 //   :governor [rebalance]      memory-governor state; force a rebalance
 //   :save                      checkpoint the database image now
@@ -227,11 +229,16 @@ int main(int argc, char** argv) {
       options.db_path = arg;
     }
   }
+  // The shell enables the bottom-up Datalog mode so :strategy has teeth;
+  // the default kAuto policy only reroutes recursive Datalog-range
+  // procedures, everything else runs on the WAM as before.
+  options.datalog = true;
   educe::Engine engine(options);
   std::printf("Educe* shell — clauses consult; '?- Goal.' queries; "
               ":facts/:rules store to the EDB; :workers N; :par goals; "
               ":load file; :stats; :profile on|off; :spans; :metrics; "
-              ":cold; :governor; :save; :halt\n");
+              ":strategy name/arity [mode]; :cold; :governor; :save; "
+              ":halt\n");
   if (!options.db_path.empty()) {
     if (engine.attached()) {
       const educe::EngineStats s = engine.Stats();
@@ -306,6 +313,38 @@ int main(int argc, char** argv) {
         }
       } else if (command == ":par") {
         RunParallel(&engine, rest, workers);
+      } else if (command == ":strategy") {
+        // :strategy name/arity [auto|wam|bottom-up] — inspect or force
+        // the evaluation strategy of one procedure (DESIGN.md §15).
+        std::istringstream args(Trim(rest));
+        std::string spec, mode;
+        args >> spec >> mode;
+        const size_t slash = spec.rfind('/');
+        int arity = -1;
+        if (slash != std::string::npos) {
+          arity = std::atoi(spec.substr(slash + 1).c_str());
+        }
+        if (spec.empty() || slash == 0 || slash == std::string::npos ||
+            arity < 0) {
+          std::printf("usage: :strategy name/arity [auto|wam|bottom-up]\n");
+        } else {
+          const std::string name = spec.substr(0, slash);
+          const uint32_t a = static_cast<uint32_t>(arity);
+          if (mode.empty()) {
+            std::printf("%s\n",
+                        engine.datalog_manager()->Describe(name, a).c_str());
+          } else if (mode == "auto" || mode == "wam" || mode == "bottom-up") {
+            const educe::DatalogStrategy strategy =
+                mode == "auto" ? educe::DatalogStrategy::kAuto
+                : mode == "wam" ? educe::DatalogStrategy::kWam
+                                : educe::DatalogStrategy::kBottomUp;
+            engine.datalog_manager()->SetStrategy(name, a, strategy);
+            std::printf("%s\n",
+                        engine.datalog_manager()->Describe(name, a).c_str());
+          } else {
+            std::printf("usage: :strategy name/arity [auto|wam|bottom-up]\n");
+          }
+        }
       } else {
         std::printf("unknown command %s\n", command.c_str());
       }

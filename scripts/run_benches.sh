@@ -11,6 +11,8 @@
 #   BENCH_governor.json    bench_governor      (adaptive memory governor)
 #   BENCH_server.json      bench_server        (query server, 1000 clients)
 #   BENCH_preunify.json    bench_preunify      (EDB pre-unification ablation)
+#   BENCH_closure.json     bench_closure       (1M-edge transitive closure,
+#                                               bottom-up Datalog vs WAM)
 #
 # The benches abort loudly if an acceptance bar is missed (e.g. the warm
 # reopen not decoding >=5x fewer clauses than cold, or a 4-worker run on a
@@ -29,7 +31,7 @@ if [[ ! -x "$BUILD_DIR/bench/bench_governor" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target bench_loader_cache bench_wisconsin bench_warm_start \
-    bench_parallel bench_governor bench_server bench_preunify
+    bench_parallel bench_governor bench_server bench_preunify bench_closure
 fi
 
 mkdir -p "$OUT_DIR"
@@ -58,5 +60,6 @@ run_bench bench_parallel BENCH_parallel.json
 run_bench bench_governor BENCH_governor.json
 run_bench bench_server BENCH_server.json
 run_bench bench_preunify BENCH_preunify.json
+run_bench bench_closure BENCH_closure.json
 
 echo "All benches passed their acceptance checks."

@@ -603,6 +603,35 @@ base::Result<std::vector<ClauseStore::FactMatch>> ClauseStore::CollectFacts(
   return out;
 }
 
+base::Result<uint64_t> ClauseStore::ScanAllFacts(ProcedureInfo* proc,
+                                                 const FactSink& sink) {
+  if (proc->mode != ProcedureMode::kFacts) {
+    return base::Status::InvalidArgument(proc->name + " is not a relation");
+  }
+  std::vector<uint64_t> keys;
+  if (proc->key_attrs.empty()) {
+    keys.push_back(storage::kBangWildcard);
+  } else {
+    keys.assign(proc->key_attrs.size(), storage::kBangWildcard);
+  }
+  obs::ScopedSpan span(tracer_, obs::SpanKind::kFactFetch,
+                       proc->functor_hash);
+  ++stats_.bulk_fact_scans;
+  // One read-latch hold across the whole drain, like CollectFacts — the
+  // version snapshot below is only meaningful if no mutator interleaves.
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  auto cursor = proc->relation->OpenScan(keys);
+  storage::BangFile::Record record;
+  while (cursor.Next(&record)) {
+    ++stats_.bulk_fact_rows;
+    EDUCE_ASSIGN_OR_RETURN(term::AstPtr fact,
+                           codec_->DecodeTerm(record.payload));
+    EDUCE_RETURN_IF_ERROR(sink(*fact));
+  }
+  EDUCE_RETURN_IF_ERROR(cursor.status());
+  return proc->version.load();
+}
+
 base::Result<term::AstPtr> ClauseStore::FactCursor::Next() {
   storage::BangFile::Record record;
   if (!cursor_.Next(&record)) {

@@ -91,6 +91,8 @@ struct ClauseStoreStats {
   base::RelaxedCounter facts_stored;
   base::RelaxedCounter rules_stored;
   base::RelaxedCounter fact_rows_fetched;
+  base::RelaxedCounter bulk_fact_scans;    // ScanAllFacts calls (datalog)
+  base::RelaxedCounter bulk_fact_rows;     // rows streamed by ScanAllFacts
   base::RelaxedCounter rule_rows_scanned;   // candidate rows examined
   base::RelaxedCounter rule_codes_fetched;  // clause codes actually shipped
   base::RelaxedCounter preunify_filtered;   // dropped by pre-unification
@@ -219,6 +221,16 @@ class ClauseStore {
   /// records) out for the duration of the scan.
   base::Result<std::vector<FactMatch>> CollectFacts(ProcedureInfo* proc,
                                                     const CallPattern& pattern);
+
+  /// Bulk fact feed for the bottom-up evaluator (DESIGN.md §15): one
+  /// wildcard scan of the whole relation under a single read-latch hold,
+  /// streaming each decoded fact to `sink` without materializing the
+  /// vector of matches. Returns the procedure version the rows were read
+  /// at (snapshotted inside the latch), so a compiled Datalog plan can be
+  /// checked for staleness the same way code-cache entries are.
+  using FactSink = std::function<base::Status(const term::Ast& fact)>;
+  base::Result<uint64_t> ScanAllFacts(ProcedureInfo* proc,
+                                      const FactSink& sink);
 
   /// The pre-unification unit: executes the head section of stored
   /// *relative* code against the call pattern — necessary but not

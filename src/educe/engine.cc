@@ -193,6 +193,8 @@ Engine::Engine(EngineOptions options)
   base::Status st = wam::InstallStandardLibrary(&program_);
   (void)st;  // cannot fail on a fresh program; surfaced via first query
   RegisterEdbBuiltins();
+  datalog_ = std::make_unique<DatalogManager>(&dictionary_, &clause_store_,
+                                              &program_, &tracer_);
   machine_ = std::make_unique<wam::Machine>(&program_, options_.machine);
   machine_->set_resolver(&resolver_);
   // One tracer for the whole stack: spans from the loader, resolver,
@@ -496,6 +498,9 @@ base::Status Engine::Consult(std::string_view source) {
       continue;
     }
     EDUCE_RETURN_IF_ERROR(program_.AddClause(clause.term));
+    // Mirror into the Datalog catalog (fed unconditionally so flipping
+    // options().datalog on later still sees earlier consults).
+    datalog_->AddClause(clause.term);
   }
   return base::Status::OK();
 }
@@ -573,6 +578,7 @@ base::Status Engine::StoreRulesExternal(std::string_view source) {
       const std::string text =
           reader::WriteTerm(dictionary_, *clause.term, wo) + " .";
       EDUCE_RETURN_IF_ERROR(clause_store_.StoreRuleSource(proc, text));
+      datalog_->AddClause(clause.term);
       continue;
     }
 
@@ -597,6 +603,7 @@ base::Status Engine::StoreRulesExternal(std::string_view source) {
         EDUCE_RETURN_IF_ERROR(program_.AddCompiled(std::move(c)));
       }
     }
+    datalog_->AddClause(clause.term);
   }
   return base::Status::OK();
 }
@@ -613,6 +620,22 @@ base::Result<std::unique_ptr<Solutions>> Engine::Query(std::string_view goal) {
   }
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&dictionary_, goal));
+  if (options_.datalog) {
+    // Offer the goal to the bottom-up evaluator first; handled=false is
+    // the fallback contract (out of Datalog range, strategy says WAM, or
+    // the auto policy declined) with identical solution sets either way.
+    EDUCE_ASSIGN_OR_RETURN(DatalogManager::Answer answer,
+                           datalog_->TryQuery(read));
+    if (answer.handled) {
+      std::unique_ptr<Solutions> solutions(new Solutions(
+          &dictionary_, std::move(read), std::move(answer.rows)));
+      query_active_ = true;
+      solutions->query_active_flag_ = &query_active_;
+      AttachObservation(solutions.get(), goal, machine_.get(), &resolver_,
+                        /*session_latency=*/nullptr);
+      return solutions;
+    }
+  }
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
   std::unique_ptr<Solutions> solutions(
       new Solutions(machine_.get(), &dictionary_, std::move(read)));
@@ -741,6 +764,19 @@ base::Result<std::unique_ptr<Solutions>> Session::Query(
   }
   EDUCE_ASSIGN_OR_RETURN(reader::ReadTerm read,
                          reader::ParseTerm(&engine_->dictionary_, goal));
+  if (engine_->options_.datalog) {
+    EDUCE_ASSIGN_OR_RETURN(DatalogManager::Answer answer,
+                           engine_->datalog_->TryQuery(read));
+    if (answer.handled) {
+      std::unique_ptr<Solutions> solutions(new Solutions(
+          &engine_->dictionary_, std::move(read), std::move(answer.rows)));
+      query_active_ = true;
+      solutions->query_active_flag_ = &query_active_;
+      engine_->AttachObservation(solutions.get(), goal, machine_.get(),
+                                 &resolver_, &latency_);
+      return solutions;
+    }
+  }
   EDUCE_RETURN_IF_ERROR(machine_->StartQuery(read.term, read.num_vars));
   std::unique_ptr<Solutions> solutions(
       new Solutions(machine_.get(), &engine_->dictionary_, std::move(read)));
@@ -875,6 +911,7 @@ EngineStats Engine::Stats() {
     MergeResolverStats(&stats.resolver, retired_session_stats_);
   }
   stats.compiler = program_.compiler()->stats();
+  stats.datalog = datalog_->stats();
   stats.memory.buffer_resident_bytes = pool_.resident_bytes();
   stats.memory.buffer_capacity_bytes = pool_.capacity_bytes();
   stats.memory.code_cache_resident_bytes = loader_.cache()->bytes_resident();
@@ -1143,6 +1180,29 @@ std::string Engine::ExportMetricsJson() {
   out += ",\"paged_file_bytes\":" + num(stats.memory.paged_file_bytes);
   out += ",\"warm_segment_bytes\":" + num(stats.memory.warm_segment_bytes);
   out += "}";
+  out += ",\"datalog\":{";
+  out += "\"enabled\":";
+  out += options_.datalog ? "true" : "false";
+  out += ",\"queries_bottom_up\":" + num(stats.datalog.queries_bottom_up);
+  out += ",\"queries_fallback\":" + num(stats.datalog.queries_fallback);
+  out += ",\"plans_compiled\":" + num(stats.datalog.plans_compiled);
+  out += ",\"plan_cache_hits\":" + num(stats.datalog.plan_cache_hits);
+  out += ",\"plans_invalidated\":" + num(stats.datalog.plans_invalidated);
+  out += ",\"magic_rewrites\":" + num(stats.datalog.magic_rewrites);
+  out += ",\"strata\":" + num(stats.datalog.strata);
+  out += ",\"iterations\":" + num(stats.datalog.iterations);
+  out += ",\"tuples_derived\":" + num(stats.datalog.tuples_derived);
+  out += ",\"join_rows\":" + num(stats.datalog.join_rows);
+  out += ",\"dedup_hits\":" + num(stats.datalog.dedup_hits);
+  out += ",\"edb_rows\":" + num(stats.datalog.edb_rows);
+  out += ",\"bulk_fact_scans\":" + num(stats.clause_store.bulk_fact_scans);
+  out += ",\"bulk_fact_rows\":" + num(stats.clause_store.bulk_fact_rows);
+  out += ",\"last_delta_sizes\":[";
+  for (size_t i = 0; i < stats.datalog.last_delta_sizes.size(); ++i) {
+    if (i != 0) out += ",";
+    out += num(stats.datalog.last_delta_sizes[i]);
+  }
+  out += "]}";
   out += ",\"memory_governor\":";
   out += governor_ != nullptr ? governor_->ToJson() : "{\"enabled\":false}";
   out += ",\"profiles_collected\":" + num(collected);
@@ -1171,6 +1231,18 @@ void Solutions::ReleaseMachine() {
 }
 
 base::Result<bool> Solutions::Next() {
+  if (machine_ == nullptr) {
+    // Materialized mode: the bottom-up evaluator computed the whole set
+    // up front; row_cursor_ is one past the current row (0 = before the
+    // first Next).
+    if (row_cursor_ < rows_.size()) {
+      ++row_cursor_;
+      ++solutions_seen_;
+      return true;
+    }
+    ReleaseMachine();
+    return false;
+  }
   base::Result<bool> more = machine_->NextSolution();
   if (more.ok() && *more) {
     ++solutions_seen_;
@@ -1184,6 +1256,18 @@ base::Result<bool> Solutions::Next() {
 }
 
 term::AstPtr Solutions::BindingAst(std::string_view name) const {
+  if (machine_ == nullptr) {
+    if (row_cursor_ == 0 || row_cursor_ > rows_.size()) return nullptr;
+    const std::vector<term::AstPtr>& row = rows_[row_cursor_ - 1];
+    size_t position = 0;
+    for (const auto& [var_name, index] : read_.var_names) {
+      if (var_name == name) {
+        return position < row.size() ? row[position] : nullptr;
+      }
+      ++position;
+    }
+    return nullptr;
+  }
   for (const auto& [var_name, index] : read_.var_names) {
     if (var_name == name) {
       std::map<uint64_t, uint32_t> var_map;
@@ -1201,6 +1285,18 @@ std::string Solutions::Binding(std::string_view name) const {
 
 std::map<std::string, std::string> Solutions::All() const {
   std::map<std::string, std::string> out;
+  if (machine_ == nullptr) {
+    if (row_cursor_ == 0 || row_cursor_ > rows_.size()) return out;
+    const std::vector<term::AstPtr>& row = rows_[row_cursor_ - 1];
+    size_t position = 0;
+    for (const auto& [var_name, index] : read_.var_names) {
+      if (position < row.size() && row[position] != nullptr) {
+        out[var_name] = reader::WriteTerm(*dictionary_, *row[position]);
+      }
+      ++position;
+    }
+    return out;
+  }
   std::map<uint64_t, uint32_t> var_map;
   for (const auto& [var_name, index] : read_.var_names) {
     out[var_name] =

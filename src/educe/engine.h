@@ -20,6 +20,7 @@
 #include "edb/external_dictionary.h"
 #include "edb/loader.h"
 #include "edb/resolver.h"
+#include "educe/datalog.h"
 #include "educe/memory_governor.h"
 #include "obs/histogram.h"
 #include "obs/profile.h"
@@ -81,6 +82,16 @@ struct EngineOptions {
   /// Cache per-call (pattern-filtered) loads too, so recursive rules do
   /// not re-decode every level (DESIGN.md code-cache section).
   bool pattern_cache = true;
+  /// Bottom-up Datalog evaluation (DESIGN.md §15): queries over
+  /// Datalog-range procedures are answered by semi-naive delta iteration
+  /// on the relational executor (with magic-set rewriting for bound call
+  /// patterns) instead of top-down SLD, per the per-procedure strategy
+  /// (DatalogManager; default auto = bottom-up iff eligible and
+  /// recursive). Off by default: bottom-up answers carry set semantics
+  /// and bypass the WAM, so decode/choice-point counters read
+  /// differently — opt in per engine (the shell and the recursive
+  /// workloads do).
+  bool datalog = false;
   /// EDB code-cache capacity (all tiers share one LRU and budget).
   uint32_t code_cache_entries = kDefaultCodeCacheEntries;
   uint64_t code_cache_bytes = kDefaultCodeCacheBytes;
@@ -153,6 +164,17 @@ class Solutions {
             reader::ReadTerm read)
       : machine_(machine), dictionary_(dictionary), read_(std::move(read)) {}
 
+  /// Materialized mode (bottom-up Datalog, DESIGN.md §15): the solution
+  /// set was computed up front; Next() walks `rows`, each row aligned
+  /// with read.var_names order. No machine is borrowed — machine_ stays
+  /// null and the owner's query_active flag still serializes queries.
+  Solutions(const dict::Dictionary* dictionary, reader::ReadTerm read,
+            std::vector<std::vector<term::AstPtr>> rows)
+      : machine_(nullptr),
+        dictionary_(dictionary),
+        read_(std::move(read)),
+        rows_(std::move(rows)) {}
+
   /// Clears the owner's query_active flag exactly once — at the first
   /// terminal Next (exhausted or error) or at destruction, whichever
   /// comes first. Guarded by machine_released_, so a stale Solutions
@@ -160,9 +182,13 @@ class Solutions {
   /// new query's flag.
   void ReleaseMachine();
 
-  wam::Machine* machine_;
+  wam::Machine* machine_;  // null in materialized (bottom-up) mode
   const dict::Dictionary* dictionary_;
   reader::ReadTerm read_;
+  /// Materialized mode only: precomputed solution rows and the cursor
+  /// (index one past the current row; 0 = before the first Next()).
+  std::vector<std::vector<term::AstPtr>> rows_;
+  size_t row_cursor_ = 0;
   uint64_t solutions_seen_ = 0;
   /// The owner's one-Solutions-per-machine flag (Engine::query_active_
   /// or Session::query_active_), cleared via ReleaseMachine.
@@ -269,6 +295,7 @@ struct EngineStats {
   edb::CodeCacheStats code_cache;
   edb::ResolverStats resolver;
   wam::CompilerStats compiler;
+  DatalogStats datalog;
   EngineMemoryReport memory;
 };
 
@@ -452,6 +479,10 @@ class Engine {
   edb::ClauseStore* clause_store() { return &clause_store_; }
   edb::Loader* loader() { return &loader_; }
   edb::EdbResolver* resolver() { return &resolver_; }
+  /// The bottom-up Datalog subsystem (strategy control, plan cache).
+  /// Always constructed; queries route through it only while
+  /// options().datalog is on.
+  DatalogManager* datalog_manager() { return datalog_.get(); }
   /// The adaptive memory governor; nullptr unless
   /// options.memory_budget_bytes was non-zero at construction.
   MemoryGovernor* governor() { return governor_.get(); }
@@ -537,6 +568,9 @@ class Engine {
   edb::ClauseStore clause_store_;
   edb::Loader loader_;
   edb::EdbResolver resolver_;
+  /// Declared after clause_store_: destroyed first, so its mutation
+  /// listener is removed while the store is still alive.
+  std::unique_ptr<DatalogManager> datalog_;
   std::unique_ptr<wam::Machine> machine_;
   /// True while a Solutions from Engine::Query is alive (see Session's
   /// twin flag; the engine's direct-query path is single-threaded).

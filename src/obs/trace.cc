@@ -19,6 +19,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kGovernor: return "governor";
     case SpanKind::kServerConn: return "server_conn";
     case SpanKind::kServerQuery: return "server_query";
+    case SpanKind::kDatalog: return "datalog";
   }
   return "unknown";
 }

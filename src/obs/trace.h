@@ -30,8 +30,10 @@ enum class SpanKind : uint8_t {
                     //   (detail = connection id)
   kServerQuery,     // query server: one request, parse -> final line
                     //   (detail = connection id)
+  kDatalog,         // bottom-up Datalog evaluation, load -> fixpoint
+                    //   (detail = query functor hash)
 };
-inline constexpr size_t kSpanKindCount = 12;
+inline constexpr size_t kSpanKindCount = 13;
 
 const char* SpanKindName(SpanKind kind);
 

@@ -1,0 +1,765 @@
+#include "rel/datalog.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "rel/exec.h"
+
+namespace educe::rel::datalog {
+
+namespace {
+
+// Width of the stored relation for a predicate: nullary predicates get one
+// synthetic constant-0 column so every relation has at least one attribute
+// (the executor has no zero-column tuples).
+uint32_t WidthOf(const Predicate& pred) {
+  return pred.arity == 0 ? 1 : pred.arity;
+}
+
+// Atom args normalized to relation width (pads nullary atoms).
+std::vector<Term> NormArgs(const Atom& atom) {
+  if (!atom.args.empty()) return atom.args;
+  return {Term::Const(0)};
+}
+
+std::string PredName(const Program& program, uint32_t pred) {
+  if (pred < program.preds.size() && !program.preds[pred].name.empty()) {
+    return program.preds[pred].name;
+  }
+  return "p" + std::to_string(pred);
+}
+
+void CollectVars(const std::vector<Term>& args, std::set<uint32_t>* vars) {
+  for (const Term& t : args) {
+    if (t.is_var) vars->insert(t.var);
+  }
+}
+
+}  // namespace
+
+base::Status Validate(const Program& program) {
+  auto check_atom = [&](const Atom& atom, const char* where,
+                        size_t rule_idx) -> base::Status {
+    if (atom.pred >= program.preds.size()) {
+      return base::Status::InvalidArgument(
+          "datalog: rule " + std::to_string(rule_idx) + ": " + where +
+          " references undefined predicate id " + std::to_string(atom.pred));
+    }
+    if (atom.args.size() != program.preds[atom.pred].arity) {
+      return base::Status::InvalidArgument(
+          "datalog: rule " + std::to_string(rule_idx) + ": " + where + " " +
+          PredName(program, atom.pred) + " has " +
+          std::to_string(atom.args.size()) + " args, arity is " +
+          std::to_string(program.preds[atom.pred].arity));
+    }
+    return base::Status::OK();
+  };
+
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    EDUCE_RETURN_IF_ERROR(check_atom(rule.head, "head", r));
+    if (rule.head.negated) {
+      return base::Status::InvalidArgument(
+          "datalog: rule " + std::to_string(r) + ": negated head");
+    }
+    if (program.preds[rule.head.pred].edb) {
+      return base::Status::InvalidArgument(
+          "datalog: rule " + std::to_string(r) + ": EDB predicate " +
+          PredName(program, rule.head.pred) + " used as rule head");
+    }
+    std::set<uint32_t> positive_vars;
+    for (const Atom& atom : rule.body) {
+      EDUCE_RETURN_IF_ERROR(check_atom(atom, "body literal", r));
+      if (!atom.negated) CollectVars(atom.args, &positive_vars);
+    }
+    // Range restriction: head vars and negated-literal vars must occur in
+    // a positive body literal (facts must be ground).
+    std::set<uint32_t> needed;
+    CollectVars(rule.head.args, &needed);
+    for (const Atom& atom : rule.body) {
+      if (atom.negated) CollectVars(atom.args, &needed);
+    }
+    for (uint32_t v : needed) {
+      if (positive_vars.find(v) == positive_vars.end()) {
+        return base::Status::InvalidArgument(
+            "datalog: rule " + std::to_string(r) + " for " +
+            PredName(program, rule.head.pred) +
+            " is not range-restricted (variable " + std::to_string(v) +
+            " unbound by any positive body literal)");
+      }
+    }
+  }
+  return base::Status::OK();
+}
+
+base::Result<std::vector<uint32_t>> Stratify(const Program& program) {
+  const size_t n = program.preds.size();
+  // Dependency edges: head -> body predicate.
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const Rule& rule : program.rules) {
+    for (const Atom& atom : rule.body) {
+      adj[rule.head.pred].push_back(atom.pred);
+    }
+  }
+
+  // Iterative Tarjan. SCCs complete in dependency-first order: when an
+  // SCC pops, every SCC it depends on has already popped, so the pop
+  // index is directly the evaluation stratum.
+  constexpr uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<uint32_t> index(n, kUnvisited), lowlink(n, 0), comp(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0, next_comp = 0;
+
+  struct Frame {
+    uint32_t node;
+    size_t child;
+  };
+  std::vector<Frame> work;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    work.push_back({root, 0});
+    while (!work.empty()) {
+      Frame& frame = work.back();
+      uint32_t v = frame.node;
+      if (frame.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (frame.child < adj[v].size()) {
+        uint32_t w = adj[v][frame.child++];
+        if (index[w] == kUnvisited) {
+          work.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        uint32_t parent = work.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+
+  // Stratified negation: a negated dependency may not stay inside its SCC
+  // (the predicate would negate through its own fixpoint).
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    for (const Atom& atom : rule.body) {
+      if (atom.negated && comp[atom.pred] == comp[rule.head.pred]) {
+        return base::Status::InvalidArgument(
+            "datalog: not stratifiable — rule " + std::to_string(r) +
+            " negates " + PredName(program, atom.pred) +
+            " inside its own recursive component");
+      }
+    }
+  }
+  return comp;
+}
+
+namespace {
+
+std::string AdornSuffix(const std::vector<bool>& bound) {
+  std::string s = "@";
+  for (bool b : bound) s += b ? 'b' : 'f';
+  return s;
+}
+
+}  // namespace
+
+base::Result<MagicProgram> MagicRewrite(const Program& program,
+                                        uint32_t query_pred,
+                                        const std::vector<bool>& bound) {
+  if (query_pred >= program.preds.size()) {
+    return base::Status::InvalidArgument("magic: query predicate out of range");
+  }
+  if (program.preds[query_pred].edb) {
+    return base::Status::InvalidArgument("magic: query predicate is EDB");
+  }
+  if (bound.size() != program.preds[query_pred].arity) {
+    return base::Status::InvalidArgument(
+        "magic: adornment length != query arity");
+  }
+  if (std::none_of(bound.begin(), bound.end(), [](bool b) { return b; })) {
+    MagicProgram out;
+    out.program = program;
+    out.query_pred = query_pred;
+    out.seed_pred = kNoPred;
+    return out;
+  }
+  for (const Rule& rule : program.rules) {
+    for (const Atom& atom : rule.body) {
+      if (atom.negated) {
+        return base::Status::InvalidArgument(
+            "magic: rewrite requires a negation-free program");
+      }
+    }
+  }
+
+  MagicProgram out;
+  using AdornKey = std::pair<uint32_t, std::vector<bool>>;
+  std::map<AdornKey, uint32_t> adorned, magic;
+  std::map<uint32_t, uint32_t> edb_map;
+  std::vector<AdornKey> worklist;
+
+  auto get_edb = [&](uint32_t pred) {
+    auto it = edb_map.find(pred);
+    if (it != edb_map.end()) return it->second;
+    uint32_t id = out.program.AddPred(PredName(program, pred),
+                                      program.preds[pred].arity, true);
+    edb_map.emplace(pred, id);
+    return id;
+  };
+  auto get_adorned = [&](uint32_t pred, const std::vector<bool>& adorn) {
+    AdornKey key{pred, adorn};
+    auto it = adorned.find(key);
+    if (it != adorned.end()) return it->second;
+    uint32_t id =
+        out.program.AddPred(PredName(program, pred) + AdornSuffix(adorn),
+                            program.preds[pred].arity, false);
+    adorned.emplace(key, id);
+    worklist.push_back(key);
+    return id;
+  };
+  auto get_magic = [&](uint32_t pred, const std::vector<bool>& adorn) {
+    AdornKey key{pred, adorn};
+    auto it = magic.find(key);
+    if (it != magic.end()) return it->second;
+    uint32_t arity = static_cast<uint32_t>(
+        std::count(adorn.begin(), adorn.end(), true));
+    uint32_t id = out.program.AddPred(
+        "m_" + PredName(program, pred) + AdornSuffix(adorn), arity, false);
+    magic.emplace(key, id);
+    return id;
+  };
+  auto bound_args = [](const Atom& atom, const std::vector<bool>& adorn) {
+    std::vector<Term> args;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (adorn[i]) args.push_back(atom.args[i]);
+    }
+    return args;
+  };
+
+  out.query_pred = get_adorned(query_pred, bound);
+  uint32_t nbound = static_cast<uint32_t>(
+      std::count(bound.begin(), bound.end(), true));
+  out.seed_pred = out.program.AddPred(
+      "seed_" + PredName(program, query_pred) + AdornSuffix(bound), nbound,
+      true);
+  // m_q(X...) :- seed(X...): the caller feeds the query's bound constants
+  // through the EDB loader, keeping the rewritten program value-free (one
+  // compiled program serves every constant with the same adornment).
+  {
+    Rule seed_rule;
+    seed_rule.head.pred = get_magic(query_pred, bound);
+    Atom seed_atom;
+    seed_atom.pred = out.seed_pred;
+    for (uint32_t i = 0; i < nbound; ++i) {
+      seed_rule.head.args.push_back(Term::Var(i));
+      seed_atom.args.push_back(Term::Var(i));
+    }
+    seed_rule.body.push_back(std::move(seed_atom));
+    out.program.rules.push_back(std::move(seed_rule));
+  }
+
+  std::set<AdornKey> done;
+  while (!worklist.empty()) {
+    AdornKey key = worklist.back();
+    worklist.pop_back();
+    if (!done.insert(key).second) continue;
+    const auto& [pred, adorn] = key;
+    for (const Rule& rule : program.rules) {
+      if (rule.head.pred != pred) continue;
+      std::set<uint32_t> bound_vars;
+      for (size_t i = 0; i < adorn.size(); ++i) {
+        if (adorn[i] && rule.head.args[i].is_var) {
+          bound_vars.insert(rule.head.args[i].var);
+        }
+      }
+      Rule adorned_rule;
+      adorned_rule.head.pred = get_adorned(pred, adorn);
+      adorned_rule.head.args = rule.head.args;
+      // Guard the rule with its magic predicate: only head bindings that
+      // are actually demanded fire the body joins. An all-free adornment
+      // has no demand set — the full relation is wanted — so no guard.
+      if (std::any_of(adorn.begin(), adorn.end(), [](bool b) { return b; })) {
+        Atom guard;
+        guard.pred = get_magic(pred, adorn);
+        guard.args = bound_args(rule.head, adorn);
+        adorned_rule.body.push_back(std::move(guard));
+      }
+
+      for (const Atom& atom : rule.body) {
+        if (program.preds[atom.pred].edb) {
+          Atom mapped = atom;
+          mapped.pred = get_edb(atom.pred);
+          adorned_rule.body.push_back(std::move(mapped));
+        } else {
+          std::vector<bool> sub_adorn(atom.args.size());
+          for (size_t i = 0; i < atom.args.size(); ++i) {
+            sub_adorn[i] = !atom.args[i].is_var ||
+                           bound_vars.count(atom.args[i].var) > 0;
+          }
+          if (std::any_of(sub_adorn.begin(), sub_adorn.end(),
+                          [](bool b) { return b; })) {
+            // Sideways pass: what is known once the body prefix has
+            // matched becomes the demand set of the callee.
+            Rule magic_rule;
+            magic_rule.head.pred = get_magic(atom.pred, sub_adorn);
+            magic_rule.head.args = bound_args(atom, sub_adorn);
+            magic_rule.body = adorned_rule.body;
+            out.program.rules.push_back(std::move(magic_rule));
+          }
+          Atom mapped = atom;
+          mapped.pred = get_adorned(atom.pred, sub_adorn);
+          adorned_rule.body.push_back(std::move(mapped));
+        }
+        CollectVars(atom.args, &bound_vars);
+      }
+      out.program.rules.push_back(std::move(adorned_rule));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RowSet
+
+size_t RowSet::Hasher::operator()(uint64_t index) const {
+  const int64_t* row = owner->RowAt(index);
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (uint32_t i = 0; i < owner->width_; ++i) {
+    h ^= static_cast<uint64_t>(row[i]) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+bool RowSet::Equal::operator()(uint64_t a, uint64_t b) const {
+  const int64_t* ra = owner->RowAt(a);
+  const int64_t* rb = owner->RowAt(b);
+  for (uint32_t i = 0; i < owner->width_; ++i) {
+    if (ra[i] != rb[i]) return false;
+  }
+  return true;
+}
+
+RowSet::RowSet(uint32_t width)
+    : width_(width), set_(16, Hasher{this}, Equal{this}) {}
+
+bool RowSet::Insert(const int64_t* row) {
+  arena_.insert(arena_.end(), row, row + width_);
+  auto [it, inserted] = set_.insert(count_);
+  (void)it;
+  if (!inserted) {
+    arena_.resize(arena_.size() - width_);
+    return false;
+  }
+  ++count_;
+  return true;
+}
+
+bool RowSet::Contains(const int64_t* row) {
+  // Append-probe-rollback: the candidate briefly lives at the arena tail
+  // so the set's index-based hash/equality can see it.
+  arena_.insert(arena_.end(), row, row + width_);
+  bool found = set_.find(count_) != set_.end();
+  arena_.resize(arena_.size() - width_);
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+
+struct Evaluator::Rel {
+  uint32_t width = 0;
+  Table* total = nullptr;       // all tuples up to the previous flush
+  Table* delta = nullptr;       // tuples new in the previous flush
+  std::unique_ptr<RowSet> set;  // every tuple ever derived (incl. pending)
+  std::vector<int64_t> pending; // derived this round, flat rows
+  std::set<int> indexed;        // columns of `total` with a built index
+};
+
+Evaluator::Evaluator(const Program* program, EvalOptions options)
+    : program_(program),
+      options_(options),
+      scratch_file_(storage::PagedFile::Options{options.page_size, 0}) {
+  scratch_pool_ = std::make_unique<storage::BufferPool>(
+      &scratch_file_, options_.scratch_frames);
+  scratch_db_ = std::make_unique<Database>(scratch_pool_.get());
+}
+
+Evaluator::~Evaluator() = default;
+
+base::Result<Table*> Evaluator::NewTable(const std::string& name,
+                                         uint32_t width) {
+  std::vector<Column> columns;
+  columns.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    columns.push_back(Column{"c" + std::to_string(i), ColumnType::kInt});
+  }
+  return scratch_db_->CreateTable(name + "#" + std::to_string(table_seq_++),
+                                  Schema(std::move(columns)));
+}
+
+base::Status Evaluator::LoadEdb(const EdbLoader& loader) {
+  for (uint32_t p = 0; p < program_->preds.size(); ++p) {
+    if (!program_->preds[p].edb) continue;
+    Rel* rel = rels_[p].get();
+    Tuple tuple(rel->width);
+    auto emit = [&](const int64_t* row) -> base::Status {
+      int64_t padded = 0;
+      const int64_t* stored = row;
+      if (program_->preds[p].arity == 0) stored = &padded;
+      ++stats_.edb_rows;
+      if (!rel->set->Insert(stored)) return base::Status::OK();
+      for (uint32_t i = 0; i < rel->width; ++i) tuple[i] = stored[i];
+      return rel->total->Insert(tuple);
+    };
+    EDUCE_RETURN_IF_ERROR(loader(p, program_->preds[p].arity, emit));
+  }
+  return EnsureScratchCapacity();
+}
+
+base::Status Evaluator::EnsureScratchCapacity() {
+  // Keep the pool at least 25% larger than the file so appends and the
+  // random join probes never evict. Doubling amortizes the resize cost;
+  // the cap (1 GiB of 4 KiB frames) is a runaway backstop, beyond which
+  // the pool degrades gracefully into an ordinary evicting cache.
+  constexpr uint64_t kMaxScratchFrames = 262144;
+  const uint64_t pages = scratch_file_.page_count();
+  const uint64_t frames = scratch_pool_->num_frames();
+  if (frames >= kMaxScratchFrames || pages + pages / 4 < frames) {
+    return base::Status::OK();
+  }
+  const uint64_t want = std::min<uint64_t>(
+      kMaxScratchFrames,
+      std::max<uint64_t>(frames * 2, pages + pages / 2 + 64));
+  return scratch_pool_->Resize(static_cast<uint32_t>(want));
+}
+
+base::Status Evaluator::EvalRule(const Rule& rule, int delta_pos,
+                                 uint64_t* derived) {
+  Rel* head_rel = rels_[rule.head.pred].get();
+  std::vector<Term> head_args = NormArgs(rule.head);
+
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    (rule.body[i].negated ? negatives : positives).push_back(i);
+  }
+
+  // var -> column of the intermediate tuple.
+  std::map<uint32_t, int> var_col;
+  auto as_int = [](const Value& v) { return std::get<int64_t>(v); };
+
+  auto emit_head = [&](const Tuple& row) {
+    std::vector<int64_t> out(head_rel->width, 0);
+    for (size_t i = 0; i < head_args.size(); ++i) {
+      out[i] = head_args[i].is_var ? as_int(row[var_col.at(head_args[i].var)])
+                                   : head_args[i].value;
+    }
+    if (head_rel->set->Insert(out.data())) {
+      head_rel->pending.insert(head_rel->pending.end(), out.begin(),
+                               out.end());
+      ++stats_.tuples_derived;
+      ++*derived;
+    } else {
+      ++stats_.dedup_hits;
+    }
+  };
+
+  auto passes_negatives = [&](const Tuple& row) {
+    for (size_t n : negatives) {
+      const Atom& atom = rule.body[n];
+      Rel* neg_rel = rels_[atom.pred].get();
+      std::vector<int64_t> probe(neg_rel->width, 0);
+      std::vector<Term> args = NormArgs(atom);
+      for (size_t i = 0; i < args.size(); ++i) {
+        probe[i] = args[i].is_var ? as_int(row[var_col.at(args[i].var)])
+                                  : args[i].value;
+      }
+      if (neg_rel->set->Contains(probe.data())) return false;
+    }
+    return true;
+  };
+
+  if (positives.empty()) {
+    // Fact rule (or purely negative body, which range restriction limits
+    // to ground literals): one virtual row, no scan.
+    Tuple empty;
+    if (passes_negatives(empty)) emit_head(empty);
+    return base::Status::OK();
+  }
+
+  // Join order: the delta literal leads its variant; after that, greedily
+  // chain literals sharing a bound variable, falling back to a cross
+  // product for disconnected bodies.
+  std::vector<size_t> order;
+  {
+    std::vector<size_t> remaining = positives;
+    size_t start = delta_pos >= 0 ? static_cast<size_t>(delta_pos)
+                                  : positives.front();
+    order.push_back(start);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), start));
+    std::set<uint32_t> bound;
+    CollectVars(rule.body[start].args, &bound);
+    while (!remaining.empty()) {
+      auto it = std::find_if(remaining.begin(), remaining.end(), [&](size_t i) {
+        for (const Term& t : rule.body[i].args) {
+          if (t.is_var && bound.count(t.var)) return true;
+        }
+        return false;
+      });
+      if (it == remaining.end()) it = remaining.begin();
+      CollectVars(rule.body[*it].args, &bound);
+      order.push_back(*it);
+      remaining.erase(it);
+    }
+  }
+
+  std::unique_ptr<RowSource> src;
+  int width = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    size_t body_idx = order[k];
+    const Atom& atom = rule.body[body_idx];
+    Rel* rel = rels_[atom.pred].get();
+    Table* table = (delta_pos >= 0 && body_idx == static_cast<size_t>(delta_pos))
+                       ? rel->delta
+                       : rel->total;
+    if (table == nullptr || table->row_count() == 0) return base::Status::OK();
+    std::vector<Term> args = NormArgs(atom);
+    int base = width;
+
+    // Post-join filters: constants, repeated variables within the atom,
+    // and shared variables beyond the join column.
+    std::vector<std::pair<int, int64_t>> const_filters;
+    std::vector<std::pair<int, int>> eq_filters;
+    int join_left = -1, join_right = -1;
+    std::map<uint32_t, int> local;  // var -> column within this atom
+    for (size_t i = 0; i < args.size(); ++i) {
+      int col = base + static_cast<int>(i);
+      if (!args[i].is_var) {
+        const_filters.emplace_back(col, args[i].value);
+        continue;
+      }
+      auto here = local.find(args[i].var);
+      if (here != local.end()) {
+        eq_filters.emplace_back(base + here->second, col);
+        continue;
+      }
+      local.emplace(args[i].var, static_cast<int>(i));
+      auto outer = var_col.find(args[i].var);
+      if (outer != var_col.end()) {
+        if (k > 0 && join_left < 0) {
+          join_left = outer->second;
+          join_right = static_cast<int>(i);
+        } else {
+          eq_filters.emplace_back(outer->second, col);
+        }
+      } else {
+        var_col.emplace(args[i].var, col);
+      }
+    }
+
+    if (k == 0) {
+      src = MakeSeqScan(table);
+    } else if (join_left >= 0) {
+      // Probe through a BANG index on the stored side: per intermediate
+      // row, only the matching bucket is touched — this is what keeps a
+      // delta round at |delta| x selectivity instead of a full rescan.
+      if (rel->indexed.find(join_right) == rel->indexed.end()) {
+        EDUCE_RETURN_IF_ERROR(
+            table->CreateIndex(table->schema().column(join_right).name));
+        rel->indexed.insert(join_right);
+      }
+      src = MakeIndexNestedLoopJoin(std::move(src), table, join_left,
+                                    join_right);
+    } else {
+      src = MakeCrossJoin(std::move(src), MakeSeqScan(table));
+    }
+    if (!const_filters.empty() || !eq_filters.empty()) {
+      src = MakeFilter(
+          std::move(src),
+          [const_filters, eq_filters, as_int](const Tuple& row) {
+            for (const auto& [col, value] : const_filters) {
+              if (as_int(row[col]) != value) return false;
+            }
+            for (const auto& [a, b] : eq_filters) {
+              if (as_int(row[a]) != as_int(row[b])) return false;
+            }
+            return true;
+          });
+    }
+    width += static_cast<int>(args.size());
+  }
+
+  Tuple row;
+  while (true) {
+    EDUCE_ASSIGN_OR_RETURN(bool more, src->Next(&row));
+    if (!more) break;
+    ++stats_.join_rows;
+    if (!passes_negatives(row)) continue;
+    emit_head(row);
+  }
+  return base::Status::OK();
+}
+
+base::Status Evaluator::FlushPending(const std::vector<uint32_t>& members,
+                                     uint64_t iteration, uint64_t* flushed) {
+  *flushed = 0;
+  for (uint32_t p : members) {
+    Rel* rel = rels_[p].get();
+    if (rel->pending.empty()) {
+      rel->delta = nullptr;
+      continue;
+    }
+    EDUCE_ASSIGN_OR_RETURN(
+        Table * delta,
+        NewTable(PredName(*program_, p) + ".d" + std::to_string(iteration),
+                 rel->width));
+    Tuple tuple(rel->width);
+    const size_t rows = rel->pending.size() / rel->width;
+    for (size_t r = 0; r < rows; ++r) {
+      const int64_t* flat = rel->pending.data() + r * rel->width;
+      for (uint32_t i = 0; i < rel->width; ++i) tuple[i] = flat[i];
+      EDUCE_RETURN_IF_ERROR(delta->Insert(tuple));
+      EDUCE_RETURN_IF_ERROR(rel->total->Insert(tuple));
+    }
+    rel->delta = delta;
+    rel->pending.clear();
+    *flushed += rows;
+  }
+  return EnsureScratchCapacity();
+}
+
+base::Status Evaluator::EvalStratum(const std::vector<uint32_t>& rule_ids,
+                                    const std::vector<uint32_t>& strata,
+                                    uint32_t stratum) {
+  std::set<uint32_t> member_set;
+  for (uint32_t r : rule_ids) member_set.insert(program_->rules[r].head.pred);
+  std::vector<uint32_t> members(member_set.begin(), member_set.end());
+
+  // Variants: (rule, position of the same-stratum positive literal that
+  // reads the delta). Rules with none are non-recursive within this
+  // stratum and fire only in round 0 — their lower-stratum inputs are
+  // already complete.
+  std::vector<std::pair<uint32_t, int>> variants;
+  for (uint32_t r : rule_ids) {
+    const Rule& rule = program_->rules[r];
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (!rule.body[i].negated && strata[rule.body[i].pred] == stratum) {
+        variants.emplace_back(r, static_cast<int>(i));
+      }
+    }
+  }
+
+  uint64_t derived = 0;
+  for (uint32_t r : rule_ids) {
+    EDUCE_RETURN_IF_ERROR(EvalRule(program_->rules[r], -1, &derived));
+  }
+  uint64_t round = 0, flushed = 0;
+  EDUCE_RETURN_IF_ERROR(FlushPending(members, round, &flushed));
+  ++stats_.iterations;
+  stats_.delta_sizes.push_back(flushed);
+
+  while (flushed > 0) {
+    ++round;
+    if (options_.max_iterations > 0 && round > options_.max_iterations) {
+      return base::Status::Internal(
+          "datalog: fixpoint exceeded max_iterations=" +
+          std::to_string(options_.max_iterations));
+    }
+    derived = 0;
+    if (options_.semi_naive) {
+      for (const auto& [r, pos] : variants) {
+        EDUCE_RETURN_IF_ERROR(EvalRule(program_->rules[r], pos, &derived));
+      }
+    } else {
+      // Naive mode re-derives everything from totals every round; the
+      // RowSet keeps the fixpoint identical. Testing reference only.
+      for (uint32_t r : rule_ids) {
+        EDUCE_RETURN_IF_ERROR(EvalRule(program_->rules[r], -1, &derived));
+      }
+    }
+    EDUCE_RETURN_IF_ERROR(FlushPending(members, round, &flushed));
+    ++stats_.iterations;
+    stats_.delta_sizes.push_back(flushed);
+  }
+  return base::Status::OK();
+}
+
+base::Status Evaluator::Run(const EdbLoader& loader) {
+  if (ran_) return base::Status::FailedPrecondition("datalog: Run called twice");
+  ran_ = true;
+  EDUCE_RETURN_IF_ERROR(Validate(*program_));
+  EDUCE_ASSIGN_OR_RETURN(std::vector<uint32_t> strata, Stratify(*program_));
+
+  rels_.resize(program_->preds.size());
+  for (uint32_t p = 0; p < program_->preds.size(); ++p) {
+    auto rel = std::make_unique<Rel>();
+    rel->width = WidthOf(program_->preds[p]);
+    EDUCE_ASSIGN_OR_RETURN(rel->total,
+                           NewTable(PredName(*program_, p), rel->width));
+    rel->set = std::make_unique<RowSet>(rel->width);
+    rels_[p] = std::move(rel);
+  }
+  EDUCE_RETURN_IF_ERROR(LoadEdb(loader));
+
+  // Group rules by head stratum, evaluate strata in dependency order.
+  std::map<uint32_t, std::vector<uint32_t>> by_stratum;
+  for (uint32_t r = 0; r < program_->rules.size(); ++r) {
+    by_stratum[strata[program_->rules[r].head.pred]].push_back(r);
+  }
+  for (const auto& [stratum, rule_ids] : by_stratum) {
+    ++stats_.strata;
+    EDUCE_RETURN_IF_ERROR(EvalStratum(rule_ids, strata, stratum));
+  }
+  return base::Status::OK();
+}
+
+uint64_t Evaluator::TupleCount(uint32_t pred) const {
+  if (pred >= rels_.size() || rels_[pred] == nullptr) return 0;
+  return rels_[pred]->set->size();
+}
+
+std::vector<std::vector<int64_t>> Evaluator::Tuples(uint32_t pred) const {
+  std::vector<std::vector<int64_t>> out;
+  if (pred >= rels_.size() || rels_[pred] == nullptr) return out;
+  const Rel* rel = rels_[pred].get();
+  const uint32_t width = program_->preds[pred].arity == 0 ? 0 : rel->width;
+  out.reserve(rel->set->size());
+  for (uint64_t i = 0; i < rel->set->size(); ++i) {
+    const int64_t* row = rel->set->RowAt(i);
+    out.emplace_back(row, row + width);
+  }
+  return out;
+}
+
+void Evaluator::Visit(
+    uint32_t pred, const std::function<bool(const int64_t* row)>& fn) const {
+  if (pred >= rels_.size() || rels_[pred] == nullptr) return;
+  const Rel* rel = rels_[pred].get();
+  for (uint64_t i = 0; i < rel->set->size(); ++i) {
+    if (!fn(rel->set->RowAt(i))) return;
+  }
+}
+
+}  // namespace educe::rel::datalog

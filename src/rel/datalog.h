@@ -1,0 +1,218 @@
+#ifndef EDUCE_REL_DATALOG_H_
+#define EDUCE_REL_DATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "rel/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace educe::rel::datalog {
+
+/// Bottom-up Datalog over the rel executor (DESIGN.md §15).
+///
+/// This layer is deliberately term-free: constants are opaque int64
+/// payloads (the engine bridge in src/educe/datalog.h encodes atoms,
+/// integers, floats and bignums into them), predicates are small dense
+/// ids, and variables are per-rule indices. That keeps educe_rel's
+/// dependency surface at base+storage — the same layering as the rest of
+/// the relational executor — and makes programs cheap to hash, rewrite
+/// and cache.
+
+/// One argument position: either a rule-scoped variable or a constant.
+struct Term {
+  bool is_var = false;
+  uint32_t var = 0;     // variable index, rule-scoped, dense from 0
+  int64_t value = 0;    // encoded constant when !is_var
+
+  static Term Var(uint32_t v) { return Term{true, v, 0}; }
+  static Term Const(int64_t c) { return Term{false, 0, c}; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.is_var == b.is_var &&
+           (a.is_var ? a.var == b.var : a.value == b.value);
+  }
+};
+
+/// One literal. `negated` is only legal in rule bodies.
+struct Atom {
+  uint32_t pred = 0;
+  bool negated = false;
+  std::vector<Term> args;
+};
+
+/// head :- body. An empty body is a fact (the head must be ground).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+};
+
+struct Predicate {
+  std::string name;   // diagnostic only; uniqueness not required
+  uint32_t arity = 0;
+  bool edb = false;   // extensional: fed by the loader, never a rule head
+};
+
+inline constexpr uint32_t kNoPred = 0xFFFFFFFFu;
+
+struct Program {
+  std::vector<Predicate> preds;
+  std::vector<Rule> rules;
+
+  uint32_t AddPred(std::string name, uint32_t arity, bool edb) {
+    preds.push_back(Predicate{std::move(name), arity, edb});
+    return static_cast<uint32_t>(preds.size() - 1);
+  }
+};
+
+/// Structural checks: pred ids in range, arities consistent, EDB preds
+/// never in heads, no negated heads, range restriction (every head
+/// variable and every negated-literal variable occurs in a positive body
+/// literal; empty-body heads are ground).
+base::Status Validate(const Program& program);
+
+/// Assigns each predicate an evaluation stratum: the topological index of
+/// its strongly connected component in the dependency graph. Fails with
+/// InvalidArgument if a negated edge lands inside an SCC (the program is
+/// not stratifiable). Validate() must have passed.
+base::Result<std::vector<uint32_t>> Stratify(const Program& program);
+
+/// Result of the magic-set rewrite. `seed_pred` is a fresh EDB predicate
+/// of arity = number of bound positions; the caller feeds it the single
+/// tuple of bound query constants through the loader. When no rewrite
+/// applies (adornment all-free) the program is returned unchanged and
+/// `seed_pred` is kNoPred.
+struct MagicProgram {
+  Program program;
+  uint32_t query_pred = 0;
+  uint32_t seed_pred = kNoPred;
+};
+
+/// Magic-set rewrite of `program` for a call to `query_pred` with the
+/// given boundness pattern (left-to-right sideways information passing).
+/// Only defined for negation-free programs — callers fall back to the
+/// unrewritten program when negation is present.
+base::Result<MagicProgram> MagicRewrite(const Program& program,
+                                        uint32_t query_pred,
+                                        const std::vector<bool>& bound);
+
+struct EvalOptions {
+  bool semi_naive = true;      // false = naive re-derivation (testing only)
+  uint32_t page_size = 4096;
+  uint32_t scratch_frames = 4096;  // scratch buffer pool, in pages
+  uint64_t max_iterations = 0;     // 0 = unbounded; safety valve for tests
+};
+
+struct EvalStats {
+  uint32_t strata = 0;             // evaluation units (SCCs with rules)
+  uint64_t iterations = 0;         // delta rounds across all strata
+  uint64_t tuples_derived = 0;     // distinct tuples added to IDB totals
+  uint64_t join_rows = 0;          // rows pulled out of rule body plans
+  uint64_t dedup_hits = 0;         // derivations rejected as duplicates
+  uint64_t edb_rows = 0;           // rows fed by the loader
+  std::vector<uint64_t> delta_sizes;  // new tuples per completed round
+};
+
+/// Deduplicating tuple set over a flat int64 arena. Insert is
+/// append-then-probe: the candidate row is written to the arena tail and
+/// rolled back when an equal row is already present.
+class RowSet {
+ public:
+  explicit RowSet(uint32_t width);
+
+  /// True when the row was new (kept); false on duplicate (rolled back).
+  bool Insert(const int64_t* row);
+  bool Contains(const int64_t* row);
+
+  uint64_t size() const { return count_; }
+  uint32_t width() const { return width_; }
+  const int64_t* RowAt(uint64_t i) const { return arena_.data() + i * width_; }
+
+ private:
+  struct Hasher {
+    const RowSet* owner;
+    size_t operator()(uint64_t index) const;
+  };
+  struct Equal {
+    const RowSet* owner;
+    bool operator()(uint64_t a, uint64_t b) const;
+  };
+
+  uint32_t width_;
+  uint64_t count_ = 0;
+  std::vector<int64_t> arena_;
+  std::unordered_set<uint64_t, Hasher, Equal> set_;
+};
+
+/// Semi-naive fixpoint evaluator. Owns a private scratch PagedFile +
+/// BufferPool + Database, so concurrent evaluations never share mutable
+/// storage state and transient delta pages stay out of the durable image.
+class Evaluator {
+ public:
+  /// Streams the full extension of one EDB predicate: the loader calls
+  /// `emit` once per tuple (row of `width` encoded constants).
+  using EmitFn = std::function<base::Status(const int64_t* row)>;
+  using EdbLoader = std::function<base::Status(uint32_t pred, uint32_t width,
+                                              const EmitFn& emit)>;
+
+  Evaluator(const Program* program, EvalOptions options);
+  ~Evaluator();
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  /// Validates, stratifies, loads EDB extensions, and runs the fixpoint.
+  base::Status Run(const EdbLoader& loader);
+
+  /// Tuple count of `pred` after Run (EDB or IDB).
+  uint64_t TupleCount(uint32_t pred) const;
+
+  /// All tuples of `pred` after Run, in first-derivation order.
+  std::vector<std::vector<int64_t>> Tuples(uint32_t pred) const;
+
+  /// Visits tuples of `pred` without copying; stops early if `fn` returns
+  /// false.
+  void Visit(uint32_t pred,
+             const std::function<bool(const int64_t* row)>& fn) const;
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct Rel;          // per-predicate state
+  struct BodyPlan;     // compiled join order for one rule variant
+
+  base::Status LoadEdb(const EdbLoader& loader);
+  /// Grows the scratch buffer pool ahead of the allocated page count so
+  /// the whole working set stays resident: delta joins probe the totals
+  /// randomly, and an undersized pool would turn every probe into a
+  /// page-copy eviction cycle.
+  base::Status EnsureScratchCapacity();
+  base::Status EvalStratum(const std::vector<uint32_t>& rule_ids,
+                           const std::vector<uint32_t>& strata,
+                           uint32_t stratum);
+  base::Status EvalRule(const Rule& rule, int delta_pos, uint64_t* derived);
+  base::Status FlushPending(const std::vector<uint32_t>& members,
+                            uint64_t iteration, uint64_t* flushed);
+  base::Result<Table*> NewTable(const std::string& name, uint32_t width);
+
+  const Program* program_;
+  EvalOptions options_;
+  storage::PagedFile scratch_file_;
+  std::unique_ptr<storage::BufferPool> scratch_pool_;
+  std::unique_ptr<Database> scratch_db_;
+  std::vector<std::unique_ptr<Rel>> rels_;
+  EvalStats stats_;
+  bool ran_ = false;
+  uint64_t table_seq_ = 0;
+};
+
+}  // namespace educe::rel::datalog
+
+#endif  // EDUCE_REL_DATALOG_H_

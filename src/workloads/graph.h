@@ -1,0 +1,56 @@
+#ifndef EDUCE_WORKLOADS_GRAPH_H_
+#define EDUCE_WORKLOADS_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "educe/engine.h"
+
+namespace educe::workloads {
+
+/// Synthetic edge/2 graphs for the recursive-closure benchmark and the
+/// bottom-up Datalog tests (DESIGN.md §15). Node ids are small ints so
+/// the facts encode directly into the Datalog evaluator's int64 rows.
+class GraphWorkload {
+ public:
+  /// A directed edge (from, to).
+  using Edge = std::pair<int64_t, int64_t>;
+
+  /// Path graph 0 -> 1 -> ... -> nodes-1 (nodes-1 edges). Worst case for
+  /// naive re-derivation, best case for semi-naive deltas: each round
+  /// extends every path by exactly one hop.
+  static std::vector<Edge> Chain(uint64_t nodes);
+
+  /// rows x cols lattice with right and down edges; node id r*cols+c.
+  /// Dense closure (every cell reaches its lower-right quadrant), so
+  /// tuple counts grow quadratically in the grid diagonal.
+  static std::vector<Edge> Grid(uint64_t rows, uint64_t cols);
+
+  /// Random DAG: `edges` distinct forward pairs (u < v) over `nodes`
+  /// nodes, deterministic in `seed`. Forward-only keeps it acyclic so
+  /// closures stay finite-depth and WAM differentials terminate.
+  static std::vector<Edge> RandomDag(uint64_t nodes, uint64_t edges,
+                                     uint64_t seed);
+
+  /// Stores the edges as external `pred/2` facts AST-direct (no text
+  /// parse) — the only way to seed 10^6 edges in bench-setup time.
+  static base::Status StoreEdges(Engine* engine, std::string_view pred,
+                                 const std::vector<Edge>& edges);
+
+  /// The edges as consultable text ("edge(0,1).\n..."), for small tests.
+  static std::string EdgeFactsText(std::string_view pred,
+                                   const std::vector<Edge>& edges);
+
+  /// Transitive-closure rules over `edge_pred`, left-recursive delta
+  /// form: path(X,Y) :- edge(X,Y).  path(X,Y) :- path(X,Z), edge(Z,Y).
+  static std::string ClosureRules(std::string_view path_pred,
+                                  std::string_view edge_pred);
+};
+
+}  // namespace educe::workloads
+
+#endif  // EDUCE_WORKLOADS_GRAPH_H_

@@ -1,0 +1,602 @@
+// Bottom-up Datalog (DESIGN.md §15), both layers:
+//   - rel::datalog: validation, stratification, semi-naive vs naive
+//     differentials on seeded recursive programs, magic-set rewriting.
+//   - educe::DatalogManager: WAM differentials (identical solution sets),
+//     strategy selection, plan caching + push invalidation on edb_assert,
+//     the materialized Solutions mode, and the fallback contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "educe/datalog.h"
+#include "educe/engine.h"
+#include "rel/datalog.h"
+#include "workloads/graph.h"
+
+namespace educe {
+namespace {
+
+namespace rdl = rel::datalog;
+using workloads::GraphWorkload;
+
+// ---------------------------------------------------------------------------
+// rel::datalog layer
+// ---------------------------------------------------------------------------
+
+rdl::Program ClosureProgram(uint32_t* edge_out, uint32_t* path_out) {
+  rdl::Program program;
+  const uint32_t edge = program.AddPred("edge", 2, /*edb=*/true);
+  const uint32_t path = program.AddPred("path", 2, /*edb=*/false);
+  using T = rdl::Term;
+  // path(X, Y) :- edge(X, Y).
+  program.rules.push_back(
+      {rdl::Atom{path, false, {T::Var(0), T::Var(1)}},
+       {rdl::Atom{edge, false, {T::Var(0), T::Var(1)}}}});
+  // path(X, Y) :- path(X, Z), edge(Z, Y).
+  program.rules.push_back(
+      {rdl::Atom{path, false, {T::Var(0), T::Var(1)}},
+       {rdl::Atom{path, false, {T::Var(0), T::Var(2)}},
+        rdl::Atom{edge, false, {T::Var(2), T::Var(1)}}}});
+  *edge_out = edge;
+  *path_out = path;
+  return program;
+}
+
+rdl::Evaluator::EdbLoader EdgeLoader(uint32_t edge_pred,
+                                     const std::vector<GraphWorkload::Edge>&
+                                         edges) {
+  return [edge_pred, &edges](uint32_t pred, uint32_t width,
+                             const rdl::Evaluator::EmitFn& emit) {
+    if (pred != edge_pred) {
+      return base::Status::InvalidArgument("unexpected EDB pred");
+    }
+    EXPECT_EQ(width, 2u);
+    for (const auto& e : edges) {
+      const int64_t row[2] = {e.first, e.second};
+      base::Status status = emit(row);
+      if (!status.ok()) return status;
+    }
+    return base::Status::OK();
+  };
+}
+
+std::vector<std::vector<int64_t>> SortedTuples(const rdl::Evaluator& eval,
+                                               uint32_t pred) {
+  std::vector<std::vector<int64_t>> tuples = eval.Tuples(pred);
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+TEST(DatalogIrTest, ValidateRejectsUnboundHeadVariable) {
+  rdl::Program program;
+  const uint32_t e = program.AddPred("e", 2, true);
+  const uint32_t p = program.AddPred("p", 2, false);
+  using T = rdl::Term;
+  // p(X, Y) :- e(X, X).  — Y never bound.
+  program.rules.push_back({rdl::Atom{p, false, {T::Var(0), T::Var(1)}},
+                           {rdl::Atom{e, false, {T::Var(0), T::Var(0)}}}});
+  EXPECT_FALSE(rdl::Validate(program).ok());
+}
+
+TEST(DatalogIrTest, ValidateRejectsEdbHead) {
+  rdl::Program program;
+  const uint32_t e = program.AddPred("e", 1, true);
+  using T = rdl::Term;
+  program.rules.push_back({rdl::Atom{e, false, {T::Const(1)}}, {}});
+  EXPECT_FALSE(rdl::Validate(program).ok());
+}
+
+TEST(DatalogIrTest, StratifyRejectsNegationInCycle) {
+  rdl::Program program;
+  const uint32_t e = program.AddPred("e", 1, true);
+  const uint32_t p = program.AddPred("p", 1, false);
+  const uint32_t q = program.AddPred("q", 1, false);
+  using T = rdl::Term;
+  // p(X) :- e(X), \+ q(X).   q(X) :- e(X), p(X).  — p and q share an SCC
+  // through a negated edge: not stratifiable.
+  program.rules.push_back({rdl::Atom{p, false, {T::Var(0)}},
+                           {rdl::Atom{e, false, {T::Var(0)}},
+                            rdl::Atom{q, true, {T::Var(0)}}}});
+  program.rules.push_back({rdl::Atom{q, false, {T::Var(0)}},
+                           {rdl::Atom{e, false, {T::Var(0)}},
+                            rdl::Atom{p, false, {T::Var(0)}}}});
+  ASSERT_TRUE(rdl::Validate(program).ok());
+  EXPECT_FALSE(rdl::Stratify(program).ok());
+}
+
+TEST(DatalogIrTest, ChainClosureCountsAndDeltas) {
+  uint32_t edge = 0, path = 0;
+  const rdl::Program program = ClosureProgram(&edge, &path);
+  const std::vector<GraphWorkload::Edge> edges = GraphWorkload::Chain(10);
+  rdl::Evaluator eval(&program, {});
+  ASSERT_TRUE(eval.Run(EdgeLoader(edge, edges)).ok());
+  // 10-node chain: path count = 10*9/2 = 45.
+  EXPECT_EQ(eval.TupleCount(path), 45u);
+  EXPECT_EQ(eval.stats().edb_rows, 9u);
+  EXPECT_EQ(eval.stats().tuples_derived, 45u);
+  // Semi-naive on a chain: each round extends the frontier by one hop, so
+  // the delta sizes shrink monotonically to zero.
+  const auto& deltas = eval.stats().delta_sizes;
+  ASSERT_GE(deltas.size(), 2u);
+  EXPECT_EQ(deltas.back(), 0u);  // final round proves the fixpoint
+  for (size_t i = 1; i < deltas.size(); ++i) {
+    EXPECT_LE(deltas[i], deltas[i - 1]);
+  }
+}
+
+TEST(DatalogIrTest, SemiNaiveMatchesNaiveOnSeededPrograms) {
+  using T = rdl::Term;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    // Closure plus a mutually recursive pair over a random DAG.
+    rdl::Program program;
+    const uint32_t edge = program.AddPred("edge", 2, true);
+    const uint32_t path = program.AddPred("path", 2, false);
+    const uint32_t p = program.AddPred("p", 2, false);
+    const uint32_t q = program.AddPred("q", 2, false);
+    program.rules.push_back(
+        {rdl::Atom{path, false, {T::Var(0), T::Var(1)}},
+         {rdl::Atom{edge, false, {T::Var(0), T::Var(1)}}}});
+    program.rules.push_back(
+        {rdl::Atom{path, false, {T::Var(0), T::Var(1)}},
+         {rdl::Atom{path, false, {T::Var(0), T::Var(2)}},
+          rdl::Atom{edge, false, {T::Var(2), T::Var(1)}}}});
+    // p(X,Y) :- edge(X,Y).  p(X,Y) :- edge(X,Z), q(Z,Y).
+    // q(X,Y) :- edge(X,Z), p(Z,Y).  — even/odd-hop mutual recursion.
+    program.rules.push_back(
+        {rdl::Atom{p, false, {T::Var(0), T::Var(1)}},
+         {rdl::Atom{edge, false, {T::Var(0), T::Var(1)}}}});
+    program.rules.push_back(
+        {rdl::Atom{p, false, {T::Var(0), T::Var(1)}},
+         {rdl::Atom{edge, false, {T::Var(0), T::Var(2)}},
+          rdl::Atom{q, false, {T::Var(2), T::Var(1)}}}});
+    program.rules.push_back(
+        {rdl::Atom{q, false, {T::Var(0), T::Var(1)}},
+         {rdl::Atom{edge, false, {T::Var(0), T::Var(2)}},
+          rdl::Atom{p, false, {T::Var(2), T::Var(1)}}}});
+
+    const std::vector<GraphWorkload::Edge> edges =
+        GraphWorkload::RandomDag(12 + seed % 5, 28 + 2 * seed, seed);
+
+    rdl::EvalOptions semi;
+    semi.semi_naive = true;
+    rdl::EvalOptions naive;
+    naive.semi_naive = false;
+    rdl::Evaluator semi_eval(&program, semi);
+    rdl::Evaluator naive_eval(&program, naive);
+    ASSERT_TRUE(semi_eval.Run(EdgeLoader(edge, edges)).ok()) << "seed " << seed;
+    ASSERT_TRUE(naive_eval.Run(EdgeLoader(edge, edges)).ok())
+        << "seed " << seed;
+    for (uint32_t pred : {path, p, q}) {
+      EXPECT_EQ(SortedTuples(semi_eval, pred), SortedTuples(naive_eval, pred))
+          << "seed " << seed << " pred " << pred;
+    }
+    // Naive re-derives everything each round; its duplicate count must
+    // strictly dominate once the fixpoint needs more than one round.
+    if (semi_eval.stats().iterations > 2) {
+      EXPECT_GT(naive_eval.stats().dedup_hits, semi_eval.stats().dedup_hits)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(DatalogIrTest, StratifiedNegation) {
+  rdl::Program program;
+  const uint32_t node = program.AddPred("node", 1, true);
+  const uint32_t edge = program.AddPred("edge", 2, true);
+  const uint32_t path = program.AddPred("path", 2, false);
+  const uint32_t unreached = program.AddPred("unreached", 1, false);
+  using T = rdl::Term;
+  program.rules.push_back(
+      {rdl::Atom{path, false, {T::Var(0), T::Var(1)}},
+       {rdl::Atom{edge, false, {T::Var(0), T::Var(1)}}}});
+  program.rules.push_back(
+      {rdl::Atom{path, false, {T::Var(0), T::Var(1)}},
+       {rdl::Atom{path, false, {T::Var(0), T::Var(2)}},
+        rdl::Atom{edge, false, {T::Var(2), T::Var(1)}}}});
+  // unreached(X) :- node(X), \+ path(0, X).
+  program.rules.push_back(
+      {rdl::Atom{unreached, false, {T::Var(0)}},
+       {rdl::Atom{node, false, {T::Var(0)}},
+        rdl::Atom{path, true, {T::Const(0), T::Var(0)}}}});
+
+  const std::vector<GraphWorkload::Edge> edges = GraphWorkload::Chain(5);
+  auto loader = [&](uint32_t pred, uint32_t width,
+                    const rdl::Evaluator::EmitFn& emit) {
+    if (pred == node) {
+      for (int64_t i = 0; i < 5; ++i) {
+        const int64_t row[1] = {i};
+        base::Status status = emit(row);
+        if (!status.ok()) return status;
+      }
+      return base::Status::OK();
+    }
+    return EdgeLoader(edge, edges)(pred, width, emit);
+  };
+  rdl::Evaluator eval(&program, {});
+  ASSERT_TRUE(eval.Run(loader).ok());
+  // path(0, ·) reaches 1..4, so only node 0 is unreached from 0.
+  EXPECT_EQ(SortedTuples(eval, unreached),
+            (std::vector<std::vector<int64_t>>{{0}}));
+}
+
+TEST(DatalogIrTest, MagicRewriteDerivesStrictlyFewerTuples) {
+  uint32_t edge = 0, path = 0;
+  const rdl::Program program = ClosureProgram(&edge, &path);
+  // Two disjoint chains: the closure from node 0 never enters the second
+  // component, so a magic-bound evaluation must skip it entirely.
+  std::vector<GraphWorkload::Edge> edges = GraphWorkload::Chain(8);
+  for (const auto& e : GraphWorkload::Chain(8)) {
+    edges.emplace_back(e.first + 100, e.second + 100);
+  }
+
+  rdl::Evaluator full(&program, {});
+  ASSERT_TRUE(full.Run(EdgeLoader(edge, edges)).ok());
+
+  auto rewritten = rdl::MagicRewrite(program, path, {true, false});
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  ASSERT_NE(rewritten->seed_pred, rdl::kNoPred);
+  auto loader = [&](uint32_t pred, uint32_t width,
+                    const rdl::Evaluator::EmitFn& emit) {
+    if (pred == rewritten->seed_pred) {
+      const int64_t row[1] = {0};
+      return emit(row);
+    }
+    return EdgeLoader(0, edges)(0, width, emit);  // every other EDB is edge
+  };
+  rdl::Evaluator magic(&rewritten->program, {});
+  ASSERT_TRUE(magic.Run(loader).ok());
+
+  // The bound query answers: exactly the 7 tuples path(0, 1..7).
+  std::vector<std::vector<int64_t>> expected;
+  for (int64_t j = 1; j <= 7; ++j) expected.push_back({0, j});
+  EXPECT_EQ(SortedTuples(magic, rewritten->query_pred), expected);
+  // And it derives strictly fewer tuples than the full closure (which
+  // also computes every suffix path and the second component).
+  EXPECT_LT(magic.stats().tuples_derived, full.stats().tuples_derived);
+  EXPECT_EQ(full.TupleCount(path), 2u * 28u);
+}
+
+TEST(DatalogIrTest, MagicRewriteAllFreeIsIdentity) {
+  uint32_t edge = 0, path = 0;
+  const rdl::Program program = ClosureProgram(&edge, &path);
+  auto rewritten = rdl::MagicRewrite(program, path, {false, false});
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->seed_pred, rdl::kNoPred);
+  EXPECT_EQ(rewritten->program.rules.size(), program.rules.size());
+}
+
+// ---------------------------------------------------------------------------
+// Engine bridge
+// ---------------------------------------------------------------------------
+
+// All solutions of `goal`, each rendered "X=v,Y=w", deduplicated (the
+// bottom-up path has set semantics; the WAM side may repeat solutions).
+std::set<std::string> SolutionSet(Engine* engine, std::string_view goal,
+                                  int max = 200000) {
+  std::set<std::string> out;
+  auto solutions = engine->Query(goal);
+  EXPECT_TRUE(solutions.ok()) << goal << ": " << solutions.status();
+  if (!solutions.ok()) return out;
+  for (int i = 0; i < max; ++i) {
+    auto more = (*solutions)->Next();
+    EXPECT_TRUE(more.ok()) << goal << ": " << more.status();
+    if (!more.ok() || !*more) break;
+    std::string row;
+    for (const auto& [name, value] : (*solutions)->All()) {
+      if (!row.empty()) row += ",";
+      row += name + "=" + value;
+    }
+    out.insert(row);
+  }
+  return out;
+}
+
+struct EnginePair {
+  Engine wam;       // datalog off: plain top-down oracle
+  Engine bottom_up;  // datalog on
+
+  EnginePair()
+      : wam(EngineOptions{}), bottom_up([] {
+          EngineOptions options;
+          options.datalog = true;
+          return options;
+        }()) {}
+
+  // Same facts and rules on both sides.
+  void LoadEdges(const std::vector<GraphWorkload::Edge>& edges) {
+    ASSERT_TRUE(GraphWorkload::StoreEdges(&wam, "edge", edges).ok());
+    ASSERT_TRUE(GraphWorkload::StoreEdges(&bottom_up, "edge", edges).ok());
+  }
+  void ConsultBoth(const std::string& rules) {
+    ASSERT_TRUE(wam.Consult(rules).ok());
+    ASSERT_TRUE(bottom_up.Consult(rules).ok());
+  }
+  void ExpectSameSolutions(std::string_view goal) {
+    EXPECT_EQ(SolutionSet(&bottom_up, goal), SolutionSet(&wam, goal)) << goal;
+  }
+};
+
+// Right-recursive closure: terminates top-down on DAGs, so the WAM side
+// can serve as the oracle. (The bottom-up side is insensitive to rule
+// form.)
+const char kClosureRules[] =
+    "path(X, Y) :- edge(X, Y).\n"
+    "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+
+TEST(DatalogEngineTest, ClosureMatchesWamOnAllCallPatterns) {
+  EnginePair pair;
+  pair.LoadEdges(GraphWorkload::RandomDag(14, 30, 42));
+  pair.ConsultBoth(kClosureRules);
+  pair.ExpectSameSolutions("path(X, Y)");
+  pair.ExpectSameSolutions("path(0, Y)");
+  pair.ExpectSameSolutions("path(X, 13)");
+  pair.ExpectSameSolutions("path(X, X)");   // repeated-variable call
+  pair.ExpectSameSolutions("path(0, 13)");  // ground call (set semantics)
+  pair.ExpectSameSolutions("path(97, X)");  // empty answer
+
+  const DatalogStats stats = pair.bottom_up.Stats().datalog;
+  EXPECT_GE(stats.queries_bottom_up, 6u);
+  EXPECT_GT(stats.tuples_derived, 0u);
+  // Each evaluation feeds the EDB through the bulk fact scan.
+  EXPECT_GT(pair.bottom_up.Stats().clause_store.bulk_fact_scans, 0u);
+  EXPECT_GT(pair.bottom_up.Stats().clause_store.bulk_fact_rows, 0u);
+}
+
+TEST(DatalogEngineTest, SeededDifferentialsMatchWam) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    EnginePair pair;
+    const uint64_t nodes = 10 + seed % 6;
+    pair.LoadEdges(GraphWorkload::RandomDag(nodes, 2 * nodes + seed, seed));
+    pair.ConsultBoth(kClosureRules);
+    pair.ExpectSameSolutions("path(X, Y)");
+    pair.ExpectSameSolutions("path(1, Y)");
+    pair.ExpectSameSolutions("path(X, 5)");
+    EXPECT_GE(pair.bottom_up.Stats().datalog.queries_bottom_up, 3u)
+        << "seed " << seed;
+  }
+}
+
+TEST(DatalogEngineTest, AutoDeclinesNonRecursiveUntilForced) {
+  EnginePair pair;
+  pair.LoadEdges(GraphWorkload::Chain(6));
+  pair.ConsultBoth("hop2(X, Y) :- edge(X, Z), edge(Z, Y).\n");
+  // kAuto: eligible but not recursive — stays on the WAM.
+  pair.ExpectSameSolutions("hop2(X, Y)");
+  EXPECT_EQ(pair.bottom_up.Stats().datalog.queries_bottom_up, 0u);
+  EXPECT_GE(pair.bottom_up.Stats().datalog.queries_fallback, 1u);
+  // Forcing bottom-up flips it, with the same answers.
+  pair.bottom_up.datalog_manager()->SetStrategy("hop2", 2,
+                                                DatalogStrategy::kBottomUp);
+  pair.ExpectSameSolutions("hop2(X, Y)");
+  EXPECT_GE(pair.bottom_up.Stats().datalog.queries_bottom_up, 1u);
+  // And kWam forces it back.
+  pair.bottom_up.datalog_manager()->SetStrategy("hop2", 2,
+                                                DatalogStrategy::kWam);
+  const uint64_t before = pair.bottom_up.Stats().datalog.queries_bottom_up;
+  pair.ExpectSameSolutions("hop2(X, Y)");
+  EXPECT_EQ(pair.bottom_up.Stats().datalog.queries_bottom_up, before);
+}
+
+TEST(DatalogEngineTest, OutOfRangeProceduresFallBack) {
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(engine
+                  .Consult("p(1). p(2). p(3).\n"
+                           "big(X) :- p(X), X > 1.\n"            // comparison
+                           "double(X, Y) :- p(X), Y is X * 2.\n"  // arithmetic
+                           "first(X) :- p(X), !.\n")              // cut
+                  .ok());
+  engine.datalog_manager()->SetStrategy("big", 1, DatalogStrategy::kBottomUp);
+  engine.datalog_manager()->SetStrategy("double", 2,
+                                        DatalogStrategy::kBottomUp);
+  engine.datalog_manager()->SetStrategy("first", 1,
+                                        DatalogStrategy::kBottomUp);
+  // All three are out of Datalog range: answers still come from the WAM.
+  EXPECT_EQ(SolutionSet(&engine, "big(X)"),
+            (std::set<std::string>{"X=2", "X=3"}));
+  EXPECT_EQ(SolutionSet(&engine, "double(2, Y)"),
+            (std::set<std::string>{"Y=4"}));
+  EXPECT_EQ(SolutionSet(&engine, "first(X)"), (std::set<std::string>{"X=1"}));
+  // Float goal arguments are out of range too (no float encoding).
+  EXPECT_EQ(SolutionSet(&engine, "p(1.5)"), (std::set<std::string>{}));
+  const DatalogStats stats = engine.Stats().datalog;
+  EXPECT_EQ(stats.queries_bottom_up, 0u);
+  EXPECT_GE(stats.queries_fallback, 4u);
+}
+
+TEST(DatalogEngineTest, AssertInvalidatesCompiledPlans) {
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(
+      GraphWorkload::StoreEdges(&engine, "edge", GraphWorkload::Chain(4))
+          .ok());
+  ASSERT_TRUE(engine.Consult(kClosureRules).ok());
+
+  EXPECT_EQ(SolutionSet(&engine, "path(0, Y)"),
+            (std::set<std::string>{"Y=1", "Y=2", "Y=3"}));
+  const DatalogStats before = engine.Stats().datalog;
+  EXPECT_GE(before.plans_compiled, 1u);
+
+  // A cached plan must not survive an EDB mutation: extend the chain via
+  // edb_assert (served by the WAM builtin, routed around the bottom-up
+  // path) and the next query must see the new edge.
+  auto assert_ok = engine.Succeeds("edb_assert(edge(3, 4))");
+  ASSERT_TRUE(assert_ok.ok()) << assert_ok.status();
+  ASSERT_TRUE(*assert_ok);
+  EXPECT_EQ(SolutionSet(&engine, "path(0, Y)"),
+            (std::set<std::string>{"Y=1", "Y=2", "Y=3", "Y=4"}));
+  const DatalogStats after = engine.Stats().datalog;
+  EXPECT_GE(after.plans_invalidated, 1u);
+  EXPECT_GT(after.plans_compiled, before.plans_compiled);
+}
+
+TEST(DatalogEngineTest, PlanCacheHitsOnRepeatedCallPattern) {
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(
+      GraphWorkload::StoreEdges(&engine, "edge", GraphWorkload::Chain(6))
+          .ok());
+  ASSERT_TRUE(engine.Consult(kClosureRules).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(SolutionSet(&engine, "path(0, Y)").empty());
+  }
+  const DatalogStats stats = engine.Stats().datalog;
+  EXPECT_EQ(stats.plans_compiled, 1u);
+  EXPECT_GE(stats.plan_cache_hits, 2u);
+}
+
+TEST(DatalogEngineTest, MagicBoundQueryDerivesFewerTuples) {
+  // Two disjoint chains; a bound query from the first component must not
+  // derive tuples in the second.
+  std::vector<GraphWorkload::Edge> edges = GraphWorkload::Chain(12);
+  for (const auto& e : GraphWorkload::Chain(12)) {
+    edges.emplace_back(e.first + 1000, e.second + 1000);
+  }
+
+  EngineOptions options;
+  options.datalog = true;
+  Engine unbound_engine(options);
+  Engine bound_engine(options);
+  for (Engine* engine : {&unbound_engine, &bound_engine}) {
+    ASSERT_TRUE(GraphWorkload::StoreEdges(engine, "edge", edges).ok());
+    ASSERT_TRUE(engine->Consult(kClosureRules).ok());
+  }
+  EXPECT_EQ(SolutionSet(&unbound_engine, "path(X, Y)").size(), 2u * 66u);
+  EXPECT_EQ(SolutionSet(&bound_engine, "path(0, Y)").size(), 11u);
+
+  const DatalogStats unbound = unbound_engine.Stats().datalog;
+  const DatalogStats bound = bound_engine.Stats().datalog;
+  EXPECT_EQ(bound.magic_rewrites, 1u);
+  EXPECT_EQ(unbound.magic_rewrites, 0u);
+  EXPECT_LT(bound.tuples_derived, unbound.tuples_derived);
+}
+
+TEST(DatalogEngineTest, MaterializedSolutionsApi) {
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(
+      GraphWorkload::StoreEdges(&engine, "edge", GraphWorkload::Chain(3))
+          .ok());
+  ASSERT_TRUE(engine.Consult(kClosureRules).ok());
+
+  auto solutions = engine.Query("path(0, Y)");
+  ASSERT_TRUE(solutions.ok()) << solutions.status();
+  EXPECT_GE(engine.Stats().datalog.queries_bottom_up, 1u);
+  // Before the first Next there is no current row.
+  EXPECT_EQ((*solutions)->Binding("Y"), "");
+  EXPECT_TRUE((*solutions)->All().empty());
+
+  std::vector<std::string> ys;
+  while (true) {
+    auto more = (*solutions)->Next();
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_EQ((*solutions)->BindingAst("missing"), nullptr);
+    EXPECT_EQ((*solutions)->Binding("missing"), "");
+    ys.push_back((*solutions)->Binding("Y"));
+  }
+  EXPECT_EQ(ys, (std::vector<std::string>{"1", "2"}));  // sorted set
+  // Exhausted: further Next stays false, and the engine accepts the next
+  // query (the active-query flag was released).
+  auto again = (*solutions)->Next();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  auto succeeds = engine.Succeeds("path(0, 2)");
+  ASSERT_TRUE(succeeds.ok());
+  EXPECT_TRUE(*succeeds);
+}
+
+TEST(DatalogEngineTest, AtomConstantsRoundTrip) {
+  // Symbolic graphs exercise the atom <-> int64 encoding.
+  EnginePair pair;
+  pair.ConsultBoth(kClosureRules);
+  for (Engine* engine : {&pair.wam, &pair.bottom_up}) {
+    ASSERT_TRUE(engine
+                    ->StoreFactsExternal(
+                        "edge(a, b). edge(b, c). edge(c, d). edge(b, e).")
+                    .ok());
+  }
+  pair.ExpectSameSolutions("path(X, Y)");
+  pair.ExpectSameSolutions("path(a, Y)");
+  pair.ExpectSameSolutions("path(X, e)");
+  EXPECT_GE(pair.bottom_up.Stats().datalog.queries_bottom_up, 3u);
+}
+
+TEST(DatalogEngineTest, DescribeAndMetricsExport) {
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(
+      GraphWorkload::StoreEdges(&engine, "edge", GraphWorkload::Chain(4))
+          .ok());
+  ASSERT_TRUE(engine.Consult(kClosureRules).ok());
+  EXPECT_FALSE(SolutionSet(&engine, "path(X, Y)").empty());
+
+  const std::string report = engine.datalog_manager()->Describe("path", 2);
+  EXPECT_NE(report.find("path/2"), std::string::npos) << report;
+  EXPECT_NE(report.find("recursive"), std::string::npos) << report;
+
+  const std::string json = engine.ExportMetricsJson();
+  EXPECT_NE(json.find("\"datalog\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries_bottom_up\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tuples_derived\""), std::string::npos);
+}
+
+TEST(DatalogEngineTest, ParallelBottomUpQueriesAgree) {
+  // SolveParallel fans goals over worker sessions; with datalog on, each
+  // session runs its own Evaluator (private scratch storage) against the
+  // shared clause store — the path TSan sweeps via this test.
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(
+      GraphWorkload::StoreEdges(&engine, "edge", GraphWorkload::Chain(40))
+          .ok());
+  ASSERT_TRUE(engine.Consult(kClosureRules).ok());
+  std::vector<std::string> goals;
+  for (int i = 0; i < 16; ++i) {
+    goals.push_back("path(" + std::to_string(i) + ", Y)");
+  }
+  auto outcomes = engine.SolveParallel(goals, 4, /*collect_bindings=*/false);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), goals.size());
+  for (int i = 0; i < 16; ++i) {
+    // Chain of 40 nodes: node i reaches nodes i+1..39.
+    EXPECT_EQ((*outcomes)[i].count, static_cast<uint64_t>(39 - i)) << i;
+  }
+  EXPECT_GE(engine.Stats().datalog.queries_bottom_up, 16u);
+}
+
+TEST(DatalogEngineTest, SessionsUseBottomUpPath) {
+  EngineOptions options;
+  options.datalog = true;
+  Engine engine(options);
+  ASSERT_TRUE(
+      GraphWorkload::StoreEdges(&engine, "edge", GraphWorkload::Chain(5))
+          .ok());
+  ASSERT_TRUE(engine.Consult(kClosureRules).ok());
+  auto session = engine.OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto solutions = (*session)->Query("path(0, Y)");
+  ASSERT_TRUE(solutions.ok()) << solutions.status();
+  std::set<std::string> ys;
+  while (true) {
+    auto more = (*solutions)->Next();
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ys.insert((*solutions)->Binding("Y"));
+  }
+  EXPECT_EQ(ys, (std::set<std::string>{"1", "2", "3", "4"}));
+  EXPECT_GE(engine.Stats().datalog.queries_bottom_up, 1u);
+}
+
+}  // namespace
+}  // namespace educe
